@@ -1,0 +1,29 @@
+// Fig. 2: classification of tuple pairs into U / P / M by the matching
+// weight R against thresholds Tλ and Tμ. Sweeps R across the bands and
+// prints the resulting classes.
+
+#include "bench_util.h"
+#include "decision/classifier.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace pdd;
+  using pdd_bench::Banner;
+  using pdd_bench::Fmt;
+  using pdd_bench::Verdict;
+
+  Banner("Fig. 2 — classification into M, P, U",
+         "R < Tλ ⇒ U (non-match); Tλ ≤ R ≤ Tμ ⇒ P; R > Tμ ⇒ M (match)");
+  Thresholds t{0.4, 0.7};
+  TablePrinter table({"R", "class"});
+  bool ok = true;
+  for (double r = 0.0; r <= 1.0001; r += 0.1) {
+    MatchClass c = Classify(r, t);
+    table.AddRow({Fmt(r, 1), MatchClassName(c)});
+    if (r < 0.4 - 1e-9) ok = ok && c == MatchClass::kUnmatch;
+    if (r > 0.7 + 1e-9) ok = ok && c == MatchClass::kMatch;
+    if (r > 0.4 + 1e-9 && r < 0.7 - 1e-9) ok = ok && c == MatchClass::kPossible;
+  }
+  table.Print(std::cout);
+  return Verdict(ok);
+}

@@ -1,0 +1,47 @@
+// Fig. 5: the x-relations R3 and R4 — alternative counts, maybe ('?')
+// markers, existence probabilities, the 'mu*' pattern value and its
+// expansion against the job vocabulary.
+
+#include <cmath>
+
+#include "bench_util.h"
+#include "core/paper_examples.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace pdd;
+  using pdd_bench::Banner;
+  using pdd_bench::Fmt;
+  using pdd_bench::Verdict;
+
+  Banner("Fig. 5 — x-relations R3 and R4",
+         "t32, t42, t43 are maybe x-tuples; t31 has a 'mu*' pattern job; "
+         "p(t32)=0.9, p(t42)=0.8, p(t43)=0.8");
+  XRelation r3 = BuildR3();
+  XRelation r4 = BuildR4();
+  TablePrinter table({"x-tuple", "alternatives", "p(t)", "maybe?"});
+  bool ok = true;
+  for (const XRelation* rel : {&r3, &r4}) {
+    for (const XTuple& t : rel->xtuples()) {
+      table.AddRow({t.id(), std::to_string(t.size()),
+                    Fmt(t.existence_probability(), 2),
+                    t.is_maybe() ? "?" : ""});
+    }
+  }
+  table.Print(std::cout);
+  ok = ok && !r3.xtuple(0).is_maybe() && r3.xtuple(1).is_maybe();
+  ok = ok && !r4.xtuple(0).is_maybe() && r4.xtuple(1).is_maybe() &&
+       r4.xtuple(2).is_maybe();
+  ok = ok && std::abs(r3.xtuple(1).existence_probability() - 0.9) < 1e-12;
+  ok = ok && std::abs(r4.xtuple(1).existence_probability() - 0.8) < 1e-12;
+  ok = ok && std::abs(r4.xtuple(2).existence_probability() - 0.8) < 1e-12;
+
+  // The pattern value 'mu*' represents a uniform distribution over all
+  // jobs starting with "mu" (the paper names musician as an example).
+  const Value& pattern = r3.xtuple(0).alternative(1).values[1];
+  Value expanded = pattern.Expanded(PaperSchema().attribute(1).vocabulary);
+  std::cout << "'mu*' expands over the job vocabulary to: "
+            << expanded.ToString() << "\n";
+  ok = ok && pattern.has_pattern() && !expanded.has_pattern();
+  return Verdict(ok);
+}

@@ -1,0 +1,65 @@
+// Fig. 6: the two adapted decision models for x-tuple pairs. Runs every
+// derivation function ϑ implemented by the library on the paper's pair
+// (t32, t42) and checks both of the paper's worked results — Eq. 6
+// (7/15) and Eq. 7-9 (0.75) — plus the expected-matching variant the
+// paper sketches (η coded m=2, p=1, u=0).
+
+#include <cmath>
+
+#include "bench_util.h"
+#include "core/paper_examples.h"
+#include "decision/combination.h"
+#include "derive/decision_based.h"
+#include "derive/similarity_based.h"
+#include "match/tuple_matcher.h"
+#include "sim/edit_distance.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace pdd;
+  using pdd_bench::Banner;
+  using pdd_bench::Fmt;
+  using pdd_bench::Verdict;
+
+  Banner("Fig. 6 — derivation functions on (t32, t42)",
+         "similarity-based Eq. 6 yields 7/15; decision-based Eq. 7-9 "
+         "yields 0.75 under Tλ=0.4, Tμ=0.7");
+  NormalizedHammingComparator hamming;
+  TupleMatcher matcher =
+      *TupleMatcher::Make(PaperSchema(), {&hamming, &hamming});
+  WeightedSumCombination phi({0.8, 0.2});
+  AlternativePairScores scores = BuildAlternativePairScores(
+      BuildR3().xtuple(1), BuildR4().xtuple(1), matcher, phi);
+  Thresholds intermediate{0.4, 0.7};
+
+  ExpectedSimilarityDerivation expected;
+  MaxSimilarityDerivation max_sim;
+  MinSimilarityDerivation min_sim;
+  ModeSimilarityDerivation mode_sim;
+  MatchingWeightDerivation weight(intermediate);
+  ExpectedMatchingDerivation eta(intermediate);
+  ExpectedMatchingDerivation eta_norm(intermediate, /*normalize=*/true);
+
+  TablePrinter table({"derivation", "family", "sim(t32, t42)"});
+  table.AddRow({"expected similarity (Eq. 6)", "similarity-based",
+                Fmt(expected.Derive(scores), 6)});
+  table.AddRow({"max similarity", "similarity-based",
+                Fmt(max_sim.Derive(scores), 6)});
+  table.AddRow({"min similarity", "similarity-based",
+                Fmt(min_sim.Derive(scores), 6)});
+  table.AddRow({"mode similarity", "similarity-based",
+                Fmt(mode_sim.Derive(scores), 6)});
+  table.AddRow({"matching weight P(m)/P(u) (Eq. 7)", "decision-based",
+                Fmt(weight.Derive(scores), 6)});
+  table.AddRow({"expected matching E[eta]", "decision-based",
+                Fmt(eta.Derive(scores), 6)});
+  table.AddRow({"expected matching, normalized", "decision-based",
+                Fmt(eta_norm.Derive(scores), 6)});
+  table.Print(std::cout);
+  std::cout << "paper: Eq. 6 = 7/15 = " << Fmt(7.0 / 15.0, 6)
+            << ", Eq. 7 = 0.75\n";
+  bool ok = std::abs(expected.Derive(scores) - 7.0 / 15.0) < 1e-12 &&
+            std::abs(weight.Derive(scores) - 0.75) < 1e-12 &&
+            std::abs(eta.Derive(scores) - 8.0 / 9.0) < 1e-12;
+  return Verdict(ok);
+}

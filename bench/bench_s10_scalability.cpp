@@ -1,0 +1,67 @@
+// S10: pipeline scalability — wall time of the full detection pipeline
+// versus relation size per reduction method, with fitted complexity.
+// Expected shapes: full comparison grows quadratically; SNM variants
+// near-linearithmically; blocking close to linear (plus within-block
+// quadratic terms bounded by block sizes).
+
+#include <benchmark/benchmark.h>
+
+#include "core/detector.h"
+#include "datagen/person_generator.h"
+
+namespace {
+
+using namespace pdd;
+
+GeneratedData MakeData(size_t entities) {
+  PersonGenOptions gen;
+  gen.num_entities = entities;
+  gen.duplicate_rate = 0.4;
+  gen.uncertainty.value_uncertainty_prob = 0.25;
+  gen.uncertainty.xtuple_alternative_prob = 0.2;
+  return GeneratePersons(gen);
+}
+
+void RunPipeline(benchmark::State& state, ReductionMethod method) {
+  GeneratedData data = MakeData(static_cast<size_t>(state.range(0)));
+  DetectorConfig config;
+  config.key = {{"name", 3}, {"job", 2}};
+  config.weights = {0.5, 0.25, 0.25};
+  config.reduction = method;
+  config.window = 5;
+  Result<DuplicateDetector> detector =
+      DuplicateDetector::Make(config, PersonSchema());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector->Run(data.relation));
+  }
+  state.SetComplexityN(static_cast<int64_t>(data.relation.size()));
+}
+
+void BM_ScaleFull(benchmark::State& state) {
+  RunPipeline(state, ReductionMethod::kFull);
+}
+BENCHMARK(BM_ScaleFull)->Arg(50)->Arg(100)->Arg(200)->Arg(400)
+    ->Unit(benchmark::kMillisecond)->Complexity(benchmark::oNSquared);
+
+void BM_ScaleSnmAlternatives(benchmark::State& state) {
+  RunPipeline(state, ReductionMethod::kSnmSortingAlternatives);
+}
+BENCHMARK(BM_ScaleSnmAlternatives)->Arg(50)->Arg(200)->Arg(800)->Arg(3200)
+    ->Unit(benchmark::kMillisecond)->Complexity(benchmark::oNLogN);
+
+void BM_ScaleSnmRanking(benchmark::State& state) {
+  RunPipeline(state, ReductionMethod::kSnmUncertainRanking);
+}
+BENCHMARK(BM_ScaleSnmRanking)->Arg(50)->Arg(200)->Arg(800)->Arg(3200)
+    ->Unit(benchmark::kMillisecond)->Complexity(benchmark::oNLogN);
+
+void BM_ScaleBlockingAlternatives(benchmark::State& state) {
+  RunPipeline(state, ReductionMethod::kBlockingAlternatives);
+}
+BENCHMARK(BM_ScaleBlockingAlternatives)->Arg(50)->Arg(200)->Arg(800)
+    ->Arg(3200)->Unit(benchmark::kMillisecond)
+    ->Complexity(benchmark::oNLogN);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// S1: comparison function micro-benchmarks — cost per comparison versus
+// string length for every registered comparator family. The attribute
+// value matching of Eq. 5 invokes these in an O(k*l) inner loop, so
+// their constants dominate the pipeline's matching phase.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "sim/registry.h"
+#include "util/random.h"
+
+namespace {
+
+std::string RandomWord(pdd::Rng* rng, size_t len) {
+  std::string w;
+  for (size_t i = 0; i < len; ++i) {
+    w += static_cast<char>('a' + rng->Index(26));
+  }
+  return w;
+}
+
+void BM_Comparator(benchmark::State& state, const std::string& name) {
+  pdd::Result<const pdd::Comparator*> cmp = pdd::GetComparator(name);
+  if (!cmp.ok()) {
+    state.SkipWithError("unknown comparator");
+    return;
+  }
+  size_t len = static_cast<size_t>(state.range(0));
+  pdd::Rng rng(7);
+  // Pre-generate word pairs so RNG cost stays out of the loop.
+  std::vector<std::pair<std::string, std::string>> pairs;
+  for (int i = 0; i < 64; ++i) {
+    pairs.emplace_back(RandomWord(&rng, len), RandomWord(&rng, len));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = pairs[i++ & 63];
+    benchmark::DoNotOptimize((*cmp)->Compare(a, b));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_Comparator, hamming, "hamming")->Arg(8)->Arg(32);
+BENCHMARK_CAPTURE(BM_Comparator, levenshtein, "levenshtein")
+    ->Arg(8)
+    ->Arg(32);
+BENCHMARK_CAPTURE(BM_Comparator, damerau, "damerau")->Arg(8)->Arg(32);
+BENCHMARK_CAPTURE(BM_Comparator, jaro, "jaro")->Arg(8)->Arg(32);
+BENCHMARK_CAPTURE(BM_Comparator, jaro_winkler, "jaro_winkler")
+    ->Arg(8)
+    ->Arg(32);
+BENCHMARK_CAPTURE(BM_Comparator, qgram2, "qgram2")->Arg(8)->Arg(32);
+BENCHMARK_CAPTURE(BM_Comparator, cosine, "cosine")->Arg(8)->Arg(32);
+BENCHMARK_CAPTURE(BM_Comparator, soundex, "soundex")->Arg(8)->Arg(32);
+BENCHMARK_CAPTURE(BM_Comparator, exact, "exact")->Arg(8)->Arg(32);
+
+BENCHMARK_MAIN();

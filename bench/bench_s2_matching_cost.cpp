@@ -1,0 +1,74 @@
+// S2: cost of probabilistic attribute value matching (Eq. 5) versus the
+// number of alternatives per value (k x l cross product), and cost of
+// the full x-tuple comparison matrix versus alternatives per x-tuple.
+// Expected shape: bilinear growth in k*l.
+
+#include <benchmark/benchmark.h>
+
+#include "match/attribute_matcher.h"
+#include "match/tuple_matcher.h"
+#include "pdb/schema.h"
+#include "sim/edit_distance.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace pdd;
+
+Value RandomValueWithAlternatives(size_t count, Rng* rng) {
+  std::vector<Alternative> alts;
+  double share = 1.0 / static_cast<double>(count);
+  for (size_t i = 0; i < count; ++i) {
+    std::string text;
+    for (int c = 0; c < 8; ++c) {
+      text += static_cast<char>('a' + rng->Index(26));
+    }
+    alts.push_back({text + std::to_string(i), share, false});
+  }
+  return Value::Unchecked(std::move(alts));
+}
+
+void BM_ExpectedSimilarity(benchmark::State& state) {
+  size_t alternatives = static_cast<size_t>(state.range(0));
+  Rng rng(11);
+  NormalizedHammingComparator hamming;
+  Value a = RandomValueWithAlternatives(alternatives, &rng);
+  Value b = RandomValueWithAlternatives(alternatives, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExpectedSimilarity(a, b, hamming));
+  }
+  state.SetComplexityN(static_cast<int64_t>(alternatives * alternatives));
+}
+BENCHMARK(BM_ExpectedSimilarity)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
+    ->Complexity(benchmark::oN);
+
+void BM_XTupleComparisonMatrix(benchmark::State& state) {
+  size_t alternatives = static_cast<size_t>(state.range(0));
+  Rng rng(13);
+  Schema schema = Schema::Strings({"a", "b"});
+  NormalizedHammingComparator hamming;
+  TupleMatcher matcher =
+      *TupleMatcher::Make(schema, {&hamming, &hamming});
+  auto make_xtuple = [&](const std::string& id) {
+    std::vector<AltTuple> alts;
+    double share = 1.0 / static_cast<double>(alternatives);
+    for (size_t i = 0; i < alternatives; ++i) {
+      alts.push_back({{RandomValueWithAlternatives(2, &rng),
+                       RandomValueWithAlternatives(2, &rng)},
+                      share});
+    }
+    return XTuple(id, std::move(alts));
+  };
+  XTuple t1 = make_xtuple("t1");
+  XTuple t2 = make_xtuple("t2");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matcher.CompareXTuples(t1, t2));
+  }
+  state.SetComplexityN(static_cast<int64_t>(alternatives * alternatives));
+}
+BENCHMARK(BM_XTupleComparisonMatrix)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Complexity(benchmark::oN);
+
+}  // namespace
+
+BENCHMARK_MAIN();

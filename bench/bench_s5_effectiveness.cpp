@@ -1,0 +1,90 @@
+// S5: end-to-end effectiveness ablation of the Section IV-B design
+// choices — similarity-based (Eq. 6) versus decision-based (Eq. 7-9)
+// versus expected-matching derivation — across rising error and
+// uncertainty rates on synthetic person data.
+//
+// Expected shapes: all derivations degrade as error rates rise; the
+// expected-similarity derivation tracks the decision-based ones closely
+// under normalized φ (the paper argues similarity-based suits normalized
+// combination functions).
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/detector.h"
+#include "datagen/person_generator.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace pdd;
+
+std::string Fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4f", v);
+  return buf;
+}
+
+EffectivenessMetrics RunConfig(DerivationKind derivation,
+                               const GeneratedData& data) {
+  DetectorConfig config;
+  config.key = {{"name", 3}, {"city", 2}};
+  config.comparators = {"jaro_winkler", "hamming", "hamming"};
+  config.weights = {0.5, 0.25, 0.25};
+  config.derivation = derivation;
+  switch (derivation) {
+    case DerivationKind::kMatchingWeight:
+      config.intermediate = {0.7, 0.85};
+      config.final_thresholds = {0.8, 1.5};
+      break;
+    case DerivationKind::kExpectedMatching:
+      config.intermediate = {0.7, 0.85};
+      config.final_thresholds = {0.35, 0.6};
+      break;
+    default:
+      config.final_thresholds = {0.72, 0.85};
+      break;
+  }
+  Result<DuplicateDetector> detector =
+      DuplicateDetector::Make(config, PersonSchema());
+  Result<DetectionResult> result = detector->Run(data.relation);
+  return Evaluate(*result, data.gold, /*count_possible_as_match=*/false);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "S5: derivation-function ablation under rising error / "
+               "uncertainty rates\n\n";
+  TablePrinter table({"error rate", "uncertainty", "derivation",
+                      "precision", "recall", "F1"});
+  const std::vector<std::pair<DerivationKind, const char*>> derivations = {
+      {DerivationKind::kExpectedSimilarity, "expected similarity (Eq. 6)"},
+      {DerivationKind::kMatchingWeight, "matching weight (Eq. 7-9)"},
+      {DerivationKind::kExpectedMatching, "expected matching E[eta]"},
+      {DerivationKind::kModeSimilarity, "mode similarity (baseline)"},
+  };
+  for (double error_rate : {0.01, 0.05, 0.10}) {
+    for (double uncertainty : {0.2, 0.5}) {
+      PersonGenOptions gen;
+      gen.num_entities = 120;
+      gen.duplicate_rate = 0.6;
+      gen.errors.char_error_rate = error_rate;
+      gen.uncertainty.value_uncertainty_prob = uncertainty;
+      gen.uncertainty.xtuple_alternative_prob = uncertainty / 2;
+      gen.seed = 42;
+      GeneratedData data = GeneratePersons(gen);
+      for (const auto& [kind, label] : derivations) {
+        EffectivenessMetrics m = RunConfig(kind, data);
+        table.AddRow({Fmt(error_rate), Fmt(uncertainty), label,
+                      Fmt(m.precision), Fmt(m.recall), Fmt(m.f1)});
+      }
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\nreading: rows with higher error/uncertainty should show "
+               "lower F1 within each derivation; Eq. 6 and Eq. 7-9 should "
+               "be close, the single-world mode baseline weakest under "
+               "high uncertainty.\n";
+  return 0;
+}

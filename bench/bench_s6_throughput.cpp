@@ -1,0 +1,97 @@
+// S6: end-to-end pipeline throughput per reduction method (records per
+// second, candidate pairs per second) and EM estimation cost. Measures
+// the claim behind Section V: reduction methods make detection feasible
+// as data grows.
+
+#include <benchmark/benchmark.h>
+
+#include "core/detector.h"
+#include "datagen/person_generator.h"
+#include "decision/em_estimator.h"
+#include "match/tuple_matcher.h"
+#include "sim/registry.h"
+
+namespace {
+
+using namespace pdd;
+
+GeneratedData MakeData(size_t entities) {
+  PersonGenOptions gen;
+  gen.num_entities = entities;
+  gen.duplicate_rate = 0.5;
+  gen.uncertainty.value_uncertainty_prob = 0.3;
+  gen.uncertainty.xtuple_alternative_prob = 0.25;
+  return GeneratePersons(gen);
+}
+
+void BM_EndToEnd(benchmark::State& state, ReductionMethod method) {
+  GeneratedData data = MakeData(static_cast<size_t>(state.range(0)));
+  DetectorConfig config;
+  config.key = {{"name", 3}, {"job", 2}};
+  config.weights = {0.5, 0.25, 0.25};
+  config.reduction = method;
+  config.window = 5;
+  Result<DuplicateDetector> detector =
+      DuplicateDetector::Make(config, PersonSchema());
+  size_t candidates = 0;
+  for (auto _ : state) {
+    Result<DetectionResult> result = detector->Run(data.relation);
+    candidates = result->candidate_count;
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.relation.size()));
+  state.counters["records"] =
+      static_cast<double>(data.relation.size());
+  state.counters["candidates"] = static_cast<double>(candidates);
+}
+
+BENCHMARK_CAPTURE(BM_EndToEnd, full, ReductionMethod::kFull)
+    ->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_EndToEnd, snm_certain, ReductionMethod::kSnmCertainKeys)
+    ->Arg(100)
+    ->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_EndToEnd, snm_alternatives,
+                  ReductionMethod::kSnmSortingAlternatives)
+    ->Arg(100)
+    ->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_EndToEnd, snm_ranking,
+                  ReductionMethod::kSnmUncertainRanking)
+    ->Arg(100)
+    ->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_EndToEnd, blocking_alternatives,
+                  ReductionMethod::kBlockingAlternatives)
+    ->Arg(100)
+    ->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EmEstimation(benchmark::State& state) {
+  GeneratedData data = MakeData(60);
+  Schema schema = PersonSchema();
+  std::vector<const Comparator*> comparators = {
+      *GetComparator("jaro_winkler"), *GetComparator("hamming"),
+      *GetComparator("hamming")};
+  TupleMatcher matcher = *TupleMatcher::Make(schema, comparators);
+  std::vector<ComparisonVector> vectors;
+  for (size_t i = 0; i < data.relation.size(); ++i) {
+    for (size_t j = i + 1; j < data.relation.size(); ++j) {
+      vectors.push_back(matcher.CompareAlternatives(
+          data.relation.xtuple(i).alternative(0),
+          data.relation.xtuple(j).alternative(0)));
+    }
+  }
+  for (auto _ : state) {
+    Result<EmEstimate> est = EstimateWithEm(vectors);
+    benchmark::DoNotOptimize(est);
+  }
+  state.counters["pairs"] = static_cast<double>(vectors.size());
+}
+BENCHMARK(BM_EmEstimation)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

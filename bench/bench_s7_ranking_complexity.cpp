@@ -1,0 +1,84 @@
+// S7: the ranking complexity claim of Section V-A.4 — "a probabilistic
+// relation can be ranked with a complexity of O(n log n)" — versus the
+// exact expected rank, which needs all O(n²) pairwise order
+// probabilities. Also reports the rank agreement of the two methods so
+// the speedup is shown not to cost ordering quality.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "keys/key_builder.h"
+#include "ranking/expected_rank.h"
+#include "ranking/positional_rank.h"
+#include "util/random.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace pdd;
+
+std::vector<KeyDistribution> RandomKeys(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<KeyDistribution> keys(n);
+  for (size_t i = 0; i < n; ++i) {
+    size_t alts = 1 + rng.Index(3);
+    double remaining = 1.0;
+    for (size_t a = 0; a < alts; ++a) {
+      double p = a + 1 == alts ? remaining : remaining * rng.Uniform(0.3, 0.7);
+      std::string key;
+      for (int c = 0; c < 5; ++c) {
+        key += static_cast<char>('a' + rng.Index(8));
+      }
+      keys[i].entries.emplace_back(key, p);
+      remaining -= p;
+    }
+  }
+  return keys;
+}
+
+void BM_ExpectedRank(benchmark::State& state) {
+  std::vector<KeyDistribution> keys =
+      RandomKeys(static_cast<size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RankByExpectedRank(keys));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ExpectedRank)->Arg(32)->Arg(64)->Arg(128)->Arg(256)
+    ->Complexity(benchmark::oNSquared);
+
+void BM_PositionalRank(benchmark::State& state) {
+  std::vector<KeyDistribution> keys =
+      RandomKeys(static_cast<size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RankByPositionalScore(keys));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PositionalRank)->Arg(32)->Arg(256)->Arg(2048)->Arg(16384)
+    ->Complexity(benchmark::oNLogN);
+
+void PrintAgreementTable() {
+  TablePrinter table({"n", "Kendall-tau agreement (exact vs O(n log n))"});
+  for (size_t n : {16u, 64u, 256u}) {
+    std::vector<KeyDistribution> keys = RandomKeys(n, 11);
+    double agreement = KendallTauAgreement(RankByExpectedRank(keys),
+                                           RankByPositionalScore(keys));
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.4f", agreement);
+    table.AddRow({std::to_string(n), buf});
+  }
+  std::cout << "ordering agreement of the O(n log n) approximation with "
+               "the exact expected rank:\n";
+  table.Print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintAgreementTable();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,102 @@
+// S8: ablation of the base comparison function inside Eq. 5 (design
+// decision 4 in DESIGN.md): end-to-end effectiveness of the pipeline on
+// dirty probabilistic person data per comparator family, including the
+// corpus-trained SoftTFIDF on full names.
+//
+// Expected shapes: edit-family comparators (Levenshtein, Damerau,
+// Jaro-Winkler) dominate positional Hamming once insertions/deletions
+// appear; SoftTFIDF leads on multi-token names; exact equality collapses
+// recall under any error.
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/detector.h"
+#include "core/threshold_tuner.h"
+#include "datagen/person_generator.h"
+#include "sim/jaro.h"
+#include "sim/tfidf.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace pdd;
+
+std::string Fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4f", v);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  PersonGenOptions gen;
+  gen.num_entities = 150;
+  gen.duplicate_rate = 0.6;
+  gen.errors.char_error_rate = 0.06;
+  gen.uncertainty.value_uncertainty_prob = 0.35;
+  gen.full_names = true;
+  GeneratedData data = GeneratePersons(gen);
+  std::cout << "S8: base comparator ablation on " << data.relation.size()
+            << " records (" << data.gold.size() << " true pairs), error "
+            << "rate 0.06, full names\n\n";
+
+  // Train the IDF table on the observed name field (most probable texts).
+  std::vector<std::string> corpus;
+  for (const XTuple& t : data.relation.xtuples()) {
+    corpus.push_back(t.alternative(0).values[0].MostProbableText());
+  }
+  IdfTable idf = IdfTable::Train(corpus);
+  JaroWinklerComparator jw;
+  SoftTfIdfComparator soft_tfidf(&idf, &jw, 0.88);
+  TfIdfComparator tfidf(&idf);
+
+  TablePrinter table({"name comparator", "precision", "recall", "F1",
+                      "tuned F1"});
+  struct Variant {
+    std::string label;
+    std::string registry_name;       // empty -> custom
+    const Comparator* custom = nullptr;
+  };
+  std::vector<Variant> variants = {
+      {"exact", "exact", nullptr},
+      {"hamming (paper's choice)", "hamming", nullptr},
+      {"levenshtein", "levenshtein", nullptr},
+      {"damerau", "damerau", nullptr},
+      {"jaro_winkler", "jaro_winkler", nullptr},
+      {"qgram2", "qgram2", nullptr},
+      {"monge_elkan", "monge_elkan", nullptr},
+      {"tfidf (trained)", "", &tfidf},
+      {"soft_tfidf (trained)", "", &soft_tfidf},
+  };
+  for (const Variant& variant : variants) {
+    DetectorConfig config;
+    config.key = {{"name", 3}, {"city", 2}};
+    config.weights = {0.5, 0.25, 0.25};
+    config.final_thresholds = {0.7, 0.82};
+    if (variant.custom != nullptr) {
+      config.custom_comparators = {variant.custom, nullptr, nullptr};
+    } else {
+      config.comparators = {variant.registry_name, "hamming", "hamming"};
+    }
+    Result<DuplicateDetector> detector =
+        DuplicateDetector::Make(config, PersonSchema());
+    if (!detector.ok()) {
+      std::cout << variant.label << ": " << detector.status().ToString()
+                << "\n";
+      continue;
+    }
+    Result<DetectionResult> result = detector->Run(data.relation);
+    EffectivenessMetrics fixed = Evaluate(*result, data.gold);
+    TuneResult tuned = TuneThresholds(*result, data.gold);
+    table.AddRow({variant.label, Fmt(fixed.precision), Fmt(fixed.recall),
+                  Fmt(fixed.f1), Fmt(tuned.best_metrics.f1)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nreading: the 'tuned F1' column removes threshold choice "
+               "from the comparison (Section III-E's feedback loop); "
+               "edit-family comparators should dominate hamming, and the "
+               "trained soft_tfidf should lead on full names.\n";
+  return 0;
+}

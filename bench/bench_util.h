@@ -1,0 +1,35 @@
+// Shared helpers for the figure-reproduction benchmark binaries.
+
+#ifndef PDD_BENCH_BENCH_UTIL_H_
+#define PDD_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+namespace pdd_bench {
+
+/// Fixed-precision formatting for table cells.
+inline std::string Fmt(double v, int digits = 4) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+/// Section banner naming the reproduced figure and the paper's claim.
+inline void Banner(const std::string& experiment, const std::string& claim) {
+  std::cout << "==================================================\n"
+            << experiment << "\n"
+            << "paper: " << claim << "\n"
+            << "==================================================\n";
+}
+
+/// PASS/FAIL trailer so `for b in build/bench/*` output is scannable.
+inline int Verdict(bool ok) {
+  std::cout << (ok ? "[REPRODUCED]" : "[MISMATCH]") << "\n\n";
+  return ok ? 0 : 1;
+}
+
+}  // namespace pdd_bench
+
+#endif  // PDD_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,88 @@
+// Telescope catalog integration — the paper's motivating scenario
+// ("unifying data produced by different space telescopes", Section I).
+//
+// Two synthetic telescope catalogs observe an overlapping set of sky
+// objects with instrument noise; repeated readings per attribute become
+// discrete probability distributions. The pipeline links detections of
+// the same object across the catalogs using numeric comparators and the
+// expected-similarity derivation, and reports effectiveness against the
+// generator's exact ground truth.
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/detector.h"
+#include "datagen/astronomy_generator.h"
+#include "util/table_printer.h"
+
+namespace {
+
+std::string Fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4f", v);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  using namespace pdd;
+
+  // 1. Generate two noisy telescope catalogs with known cross matches.
+  AstroGenOptions gen;
+  gen.num_objects = 300;
+  gen.detection_prob = 0.85;
+  gen.position_noise = 0.02;
+  gen.magnitude_noise = 0.15;
+  gen.readings = 3;
+  gen.faint_prob = 0.2;
+  GeneratedSources sources = GenerateTelescopeSources(gen);
+  std::cout << "telescope1: " << sources.source1.size() << " detections, "
+            << "telescope2: " << sources.source2.size() << " detections, "
+            << "true cross matches: " << sources.gold.size() << "\n\n";
+
+  // 2. Configure the pipeline for numeric sky data: positions compare by
+  //    absolute difference (degrees), magnitudes relatively; blocking on
+  //    coordinate prefixes keeps the candidate set small.
+  DetectorConfig config;
+  config.key = {{"ra", 4}, {"dec", 3}};
+  config.reduction = ReductionMethod::kSnmSortingAlternatives;
+  config.window = 8;
+  config.comparators = {"numeric", "numeric", "numeric_rel"};
+  config.weights = {0.4, 0.4, 0.2};
+  config.final_thresholds = {0.85, 0.95};
+  Result<DuplicateDetector> detector =
+      DuplicateDetector::Make(config, TelescopeSchema());
+  if (!detector.ok()) {
+    std::cerr << "config error: " << detector.status().ToString() << "\n";
+    return 1;
+  }
+
+  // 3. Link the catalogs.
+  Result<DetectionResult> result =
+      detector->RunOnSources(sources.source1, sources.source2);
+  if (!result.ok()) {
+    std::cerr << "run error: " << result.status().ToString() << "\n";
+    return 1;
+  }
+
+  // 4. Verification (Section III-E).
+  EffectivenessMetrics strict = Evaluate(*result, sources.gold);
+  EffectivenessMetrics lenient = Evaluate(*result, sources.gold,
+                                          /*count_possible_as_match=*/true);
+  ReductionMetrics reduction = EvaluateReduction(*result, sources.gold);
+  TablePrinter table({"metric", "matches only", "incl. possible"});
+  table.AddRow({"precision", Fmt(strict.precision), Fmt(lenient.precision)});
+  table.AddRow({"recall", Fmt(strict.recall), Fmt(lenient.recall)});
+  table.AddRow({"F1", Fmt(strict.f1), Fmt(lenient.f1)});
+  table.Print(std::cout);
+  std::cout << "\ncandidates: " << result->candidate_count << " of "
+            << result->total_pairs
+            << " pairs (reduction ratio " << Fmt(reduction.reduction_ratio)
+            << ", pairs completeness " << Fmt(reduction.pairs_completeness)
+            << ")\n";
+  std::cout << "declared matches: " << result->Matches().size()
+            << ", clerical review queue: "
+            << result->PossibleMatches().size() << "\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+#include "cluster/k_medoids.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace pdd {
+
+namespace {
+
+// Total distance of every item to its nearest medoid.
+double AssignmentCost(size_t n, const DistanceFn& distance,
+                      const std::vector<size_t>& medoids,
+                      std::vector<size_t>* assignment) {
+  double cost = 0.0;
+  assignment->assign(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    size_t best_m = 0;
+    for (size_t m = 0; m < medoids.size(); ++m) {
+      double d = distance(medoids[m], i);
+      if (d < best) {
+        best = d;
+        best_m = m;
+      }
+    }
+    (*assignment)[i] = best_m;
+    cost += best;
+  }
+  return cost;
+}
+
+}  // namespace
+
+std::vector<std::vector<size_t>> KMedoids(size_t n, const DistanceFn& distance,
+                                          const KMedoidsOptions& options) {
+  if (n == 0) return {};
+  size_t k = std::min(options.k == 0 ? 1 : options.k, n);
+  // Initialize medoids with a random sample.
+  Rng rng(options.seed);
+  std::vector<size_t> indices(n);
+  std::iota(indices.begin(), indices.end(), 0);
+  rng.Shuffle(&indices);
+  std::vector<size_t> medoids(indices.begin(), indices.begin() + k);
+  std::vector<size_t> assignment;
+  double cost = AssignmentCost(n, distance, medoids, &assignment);
+  // Greedy swap improvement.
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    bool improved = false;
+    for (size_t m = 0; m < medoids.size() && !improved; ++m) {
+      for (size_t candidate = 0; candidate < n && !improved; ++candidate) {
+        if (std::find(medoids.begin(), medoids.end(), candidate) !=
+            medoids.end()) {
+          continue;
+        }
+        std::vector<size_t> trial = medoids;
+        trial[m] = candidate;
+        std::vector<size_t> trial_assignment;
+        double trial_cost = AssignmentCost(n, distance, trial,
+                                           &trial_assignment);
+        if (trial_cost + 1e-12 < cost) {
+          medoids = std::move(trial);
+          assignment = std::move(trial_assignment);
+          cost = trial_cost;
+          improved = true;
+        }
+      }
+    }
+    if (!improved) break;
+  }
+  // Materialize clusters, medoid first.
+  std::vector<std::vector<size_t>> clusters(medoids.size());
+  for (size_t m = 0; m < medoids.size(); ++m) clusters[m].push_back(medoids[m]);
+  for (size_t i = 0; i < n; ++i) {
+    if (std::find(medoids.begin(), medoids.end(), i) != medoids.end()) continue;
+    clusters[assignment[i]].push_back(i);
+  }
+  clusters.erase(std::remove_if(clusters.begin(), clusters.end(),
+                                [](const std::vector<size_t>& c) {
+                                  return c.empty();
+                                }),
+                 clusters.end());
+  return clusters;
+}
+
+}  // namespace pdd

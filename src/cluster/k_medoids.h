@@ -1,0 +1,32 @@
+// K-medoids (PAM-style) clustering under a distance callback. Used as an
+// alternative block former for uncertain keys when a target block count
+// is known.
+
+#ifndef PDD_CLUSTER_K_MEDOIDS_H_
+#define PDD_CLUSTER_K_MEDOIDS_H_
+
+#include <vector>
+
+#include "cluster/leader_clustering.h"
+#include "util/random.h"
+
+namespace pdd {
+
+/// Options for KMedoids.
+struct KMedoidsOptions {
+  /// Number of clusters (clamped to n).
+  size_t k = 8;
+  /// Swap-improvement iteration cap.
+  size_t max_iterations = 20;
+  /// Seed for medoid initialization.
+  uint64_t seed = 42;
+};
+
+/// Clusters item indices [0, n) into at most k clusters. Each returned
+/// cluster's first element is its medoid. Empty clusters are dropped.
+std::vector<std::vector<size_t>> KMedoids(size_t n, const DistanceFn& distance,
+                                          const KMedoidsOptions& options);
+
+}  // namespace pdd
+
+#endif  // PDD_CLUSTER_K_MEDOIDS_H_

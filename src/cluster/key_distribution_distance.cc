@@ -1,0 +1,42 @@
+#include "cluster/key_distribution_distance.h"
+
+#include <algorithm>
+#include <map>
+
+namespace pdd {
+
+namespace {
+
+std::map<std::string, double> NormalizedMap(const KeyDistribution& d) {
+  std::map<std::string, double> out;
+  double total = d.TotalMass();
+  if (total <= 0.0) return out;
+  for (const auto& [key, prob] : d.entries) out[key] += prob / total;
+  return out;
+}
+
+}  // namespace
+
+double OverlapDistance(const KeyDistribution& a, const KeyDistribution& b) {
+  std::map<std::string, double> ma = NormalizedMap(a), mb = NormalizedMap(b);
+  double overlap = 0.0;
+  for (const auto& [key, pa] : ma) {
+    auto it = mb.find(key);
+    if (it != mb.end()) overlap += std::min(pa, it->second);
+  }
+  return 1.0 - overlap;
+}
+
+double ExpectedKeyDistance(const KeyDistribution& a, const KeyDistribution& b,
+                           const Comparator& cmp) {
+  std::map<std::string, double> ma = NormalizedMap(a), mb = NormalizedMap(b);
+  double sim = 0.0;
+  for (const auto& [ka, pa] : ma) {
+    for (const auto& [kb, pb] : mb) {
+      sim += pa * pb * cmp.Compare(ka, kb);
+    }
+  }
+  return 1.0 - sim;
+}
+
+}  // namespace pdd

@@ -1,0 +1,25 @@
+// Distances between probabilistic key values, used by uncertain-data
+// clustering for blocking (Section V-B; cf. [38]-[40]).
+
+#ifndef PDD_CLUSTER_KEY_DISTRIBUTION_DISTANCE_H_
+#define PDD_CLUSTER_KEY_DISTRIBUTION_DISTANCE_H_
+
+#include "keys/key_builder.h"
+#include "sim/comparator.h"
+
+namespace pdd {
+
+/// 1 - distribution overlap: 1 - Σ_k min(p_a(k), p_b(k)) after
+/// normalizing both distributions. 0 for identical distributions, 1 for
+/// disjoint supports.
+double OverlapDistance(const KeyDistribution& a, const KeyDistribution& b);
+
+/// 1 - expected key similarity under `cmp`:
+/// 1 - Σ_i Σ_j p_a(i)·p_b(j)·sim(k_i, k_j) (normalized distributions).
+/// Softer than OverlapDistance: near-equal key strings count.
+double ExpectedKeyDistance(const KeyDistribution& a, const KeyDistribution& b,
+                           const Comparator& cmp);
+
+}  // namespace pdd
+
+#endif  // PDD_CLUSTER_KEY_DISTRIBUTION_DISTANCE_H_

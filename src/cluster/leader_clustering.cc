@@ -1,0 +1,23 @@
+#include "cluster/leader_clustering.h"
+
+namespace pdd {
+
+std::vector<std::vector<size_t>> LeaderClustering(size_t n,
+                                                  const DistanceFn& distance,
+                                                  double threshold) {
+  std::vector<std::vector<size_t>> clusters;
+  for (size_t i = 0; i < n; ++i) {
+    bool placed = false;
+    for (std::vector<size_t>& cluster : clusters) {
+      if (distance(cluster.front(), i) <= threshold) {
+        cluster.push_back(i);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) clusters.push_back({i});
+  }
+  return clusters;
+}
+
+}  // namespace pdd

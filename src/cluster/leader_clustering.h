@@ -1,0 +1,26 @@
+// Single-pass leader clustering of items under a distance callback:
+// each item joins the first cluster whose leader is within the distance
+// threshold, else founds a new cluster. Deterministic and O(n·k).
+
+#ifndef PDD_CLUSTER_LEADER_CLUSTERING_H_
+#define PDD_CLUSTER_LEADER_CLUSTERING_H_
+
+#include <functional>
+#include <vector>
+
+namespace pdd {
+
+/// Pairwise distance callback on item indices; must be symmetric and
+/// non-negative.
+using DistanceFn = std::function<double(size_t, size_t)>;
+
+/// Clusters item indices [0, n). Returns clusters in founding order; each
+/// cluster's first element is its leader. Every item appears in exactly
+/// one cluster.
+std::vector<std::vector<size_t>> LeaderClustering(size_t n,
+                                                  const DistanceFn& distance,
+                                                  double threshold);
+
+}  // namespace pdd
+
+#endif  // PDD_CLUSTER_LEADER_CLUSTERING_H_

@@ -1,0 +1,80 @@
+#include "core/config.h"
+
+namespace pdd {
+
+const char* ReductionMethodName(ReductionMethod method) {
+  switch (method) {
+    case ReductionMethod::kFull:
+      return "full";
+    case ReductionMethod::kSnmMultipassWorlds:
+      return "snm_multipass_worlds";
+    case ReductionMethod::kSnmCertainKeys:
+      return "snm_certain_keys";
+    case ReductionMethod::kSnmSortingAlternatives:
+      return "snm_sorting_alternatives";
+    case ReductionMethod::kSnmUncertainRanking:
+      return "snm_uncertain_ranking";
+    case ReductionMethod::kBlockingCertainKeys:
+      return "blocking_certain_keys";
+    case ReductionMethod::kBlockingAlternatives:
+      return "blocking_alternatives";
+    case ReductionMethod::kBlockingMultipassWorlds:
+      return "blocking_multipass_worlds";
+    case ReductionMethod::kBlockingClustered:
+      return "blocking_clustered";
+    case ReductionMethod::kCanopy:
+      return "canopy";
+    case ReductionMethod::kSnmAdaptive:
+      return "snm_adaptive";
+    case ReductionMethod::kQGramIndex:
+      return "qgram_index";
+  }
+  return "unknown";
+}
+
+const char* DerivationKindName(DerivationKind kind) {
+  switch (kind) {
+    case DerivationKind::kExpectedSimilarity:
+      return "expected_similarity";
+    case DerivationKind::kMatchingWeight:
+      return "matching_weight";
+    case DerivationKind::kExpectedMatching:
+      return "expected_matching";
+    case DerivationKind::kMaxSimilarity:
+      return "max_similarity";
+    case DerivationKind::kMinSimilarity:
+      return "min_similarity";
+    case DerivationKind::kModeSimilarity:
+      return "mode_similarity";
+  }
+  return "unknown";
+}
+
+Status DetectorConfig::Validate() const {
+  if (key.empty()) {
+    return Status::InvalidArgument("config needs at least one key component");
+  }
+  bool needs_window = reduction == ReductionMethod::kSnmMultipassWorlds ||
+                      reduction == ReductionMethod::kSnmCertainKeys ||
+                      reduction == ReductionMethod::kSnmSortingAlternatives ||
+                      reduction == ReductionMethod::kSnmUncertainRanking;
+  if (needs_window && window < 2) {
+    return Status::InvalidArgument("SNM window must be at least 2");
+  }
+  PDD_RETURN_IF_ERROR(intermediate.Validate());
+  PDD_RETURN_IF_ERROR(final_thresholds.Validate());
+  for (double w : weights) {
+    if (w < 0.0) return Status::InvalidArgument("negative combination weight");
+  }
+  if (combination == CombinationKind::kFellegiSunter &&
+      fs_attributes.empty()) {
+    return Status::InvalidArgument(
+        "Fellegi-Sunter combination needs fs_attributes");
+  }
+  if (combination == CombinationKind::kRules && rules_text.empty()) {
+    return Status::InvalidArgument("rule combination needs rules_text");
+  }
+  return Status::OK();
+}
+
+}  // namespace pdd

@@ -1,0 +1,123 @@
+// DuplicateDetector: the end-to-end public API. Wires search space
+// reduction (Section V), attribute value matching (Section IV-A), the
+// combination function, the x-tuple derivation (Section IV-B) and the
+// final classification (Fig. 2) into one configurable pipeline, plus
+// verification against a gold standard (Section III-E).
+
+#ifndef PDD_CORE_DETECTOR_H_
+#define PDD_CORE_DETECTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "derive/decision_based.h"
+#include "derive/similarity_based.h"
+#include "derive/xtuple_decision_model.h"
+#include "match/tuple_matcher.h"
+#include "pdb/xrelation.h"
+#include "reduction/pair_generator.h"
+#include "verify/gold_standard.h"
+#include "verify/metrics.h"
+
+namespace pdd {
+
+/// Decision record for one examined candidate pair.
+struct PairDecisionRecord {
+  std::string id1;
+  std::string id2;
+  size_t index1 = 0;
+  size_t index2 = 0;
+  /// The derived similarity sim(t1, t2).
+  double similarity = 0.0;
+  /// Final classification η(t1, t2).
+  MatchClass match_class = MatchClass::kUnmatch;
+};
+
+/// Result of one detection run.
+struct DetectionResult {
+  /// One record per candidate pair, in candidate order.
+  std::vector<PairDecisionRecord> decisions;
+  /// Candidate pairs examined (after reduction).
+  size_t candidate_count = 0;
+  /// All n(n-1)/2 pairs of the (unioned) input.
+  size_t total_pairs = 0;
+
+  /// Id pairs classified m / p / u.
+  std::vector<IdPair> Matches() const;
+  std::vector<IdPair> PossibleMatches() const;
+  std::vector<IdPair> Unmatches() const;
+};
+
+/// Effectiveness of a detection result against a gold standard. Pairs
+/// pruned by reduction count as declared non-matches; possible matches
+/// count as non-matches unless `count_possible_as_match`.
+EffectivenessMetrics Evaluate(const DetectionResult& result,
+                              const GoldStandard& gold,
+                              bool count_possible_as_match = false);
+
+/// Reduction quality of a detection run (reduction ratio, pairs
+/// completeness, pairs quality) against a gold standard.
+ReductionMetrics EvaluateReduction(const DetectionResult& result,
+                                   const GoldStandard& gold);
+
+/// The configurable end-to-end detector. Construct once per schema with
+/// Make(), then run on any x-relation with that schema.
+class DuplicateDetector {
+ public:
+  /// Validates the configuration against the schema and resolves
+  /// comparators, key spec, combination and derivation functions.
+  static Result<DuplicateDetector> Make(DetectorConfig config, Schema schema);
+
+  /// Runs the pipeline on one x-relation.
+  Result<DetectionResult> Run(const XRelation& rel) const;
+
+  /// Integration form: unions two sources (Section I's scenario), then
+  /// runs on the union. Tuple ids must be unique across sources.
+  Result<DetectionResult> RunOnSources(const XRelation& a,
+                                       const XRelation& b) const;
+
+  /// Incremental form: `existing` was already deduplicated; only pairs
+  /// involving a tuple of `additions` are examined (intra-existing pairs
+  /// are skipped). total_pairs counts only the incremental pairs, so
+  /// verification metrics refer to the increment.
+  Result<DetectionResult> RunIncremental(const XRelation& existing,
+                                         const XRelation& additions) const;
+
+  /// Derived similarity of a single x-tuple pair under this
+  /// configuration (bypasses reduction).
+  double PairSimilarity(const XTuple& t1, const XTuple& t2) const;
+
+  const DetectorConfig& config() const { return config_; }
+  const Schema& schema() const { return schema_; }
+
+  /// Resolved pipeline components (for explanations and diagnostics).
+  const TupleMatcher& matcher() const { return *matcher_; }
+  const CombinationFunction& combination() const { return *combination_; }
+  const DerivationFunction& derivation_function() const {
+    return *derivation_;
+  }
+
+ private:
+  DuplicateDetector() = default;
+
+  /// Builds the configured pair generator (stateless w.r.t. relations),
+  /// wrapped in the pruning filter when configured.
+  std::unique_ptr<PairGenerator> MakePairGenerator() const;
+
+  /// The bare reduction method without the pruning wrapper.
+  std::unique_ptr<PairGenerator> MakeReductionGenerator() const;
+
+  DetectorConfig config_;
+  Schema schema_;
+  KeySpec key_spec_;
+  std::unique_ptr<TupleMatcher> matcher_;
+  std::unique_ptr<CombinationFunction> combination_;
+  std::unique_ptr<DerivationFunction> derivation_;
+  std::unique_ptr<XTupleDecisionModel> model_;
+};
+
+}  // namespace pdd
+
+#endif  // PDD_CORE_DETECTOR_H_

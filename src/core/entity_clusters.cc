@@ -1,0 +1,45 @@
+#include "core/entity_clusters.h"
+
+#include "util/union_find.h"
+
+namespace pdd {
+
+std::vector<std::vector<size_t>> ClusterEntities(
+    size_t tuple_count, const DetectionResult& result,
+    const ClusterOptions& options) {
+  UnionFind sets(tuple_count);
+  for (const PairDecisionRecord& rec : result.decisions) {
+    bool join = rec.match_class == MatchClass::kMatch ||
+                (options.include_possible &&
+                 rec.match_class == MatchClass::kPossible);
+    if (join) sets.Union(rec.index1, rec.index2);
+  }
+  return sets.Groups();
+}
+
+EffectivenessMetrics EvaluateClustering(
+    const std::vector<std::vector<size_t>>& clusters, const XRelation& rel,
+    const GoldStandard& gold) {
+  ConfusionCounts counts;
+  size_t declared_gold = 0;
+  for (const std::vector<size_t>& cluster : clusters) {
+    for (size_t i = 0; i < cluster.size(); ++i) {
+      for (size_t j = i + 1; j < cluster.size(); ++j) {
+        if (gold.IsMatch(rel.xtuple(cluster[i]).id(),
+                         rel.xtuple(cluster[j]).id())) {
+          ++counts.true_positives;
+          ++declared_gold;
+        } else {
+          ++counts.false_positives;
+        }
+      }
+    }
+  }
+  counts.false_negatives = gold.size() - declared_gold;
+  size_t total_pairs = rel.size() * (rel.size() - 1) / 2;
+  counts.true_negatives = total_pairs - counts.true_positives -
+                          counts.false_positives - counts.false_negatives;
+  return ComputeEffectiveness(counts);
+}
+
+}  // namespace pdd

@@ -1,0 +1,40 @@
+// Entity clustering: transitive closure over pairwise match decisions
+// (the entity-resolution / merge-purge view of Section III). Pairwise
+// decisions rarely form clean cliques; union-find groups them into
+// clusters, and cluster-level metrics compare against an entity gold
+// standard.
+
+#ifndef PDD_CORE_ENTITY_CLUSTERS_H_
+#define PDD_CORE_ENTITY_CLUSTERS_H_
+
+#include <vector>
+
+#include "core/detector.h"
+#include "verify/gold_standard.h"
+
+namespace pdd {
+
+/// Options for cluster formation.
+struct ClusterOptions {
+  /// Also union pairs classified as possible matches.
+  bool include_possible = false;
+};
+
+/// Groups the tuples of a detection run into entity clusters: two tuples
+/// share a cluster iff they are connected by declared matches. Returns
+/// clusters of tuple indices (every tuple appears exactly once; ordered
+/// by smallest member).
+std::vector<std::vector<size_t>> ClusterEntities(
+    size_t tuple_count, const DetectionResult& result,
+    const ClusterOptions& options = {});
+
+/// Pairwise effectiveness induced by a clustering: every intra-cluster
+/// pair counts as a declared match (the transitive closure of the
+/// pairwise decisions), evaluated against the gold standard.
+EffectivenessMetrics EvaluateClustering(
+    const std::vector<std::vector<size_t>>& clusters, const XRelation& rel,
+    const GoldStandard& gold);
+
+}  // namespace pdd
+
+#endif  // PDD_CORE_ENTITY_CLUSTERS_H_

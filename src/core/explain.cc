@@ -1,0 +1,68 @@
+#include "core/explain.h"
+
+#include "util/string_util.h"
+
+namespace pdd {
+
+PairExplanation ExplainPair(const DuplicateDetector& detector,
+                            const XTuple& t1, const XTuple& t2) {
+  PairExplanation out;
+  out.id1 = t1.id();
+  out.id2 = t2.id();
+  const TupleMatcher& matcher = detector.matcher();
+  const CombinationFunction& phi = detector.combination();
+  const Thresholds& intermediate = detector.config().intermediate;
+  std::vector<double> p1 = t1.ConditionedProbabilities();
+  std::vector<double> p2 = t2.ConditionedProbabilities();
+  AlternativePairScores scores;
+  scores.rows = t1.size();
+  scores.cols = t2.size();
+  scores.p1 = p1;
+  scores.p2 = p2;
+  scores.sims.resize(t1.size() * t2.size());
+  for (size_t i = 0; i < t1.size(); ++i) {
+    for (size_t j = 0; j < t2.size(); ++j) {
+      AlternativePairExplanation alt;
+      alt.alternative1 = i;
+      alt.alternative2 = j;
+      alt.weight = p1[i] * p2[j];
+      alt.comparison =
+          matcher.CompareAlternatives(t1.alternative(i), t2.alternative(j));
+      alt.phi = phi.Combine(alt.comparison);
+      alt.eta = Classify(alt.phi, intermediate);
+      scores.sims[i * t2.size() + j] = alt.phi;
+      out.alternatives.push_back(std::move(alt));
+    }
+  }
+  out.mass = ComputeMatchingMass(scores, intermediate);
+  out.similarity = detector.derivation_function().Derive(scores);
+  out.match_class = Classify(out.similarity,
+                             detector.config().final_thresholds);
+  return out;
+}
+
+std::string PairExplanation::ToString(const Schema& schema) const {
+  std::string out = "pair (" + id1 + ", " + id2 + ")\n";
+  for (const AlternativePairExplanation& alt : alternatives) {
+    out += "  alt (" + std::to_string(alt.alternative1 + 1) + "," +
+           std::to_string(alt.alternative2 + 1) + ") weight " +
+           FormatDouble(alt.weight, 4) + ": ";
+    for (size_t a = 0; a < alt.comparison.size(); ++a) {
+      if (a > 0) out += ", ";
+      out += schema.attribute(a).name + "=" +
+             FormatDouble(alt.comparison[a], 4);
+    }
+    out += " -> phi " + FormatDouble(alt.phi, 4) + " (";
+    out += MatchClassName(alt.eta);
+    out += ")\n";
+  }
+  out += "  P(m)=" + FormatDouble(mass.p_match, 4) +
+         " P(p)=" + FormatDouble(mass.p_possible, 4) +
+         " P(u)=" + FormatDouble(mass.p_unmatch, 4) + "\n";
+  out += "  sim=" + FormatDouble(similarity, 6) + " -> ";
+  out += MatchClassName(match_class);
+  out += "\n";
+  return out;
+}
+
+}  // namespace pdd

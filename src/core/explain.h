@@ -1,0 +1,56 @@
+// Pair-level decision explanations: the full Fig. 6 breakdown of one
+// x-tuple pair — per-attribute similarities of every alternative pair,
+// the φ scores, the intermediate η classes, the conditioned weights and
+// the derived similarity. The clerical-review interface Section III-D's
+// possible-match set implies.
+
+#ifndef PDD_CORE_EXPLAIN_H_
+#define PDD_CORE_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "core/detector.h"
+#include "derive/decision_based.h"
+#include "match/tuple_matcher.h"
+
+namespace pdd {
+
+/// One alternative tuple pair's contribution.
+struct AlternativePairExplanation {
+  size_t alternative1 = 0;
+  size_t alternative2 = 0;
+  /// Conditioned probability weight p(t1^i)/p(t1) · p(t2^j)/p(t2).
+  double weight = 0.0;
+  /// Per-attribute similarities c⃗_ij (Eq. 5 values).
+  ComparisonVector comparison;
+  /// φ(c⃗_ij).
+  double phi = 0.0;
+  /// Intermediate classification η(t1^i, t2^j) under the intermediate
+  /// thresholds.
+  MatchClass eta = MatchClass::kUnmatch;
+};
+
+/// Full explanation of one pair decision.
+struct PairExplanation {
+  std::string id1;
+  std::string id2;
+  std::vector<AlternativePairExplanation> alternatives;
+  /// Eq. 8/9 masses under the intermediate thresholds.
+  MatchingMass mass;
+  /// The derived similarity sim(t1, t2).
+  double similarity = 0.0;
+  /// Final classification.
+  MatchClass match_class = MatchClass::kUnmatch;
+
+  /// Multi-line human-readable rendering.
+  std::string ToString(const Schema& schema) const;
+};
+
+/// Explains one x-tuple pair under a detector's configuration.
+PairExplanation ExplainPair(const DuplicateDetector& detector,
+                            const XTuple& t1, const XTuple& t2);
+
+}  // namespace pdd
+
+#endif  // PDD_CORE_EXPLAIN_H_

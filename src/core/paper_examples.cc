@@ -1,0 +1,114 @@
+#include "core/paper_examples.h"
+
+namespace pdd {
+
+Schema PaperSchema() {
+  return Schema({
+      {"name", ValueType::kString, {}},
+      {"job",
+       ValueType::kString,
+       {"machinist", "mechanic", "mechanist", "baker", "confectioner",
+        "confectionist", "pilot", "pianist", "musician", "engineer"}},
+  });
+}
+
+Relation BuildR1() {
+  Relation r1("R1", PaperSchema());
+  // t11: Tim, {machinist: 0.7, mechanic: 0.2 | ⊥: 0.1}, p = 1.0
+  r1.AppendUnchecked(Tuple(
+      "t11",
+      {Value::Certain("Tim"),
+       Value::Dist({{"machinist", 0.7}, {"mechanic", 0.2}})},
+      1.0));
+  // t12: {John: 0.5, Johan: 0.5}, {baker: 0.7, confectioner: 0.3}, p = 1.0
+  r1.AppendUnchecked(Tuple(
+      "t12",
+      {Value::Dist({{"John", 0.5}, {"Johan", 0.5}}),
+       Value::Dist({{"baker", 0.7}, {"confectioner", 0.3}})},
+      1.0));
+  // t13: {Tim: 0.6, Tom: 0.4}, machinist, p = 0.6
+  r1.AppendUnchecked(Tuple(
+      "t13",
+      {Value::Dist({{"Tim", 0.6}, {"Tom", 0.4}}),
+       Value::Certain("machinist")},
+      0.6));
+  return r1;
+}
+
+Relation BuildR2() {
+  Relation r2("R2", PaperSchema());
+  // t21: {John: 0.7, Jon: 0.3}, confectionist, p = 1.0
+  r2.AppendUnchecked(Tuple(
+      "t21",
+      {Value::Dist({{"John", 0.7}, {"Jon", 0.3}}),
+       Value::Certain("confectionist")},
+      1.0));
+  // t22: {Tim: 0.7, Kim: 0.3}, mechanic, p = 0.8
+  r2.AppendUnchecked(Tuple(
+      "t22",
+      {Value::Dist({{"Tim", 0.7}, {"Kim", 0.3}}), Value::Certain("mechanic")},
+      0.8));
+  // t23: Timothy, {mechanist: 0.8, engineer: 0.2}, p = 0.7
+  r2.AppendUnchecked(Tuple(
+      "t23",
+      {Value::Certain("Timothy"),
+       Value::Dist({{"mechanist", 0.8}, {"engineer", 0.2}})},
+      0.7));
+  return r2;
+}
+
+XRelation BuildR3() {
+  XRelation r3("R3", PaperSchema());
+  // t31: (John, pilot): 0.7 | (Johan, mu*): 0.3
+  r3.AppendUnchecked(XTuple(
+      "t31",
+      {{{Value::Certain("John"), Value::Certain("pilot")}, 0.7},
+       {{Value::Certain("Johan"), Value::Pattern("mu")}, 0.3}}));
+  // t32: (Tim, mechanic): 0.3 | (Jim, mechanic): 0.2 | (Jim, baker): 0.4, ?
+  r3.AppendUnchecked(XTuple(
+      "t32",
+      {{{Value::Certain("Tim"), Value::Certain("mechanic")}, 0.3},
+       {{Value::Certain("Jim"), Value::Certain("mechanic")}, 0.2},
+       {{Value::Certain("Jim"), Value::Certain("baker")}, 0.4}}));
+  return r3;
+}
+
+XRelation BuildR4() {
+  XRelation r4("R4", PaperSchema());
+  // t41: (John, pilot): 0.8 | (Johan, pianist): 0.2
+  r4.AppendUnchecked(XTuple(
+      "t41",
+      {{{Value::Certain("John"), Value::Certain("pilot")}, 0.8},
+       {{Value::Certain("Johan"), Value::Certain("pianist")}, 0.2}}));
+  // t42: (Tom, mechanic): 0.8, ?
+  r4.AppendUnchecked(XTuple(
+      "t42", {{{Value::Certain("Tom"), Value::Certain("mechanic")}, 0.8}}));
+  // t43: (John, ⊥): 0.2 | (Sean, pilot): 0.6, ?
+  r4.AppendUnchecked(XTuple(
+      "t43",
+      {{{Value::Certain("John"), Value::Null()}, 0.2},
+       {{Value::Certain("Sean"), Value::Certain("pilot")}, 0.6}}));
+  return r4;
+}
+
+XRelation BuildR34() {
+  Result<XRelation> merged = XRelation::Union(BuildR3(), BuildR4(), "R34");
+  return *merged;
+}
+
+IdentificationRule PaperRule() {
+  IdentificationRule rule;
+  rule.conditions = {{0, 0.8}, {1, 0.5}};
+  rule.certainty = 0.8;
+  return rule;
+}
+
+KeySpec PaperSortingKey() {
+  return KeySpec({{0, 3}, {1, 2}});
+}
+
+KeySpec PaperBlockingKey() {
+  return KeySpec({{0, 1}, {1, 1}});
+}
+
+}  // namespace pdd

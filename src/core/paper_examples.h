@@ -1,0 +1,52 @@
+// The paper's example relations and parameters, shared by tests,
+// benchmarks and examples:
+//   Fig. 4: probabilistic relations R1, R2 (dependency-free model)
+//   Fig. 5: x-relations R3, R4 (ULDB model) and R34 = R3 ∪ R4
+//   Fig. 1: the identification rule
+//   Section V: the sorting key (name[3] + job[2]) and the blocking key
+//   (name[1] + job[1]).
+
+#ifndef PDD_CORE_PAPER_EXAMPLES_H_
+#define PDD_CORE_PAPER_EXAMPLES_H_
+
+#include "decision/rule_engine.h"
+#include "keys/key_spec.h"
+#include "pdb/relation.h"
+#include "pdb/xrelation.h"
+
+namespace pdd {
+
+/// The two-attribute schema (name, job) of the paper's examples; the job
+/// vocabulary covers the jobs mentioned in the paper so 'mu*' expands.
+Schema PaperSchema();
+
+/// Fig. 4 left: R1 with t11, t12, t13.
+Relation BuildR1();
+
+/// Fig. 4 right: R2 with t21, t22, t23.
+Relation BuildR2();
+
+/// Fig. 5 left: x-relation R3 with t31, t32.
+XRelation BuildR3();
+
+/// Fig. 5 right: x-relation R4 with t41, t42, t43.
+XRelation BuildR4();
+
+/// R34 = R3 ∪ R4 (Section V-A.1).
+XRelation BuildR34();
+
+/// Fig. 1's rule with the paper's concrete thresholds instantiated as
+/// name > 0.8 AND job > 0.5 (the figure leaves threshold1/2 symbolic).
+IdentificationRule PaperRule();
+
+/// Section V-A's sorting key: first three characters of name plus first
+/// two characters of job.
+KeySpec PaperSortingKey();
+
+/// Section V-B / Fig. 14's blocking key: first character of name plus
+/// first character of job.
+KeySpec PaperBlockingKey();
+
+}  // namespace pdd
+
+#endif  // PDD_CORE_PAPER_EXAMPLES_H_

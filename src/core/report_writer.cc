@@ -1,0 +1,86 @@
+#include "core/report_writer.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace pdd {
+
+namespace {
+
+std::string CsvEscape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  return out + "\"";
+}
+
+}  // namespace
+
+std::string DecisionsToCsv(const DetectionResult& result,
+                           const GoldStandard* gold) {
+  std::string out = "id1,id2,similarity,decision";
+  if (gold != nullptr) out += ",gold";
+  out += "\n";
+  for (const PairDecisionRecord& rec : result.decisions) {
+    out += CsvEscape(rec.id1) + "," + CsvEscape(rec.id2) + "," +
+           FormatDouble(rec.similarity, 6) + "," +
+           MatchClassName(rec.match_class);
+    if (gold != nullptr) {
+      out += gold->IsMatch(rec.id1, rec.id2) ? ",match" : ",non-match";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string DetectionReport(const DetectionResult& result,
+                            const GoldStandard* gold,
+                            size_t max_review_rows) {
+  std::string out = "# Duplicate detection report\n\n";
+  out += "- pairs examined: " + std::to_string(result.candidate_count) +
+         " of " + std::to_string(result.total_pairs) + "\n";
+  size_t matches = result.Matches().size();
+  size_t possible = result.PossibleMatches().size();
+  size_t unmatches = result.Unmatches().size();
+  out += "- matches (M): " + std::to_string(matches) + "\n";
+  out += "- possible matches (P): " + std::to_string(possible) + "\n";
+  out += "- non-matches (U): " + std::to_string(unmatches) + "\n";
+  if (gold != nullptr) {
+    EffectivenessMetrics strict = Evaluate(result, *gold);
+    EffectivenessMetrics lenient = Evaluate(result, *gold,
+                                            /*count_possible_as_match=*/true);
+    ReductionMetrics reduction = EvaluateReduction(result, *gold);
+    out += "\n## Verification\n\n";
+    out += "- matches only: " + strict.ToString() + "\n";
+    out += "- incl. possible: " + lenient.ToString() + "\n";
+    out += "- reduction: " + reduction.ToString() + "\n";
+  }
+  // Clerical review queue: highest-similarity possible matches first.
+  std::vector<const PairDecisionRecord*> review;
+  for (const PairDecisionRecord& rec : result.decisions) {
+    if (rec.match_class == MatchClass::kPossible) review.push_back(&rec);
+  }
+  std::sort(review.begin(), review.end(),
+            [](const PairDecisionRecord* a, const PairDecisionRecord* b) {
+              return a->similarity > b->similarity;
+            });
+  if (!review.empty()) {
+    out += "\n## Clerical review queue\n\n";
+    out += "| pair | similarity |\n|---|---|\n";
+    size_t rows = std::min(max_review_rows, review.size());
+    for (size_t i = 0; i < rows; ++i) {
+      out += "| " + review[i]->id1 + " ~ " + review[i]->id2 + " | " +
+             FormatDouble(review[i]->similarity, 4) + " |\n";
+    }
+    if (review.size() > rows) {
+      out += "\n(" + std::to_string(review.size() - rows) + " more)\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace pdd

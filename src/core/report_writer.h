@@ -1,0 +1,30 @@
+// Export of detection results for downstream analysis: CSV (one row per
+// examined pair) and a Markdown summary with verification metrics.
+
+#ifndef PDD_CORE_REPORT_WRITER_H_
+#define PDD_CORE_REPORT_WRITER_H_
+
+#include <string>
+
+#include "core/detector.h"
+#include "verify/gold_standard.h"
+
+namespace pdd {
+
+/// CSV rendering of the pair decisions: header
+/// `id1,id2,similarity,decision[,gold]`; the gold column appears when a
+/// gold standard is supplied. Ids containing commas or quotes are
+/// double-quoted per RFC 4180.
+std::string DecisionsToCsv(const DetectionResult& result,
+                           const GoldStandard* gold = nullptr);
+
+/// Markdown report: run statistics, M/P/U counts, effectiveness and
+/// reduction metrics when a gold standard is supplied, and the top
+/// possible matches for clerical review.
+std::string DetectionReport(const DetectionResult& result,
+                            const GoldStandard* gold = nullptr,
+                            size_t max_review_rows = 10);
+
+}  // namespace pdd
+
+#endif  // PDD_CORE_REPORT_WRITER_H_

@@ -1,0 +1,56 @@
+// Threshold tuning — the feedback loop of the verification step
+// (Section III-E): "if the effectiveness is not satisfactory, duplicate
+// detection is repeated with other, better suitable thresholds".
+//
+// Given a detection run's (similarity, gold-label) pairs, the tuner
+// sweeps the match threshold Tμ over the observed similarities and
+// reports the F1-optimal thresholds plus the whole sweep curve so the
+// precision/recall trade-off is visible.
+
+#ifndef PDD_CORE_THRESHOLD_TUNER_H_
+#define PDD_CORE_THRESHOLD_TUNER_H_
+
+#include <vector>
+
+#include "core/detector.h"
+#include "verify/gold_standard.h"
+#include "verify/metrics.h"
+
+namespace pdd {
+
+/// One point of the threshold sweep.
+struct ThresholdSweepPoint {
+  /// Candidate Tμ (pairs with similarity strictly above it match).
+  double t_mu = 0.0;
+  EffectivenessMetrics metrics;
+};
+
+/// Result of a tuning run.
+struct TuneResult {
+  /// F1-optimal thresholds; t_lambda = t_mu - possible_band (clamped at
+  /// 0), reproducing the configured possible-match band width.
+  Thresholds best;
+  EffectivenessMetrics best_metrics;
+  /// The full sweep in descending Tμ order.
+  std::vector<ThresholdSweepPoint> sweep;
+};
+
+/// Options of the tuner.
+struct TuneOptions {
+  /// Width of the possible-match band below the tuned Tμ.
+  double possible_band = 0.0;
+  /// Evaluate at most this many distinct candidate thresholds (evenly
+  /// sampled from the observed similarity values; 0 = all).
+  size_t max_candidates = 256;
+};
+
+/// Tunes thresholds on an existing detection result against a gold
+/// standard. Pairs pruned by reduction count as non-matches at every
+/// threshold (they were never examined), exactly as in Evaluate().
+TuneResult TuneThresholds(const DetectionResult& result,
+                          const GoldStandard& gold,
+                          const TuneOptions& options = {});
+
+}  // namespace pdd
+
+#endif  // PDD_CORE_THRESHOLD_TUNER_H_

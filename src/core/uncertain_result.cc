@@ -1,0 +1,97 @@
+#include "core/uncertain_result.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace pdd {
+
+double UncertainDedupResult::ExpectedEntityCount() const {
+  double expected = 0.0;
+  for (const ResultTuple& t : tuples) expected += t.confidence;
+  return expected;
+}
+
+std::string UncertainDedupResult::ToString() const {
+  std::string out;
+  for (const ResultTuple& t : tuples) {
+    out += t.tuple.id() + " (confidence " + FormatDouble(t.confidence, 4);
+    if (!t.lineage.is_true()) {
+      out += ", lineage " + t.lineage.ToString();
+    }
+    out += ")\n";
+    out += t.tuple.ToString();
+  }
+  return out;
+}
+
+namespace {
+
+double PairConfidence(const PairDecisionRecord& rec,
+                      const UncertainResultOptions& options) {
+  double c = std::clamp(rec.similarity, options.min_confidence,
+                        options.max_confidence);
+  return c;
+}
+
+}  // namespace
+
+UncertainDedupResult BuildUncertainResult(
+    const XRelation& base, const DetectionResult& decisions,
+    const UncertainResultOptions& options) {
+  UncertainDedupResult result;
+  result.schema = base.schema();
+
+  // Order candidate pairs by similarity (certain matches first) and
+  // consume each base tuple at most once.
+  std::vector<const PairDecisionRecord*> pairs;
+  for (const PairDecisionRecord& rec : decisions.decisions) {
+    if (rec.match_class != MatchClass::kUnmatch) pairs.push_back(&rec);
+  }
+  std::stable_sort(pairs.begin(), pairs.end(),
+                   [](const PairDecisionRecord* a,
+                      const PairDecisionRecord* b) {
+                     if (a->match_class != b->match_class) {
+                       return a->match_class == MatchClass::kMatch;
+                     }
+                     return a->similarity > b->similarity;
+                   });
+  std::vector<bool> consumed(base.size(), false);
+  for (const PairDecisionRecord* rec : pairs) {
+    if (consumed[rec->index1] || consumed[rec->index2]) continue;
+    consumed[rec->index1] = true;
+    consumed[rec->index2] = true;
+    const XTuple& t1 = base.xtuple(rec->index1);
+    const XTuple& t2 = base.xtuple(rec->index2);
+    std::string fused_id = t1.id() + "+" + t2.id();
+    XTuple fused = FuseXTuples(t1, t2, fused_id, options.merge);
+    // The decision event symbol: match(t1, t2). We model it as an atom
+    // of a virtual decision tuple so outcome lineages are complementary.
+    Lineage match_event = Lineage::Atom("match(" + t1.id() + "," + t2.id() +
+                                            ")",
+                                        0);
+    if (rec->match_class == MatchClass::kMatch) {
+      // Certain merge.
+      result.tuples.push_back(
+          {std::move(fused), 1.0, Lineage::True(), {t1.id(), t2.id()}});
+    } else {
+      double c = PairConfidence(*rec, options);
+      result.tuples.push_back(
+          {std::move(fused), c, match_event, {t1.id(), t2.id()}});
+      result.tuples.push_back(
+          {t1, 1.0 - c, Lineage::Not(match_event), {t1.id()}});
+      result.tuples.push_back(
+          {t2, 1.0 - c, Lineage::Not(match_event), {t2.id()}});
+    }
+  }
+  // Pass through untouched tuples.
+  for (size_t i = 0; i < base.size(); ++i) {
+    if (!consumed[i]) {
+      result.tuples.push_back(
+          {base.xtuple(i), 1.0, Lineage::True(), {base.xtuple(i).id()}});
+    }
+  }
+  return result;
+}
+
+}  // namespace pdd

@@ -1,0 +1,75 @@
+// Uncertain deduplication results (the paper's Section VI outlook):
+// instead of forcing a hard duplicate/non-duplicate verdict, the
+// uncertainty of the decision itself is modeled in the result database
+// as mutually exclusive sets of tuples with lineage.
+//
+// For a pair declared a *possible* match with confidence c, the result
+// contains the fused tuple with confidence c and the two original
+// tuples with confidence 1-c; the lineage of each outcome records which
+// decision event produced it, so the result worlds stay consistent
+// (either the merge happened or both originals survive — never a mix).
+
+#ifndef PDD_CORE_UNCERTAIN_RESULT_H_
+#define PDD_CORE_UNCERTAIN_RESULT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/detector.h"
+#include "fusion/probabilistic_merge.h"
+#include "pdb/lineage.h"
+#include "pdb/xrelation.h"
+
+namespace pdd {
+
+/// One tuple of the uncertain result relation.
+struct ResultTuple {
+  /// The tuple's data (fused or original).
+  XTuple tuple;
+  /// Probability that this tuple belongs to the result.
+  double confidence = 1.0;
+  /// Derivation over decision events; outcome tuples of the same pair
+  /// carry complementary lineage ("match(a,b)" vs "¬match(a,b)").
+  Lineage lineage;
+  /// Base tuple ids behind this result tuple.
+  std::vector<std::string> base_ids;
+};
+
+/// The probabilistic result of a deduplication run.
+struct UncertainDedupResult {
+  Schema schema;
+  std::vector<ResultTuple> tuples;
+
+  /// Expected number of result entities: certain tuples count 1; the
+  /// two branches of a possible merge count c·1 + (1-c)·2.
+  double ExpectedEntityCount() const;
+
+  /// Human-readable rendering with confidences and lineage.
+  std::string ToString() const;
+};
+
+/// Options of the result builder.
+struct UncertainResultOptions {
+  /// Merge policy for fused tuples.
+  MergeOptions merge;
+  /// How the pair confidence is obtained from a decision record:
+  /// similarities of normalized derivations are clamped into [0, 1] and
+  /// used directly.
+  /// Matches are treated as confidence 1 merges.
+  double min_confidence = 0.05;
+  double max_confidence = 0.95;
+};
+
+/// Builds the uncertain result relation from pairwise decisions.
+/// Pairs are consumed greedily in descending similarity so each base
+/// tuple participates in at most one merge event (the ULDB model cannot
+/// express overlapping exclusive sets without full lineage inference).
+/// Matches merge with certainty; possible matches produce the
+/// two-outcome construction above; untouched tuples pass through.
+UncertainDedupResult BuildUncertainResult(
+    const XRelation& base, const DetectionResult& decisions,
+    const UncertainResultOptions& options = {});
+
+}  // namespace pdd
+
+#endif  // PDD_CORE_UNCERTAIN_RESULT_H_

@@ -1,0 +1,99 @@
+#include "datagen/astronomy_generator.h"
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+namespace pdd {
+
+Schema TelescopeSchema() {
+  return Schema({
+      {"ra", ValueType::kNumeric, {}},
+      {"dec", ValueType::kNumeric, {}},
+      {"mag", ValueType::kNumeric, {}},
+  });
+}
+
+namespace {
+
+std::string FormatReading(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+// Aggregates noisy readings of one quantity into a discrete distribution:
+// readings snap to the rounding grid; equal grid cells merge mass.
+Value ReadingsToValue(double truth, double noise, size_t readings, int digits,
+                      Rng* rng) {
+  std::map<std::string, double> mass;
+  std::vector<std::string> order;
+  double share = 1.0 / static_cast<double>(readings);
+  for (size_t r = 0; r < readings; ++r) {
+    std::string cell = FormatReading(rng->Gaussian(truth, noise), digits);
+    auto [it, inserted] = mass.emplace(cell, 0.0);
+    if (inserted) order.push_back(cell);
+    it->second += share;
+  }
+  std::vector<Alternative> alts;
+  alts.reserve(order.size());
+  for (const std::string& cell : order) {
+    alts.push_back({cell, mass[cell], false});
+  }
+  return Value::Unchecked(std::move(alts));
+}
+
+struct SkyObject {
+  double ra;
+  double dec;
+  double mag;
+};
+
+}  // namespace
+
+GeneratedSources GenerateTelescopeSources(const AstroGenOptions& options) {
+  Rng rng(options.seed);
+  std::vector<SkyObject> objects;
+  objects.reserve(options.num_objects);
+  for (size_t i = 0; i < options.num_objects; ++i) {
+    objects.push_back({rng.Uniform(0.0, 360.0), rng.Uniform(-90.0, 90.0),
+                       rng.Uniform(5.0, 20.0)});
+  }
+  GeneratedSources out;
+  out.num_entities = options.num_objects;
+  out.source1 = XRelation("telescope1", TelescopeSchema());
+  out.source2 = XRelation("telescope2", TelescopeSchema());
+  size_t readings = options.readings == 0 ? 1 : options.readings;
+  for (size_t i = 0; i < objects.size(); ++i) {
+    const SkyObject& obj = objects[i];
+    std::vector<std::string> detected_ids;
+    for (int telescope = 1; telescope <= 2; ++telescope) {
+      if (!rng.Bernoulli(options.detection_prob)) continue;
+      std::string id = "t" + std::to_string(telescope) + "_obj" +
+                       std::to_string(i);
+      AltTuple alt;
+      alt.values.push_back(ReadingsToValue(obj.ra, options.position_noise,
+                                           readings, options.position_digits,
+                                           &rng));
+      alt.values.push_back(ReadingsToValue(obj.dec, options.position_noise,
+                                           readings, options.position_digits,
+                                           &rng));
+      alt.values.push_back(ReadingsToValue(obj.mag, options.magnitude_noise,
+                                           readings, 1, &rng));
+      // Faint detections: the pipeline is not sure the source is real.
+      alt.prob = rng.Bernoulli(options.faint_prob)
+                     ? rng.Uniform(0.5, 0.95)
+                     : 1.0;
+      XTuple xtuple(id, {std::move(alt)});
+      (telescope == 1 ? out.source1 : out.source2)
+          .AppendUnchecked(std::move(xtuple));
+      detected_ids.push_back(std::move(id));
+    }
+    if (detected_ids.size() == 2) {
+      out.gold.AddMatch(detected_ids[0], detected_ids[1]);
+    }
+  }
+  return out;
+}
+
+}  // namespace pdd

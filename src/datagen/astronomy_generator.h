@@ -1,0 +1,49 @@
+// Telescope-source generator for the paper's motivating scenario
+// ("unifying data produced by different space telescopes", Section I;
+// uncertainty in astronomy per Suciu et al. [1]).
+//
+// Each sky object has a right ascension, declination and magnitude. Two
+// telescopes observe overlapping subsets with instrument noise; repeated
+// readings become discrete attribute-value distributions (the continuous
+// uncertainty is discretized, as the ULDB model requires — Section IV-B
+// notes the model "does not support an infinite number of alternatives").
+
+#ifndef PDD_DATAGEN_ASTRONOMY_GENERATOR_H_
+#define PDD_DATAGEN_ASTRONOMY_GENERATOR_H_
+
+#include "datagen/person_generator.h"
+#include "pdb/xrelation.h"
+#include "util/random.h"
+#include "verify/gold_standard.h"
+
+namespace pdd {
+
+/// Options of the telescope generator.
+struct AstroGenOptions {
+  /// Number of sky objects.
+  size_t num_objects = 100;
+  /// Probability each telescope detects a given object.
+  double detection_prob = 0.9;
+  /// Gaussian noise of position readings (degrees).
+  double position_noise = 0.02;
+  /// Gaussian noise of magnitude readings.
+  double magnitude_noise = 0.15;
+  /// Readings per detected attribute (alternatives of the value
+  /// distribution; 1 = certain).
+  size_t readings = 3;
+  /// Probability a faint detection is a maybe x-tuple.
+  double faint_prob = 0.15;
+  /// Decimal digits positions are rounded to (discretization grid).
+  int position_digits = 2;
+  uint64_t seed = 42;
+};
+
+/// The telescope schema: ra, dec, mag (numeric).
+Schema TelescopeSchema();
+
+/// Generates two telescope catalogs with cross-source gold matches.
+GeneratedSources GenerateTelescopeSources(const AstroGenOptions& options);
+
+}  // namespace pdd
+
+#endif  // PDD_DATAGEN_ASTRONOMY_GENERATOR_H_

@@ -1,0 +1,174 @@
+#include "datagen/bibliography_generator.h"
+
+#include "datagen/vocabularies.h"
+#include "util/string_util.h"
+
+namespace pdd {
+
+Schema BibliographySchema() {
+  return Schema({
+      {"author", ValueType::kString, {}},
+      {"title", ValueType::kString, {}},
+      {"venue", ValueType::kString, {}},
+      {"year", ValueType::kNumeric, {}},
+  });
+}
+
+namespace {
+
+struct Venue {
+  const char* full;
+  const char* abbrev;
+};
+
+constexpr Venue kVenues[] = {
+    {"international conference on data engineering", "icde"},
+    {"very large data bases", "vldb"},
+    {"sigmod conference", "sigmod"},
+    {"conference on information and knowledge management", "cikm"},
+    {"extending database technology", "edbt"},
+    {"international conference on machine learning", "icml"},
+    {"knowledge discovery and data mining", "kdd"},
+    {"symposium on principles of database systems", "pods"},
+    {"world wide web conference", "www"},
+    {"text retrieval conference", "trec"},
+};
+
+constexpr const char* kTitleWords[] = {
+    "probabilistic", "duplicate",  "detection",  "uncertain",  "data",
+    "integration",   "efficient",  "scalable",   "query",      "processing",
+    "adaptive",      "learning",   "models",     "databases",  "approach",
+    "management",    "records",    "linkage",    "entity",     "resolution",
+    "indexing",      "similarity", "matching",   "streams",    "graphs",
+    "distributed",   "systems",    "evaluation", "framework",  "analysis",
+};
+
+}  // namespace
+
+const std::vector<std::vector<std::string>>& VenueSynonyms() {
+  static const auto* groups = [] {
+    auto* g = new std::vector<std::vector<std::string>>();
+    for (const Venue& v : kVenues) {
+      g->push_back({v.full, v.abbrev});
+    }
+    return g;
+  }();
+  return *groups;
+}
+
+namespace {
+
+struct CleanPublication {
+  std::string author;
+  std::string title;
+  std::string venue_full;
+  std::string venue_abbrev;
+  std::string year;
+};
+
+CleanPublication SamplePublication(Rng* rng) {
+  CleanPublication pub;
+  const auto& first = FirstNames();
+  const auto& last = Surnames();
+  pub.author = ToLower(first[rng->Index(first.size())]) + " " +
+               ToLower(last[rng->Index(last.size())]);
+  size_t words = 3 + rng->Index(4);
+  std::vector<std::string> title_words;
+  for (size_t w = 0; w < words; ++w) {
+    title_words.push_back(kTitleWords[rng->Index(std::size(kTitleWords))]);
+  }
+  pub.title = Join(title_words, " ");
+  const Venue& venue = kVenues[rng->Index(std::size(kVenues))];
+  pub.venue_full = venue.full;
+  pub.venue_abbrev = venue.abbrev;
+  pub.year = std::to_string(1990 + rng->Index(35));
+  return pub;
+}
+
+std::string AbbreviateAuthor(const std::string& author) {
+  std::vector<std::string> tokens = SplitWhitespace(author);
+  if (tokens.size() < 2) return author;
+  return std::string(1, tokens[0][0]) + ". " + tokens.back();
+}
+
+std::string DropTitleWord(const std::string& title, Rng* rng) {
+  std::vector<std::string> tokens = SplitWhitespace(title);
+  if (tokens.size() < 2) return title;
+  tokens.erase(tokens.begin() +
+               static_cast<ptrdiff_t>(rng->Index(tokens.size())));
+  return Join(tokens, " ");
+}
+
+std::string PerturbYear(const std::string& year, Rng* rng) {
+  double y = 0.0;
+  ParseDouble(year, &y);
+  return std::to_string(static_cast<int>(y) + (rng->Bernoulli(0.5) ? 1 : -1));
+}
+
+// A field observation: clean or corrupted, possibly both as a
+// two-alternative distribution.
+Value Observe(const std::string& clean, const std::string& observed,
+              double uncertainty_prob, Rng* rng) {
+  if (clean == observed || !rng->Bernoulli(uncertainty_prob)) {
+    return Value::Certain(observed);
+  }
+  double p = rng->Uniform(0.55, 0.85);
+  return Value::Unchecked({{observed, p, false}, {clean, 1.0 - p, false}});
+}
+
+}  // namespace
+
+GeneratedData GenerateBibliography(const BiblioGenOptions& options) {
+  Rng rng(options.seed);
+  GeneratedData data;
+  data.num_entities = options.num_publications;
+  data.relation = XRelation("citations", BibliographySchema());
+  size_t counter = 0;
+  std::vector<std::pair<std::string, size_t>> labels;  // id -> publication
+  for (size_t p = 0; p < options.num_publications; ++p) {
+    CleanPublication pub = SamplePublication(&rng);
+    size_t copies =
+        1 + static_cast<size_t>(rng.Poisson(options.duplicate_rate));
+    for (size_t c = 0; c < copies; ++c) {
+      std::string id = "c" + std::to_string(counter++);
+      labels.emplace_back(id, p);
+      std::string author = pub.author;
+      std::string title = pub.title;
+      std::string venue = pub.venue_full;
+      std::string year = pub.year;
+      if (c > 0) {
+        if (rng.Bernoulli(options.author_initial_prob)) {
+          author = AbbreviateAuthor(author);
+        }
+        if (rng.Bernoulli(options.venue_abbrev_prob)) {
+          venue = pub.venue_abbrev;
+        }
+        if (rng.Bernoulli(options.title_word_drop_prob)) {
+          title = DropTitleWord(title, &rng);
+        }
+        if (rng.Bernoulli(options.year_error_prob)) {
+          year = PerturbYear(year, &rng);
+        }
+      }
+      AltTuple alt;
+      alt.values = {
+          Observe(pub.author, author, options.uncertainty_prob, &rng),
+          Observe(pub.title, title, options.uncertainty_prob, &rng),
+          Observe(pub.venue_full, venue, options.uncertainty_prob, &rng),
+          Observe(pub.year, year, options.uncertainty_prob, &rng),
+      };
+      alt.prob = 1.0;
+      data.relation.AppendUnchecked(XTuple(id, {std::move(alt)}));
+    }
+  }
+  for (size_t i = 0; i < labels.size(); ++i) {
+    for (size_t j = i + 1; j < labels.size(); ++j) {
+      if (labels[i].second == labels[j].second) {
+        data.gold.AddMatch(labels[i].first, labels[j].first);
+      }
+    }
+  }
+  return data;
+}
+
+}  // namespace pdd

@@ -1,0 +1,50 @@
+// Bibliographic record generator — the classic record-linkage domain
+// (citation matching): authors, title, venue, year. The error channel
+// mirrors real citation noise: author initials ("J. Smith"), venue
+// abbreviations ("Proc. ICDE" vs "International Conference on Data
+// Engineering"), word drops in titles, year off-by-one. Citations from
+// different indexes carry alternative interpretations — the
+// probabilistic layer the paper targets.
+
+#ifndef PDD_DATAGEN_BIBLIOGRAPHY_GENERATOR_H_
+#define PDD_DATAGEN_BIBLIOGRAPHY_GENERATOR_H_
+
+#include "datagen/person_generator.h"
+#include "pdb/xrelation.h"
+#include "verify/gold_standard.h"
+
+namespace pdd {
+
+/// Options of the bibliography generator.
+struct BiblioGenOptions {
+  /// Number of distinct publications.
+  size_t num_publications = 100;
+  /// Expected duplicate citations per publication (Poisson).
+  double duplicate_rate = 0.8;
+  /// Probability a duplicate abbreviates author names to initials.
+  double author_initial_prob = 0.4;
+  /// Probability a duplicate uses the abbreviated venue form.
+  double venue_abbrev_prob = 0.5;
+  /// Probability a duplicate drops one title word.
+  double title_word_drop_prob = 0.3;
+  /// Probability of a +/-1 year error.
+  double year_error_prob = 0.1;
+  /// Probability a field becomes a two-alternative distribution
+  /// (both the clean and the corrupted reading survive).
+  double uncertainty_prob = 0.3;
+  uint64_t seed = 42;
+};
+
+/// The bibliography schema: author, title, venue, year.
+Schema BibliographySchema();
+
+/// The venue synonym groups (full form ~ abbreviation), usable with
+/// SynonymComparator.
+const std::vector<std::vector<std::string>>& VenueSynonyms();
+
+/// Generates one probabilistic citation relation with gold standard.
+GeneratedData GenerateBibliography(const BiblioGenOptions& options);
+
+}  // namespace pdd
+
+#endif  // PDD_DATAGEN_BIBLIOGRAPHY_GENERATOR_H_

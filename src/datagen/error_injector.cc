@@ -1,0 +1,148 @@
+#include "datagen/error_injector.h"
+
+#include <array>
+#include <cctype>
+#include <cstddef>
+
+#include "util/string_util.h"
+
+namespace pdd {
+
+namespace {
+
+char RandomLetter(Rng* rng) {
+  return static_cast<char>('a' + rng->Index(26));
+}
+
+// Visually confusable character pairs (both directions).
+constexpr std::array<std::pair<char, char>, 8> kOcrPairs = {{
+    {'m', 'n'},
+    {'i', 'l'},
+    {'u', 'v'},
+    {'c', 'e'},
+    {'a', 'o'},
+    {'h', 'b'},
+    {'f', 't'},
+    {'g', 'q'},
+}};
+
+}  // namespace
+
+std::string ErrorInjector::SubstituteChar(const std::string& s, Rng* rng) {
+  if (s.empty()) return s;
+  std::string out = s;
+  size_t pos = rng->Index(out.size());
+  char replacement = RandomLetter(rng);
+  if (std::isupper(static_cast<unsigned char>(out[pos]))) {
+    replacement = static_cast<char>(
+        std::toupper(static_cast<unsigned char>(replacement)));
+  }
+  out[pos] = replacement;
+  return out;
+}
+
+std::string ErrorInjector::InsertChar(const std::string& s, Rng* rng) {
+  std::string out = s;
+  size_t pos = rng->Index(out.size() + 1);
+  out.insert(out.begin() + static_cast<ptrdiff_t>(pos), RandomLetter(rng));
+  return out;
+}
+
+std::string ErrorInjector::DeleteChar(const std::string& s, Rng* rng) {
+  if (s.empty()) return s;
+  std::string out = s;
+  out.erase(out.begin() + static_cast<ptrdiff_t>(rng->Index(out.size())));
+  return out;
+}
+
+std::string ErrorInjector::TransposeChars(const std::string& s, Rng* rng) {
+  if (s.size() < 2) return s;
+  std::string out = s;
+  size_t pos = rng->Index(out.size() - 1);
+  std::swap(out[pos], out[pos + 1]);
+  return out;
+}
+
+std::string ErrorInjector::Truncate(const std::string& s, Rng* rng) {
+  if (s.size() < 2) return s;
+  size_t keep = 1 + rng->Index(s.size() - 1);
+  return s.substr(0, keep);
+}
+
+std::string ErrorInjector::Abbreviate(const std::string& s) {
+  if (s.empty()) return s;
+  return std::string(1, s[0]) + ".";
+}
+
+std::string ErrorInjector::SwapTokens(const std::string& s, Rng* rng) {
+  std::vector<std::string> tokens = SplitWhitespace(s);
+  if (tokens.size() < 2) return s;
+  size_t i = rng->Index(tokens.size() - 1);
+  std::swap(tokens[i], tokens[i + 1]);
+  return Join(tokens, " ");
+}
+
+std::string ErrorInjector::OcrConfuse(const std::string& s, Rng* rng) {
+  // Collect positions with a confusable character.
+  std::vector<size_t> candidates;
+  for (size_t i = 0; i < s.size(); ++i) {
+    char lower = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(s[i])));
+    for (const auto& [a, b] : kOcrPairs) {
+      if (lower == a || lower == b) {
+        candidates.push_back(i);
+        break;
+      }
+    }
+  }
+  if (candidates.empty()) return s;
+  std::string out = s;
+  size_t pos = candidates[rng->Index(candidates.size())];
+  char lower = static_cast<char>(
+      std::tolower(static_cast<unsigned char>(out[pos])));
+  for (const auto& [a, b] : kOcrPairs) {
+    if (lower == a || lower == b) {
+      char confused = lower == a ? b : a;
+      if (std::isupper(static_cast<unsigned char>(out[pos]))) {
+        confused = static_cast<char>(
+            std::toupper(static_cast<unsigned char>(confused)));
+      }
+      out[pos] = confused;
+      break;
+    }
+  }
+  return out;
+}
+
+std::string ErrorInjector::Corrupt(const std::string& s, Rng* rng) const {
+  std::string out = s;
+  // Character-level edits.
+  size_t edits = 0;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (rng->Bernoulli(options_.char_error_rate)) ++edits;
+  }
+  for (size_t e = 0; e < edits; ++e) {
+    switch (rng->Index(4)) {
+      case 0:
+        out = SubstituteChar(out, rng);
+        break;
+      case 1:
+        out = InsertChar(out, rng);
+        break;
+      case 2:
+        out = DeleteChar(out, rng);
+        break;
+      default:
+        out = TransposeChars(out, rng);
+        break;
+    }
+  }
+  // Value-level transformations.
+  if (rng->Bernoulli(options_.ocr_prob)) out = OcrConfuse(out, rng);
+  if (rng->Bernoulli(options_.token_swap_prob)) out = SwapTokens(out, rng);
+  if (rng->Bernoulli(options_.truncate_prob)) out = Truncate(out, rng);
+  if (rng->Bernoulli(options_.abbreviate_prob)) out = Abbreviate(out);
+  return out;
+}
+
+}  // namespace pdd

@@ -1,0 +1,57 @@
+// Error injection for synthetic dirty data (Section III's deficiencies:
+// typos, missing data, misspellings). Individual edit operations are
+// exposed so property tests can exercise them directly.
+
+#ifndef PDD_DATAGEN_ERROR_INJECTOR_H_
+#define PDD_DATAGEN_ERROR_INJECTOR_H_
+
+#include <string>
+
+#include "util/random.h"
+
+namespace pdd {
+
+/// Rates for the error channel applied to a value occurrence.
+struct ErrorInjectorOptions {
+  /// Per-character probability of a random edit (substitute, insert,
+  /// delete or transpose).
+  double char_error_rate = 0.05;
+  /// Probability of truncating the value to a prefix.
+  double truncate_prob = 0.03;
+  /// Probability of abbreviating the value ("John" -> "J.").
+  double abbreviate_prob = 0.03;
+  /// Probability of swapping two whitespace tokens (multi-token values).
+  double token_swap_prob = 0.03;
+  /// Probability of an OCR-style visual confusion per value.
+  double ocr_prob = 0.03;
+};
+
+/// Deterministic (seeded) error channel.
+class ErrorInjector {
+ public:
+  explicit ErrorInjector(ErrorInjectorOptions options = {})
+      : options_(options) {}
+
+  /// Applies the configured error channel once to `s`.
+  std::string Corrupt(const std::string& s, Rng* rng) const;
+
+  /// Primitive edit operations (no-ops on empty strings).
+  static std::string SubstituteChar(const std::string& s, Rng* rng);
+  static std::string InsertChar(const std::string& s, Rng* rng);
+  static std::string DeleteChar(const std::string& s, Rng* rng);
+  static std::string TransposeChars(const std::string& s, Rng* rng);
+  static std::string Truncate(const std::string& s, Rng* rng);
+  static std::string Abbreviate(const std::string& s);
+  static std::string SwapTokens(const std::string& s, Rng* rng);
+  /// Replaces one character with a visually similar one (m~n, i~l, ...).
+  static std::string OcrConfuse(const std::string& s, Rng* rng);
+
+  const ErrorInjectorOptions& options() const { return options_; }
+
+ private:
+  ErrorInjectorOptions options_;
+};
+
+}  // namespace pdd
+
+#endif  // PDD_DATAGEN_ERROR_INJECTOR_H_

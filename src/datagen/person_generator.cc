@@ -1,0 +1,120 @@
+#include "datagen/person_generator.h"
+
+#include "datagen/vocabularies.h"
+
+namespace pdd {
+
+Schema PersonSchema() {
+  return Schema({
+      {"name", ValueType::kString, {}},
+      {"job", ValueType::kString, Jobs()},
+      {"city", ValueType::kString, {}},
+  });
+}
+
+namespace {
+
+struct CleanEntity {
+  std::string name;
+  std::string job;
+  std::string city;
+};
+
+std::vector<CleanEntity> SampleEntities(const PersonGenOptions& options,
+                                        Rng* rng) {
+  std::vector<CleanEntity> entities;
+  entities.reserve(options.num_entities);
+  auto pick = [&](const std::vector<std::string>& vocab) {
+    size_t idx = options.zipf_skew > 0.0
+                     ? rng->Zipf(vocab.size(), options.zipf_skew)
+                     : rng->Index(vocab.size());
+    return vocab[idx];
+  };
+  for (size_t e = 0; e < options.num_entities; ++e) {
+    CleanEntity entity;
+    entity.name = pick(FirstNames());
+    if (options.full_names) entity.name += " " + pick(Surnames());
+    entity.job = pick(Jobs());
+    entity.city = pick(Cities());
+    entities.push_back(std::move(entity));
+  }
+  return entities;
+}
+
+// Emits all records with entity labels; gold pairs connect records of the
+// same entity.
+struct LabeledRecord {
+  std::string id;
+  size_t entity;
+  std::vector<std::string> values;
+};
+
+std::vector<LabeledRecord> EmitRecords(const PersonGenOptions& options,
+                                       const std::vector<CleanEntity>& entities,
+                                       const ErrorInjector& errors, Rng* rng) {
+  std::vector<LabeledRecord> records;
+  size_t counter = 0;
+  for (size_t e = 0; e < entities.size(); ++e) {
+    const CleanEntity& entity = entities[e];
+    size_t copies = 1 + static_cast<size_t>(
+                            rng->Poisson(options.duplicate_rate));
+    for (size_t c = 0; c < copies; ++c) {
+      LabeledRecord rec;
+      rec.id = "r" + std::to_string(counter++);
+      rec.entity = e;
+      if (c == 0) {
+        rec.values = {entity.name, entity.job, entity.city};
+      } else {
+        // Duplicates observe corrupted readings of the entity.
+        rec.values = {errors.Corrupt(entity.name, rng),
+                      errors.Corrupt(entity.job, rng),
+                      errors.Corrupt(entity.city, rng)};
+      }
+      records.push_back(std::move(rec));
+    }
+  }
+  return records;
+}
+
+}  // namespace
+
+GeneratedData GeneratePersons(const PersonGenOptions& options) {
+  Rng rng(options.seed);
+  ErrorInjector errors(options.errors);
+  UncertaintyInjector uncertainty(options.uncertainty, &errors);
+  std::vector<CleanEntity> entities = SampleEntities(options, &rng);
+  std::vector<LabeledRecord> records =
+      EmitRecords(options, entities, errors, &rng);
+
+  GeneratedData data;
+  data.num_entities = entities.size();
+  data.relation = XRelation("persons", PersonSchema());
+  for (const LabeledRecord& rec : records) {
+    data.relation.AppendUnchecked(
+        uncertainty.MakeXTuple(rec.id, rec.values, &rng));
+  }
+  for (size_t i = 0; i < records.size(); ++i) {
+    for (size_t j = i + 1; j < records.size(); ++j) {
+      if (records[i].entity == records[j].entity) {
+        data.gold.AddMatch(records[i].id, records[j].id);
+      }
+    }
+  }
+  return data;
+}
+
+GeneratedSources GeneratePersonSources(const PersonGenOptions& options) {
+  GeneratedData data = GeneratePersons(options);
+  GeneratedSources sources;
+  sources.num_entities = data.num_entities;
+  sources.gold = data.gold;
+  sources.source1 = XRelation("source1", data.relation.schema());
+  sources.source2 = XRelation("source2", data.relation.schema());
+  for (size_t i = 0; i < data.relation.size(); ++i) {
+    XRelation& target = i % 2 == 0 ? sources.source1 : sources.source2;
+    target.AppendUnchecked(data.relation.xtuple(i));
+  }
+  return sources;
+}
+
+}  // namespace pdd

@@ -1,0 +1,84 @@
+#include "datagen/uncertainty_injector.h"
+
+#include <algorithm>
+
+namespace pdd {
+
+Value UncertaintyInjector::MakeValue(const std::string& truth,
+                                     Rng* rng) const {
+  if (!rng->Bernoulli(options_.value_uncertainty_prob)) {
+    return Value::Certain(truth);
+  }
+  size_t max_alts = std::max<size_t>(2, options_.max_value_alternatives);
+  size_t count = 2 + rng->Index(max_alts - 1);
+  double null_mass = rng->Bernoulli(options_.null_mass_prob)
+                         ? rng->Uniform(0.05, options_.max_null_mass)
+                         : 0.0;
+  // Dominant truth alternative plus corrupted minority alternatives.
+  // Weights decay geometrically, then normalize to 1 - null_mass.
+  std::vector<Alternative> alts;
+  std::vector<double> weights;
+  alts.push_back({truth, 1.0, false});
+  weights.push_back(1.0);
+  double weight = 1.0;
+  for (size_t i = 1; i < count; ++i) {
+    std::string variant = errors_->Corrupt(truth, rng);
+    // Skip variants colliding with existing alternative texts.
+    bool duplicate = false;
+    for (const Alternative& a : alts) {
+      if (a.text == variant) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) continue;
+    weight *= rng->Uniform(0.3, 0.7);
+    alts.push_back({std::move(variant), 1.0, false});
+    weights.push_back(weight);
+  }
+  double total = 0.0;
+  for (double w : weights) total += w;
+  double mass = 1.0 - null_mass;
+  for (size_t i = 0; i < alts.size(); ++i) {
+    alts[i].prob = weights[i] / total * mass;
+  }
+  return Value::Unchecked(std::move(alts));
+}
+
+XTuple UncertaintyInjector::MakeXTuple(const std::string& id,
+                                       const std::vector<std::string>& truth,
+                                       Rng* rng) const {
+  size_t alt_count = 1;
+  if (rng->Bernoulli(options_.xtuple_alternative_prob)) {
+    size_t max_alts = std::max<size_t>(1, options_.max_xtuple_alternatives);
+    alt_count = std::min<size_t>(max_alts, 2 + rng->Index(2));
+  }
+  std::vector<AltTuple> alternatives;
+  std::vector<double> weights;
+  double weight = 1.0;
+  for (size_t a = 0; a < alt_count; ++a) {
+    AltTuple alt;
+    alt.values.reserve(truth.size());
+    for (const std::string& text : truth) {
+      // The first alternative observes the truth; subsequent alternatives
+      // observe corrupted readings (mutually exclusive interpretations).
+      std::string observed = a == 0 ? text : errors_->Corrupt(text, rng);
+      alt.values.push_back(MakeValue(observed, rng));
+    }
+    alternatives.push_back(std::move(alt));
+    weights.push_back(weight);
+    weight *= rng->Uniform(0.3, 0.7);
+  }
+  double existence = 1.0;
+  if (rng->Bernoulli(options_.maybe_prob)) {
+    existence = rng->Uniform(options_.min_existence, 0.99);
+  }
+  double total = 0.0;
+  for (double w : weights) total += w;
+  for (size_t a = 0; a < alternatives.size(); ++a) {
+    alternatives[a].prob = weights[a] / total * existence;
+  }
+  return XTuple(id, std::move(alternatives));
+}
+
+}  // namespace pdd

@@ -1,0 +1,68 @@
+// Uncertainty injection: turns clean values/records into probabilistic
+// ones with controlled uncertainty on both of the paper's levels —
+// attribute value distributions (Section IV-A) and x-tuple alternatives
+// with maybe semantics (Section IV-B).
+
+#ifndef PDD_DATAGEN_UNCERTAINTY_INJECTOR_H_
+#define PDD_DATAGEN_UNCERTAINTY_INJECTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "datagen/error_injector.h"
+#include "pdb/value.h"
+#include "pdb/xtuple.h"
+#include "util/random.h"
+
+namespace pdd {
+
+/// Rates for the uncertainty channel.
+struct UncertaintyOptions {
+  /// Probability an attribute value becomes a multi-alternative
+  /// distribution (alternatives are corrupted variants of the truth).
+  double value_uncertainty_prob = 0.3;
+  /// Maximum alternatives per uncertain value (>= 2).
+  size_t max_value_alternatives = 3;
+  /// Probability an uncertain value carries residual ⊥ mass.
+  double null_mass_prob = 0.05;
+  /// Maximum ⊥ mass when present.
+  double max_null_mass = 0.3;
+  /// Probability a record becomes a multi-alternative x-tuple.
+  double xtuple_alternative_prob = 0.2;
+  /// Maximum alternative tuples per x-tuple (>= 1).
+  size_t max_xtuple_alternatives = 3;
+  /// Probability an x-tuple is maybe (existence < 1).
+  double maybe_prob = 0.1;
+  /// Minimum existence probability of maybe x-tuples.
+  double min_existence = 0.5;
+};
+
+/// Deterministic (seeded) uncertainty channel built on an error channel.
+class UncertaintyInjector {
+ public:
+  /// `errors` must outlive the injector.
+  UncertaintyInjector(UncertaintyOptions options, const ErrorInjector* errors)
+      : options_(options), errors_(errors) {}
+
+  /// Probabilistic value for an observed text: either certain, or a
+  /// distribution whose dominant alternative is `truth` (possibly
+  /// corrupted) with corrupted variants as minority alternatives, plus
+  /// optional ⊥ mass.
+  Value MakeValue(const std::string& truth, Rng* rng) const;
+
+  /// X-tuple for a clean record: one alternative holding MakeValue()
+  /// results, optionally extended by corrupted alternative tuples and
+  /// scaled to maybe semantics.
+  XTuple MakeXTuple(const std::string& id,
+                    const std::vector<std::string>& truth, Rng* rng) const;
+
+  const UncertaintyOptions& options() const { return options_; }
+
+ private:
+  UncertaintyOptions options_;
+  const ErrorInjector* errors_;
+};
+
+}  // namespace pdd
+
+#endif  // PDD_DATAGEN_UNCERTAINTY_INJECTOR_H_

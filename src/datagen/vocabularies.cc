@@ -1,0 +1,129 @@
+#include "datagen/vocabularies.h"
+
+namespace pdd {
+
+const std::vector<std::string>& FirstNames() {
+  static const std::vector<std::string> names = {
+      "Tim",      "Tom",      "Jim",      "Kim",      "John",    "Johan",
+      "Jon",      "Sean",     "Timothy",  "Thomas",   "James",   "Jonathan",
+      "Sebastian","Anna",     "Anne",     "Hannah",   "Johanna", "Maria",
+      "Marie",    "Mary",     "Miriam",   "Peter",    "Petra",   "Paul",
+      "Paula",    "Pauline",  "Michael",  "Michaela", "Mike",    "Mia",
+      "Nina",     "Nils",     "Noah",     "Nora",     "Oliver",  "Olivia",
+      "Oscar",    "Otto",     "Quentin",  "Rachel",   "Ralph",   "Rebecca",
+      "Richard",  "Rita",     "Robert",   "Roberta",  "Ronald",  "Rosa",
+      "Samuel",   "Sandra",   "Sara",     "Sarah",    "Simon",   "Simone",
+      "Sofia",    "Sophie",   "Stefan",   "Stephan",  "Stephanie","Susan",
+      "Susanne",  "Tamara",   "Tanja",    "Tara",     "Teresa",  "Tessa",
+      "Theo",     "Theresa",  "Tobias",   "Ulrich",   "Ursula",  "Valentin",
+      "Valerie",  "Vera",     "Victor",   "Victoria", "Vincent", "Viola",
+      "Walter",   "Wanda",    "Werner",   "Wilhelm",  "William", "Willy",
+      "Xavier",   "Yannick",  "Yvonne",   "Zachary",  "Zoe",     "Adam",
+      "Adrian",   "Agnes",    "Alan",     "Albert",   "Alex",    "Alexander",
+      "Alexandra","Alfred",   "Alice",    "Alicia",   "Amanda",  "Amelia",
+      "Andre",    "Andrea",   "Andreas",  "Andrew",   "Angela",  "Anita",
+      "Anton",    "Antonia",  "Arthur",   "Astrid",   "August",  "Aurora",
+      "Barbara",  "Bastian",  "Beate",    "Ben",      "Benjamin","Bernd",
+      "Bernhard", "Bert",     "Bettina",  "Bianca",   "Bill",    "Birgit",
+      "Bjorn",    "Brandon",  "Brenda",   "Brian",    "Bruno",   "Carl",
+      "Carla",    "Carlos",   "Carmen",   "Caroline", "Catherine","Cecilia",
+      "Charles",  "Charlotte","Christian","Christina","Christopher","Clara",
+  };
+  return names;
+}
+
+const std::vector<std::string>& Surnames() {
+  static const std::vector<std::string> names = {
+      "Smith",     "Johnson",   "Williams",  "Brown",     "Jones",
+      "Garcia",    "Miller",    "Davis",     "Rodriguez", "Martinez",
+      "Hernandez", "Lopez",     "Gonzalez",  "Wilson",    "Anderson",
+      "Taylor",    "Moore",     "Jackson",   "Martin",    "Lee",
+      "Perez",     "Thompson",  "White",     "Harris",    "Sanchez",
+      "Clark",     "Ramirez",   "Lewis",     "Robinson",  "Walker",
+      "Young",     "Allen",     "King",      "Wright",    "Scott",
+      "Torres",    "Nguyen",    "Hill",      "Flores",    "Green",
+      "Adams",     "Nelson",    "Baker",     "Hall",      "Rivera",
+      "Campbell",  "Mitchell",  "Carter",    "Roberts",   "Gomez",
+      "Phillips",  "Evans",     "Turner",    "Diaz",      "Parker",
+      "Cruz",      "Edwards",   "Collins",   "Reyes",     "Stewart",
+      "Morris",    "Morales",   "Murphy",    "Cook",      "Rogers",
+      "Gutierrez", "Ortiz",     "Morgan",    "Cooper",    "Peterson",
+      "Bailey",    "Reed",      "Kelly",     "Howard",    "Ramos",
+      "Kim",       "Cox",       "Ward",      "Richardson","Watson",
+      "Brooks",    "Chavez",    "Wood",      "James",     "Bennett",
+      "Gray",      "Mendoza",   "Ruiz",      "Hughes",    "Price",
+      "Alvarez",   "Castillo",  "Sanders",   "Patel",     "Myers",
+      "Long",      "Ross",      "Foster",    "Jimenez",   "Powell",
+      "Jenkins",   "Perry",     "Russell",   "Sullivan",  "Bell",
+      "Coleman",   "Butler",    "Henderson", "Barnes",    "Fisher",
+      "Meyer",     "Schmidt",   "Mueller",   "Schneider", "Fischer",
+  };
+  return names;
+}
+
+const std::vector<std::string>& Jobs() {
+  static const std::vector<std::string> jobs = {
+      "machinist",    "mechanic",     "mechanist",    "baker",
+      "confectioner", "confectionist","pilot",        "pianist",
+      "musician",     "engineer",     "teacher",      "professor",
+      "doctor",       "nurse",        "surgeon",      "dentist",
+      "pharmacist",   "lawyer",       "judge",        "notary",
+      "accountant",   "auditor",      "banker",       "cashier",
+      "clerk",        "secretary",    "manager",      "director",
+      "carpenter",    "plumber",      "electrician",  "welder",
+      "painter",      "sculptor",     "designer",     "architect",
+      "builder",      "mason",        "roofer",       "glazier",
+      "farmer",       "gardener",     "florist",      "butcher",
+      "fisherman",    "cook",         "chef",         "waiter",
+      "bartender",    "barista",      "brewer",       "winemaker",
+      "tailor",       "shoemaker",    "weaver",       "jeweler",
+      "watchmaker",   "barber",       "hairdresser",  "optician",
+      "librarian",    "archivist",    "journalist",   "editor",
+      "translator",   "interpreter",  "author",       "poet",
+      "actor",        "singer",       "dancer",       "composer",
+      "conductor",    "drummer",      "guitarist",    "violinist",
+      "programmer",   "analyst",      "scientist",    "chemist",
+      "physicist",    "biologist",    "astronomer",   "geologist",
+      "soldier",      "sailor",       "captain",      "driver",
+      "machinery-operator",           "miner",        "smith",
+  };
+  return jobs;
+}
+
+const std::vector<std::string>& Cities() {
+  static const std::vector<std::string> cities = {
+      "Hamburg",   "Berlin",     "Munich",     "Cologne",   "Frankfurt",
+      "Stuttgart", "Dusseldorf", "Dortmund",   "Essen",     "Leipzig",
+      "Bremen",    "Dresden",    "Hanover",    "Nuremberg", "Duisburg",
+      "Bochum",    "Wuppertal",  "Bielefeld",  "Bonn",      "Munster",
+      "Enschede",  "Amsterdam",  "Rotterdam",  "Utrecht",   "Eindhoven",
+      "Groningen", "Tilburg",    "Almere",     "Breda",     "Nijmegen",
+      "London",    "Manchester", "Birmingham", "Leeds",     "Glasgow",
+      "Liverpool", "Newcastle",  "Sheffield",  "Bristol",   "Edinburgh",
+      "Paris",     "Marseille",  "Lyon",       "Toulouse",  "Nice",
+      "Nantes",    "Strasbourg", "Montpellier","Bordeaux",  "Lille",
+      "Madrid",    "Barcelona",  "Valencia",   "Seville",   "Zaragoza",
+      "Malaga",    "Murcia",     "Bilbao",     "Alicante",  "Cordoba",
+      "Rome",      "Milan",      "Naples",     "Turin",     "Palermo",
+      "Genoa",     "Bologna",    "Florence",   "Venice",    "Verona",
+      "Vienna",    "Graz",       "Linz",       "Salzburg",  "Innsbruck",
+      "Zurich",    "Geneva",     "Basel",      "Bern",      "Lausanne",
+  };
+  return cities;
+}
+
+const std::vector<std::vector<std::string>>& JobSynonyms() {
+  static const std::vector<std::vector<std::string>> groups = {
+      {"baker", "confectioner", "confectionist"},
+      {"machinist", "mechanic", "mechanist", "machinery-operator"},
+      {"musician", "pianist", "violinist", "guitarist", "drummer"},
+      {"doctor", "surgeon"},
+      {"cook", "chef"},
+      {"teacher", "professor"},
+      {"barber", "hairdresser"},
+      {"author", "poet"},
+  };
+  return groups;
+}
+
+}  // namespace pdd

@@ -1,0 +1,33 @@
+// Embedded vocabularies for synthetic person data: the paper's running
+// example uses first names and job titles; cities widen the schema for
+// three-attribute experiments.
+
+#ifndef PDD_DATAGEN_VOCABULARIES_H_
+#define PDD_DATAGEN_VOCABULARIES_H_
+
+#include <string>
+#include <vector>
+
+namespace pdd {
+
+/// ~140 given names (includes the paper's: Tim, Tom, Jim, Kim, John,
+/// Johan, Jon, Sean, Timothy).
+const std::vector<std::string>& FirstNames();
+
+/// ~110 family names.
+const std::vector<std::string>& Surnames();
+
+/// ~90 job titles (includes the paper's: machinist, mechanic, baker,
+/// confectioner, confectionist, pilot, pianist, musician, engineer).
+const std::vector<std::string>& Jobs();
+
+/// ~80 city names.
+const std::vector<std::string>& Cities();
+
+/// Synonym groups among Jobs() (near-equivalent titles), usable with
+/// SynonymComparator.
+const std::vector<std::vector<std::string>>& JobSynonyms();
+
+}  // namespace pdd
+
+#endif  // PDD_DATAGEN_VOCABULARIES_H_

@@ -1,0 +1,46 @@
+#include "decision/classifier.h"
+
+#include "util/string_util.h"
+
+namespace pdd {
+
+char MatchClassCode(MatchClass c) {
+  switch (c) {
+    case MatchClass::kMatch:
+      return 'm';
+    case MatchClass::kPossible:
+      return 'p';
+    case MatchClass::kUnmatch:
+      return 'u';
+  }
+  return '?';
+}
+
+const char* MatchClassName(MatchClass c) {
+  switch (c) {
+    case MatchClass::kMatch:
+      return "match";
+    case MatchClass::kPossible:
+      return "possible";
+    case MatchClass::kUnmatch:
+      return "unmatch";
+  }
+  return "unknown";
+}
+
+Status Thresholds::Validate() const {
+  if (t_lambda > t_mu) {
+    return Status::InvalidArgument(
+        "t_lambda=" + FormatDouble(t_lambda) + " exceeds t_mu=" +
+        FormatDouble(t_mu));
+  }
+  return Status::OK();
+}
+
+MatchClass Classify(double sim, const Thresholds& thresholds) {
+  if (sim > thresholds.t_mu) return MatchClass::kMatch;
+  if (sim < thresholds.t_lambda) return MatchClass::kUnmatch;
+  return MatchClass::kPossible;
+}
+
+}  // namespace pdd

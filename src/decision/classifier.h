@@ -1,0 +1,43 @@
+// Threshold classification of tuple pairs into M / P / U (Fig. 2):
+// match when sim > Tμ, non-match when sim < Tλ, possible match between.
+
+#ifndef PDD_DECISION_CLASSIFIER_H_
+#define PDD_DECISION_CLASSIFIER_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace pdd {
+
+/// The matching value η(t1,t2) ∈ {m, p, u}.
+enum class MatchClass {
+  kUnmatch = 0,   // u: assigned to U
+  kPossible = 1,  // p: assigned to P (clerical review)
+  kMatch = 2,     // m: assigned to M
+};
+
+/// The paper's single-letter code ('m', 'p', 'u').
+char MatchClassCode(MatchClass c);
+
+/// Full name ("match", "possible", "unmatch").
+const char* MatchClassName(MatchClass c);
+
+/// The pair of thresholds Tλ <= Tμ separating U, P and M. Setting
+/// t_lambda == t_mu disables the possible-match band (knowledge-based
+/// techniques usually do not use P).
+struct Thresholds {
+  double t_lambda = 0.4;
+  double t_mu = 0.7;
+
+  /// Fails unless t_lambda <= t_mu.
+  Status Validate() const;
+};
+
+/// Classifies a similarity degree against the thresholds:
+/// sim > Tμ ⇒ m;  sim < Tλ ⇒ u;  otherwise p.
+MatchClass Classify(double sim, const Thresholds& thresholds);
+
+}  // namespace pdd
+
+#endif  // PDD_DECISION_CLASSIFIER_H_

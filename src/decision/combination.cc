@@ -1,0 +1,68 @@
+#include "decision/combination.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pdb/value.h"
+
+namespace pdd {
+
+namespace {
+
+double WeightSum(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  return total;
+}
+
+}  // namespace
+
+WeightedSumCombination::WeightedSumCombination(std::vector<double> weights)
+    : weights_(std::move(weights)),
+      normalized_(WeightSum(weights_) <= 1.0 + kProbEpsilon) {}
+
+Result<WeightedSumCombination> WeightedSumCombination::Make(
+    std::vector<double> weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) return Status::InvalidArgument("negative weight");
+    total += w;
+  }
+  if (total <= 0.0) return Status::InvalidArgument("all weights zero");
+  return WeightedSumCombination(std::move(weights));
+}
+
+double WeightedSumCombination::Combine(const ComparisonVector& c) const {
+  double total = 0.0;
+  size_t n = std::min(weights_.size(), c.size());
+  for (size_t i = 0; i < n; ++i) total += weights_[i] * c[i];
+  return total;
+}
+
+double WeightedProductCombination::Combine(const ComparisonVector& c) const {
+  double result = 1.0;
+  size_t n = std::min(weights_.size(), c.size());
+  for (size_t i = 0; i < n; ++i) result *= std::pow(c[i], weights_[i]);
+  return result;
+}
+
+double MinCombination::Combine(const ComparisonVector& c) const {
+  double m = 1.0;
+  for (size_t i = 0; i < c.size(); ++i) m = std::min(m, c[i]);
+  return m;
+}
+
+double MaxCombination::Combine(const ComparisonVector& c) const {
+  double m = 0.0;
+  for (size_t i = 0; i < c.size(); ++i) m = std::max(m, c[i]);
+  return m;
+}
+
+double MeanCombination::Combine(const ComparisonVector& c) const {
+  if (c.size() == 0) return 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < c.size(); ++i) total += c[i];
+  return total / static_cast<double>(c.size());
+}
+
+}  // namespace pdd

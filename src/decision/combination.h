@@ -1,0 +1,89 @@
+// Combination functions φ : [0,1]^n → ℝ (Eq. 3) collapsing a comparison
+// vector into a single similarity degree.
+
+#ifndef PDD_DECISION_COMBINATION_H_
+#define PDD_DECISION_COMBINATION_H_
+
+#include <string>
+#include <vector>
+
+#include "match/comparison_vector.h"
+#include "util/status.h"
+
+namespace pdd {
+
+/// Interface of a combination function φ.
+class CombinationFunction {
+ public:
+  virtual ~CombinationFunction() = default;
+
+  /// Collapses a comparison vector into one similarity degree. The result
+  /// is normalized ([0,1]) for knowledge-based models and may be
+  /// unnormalized for probabilistic ones (matching weights).
+  virtual double Combine(const ComparisonVector& c) const = 0;
+
+  /// Human-readable name.
+  virtual std::string name() const = 0;
+
+  /// True when results are guaranteed to lie in [0, 1].
+  virtual bool normalized() const { return true; }
+};
+
+/// φ(c⃗) = Σ w_i · c_i. The paper's running example uses weights
+/// (0.8, 0.2): sim(t11,t22) = 0.8·0.9 + 0.2·0.59 = 0.838.
+class WeightedSumCombination : public CombinationFunction {
+ public:
+  /// Weights should be non-negative; results are in [0,1] iff they sum
+  /// to at most 1.
+  explicit WeightedSumCombination(std::vector<double> weights);
+
+  /// Validated construction: weights non-negative, at least one positive.
+  static Result<WeightedSumCombination> Make(std::vector<double> weights);
+
+  double Combine(const ComparisonVector& c) const override;
+  std::string name() const override { return "weighted_sum"; }
+  bool normalized() const override { return normalized_; }
+
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  std::vector<double> weights_;
+  bool normalized_;
+};
+
+/// φ(c⃗) = Π c_i^{w_i} (geometric blend; 0 components dominate).
+class WeightedProductCombination : public CombinationFunction {
+ public:
+  explicit WeightedProductCombination(std::vector<double> weights)
+      : weights_(std::move(weights)) {}
+  double Combine(const ComparisonVector& c) const override;
+  std::string name() const override { return "weighted_product"; }
+
+ private:
+  std::vector<double> weights_;
+};
+
+/// φ(c⃗) = min_i c_i (conservative conjunction).
+class MinCombination : public CombinationFunction {
+ public:
+  double Combine(const ComparisonVector& c) const override;
+  std::string name() const override { return "min"; }
+};
+
+/// φ(c⃗) = max_i c_i (optimistic disjunction).
+class MaxCombination : public CombinationFunction {
+ public:
+  double Combine(const ComparisonVector& c) const override;
+  std::string name() const override { return "max"; }
+};
+
+/// Arithmetic mean of the components.
+class MeanCombination : public CombinationFunction {
+ public:
+  double Combine(const ComparisonVector& c) const override;
+  std::string name() const override { return "mean"; }
+};
+
+}  // namespace pdd
+
+#endif  // PDD_DECISION_COMBINATION_H_

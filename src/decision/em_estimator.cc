@@ -1,0 +1,112 @@
+#include "decision/em_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+namespace pdd {
+
+namespace {
+
+double Clamp(double v, double floor) {
+  return std::min(1.0 - floor, std::max(floor, v));
+}
+
+}  // namespace
+
+Result<EmEstimate> EstimateWithEm(const std::vector<ComparisonVector>& vectors,
+                                  const EmOptions& options) {
+  if (vectors.empty()) {
+    return Status::InvalidArgument("EM needs at least one comparison vector");
+  }
+  const size_t n = vectors[0].size();
+  if (n == 0) {
+    return Status::InvalidArgument("EM needs at least one attribute");
+  }
+  for (const ComparisonVector& v : vectors) {
+    if (v.size() != n) {
+      return Status::InvalidArgument("comparison vectors of mixed arity");
+    }
+  }
+  if (options.initial_p <= 0.0 || options.initial_p >= 1.0) {
+    return Status::InvalidArgument("initial_p outside (0, 1)");
+  }
+
+  // Binarize once and aggregate identical agreement patterns (EM cost then
+  // depends on distinct patterns, not pairs).
+  std::map<std::vector<bool>, double> pattern_counts;
+  for (const ComparisonVector& v : vectors) {
+    std::vector<bool> pattern(n);
+    for (size_t i = 0; i < n; ++i) {
+      pattern[i] = v[i] >= options.agreement_threshold;
+    }
+    pattern_counts[pattern] += 1.0;
+  }
+  const double total = static_cast<double>(vectors.size());
+
+  double p = options.initial_p;
+  std::vector<double> m(n, Clamp(options.initial_m, options.probability_floor));
+  std::vector<double> u(n, Clamp(options.initial_u, options.probability_floor));
+
+  EmEstimate est;
+  double prev_ll = -std::numeric_limits<double>::infinity();
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    // E-step: responsibility of the match component per pattern.
+    double ll = 0.0;
+    double resp_total = 0.0;
+    std::vector<double> m_num(n, 0.0), u_num(n, 0.0);
+    for (const auto& [pattern, count] : pattern_counts) {
+      double pm = p, pu = 1.0 - p;
+      for (size_t i = 0; i < n; ++i) {
+        pm *= pattern[i] ? m[i] : 1.0 - m[i];
+        pu *= pattern[i] ? u[i] : 1.0 - u[i];
+      }
+      double denom = pm + pu;
+      double gamma = denom > 0.0 ? pm / denom : 0.5;
+      ll += count * std::log(std::max(denom, 1e-300));
+      resp_total += count * gamma;
+      for (size_t i = 0; i < n; ++i) {
+        if (pattern[i]) {
+          m_num[i] += count * gamma;
+          u_num[i] += count * (1.0 - gamma);
+        }
+      }
+    }
+    est.trajectory.push_back(ll);
+    est.iterations = iter + 1;
+    // M-step.
+    double match_mass = resp_total;
+    double unmatch_mass = total - resp_total;
+    p = Clamp(match_mass / total, options.probability_floor);
+    for (size_t i = 0; i < n; ++i) {
+      m[i] = Clamp(match_mass > 0.0 ? m_num[i] / match_mass : 0.5,
+                   options.probability_floor);
+      u[i] = Clamp(unmatch_mass > 0.0 ? u_num[i] / unmatch_mass : 0.5,
+                   options.probability_floor);
+    }
+    if (ll - prev_ll < options.tolerance && iter > 0) break;
+    prev_ll = ll;
+  }
+  est.p = p;
+  est.log_likelihood = est.trajectory.back();
+  est.attributes.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    // By convention the match component is the one with the higher
+    // agreement rate; swap if EM converged to the mirrored labeling.
+    est.attributes[i] = {m[i], u[i], options.agreement_threshold};
+  }
+  double mean_m = 0.0, mean_u = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    mean_m += m[i];
+    mean_u += u[i];
+  }
+  if (mean_m < mean_u) {
+    for (size_t i = 0; i < n; ++i) std::swap(est.attributes[i].m,
+                                             est.attributes[i].u);
+    est.p = 1.0 - est.p;
+  }
+  return est;
+}
+
+}  // namespace pdd

@@ -1,0 +1,59 @@
+// Unsupervised estimation of Fellegi-Sunter m/u probabilities with the
+// EM algorithm (Winkler [26]): comparison vectors are binarized into
+// agreement patterns and modeled as a two-component mixture
+// (matches with prior p, non-matches with prior 1-p), attributes
+// conditionally independent given the component.
+
+#ifndef PDD_DECISION_EM_ESTIMATOR_H_
+#define PDD_DECISION_EM_ESTIMATOR_H_
+
+#include <vector>
+
+#include "decision/fellegi_sunter.h"
+#include "match/comparison_vector.h"
+#include "util/status.h"
+
+namespace pdd {
+
+/// Options for EM estimation.
+struct EmOptions {
+  /// Initial match prior P(M).
+  double initial_p = 0.1;
+  /// Initial per-attribute m probability.
+  double initial_m = 0.8;
+  /// Initial per-attribute u probability.
+  double initial_u = 0.2;
+  /// Per-attribute agreement threshold used to binarize vectors.
+  double agreement_threshold = 0.8;
+  /// Stop when the log-likelihood improves by less than this.
+  double tolerance = 1e-9;
+  /// Hard iteration cap.
+  size_t max_iterations = 500;
+  /// Probabilities are clamped to [floor, 1-floor] to avoid degeneracy.
+  double probability_floor = 1e-6;
+};
+
+/// EM estimation result.
+struct EmEstimate {
+  /// Estimated match prior P(M).
+  double p = 0.0;
+  /// Estimated per-attribute parameters (agreement_threshold copied from
+  /// the options).
+  std::vector<FsAttribute> attributes;
+  /// Final log-likelihood of the binarized data.
+  double log_likelihood = 0.0;
+  /// Log-likelihood after every iteration (non-decreasing; the property
+  /// tests assert monotonicity).
+  std::vector<double> trajectory;
+  /// Iterations executed.
+  size_t iterations = 0;
+};
+
+/// Runs EM on the comparison vectors. Fails when `vectors` is empty,
+/// components have inconsistent arity, or options are out of range.
+Result<EmEstimate> EstimateWithEm(const std::vector<ComparisonVector>& vectors,
+                                  const EmOptions& options = {});
+
+}  // namespace pdd
+
+#endif  // PDD_DECISION_EM_ESTIMATOR_H_

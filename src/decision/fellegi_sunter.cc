@@ -1,0 +1,139 @@
+#include "decision/fellegi_sunter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace pdd {
+
+Result<FellegiSunterModel> FellegiSunterModel::Make(
+    std::vector<FsAttribute> attributes, bool interpolated) {
+  if (attributes.empty()) {
+    return Status::InvalidArgument("Fellegi-Sunter model needs attributes");
+  }
+  for (const FsAttribute& a : attributes) {
+    if (a.m <= 0.0 || a.m >= 1.0 || a.u <= 0.0 || a.u >= 1.0) {
+      return Status::InvalidArgument(
+          "m and u probabilities must lie in (0, 1); got m=" +
+          FormatDouble(a.m) + ", u=" + FormatDouble(a.u));
+    }
+    if (a.agreement_threshold < 0.0 || a.agreement_threshold > 1.0) {
+      return Status::InvalidArgument("agreement threshold outside [0, 1]");
+    }
+  }
+  return FellegiSunterModel(std::move(attributes), interpolated);
+}
+
+std::vector<bool> FellegiSunterModel::Agreements(
+    const ComparisonVector& c) const {
+  std::vector<bool> out(attributes_.size(), false);
+  for (size_t i = 0; i < attributes_.size() && i < c.size(); ++i) {
+    out[i] = c[i] >= attributes_[i].agreement_threshold;
+  }
+  return out;
+}
+
+double FellegiSunterModel::MatchingWeight(const ComparisonVector& c) const {
+  std::vector<bool> agree = Agreements(c);
+  double weight = 1.0;
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    const FsAttribute& a = attributes_[i];
+    weight *= agree[i] ? a.m / a.u : (1.0 - a.m) / (1.0 - a.u);
+  }
+  return weight;
+}
+
+double FellegiSunterModel::LogWeight(const ComparisonVector& c) const {
+  return std::log2(MatchingWeight(c));
+}
+
+double FellegiSunterModel::InterpolatedWeight(
+    const ComparisonVector& c) const {
+  double log_weight = 0.0;
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    const FsAttribute& a = attributes_[i];
+    double s = i < c.size() ? std::clamp(c[i], 0.0, 1.0) : 0.0;
+    double agree_log = std::log(a.m / a.u);
+    double disagree_log = std::log((1.0 - a.m) / (1.0 - a.u));
+    log_weight += s * agree_log + (1.0 - s) * disagree_log;
+  }
+  return std::exp(log_weight);
+}
+
+Thresholds FellegiSunterModel::DeriveThresholds(double fp_bound,
+                                                double fn_bound) const {
+  // Enumerate all agreement patterns with their weight, m-probability and
+  // u-probability; sort by weight descending. Matches are declared for the
+  // top patterns while accumulated u-mass stays within fp_bound; non-matches
+  // for the bottom patterns while accumulated m-mass stays within fn_bound.
+  struct Pattern {
+    double weight;
+    double m_prob;
+    double u_prob;
+  };
+  size_t n = attributes_.size();
+  std::vector<Pattern> patterns;
+  patterns.reserve(size_t{1} << n);
+  for (size_t mask = 0; mask < (size_t{1} << n); ++mask) {
+    Pattern p{1.0, 1.0, 1.0};
+    for (size_t i = 0; i < n; ++i) {
+      const FsAttribute& a = attributes_[i];
+      if (mask & (size_t{1} << i)) {
+        p.m_prob *= a.m;
+        p.u_prob *= a.u;
+      } else {
+        p.m_prob *= 1.0 - a.m;
+        p.u_prob *= 1.0 - a.u;
+      }
+    }
+    p.weight = p.m_prob / p.u_prob;
+    patterns.push_back(p);
+  }
+  std::sort(patterns.begin(), patterns.end(),
+            [](const Pattern& a, const Pattern& b) {
+              return a.weight > b.weight;
+            });
+  // Match set: top patterns while accumulated u-mass fits fp_bound.
+  // Non-match set: bottom patterns while accumulated m-mass fits fn_bound.
+  const size_t total = patterns.size();
+  size_t k_match = 0;
+  double u_mass = 0.0;
+  while (k_match < total &&
+         u_mass + patterns[k_match].u_prob <= fp_bound + 1e-15) {
+    u_mass += patterns[k_match].u_prob;
+    ++k_match;
+  }
+  size_t k_unmatch = 0;
+  double m_mass = 0.0;
+  while (k_unmatch < total &&
+         m_mass + patterns[total - 1 - k_unmatch].m_prob <=
+             fn_bound + 1e-15) {
+    m_mass += patterns[total - 1 - k_unmatch].m_prob;
+    ++k_unmatch;
+  }
+  // Generous bounds can make the sets overlap; shrink the larger one
+  // until the sets are disjoint (the possible band vanishes).
+  while (k_match + k_unmatch > total) {
+    if (k_match >= k_unmatch) {
+      --k_match;
+    } else {
+      --k_unmatch;
+    }
+  }
+  // Classify() uses strict comparisons (sim > Tμ ⇒ match), but the FS rule
+  // declares the boundary patterns matches/non-matches; nudge the
+  // thresholds so boundary weights classify per the FS rule.
+  Thresholds t;
+  t.t_mu = k_match == 0
+               ? patterns.front().weight
+               : std::nexttoward(patterns[k_match - 1].weight, 0.0L);
+  t.t_lambda = k_unmatch == 0
+                   ? patterns.back().weight
+                   : std::nexttoward(patterns[total - k_unmatch].weight,
+                                     1e300L);
+  if (t.t_lambda > t.t_mu) t.t_lambda = t.t_mu;
+  return t;
+}
+
+}  // namespace pdd

@@ -1,0 +1,86 @@
+// Probabilistic decision model after Fellegi & Sunter [16] (Section III-D):
+// per-attribute conditional agreement probabilities m_i and u_i, matching
+// weight R = m(c⃗)/u(c⃗), and thresholds Tμ, Tλ.
+
+#ifndef PDD_DECISION_FELLEGI_SUNTER_H_
+#define PDD_DECISION_FELLEGI_SUNTER_H_
+
+#include <vector>
+
+#include "decision/classifier.h"
+#include "decision/combination.h"
+#include "match/comparison_vector.h"
+#include "util/status.h"
+
+namespace pdd {
+
+/// Per-attribute Fellegi-Sunter parameters.
+struct FsAttribute {
+  /// m_i = P(agree on attribute i | pair is a match).
+  double m = 0.9;
+  /// u_i = P(agree on attribute i | pair is a non-match).
+  double u = 0.1;
+  /// Continuous similarities above this count as agreement.
+  double agreement_threshold = 0.8;
+};
+
+/// The Fellegi-Sunter model over binarized comparison vectors, assuming
+/// conditional independence of attribute agreements. With `interpolated`
+/// set, Combine() uses the Winkler-style interpolated weight instead of
+/// the binarized one.
+class FellegiSunterModel : public CombinationFunction {
+ public:
+  explicit FellegiSunterModel(std::vector<FsAttribute> attributes,
+                              bool interpolated = false)
+      : attributes_(std::move(attributes)), interpolated_(interpolated) {}
+
+  /// Validated construction: every m, u in (0, 1) (open interval so the
+  /// disagreement ratios stay finite).
+  static Result<FellegiSunterModel> Make(std::vector<FsAttribute> attributes,
+                                         bool interpolated = false);
+
+  /// The matching weight R = m(c⃗)/u(c⃗) = Π ratio_i, where ratio_i is
+  /// m_i/u_i on agreement and (1-m_i)/(1-u_i) on disagreement.
+  /// Unnormalized (a likelihood ratio), per the paper.
+  double MatchingWeight(const ComparisonVector& c) const;
+
+  /// log2 of MatchingWeight — the additive weight record linkers sum.
+  double LogWeight(const ComparisonVector& c) const;
+
+  /// Winkler-style interpolated matching weight: instead of binarizing,
+  /// each attribute contributes a log-linear interpolation between the
+  /// full-agreement ratio m/u and the full-disagreement ratio
+  /// (1-m)/(1-u), driven by the continuous similarity c_i ∈ [0,1].
+  /// Continuous comparator evidence (0.9 vs 0.81) is preserved instead
+  /// of being thresholded away.
+  double InterpolatedWeight(const ComparisonVector& c) const;
+
+  /// CombinationFunction interface: φ(c⃗) = MatchingWeight(c⃗), or the
+  /// interpolated weight when configured.
+  double Combine(const ComparisonVector& c) const override {
+    return interpolated_ ? InterpolatedWeight(c) : MatchingWeight(c);
+  }
+  std::string name() const override { return "fellegi_sunter"; }
+  bool normalized() const override { return false; }
+
+  /// Binarizes a comparison vector into agreement indicators.
+  std::vector<bool> Agreements(const ComparisonVector& c) const;
+
+  /// Derives thresholds on the matching weight from tolerated error
+  /// rates: `fp_bound` bounds P(declare match | non-match mass above Tμ)
+  /// and `fn_bound` bounds P(declare non-match | match mass below Tλ),
+  /// evaluated over all 2^n agreement patterns (n = attribute count;
+  /// intended for the usual small n). Follows the Fellegi-Sunter optimal
+  /// decision rule construction.
+  Thresholds DeriveThresholds(double fp_bound, double fn_bound) const;
+
+  const std::vector<FsAttribute>& attributes() const { return attributes_; }
+
+ private:
+  std::vector<FsAttribute> attributes_;
+  bool interpolated_ = false;
+};
+
+}  // namespace pdd
+
+#endif  // PDD_DECISION_FELLEGI_SUNTER_H_

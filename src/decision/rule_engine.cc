@@ -1,0 +1,59 @@
+#include "decision/rule_engine.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace pdd {
+
+bool IdentificationRule::Fires(const ComparisonVector& c) const {
+  for (const RuleCondition& cond : conditions) {
+    if (cond.attribute >= c.size() || c[cond.attribute] <= cond.threshold) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<RuleEngine> RuleEngine::Make(std::vector<IdentificationRule> rules,
+                                    const Schema& schema, Policy policy) {
+  for (const IdentificationRule& rule : rules) {
+    if (rule.certainty < 0.0 || rule.certainty > 1.0) {
+      return Status::InvalidArgument("rule certainty " +
+                                     FormatDouble(rule.certainty) +
+                                     " outside [0, 1]");
+    }
+    for (const RuleCondition& cond : rule.conditions) {
+      if (cond.attribute >= schema.arity()) {
+        return Status::InvalidArgument(
+            "rule references attribute index " +
+            std::to_string(cond.attribute) + " beyond schema arity " +
+            std::to_string(schema.arity()));
+      }
+      if (cond.threshold < 0.0 || cond.threshold > 1.0) {
+        return Status::InvalidArgument("rule threshold " +
+                                       FormatDouble(cond.threshold) +
+                                       " outside [0, 1]");
+      }
+    }
+  }
+  return RuleEngine(std::move(rules), policy);
+}
+
+double RuleEngine::Evaluate(const ComparisonVector& c) const {
+  double result = 0.0;
+  for (const IdentificationRule& rule : rules_) {
+    if (!rule.Fires(c)) continue;
+    switch (policy_) {
+      case Policy::kMax:
+        result = std::max(result, rule.certainty);
+        break;
+      case Policy::kNoisyOr:
+        result = 1.0 - (1.0 - result) * (1.0 - rule.certainty);
+        break;
+    }
+  }
+  return result;
+}
+
+}  // namespace pdd

@@ -1,0 +1,91 @@
+// Knowledge-based decision model (Section III-D, Fig. 1): domain experts
+// define identification rules that declare two tuples duplicates with a
+// certainty factor when attribute similarities exceed thresholds.
+
+#ifndef PDD_DECISION_RULE_ENGINE_H_
+#define PDD_DECISION_RULE_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "decision/combination.h"
+#include "match/comparison_vector.h"
+#include "pdb/schema.h"
+#include "util/status.h"
+
+namespace pdd {
+
+/// One conjunct of a rule: attribute similarity strictly above a threshold.
+struct RuleCondition {
+  /// Index of the attribute in the schema / comparison vector.
+  size_t attribute = 0;
+  /// Similarity threshold in [0, 1].
+  double threshold = 0.0;
+};
+
+/// "IF name > th1 AND job > th2 THEN DUPLICATES WITH CERTAINTY 0.8".
+struct IdentificationRule {
+  std::vector<RuleCondition> conditions;
+  /// Certainty factor in [0, 1] assigned when all conditions hold.
+  double certainty = 1.0;
+
+  /// True iff every condition holds for the comparison vector.
+  bool Fires(const ComparisonVector& c) const;
+};
+
+/// A knowledge-based decision model: a rule set combined by a certainty
+/// combination policy, yielding a normalized similarity degree.
+class RuleEngine {
+ public:
+  /// How the certainties of multiple firing rules combine.
+  enum class Policy {
+    /// max over firing rules (standard certainty-factor semantics).
+    kMax = 0,
+    /// Probabilistic sum: 1 - Π (1 - cf_i); rewards independent evidence.
+    kNoisyOr = 1,
+  };
+
+  explicit RuleEngine(std::vector<IdentificationRule> rules,
+                      Policy policy = Policy::kMax)
+      : rules_(std::move(rules)), policy_(policy) {}
+
+  /// Validated construction: thresholds and certainties in [0,1], and
+  /// every attribute index within the schema arity.
+  static Result<RuleEngine> Make(std::vector<IdentificationRule> rules,
+                                 const Schema& schema,
+                                 Policy policy = Policy::kMax);
+
+  /// Combined certainty in [0, 1] that the pair is a duplicate
+  /// (0 when no rule fires).
+  double Evaluate(const ComparisonVector& c) const;
+
+  /// Rules in evaluation order.
+  const std::vector<IdentificationRule>& rules() const { return rules_; }
+
+ private:
+  std::vector<IdentificationRule> rules_;
+  Policy policy_;
+};
+
+/// CombinationFunction adapter so the knowledge-based model plugs into
+/// the generic decision pipeline: φ(c⃗) is the combined certainty of the
+/// firing rules — normalized, as Section III-D states for
+/// knowledge-based techniques.
+class RuleCombination : public CombinationFunction {
+ public:
+  explicit RuleCombination(RuleEngine engine) : engine_(std::move(engine)) {}
+
+  double Combine(const ComparisonVector& c) const override {
+    return engine_.Evaluate(c);
+  }
+  std::string name() const override { return "rules"; }
+
+  const RuleEngine& engine() const { return engine_; }
+
+ private:
+  RuleEngine engine_;
+};
+
+}  // namespace pdd
+
+#endif  // PDD_DECISION_RULE_ENGINE_H_

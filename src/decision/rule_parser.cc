@@ -1,0 +1,135 @@
+#include "decision/rule_parser.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace pdd {
+
+namespace {
+
+// Cursor-based token scanner over the rule text.
+class Scanner {
+ public:
+  explicit Scanner(std::string_view text) : text_(text) {}
+
+  // Next whitespace-delimited token, also splitting on '>' and '='
+  // so "name>0.8" and "CERTAINTY=0.8" tokenize correctly.
+  std::string Next() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return "";
+    char c = text_[pos_];
+    if (c == '>' || c == '=') {
+      ++pos_;
+      return std::string(1, c);
+    }
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           !std::isspace(static_cast<unsigned char>(text_[pos_])) &&
+           text_[pos_] != '>' && text_[pos_] != '=') {
+      ++pos_;
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  std::string Peek() {
+    size_t saved = pos_;
+    std::string token = Next();
+    pos_ = saved;
+    return token;
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<IdentificationRule> ParseRule(std::string_view text,
+                                     const Schema& schema) {
+  Scanner scanner(text);
+  if (!EqualsIgnoreCase(scanner.Next(), "IF")) {
+    return Status::ParseError("rule must start with IF");
+  }
+  IdentificationRule rule;
+  // Conditions: <attr> > <threshold> [AND ...]
+  while (true) {
+    std::string attr = scanner.Next();
+    if (attr.empty()) return Status::ParseError("expected attribute name");
+    PDD_ASSIGN_OR_RETURN(size_t index, schema.IndexOf(attr));
+    std::string op = scanner.Next();
+    if (op != ">") {
+      return Status::ParseError("expected '>' after attribute '" + attr +
+                                "', got '" + op + "'");
+    }
+    std::string threshold_token = scanner.Next();
+    double threshold = 0.0;
+    if (!ParseDouble(threshold_token, &threshold)) {
+      return Status::ParseError("malformed threshold '" + threshold_token +
+                                "'");
+    }
+    if (threshold < 0.0 || threshold > 1.0) {
+      return Status::ParseError("threshold " + threshold_token +
+                                " outside [0, 1]");
+    }
+    rule.conditions.push_back({index, threshold});
+    std::string next = scanner.Next();
+    if (EqualsIgnoreCase(next, "AND")) continue;
+    if (EqualsIgnoreCase(next, "THEN")) break;
+    return Status::ParseError("expected AND or THEN, got '" + next + "'");
+  }
+  if (!EqualsIgnoreCase(scanner.Next(), "DUPLICATES")) {
+    return Status::ParseError("expected DUPLICATES after THEN");
+  }
+  rule.certainty = 1.0;
+  if (scanner.AtEnd()) return rule;
+  // Optional: WITH CERTAINTY <x>  |  CERTAINTY = <x>  |  CERTAINTY <x>
+  std::string token = scanner.Next();
+  if (EqualsIgnoreCase(token, "WITH")) token = scanner.Next();
+  if (!EqualsIgnoreCase(token, "CERTAINTY")) {
+    return Status::ParseError("expected CERTAINTY clause, got '" + token +
+                              "'");
+  }
+  token = scanner.Next();
+  if (token == "=") token = scanner.Next();
+  double certainty = 0.0;
+  if (!ParseDouble(token, &certainty)) {
+    return Status::ParseError("malformed certainty '" + token + "'");
+  }
+  if (certainty < 0.0 || certainty > 1.0) {
+    return Status::ParseError("certainty " + token + " outside [0, 1]");
+  }
+  rule.certainty = certainty;
+  if (!scanner.AtEnd()) {
+    return Status::ParseError("trailing input after certainty: '" +
+                              scanner.Next() + "'");
+  }
+  return rule;
+}
+
+Result<std::vector<IdentificationRule>> ParseRules(std::string_view text,
+                                                   const Schema& schema) {
+  std::vector<IdentificationRule> rules;
+  for (const std::string& line : Split(text, '\n')) {
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    PDD_ASSIGN_OR_RETURN(IdentificationRule rule, ParseRule(trimmed, schema));
+    rules.push_back(std::move(rule));
+  }
+  return rules;
+}
+
+}  // namespace pdd

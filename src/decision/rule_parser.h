@@ -1,0 +1,31 @@
+// Parser for the paper's identification rule syntax (Fig. 1):
+//
+//   IF name > 0.8 AND job > 0.5 THEN DUPLICATES WITH CERTAINTY 0.8
+//
+// Attribute names are resolved against a schema; the comparison operator
+// is the strict '>' of the paper. Keywords are case-insensitive; the
+// "WITH CERTAINTY x" clause is optional ("CERTAINTY=x" is also accepted).
+
+#ifndef PDD_DECISION_RULE_PARSER_H_
+#define PDD_DECISION_RULE_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "decision/rule_engine.h"
+#include "pdb/schema.h"
+#include "util/status.h"
+
+namespace pdd {
+
+/// Parses a single identification rule.
+Result<IdentificationRule> ParseRule(std::string_view text,
+                                     const Schema& schema);
+
+/// Parses one rule per non-empty, non-'#'-comment line.
+Result<std::vector<IdentificationRule>> ParseRules(std::string_view text,
+                                                   const Schema& schema);
+
+}  // namespace pdd
+
+#endif  // PDD_DECISION_RULE_PARSER_H_

@@ -1,0 +1,93 @@
+#include "decision/weight_learner.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pdd {
+
+namespace {
+
+double Sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+}  // namespace
+
+double LearnedWeights::Predict(const ComparisonVector& c) const {
+  double z = bias;
+  for (size_t i = 0; i < weights.size() && i < c.size(); ++i) {
+    z += weights[i] * c[i];
+  }
+  return Sigmoid(z);
+}
+
+std::pair<std::vector<double>, Thresholds> LearnedWeights::ToCombination()
+    const {
+  // Clip negatives (φ weights are non-negative by convention), normalize
+  // to sum 1, and translate the decision boundary bias + Σ w_i c_i = 0
+  // into a threshold on the normalized sum.
+  std::vector<double> clipped = weights;
+  double total = 0.0;
+  for (double& w : clipped) {
+    w = std::max(0.0, w);
+    total += w;
+  }
+  Thresholds t;
+  if (total <= 0.0) {
+    return {std::vector<double>(weights.size(),
+                                weights.empty() ? 0.0
+                                                : 1.0 / weights.size()),
+            t};
+  }
+  for (double& w : clipped) w /= total;
+  // Boundary: Σ w_i c_i = -bias  =>  normalized sum = -bias / total.
+  double cut = std::clamp(-bias / total, 0.0, 1.0);
+  t.t_lambda = cut;
+  t.t_mu = cut;
+  return {clipped, t};
+}
+
+Result<LearnedWeights> LearnWeights(const std::vector<LabeledVector>& data,
+                                    const WeightLearnOptions& options) {
+  if (data.empty()) {
+    return Status::InvalidArgument("no training data");
+  }
+  const size_t n = data[0].comparison.size();
+  if (n == 0) return Status::InvalidArgument("empty comparison vectors");
+  bool any_match = false, any_unmatch = false;
+  for (const LabeledVector& lv : data) {
+    if (lv.comparison.size() != n) {
+      return Status::InvalidArgument("comparison vectors of mixed arity");
+    }
+    (lv.is_match ? any_match : any_unmatch) = true;
+  }
+  if (!any_match || !any_unmatch) {
+    return Status::FailedPrecondition(
+        "training data needs both matches and non-matches");
+  }
+  LearnedWeights model;
+  model.weights.assign(n, 0.0);
+  model.bias = 0.0;
+  const double scale = 1.0 / static_cast<double>(data.size());
+  for (size_t iter = 0; iter < options.iterations; ++iter) {
+    std::vector<double> grad(n, 0.0);
+    double grad_bias = 0.0;
+    double ll = 0.0;
+    for (const LabeledVector& lv : data) {
+      double p = model.Predict(lv.comparison);
+      double y = lv.is_match ? 1.0 : 0.0;
+      double error = y - p;
+      for (size_t i = 0; i < n; ++i) grad[i] += error * lv.comparison[i];
+      grad_bias += error;
+      ll += y * std::log(std::max(p, 1e-12)) +
+            (1.0 - y) * std::log(std::max(1.0 - p, 1e-12));
+    }
+    for (size_t i = 0; i < n; ++i) {
+      model.weights[i] += options.learning_rate *
+                          (grad[i] * scale - options.l2 * model.weights[i]);
+    }
+    model.bias += options.learning_rate * grad_bias * scale;
+    model.log_likelihood = ll;
+  }
+  return model;
+}
+
+}  // namespace pdd

@@ -1,0 +1,56 @@
+// Supervised learning of weighted-sum combination weights from labeled
+// pairs (the "with labeled training data" branch of the estimation
+// methods the paper cites [25]-[28]): logistic regression on comparison
+// vectors via gradient ascent, with the learned model mapped back to a
+// φ-compatible weight vector plus a decision threshold.
+
+#ifndef PDD_DECISION_WEIGHT_LEARNER_H_
+#define PDD_DECISION_WEIGHT_LEARNER_H_
+
+#include <vector>
+
+#include "decision/classifier.h"
+#include "match/comparison_vector.h"
+#include "util/status.h"
+
+namespace pdd {
+
+/// One labeled training pair.
+struct LabeledVector {
+  ComparisonVector comparison;
+  bool is_match = false;
+};
+
+/// Options of the learner.
+struct WeightLearnOptions {
+  double learning_rate = 0.5;
+  size_t iterations = 500;
+  /// L2 regularization strength.
+  double l2 = 1e-3;
+};
+
+/// Learned model: P(match | c⃗) = sigmoid(bias + Σ w_i c_i).
+struct LearnedWeights {
+  std::vector<double> weights;
+  double bias = 0.0;
+  /// Final training log-likelihood.
+  double log_likelihood = 0.0;
+
+  /// Match probability of one comparison vector.
+  double Predict(const ComparisonVector& c) const;
+
+  /// Maps the model onto the φ = weighted-sum convention: non-negative
+  /// weights normalized to sum 1 plus equivalent thresholds such that
+  /// Classify(φ(c⃗)) declares a match iff Predict(c⃗) > probability 0.5
+  /// (approximately, when negative weights were clipped).
+  std::pair<std::vector<double>, Thresholds> ToCombination() const;
+};
+
+/// Trains on labeled comparison vectors. Fails on empty/inconsistent
+/// input or single-class training data.
+Result<LearnedWeights> LearnWeights(const std::vector<LabeledVector>& data,
+                                    const WeightLearnOptions& options = {});
+
+}  // namespace pdd
+
+#endif  // PDD_DECISION_WEIGHT_LEARNER_H_

@@ -1,0 +1,54 @@
+#include "derive/decision_based.h"
+
+#include <limits>
+
+namespace pdd {
+
+std::vector<MatchClass> ClassifyAlternativePairs(
+    const AlternativePairScores& scores, const Thresholds& thresholds) {
+  std::vector<MatchClass> eta(scores.sims.size());
+  for (size_t idx = 0; idx < scores.sims.size(); ++idx) {
+    eta[idx] = Classify(scores.sims[idx], thresholds);
+  }
+  return eta;
+}
+
+MatchingMass ComputeMatchingMass(const AlternativePairScores& scores,
+                                 const Thresholds& thresholds) {
+  MatchingMass mass;
+  for (size_t i = 0; i < scores.rows; ++i) {
+    for (size_t j = 0; j < scores.cols; ++j) {
+      double w = scores.weight(i, j);
+      switch (Classify(scores.sim(i, j), thresholds)) {
+        case MatchClass::kMatch:
+          mass.p_match += w;
+          break;
+        case MatchClass::kPossible:
+          mass.p_possible += w;
+          break;
+        case MatchClass::kUnmatch:
+          mass.p_unmatch += w;
+          break;
+      }
+    }
+  }
+  return mass;
+}
+
+double MatchingWeightDerivation::Derive(
+    const AlternativePairScores& scores) const {
+  MatchingMass mass = ComputeMatchingMass(scores, intermediate_);
+  if (mass.p_unmatch <= 0.0) {
+    return mass.p_match > 0.0 ? std::numeric_limits<double>::infinity() : 1.0;
+  }
+  return mass.p_match / mass.p_unmatch;
+}
+
+double ExpectedMatchingDerivation::Derive(
+    const AlternativePairScores& scores) const {
+  MatchingMass mass = ComputeMatchingMass(scores, intermediate_);
+  double expected = 2.0 * mass.p_match + 1.0 * mass.p_possible;
+  return normalize_ ? expected / 2.0 : expected;
+}
+
+}  // namespace pdd

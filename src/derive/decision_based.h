@@ -1,0 +1,73 @@
+// Decision-based derivation (Fig. 6 right): every alternative tuple pair
+// is first classified into {M, P, U} with intermediate thresholds; the
+// x-tuple similarity is then derived from the matching vector η⃗.
+
+#ifndef PDD_DERIVE_DECISION_BASED_H_
+#define PDD_DERIVE_DECISION_BASED_H_
+
+#include <vector>
+
+#include "decision/classifier.h"
+#include "derive/derivation.h"
+
+namespace pdd {
+
+/// The per-alternative-pair matching vector η⃗(t1,t2) ∈ {m,p,u}^{k×l}
+/// (Step 1.2 of Fig. 6 right).
+std::vector<MatchClass> ClassifyAlternativePairs(
+    const AlternativePairScores& scores, const Thresholds& thresholds);
+
+/// Aggregated world masses of Eq. 8/9: P(m), P(p), P(u) — the overall
+/// conditioned probabilities of the worlds whose alternative pair is
+/// declared match / possible / unmatch. The three sum to 1.
+struct MatchingMass {
+  double p_match = 0.0;
+  double p_possible = 0.0;
+  double p_unmatch = 0.0;
+};
+
+/// Computes the matching masses for the given thresholds.
+MatchingMass ComputeMatchingMass(const AlternativePairScores& scores,
+                                 const Thresholds& thresholds);
+
+/// Eq. 7: sim(t1,t2) = P(m)/P(u) (a matching-weight-style unnormalized
+/// score; the paper computes (3/9)/(4/9) = 0.75 for (t32,t42)).
+///
+/// Edge cases (not defined by the paper): P(u)=0 with P(m)>0 yields
+/// +infinity (certain match evidence); P(u)=0 with P(m)=0 — all mass on
+/// possible matches — yields 1 (neutral evidence).
+class MatchingWeightDerivation : public DerivationFunction {
+ public:
+  explicit MatchingWeightDerivation(Thresholds intermediate)
+      : intermediate_(intermediate) {}
+
+  double Derive(const AlternativePairScores& scores) const override;
+  std::string name() const override { return "matching_weight"; }
+  bool normalized() const override { return false; }
+
+  const Thresholds& intermediate_thresholds() const { return intermediate_; }
+
+ private:
+  Thresholds intermediate_;
+};
+
+/// The paper's second decision-based variant: the expected matching
+/// result E(η(t1^i,t2^j) | B) with η coded m=2, p=1, u=0. When
+/// `normalize` is set the result is divided by 2, mapping to [0,1].
+class ExpectedMatchingDerivation : public DerivationFunction {
+ public:
+  ExpectedMatchingDerivation(Thresholds intermediate, bool normalize = false)
+      : intermediate_(intermediate), normalize_(normalize) {}
+
+  double Derive(const AlternativePairScores& scores) const override;
+  std::string name() const override { return "expected_matching"; }
+  bool normalized() const override { return normalize_; }
+
+ private:
+  Thresholds intermediate_;
+  bool normalize_;
+};
+
+}  // namespace pdd
+
+#endif  // PDD_DERIVE_DECISION_BASED_H_

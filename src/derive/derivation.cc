@@ -1,0 +1,24 @@
+#include "derive/derivation.h"
+
+namespace pdd {
+
+AlternativePairScores BuildAlternativePairScores(
+    const XTuple& t1, const XTuple& t2, const TupleMatcher& matcher,
+    const CombinationFunction& phi) {
+  AlternativePairScores scores;
+  scores.rows = t1.size();
+  scores.cols = t2.size();
+  scores.p1 = t1.ConditionedProbabilities();
+  scores.p2 = t2.ConditionedProbabilities();
+  scores.sims.resize(scores.rows * scores.cols);
+  for (size_t i = 0; i < scores.rows; ++i) {
+    for (size_t j = 0; j < scores.cols; ++j) {
+      ComparisonVector c =
+          matcher.CompareAlternatives(t1.alternative(i), t2.alternative(j));
+      scores.sims[i * scores.cols + j] = phi.Combine(c);
+    }
+  }
+  return scores;
+}
+
+}  // namespace pdd

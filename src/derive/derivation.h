@@ -1,0 +1,61 @@
+// Derivation functions ϑ for x-tuple pairs (Section IV-B, Fig. 6).
+//
+// Step 1 of both adapted decision models evaluates the combination
+// function φ on every alternative tuple pair, producing a k×l score grid
+// together with the conditioned alternative probabilities p(t_i)/p(t).
+// A DerivationFunction then collapses that grid into the x-tuple pair
+// similarity sim(t1, t2).
+
+#ifndef PDD_DERIVE_DERIVATION_H_
+#define PDD_DERIVE_DERIVATION_H_
+
+#include <string>
+#include <vector>
+
+#include "decision/combination.h"
+#include "match/tuple_matcher.h"
+#include "pdb/xtuple.h"
+
+namespace pdd {
+
+/// φ scores of all alternative tuple pairs of one x-tuple pair, plus the
+/// conditioned alternative probabilities (tuple membership must not
+/// influence duplicate detection, so probabilities are p(t_i)/p(t)).
+struct AlternativePairScores {
+  size_t rows = 0;  // k: alternatives of t1
+  size_t cols = 0;  // l: alternatives of t2
+  /// Row-major φ(c⃗_ij) values.
+  std::vector<double> sims;
+  /// Conditioned probabilities of t1's / t2's alternatives (sum to 1).
+  std::vector<double> p1;
+  std::vector<double> p2;
+
+  double sim(size_t i, size_t j) const { return sims[i * cols + j]; }
+  /// Conditioned probability of the world picking alternatives (i, j).
+  double weight(size_t i, size_t j) const { return p1[i] * p2[j]; }
+};
+
+/// Step 1 of Fig. 6: builds the score grid for an x-tuple pair using the
+/// matcher (attribute value matching, Section IV-A) and φ.
+AlternativePairScores BuildAlternativePairScores(
+    const XTuple& t1, const XTuple& t2, const TupleMatcher& matcher,
+    const CombinationFunction& phi);
+
+/// Interface of a derivation function ϑ (Step 2 of Fig. 6).
+class DerivationFunction {
+ public:
+  virtual ~DerivationFunction() = default;
+
+  /// Collapses the alternative pair scores into sim(t1, t2).
+  virtual double Derive(const AlternativePairScores& scores) const = 0;
+
+  /// Human-readable name.
+  virtual std::string name() const = 0;
+
+  /// True when results are guaranteed normalized given normalized inputs.
+  virtual bool normalized() const { return true; }
+};
+
+}  // namespace pdd
+
+#endif  // PDD_DERIVE_DERIVATION_H_

@@ -1,0 +1,10 @@
+// Convenience header re-exporting the expected-matching derivation
+// declared alongside the other decision-based derivations.
+
+#ifndef PDD_DERIVE_EXPECTED_MATCHING_H_
+#define PDD_DERIVE_EXPECTED_MATCHING_H_
+
+#include "derive/decision_based.h"
+#include "derive/xtuple_decision_model.h"
+
+#endif  // PDD_DERIVE_EXPECTED_MATCHING_H_

@@ -1,0 +1,58 @@
+#include "derive/monte_carlo.h"
+
+#include <cmath>
+#include <limits>
+
+namespace pdd {
+
+McEstimate EstimateSimilarityMc(const XTuple& t1, const XTuple& t2,
+                                const TupleMatcher& matcher,
+                                const CombinationFunction& phi, Rng* rng,
+                                const McOptions& options) {
+  McEstimate est;
+  if (t1.size() == 0 || t2.size() == 0 || options.samples == 0) return est;
+  // Conditioned alternative distributions (event B: both tuples exist).
+  std::vector<double> p1 = t1.ConditionedProbabilities();
+  std::vector<double> p2 = t2.ConditionedProbabilities();
+  // Memoize φ per alternative pair: sampling revisits cells, and the
+  // expensive part is the Eq. 5 attribute matching inside.
+  std::vector<double> cache(t1.size() * t2.size(),
+                            std::numeric_limits<double>::quiet_NaN());
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  size_t n = 0;
+  while (n < options.samples) {
+    size_t i = rng->Discrete(p1);
+    size_t j = rng->Discrete(p2);
+    double& cell = cache[i * t2.size() + j];
+    if (std::isnan(cell)) {
+      cell = phi.Combine(
+          matcher.CompareAlternatives(t1.alternative(i), t2.alternative(j)));
+    }
+    sum += cell;
+    sum_sq += cell * cell;
+    ++n;
+    if (options.target_standard_error > 0.0 && n >= 2 &&
+        n % options.check_interval == 0) {
+      double mean = sum / static_cast<double>(n);
+      double variance =
+          (sum_sq - static_cast<double>(n) * mean * mean) /
+          static_cast<double>(n - 1);
+      double se = std::sqrt(std::max(0.0, variance) /
+                            static_cast<double>(n));
+      if (se <= options.target_standard_error) break;
+    }
+  }
+  est.samples = n;
+  est.similarity = sum / static_cast<double>(n);
+  if (n >= 2) {
+    double variance = (sum_sq - static_cast<double>(n) * est.similarity *
+                                    est.similarity) /
+                      static_cast<double>(n - 1);
+    est.standard_error =
+        std::sqrt(std::max(0.0, variance) / static_cast<double>(n));
+  }
+  return est;
+}
+
+}  // namespace pdd

@@ -1,0 +1,50 @@
+// Monte-Carlo estimation of x-tuple pair similarity by possible-world
+// sampling: draws worlds of the pair conditioned on both tuples
+// existing, evaluates φ on the sampled alternative pair, and averages.
+//
+// Converges to the Eq. 6 conditional expectation (the similarity-based
+// derivation) and gives the anytime/approximate path for pairs whose
+// k×l alternative grid — or whose value-level alternative counts — make
+// the exact computation expensive.
+
+#ifndef PDD_DERIVE_MONTE_CARLO_H_
+#define PDD_DERIVE_MONTE_CARLO_H_
+
+#include "decision/combination.h"
+#include "match/tuple_matcher.h"
+#include "pdb/xtuple.h"
+#include "util/random.h"
+
+namespace pdd {
+
+/// Result of a Monte-Carlo similarity estimate.
+struct McEstimate {
+  /// The sample mean of φ over the drawn worlds.
+  double similarity = 0.0;
+  /// Sample standard error (σ̂ / √n); 0 for fewer than two samples.
+  double standard_error = 0.0;
+  /// Worlds drawn.
+  size_t samples = 0;
+};
+
+/// Options of the estimator.
+struct McOptions {
+  /// Number of sampled worlds (conditioned on both tuples existing).
+  size_t samples = 1000;
+  /// Stop early once the standard error drops below this (0 disables).
+  double target_standard_error = 0.0;
+  /// Check the early-stop criterion every this many samples.
+  size_t check_interval = 64;
+};
+
+/// Estimates E[sim(t1, t2) | B] by sampling alternative pairs
+/// proportionally to their conditioned probabilities. Deterministic for
+/// a given `rng` state.
+McEstimate EstimateSimilarityMc(const XTuple& t1, const XTuple& t2,
+                                const TupleMatcher& matcher,
+                                const CombinationFunction& phi, Rng* rng,
+                                const McOptions& options = {});
+
+}  // namespace pdd
+
+#endif  // PDD_DERIVE_MONTE_CARLO_H_

@@ -1,0 +1,48 @@
+#include "derive/similarity_based.h"
+
+#include <algorithm>
+
+namespace pdd {
+
+double ExpectedSimilarityDerivation::Derive(
+    const AlternativePairScores& scores) const {
+  double total = 0.0;
+  for (size_t i = 0; i < scores.rows; ++i) {
+    for (size_t j = 0; j < scores.cols; ++j) {
+      total += scores.weight(i, j) * scores.sim(i, j);
+    }
+  }
+  return total;
+}
+
+double MaxSimilarityDerivation::Derive(
+    const AlternativePairScores& scores) const {
+  double best = 0.0;
+  for (double s : scores.sims) best = std::max(best, s);
+  return best;
+}
+
+double MinSimilarityDerivation::Derive(
+    const AlternativePairScores& scores) const {
+  if (scores.sims.empty()) return 0.0;
+  double worst = scores.sims[0];
+  for (double s : scores.sims) worst = std::min(worst, s);
+  return worst;
+}
+
+double ModeSimilarityDerivation::Derive(
+    const AlternativePairScores& scores) const {
+  double best_weight = -1.0;
+  double result = 0.0;
+  for (size_t i = 0; i < scores.rows; ++i) {
+    for (size_t j = 0; j < scores.cols; ++j) {
+      if (scores.weight(i, j) > best_weight + kProbEpsilon) {
+        best_weight = scores.weight(i, j);
+        result = scores.sim(i, j);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace pdd

@@ -1,0 +1,20 @@
+#include "derive/xtuple_decision_model.h"
+
+namespace pdd {
+
+double XTupleDecisionModel::Similarity(const XTuple& t1,
+                                       const XTuple& t2) const {
+  AlternativePairScores scores =
+      BuildAlternativePairScores(t1, t2, *matcher_, *phi_);
+  return theta_->Derive(scores);
+}
+
+XPairDecision XTupleDecisionModel::Decide(const XTuple& t1,
+                                          const XTuple& t2) const {
+  XPairDecision decision;
+  decision.similarity = Similarity(t1, t2);
+  decision.match_class = Classify(decision.similarity, final_thresholds_);
+  return decision;
+}
+
+}  // namespace pdd

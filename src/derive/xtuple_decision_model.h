@@ -1,0 +1,59 @@
+// The complete adapted decision model for x-tuple pairs (Fig. 6):
+//   1. φ on every alternative tuple pair (and, for the decision-based
+//      path, classification with intermediate thresholds),
+//   2. derivation function ϑ,
+//   3. classification of the pair into {M, P, U} with final thresholds.
+
+#ifndef PDD_DERIVE_XTUPLE_DECISION_MODEL_H_
+#define PDD_DERIVE_XTUPLE_DECISION_MODEL_H_
+
+#include <string>
+
+#include "decision/classifier.h"
+#include "decision/combination.h"
+#include "derive/derivation.h"
+#include "match/tuple_matcher.h"
+#include "pdb/xtuple.h"
+
+namespace pdd {
+
+/// Outcome of deciding one x-tuple pair.
+struct XPairDecision {
+  /// sim(t1, t2) produced by the derivation function (Step 2).
+  double similarity = 0.0;
+  /// η(t1, t2) from the final classification (Step 3).
+  MatchClass match_class = MatchClass::kUnmatch;
+};
+
+/// Orchestrates Fig. 6 for x-tuple pairs. The combination function,
+/// derivation function and matcher must outlive the model.
+class XTupleDecisionModel {
+ public:
+  XTupleDecisionModel(const TupleMatcher* matcher,
+                      const CombinationFunction* phi,
+                      const DerivationFunction* theta,
+                      Thresholds final_thresholds)
+      : matcher_(matcher),
+        phi_(phi),
+        theta_(theta),
+        final_thresholds_(final_thresholds) {}
+
+  /// Runs the full three-step procedure on one x-tuple pair.
+  XPairDecision Decide(const XTuple& t1, const XTuple& t2) const;
+
+  /// Step 1+2 only: the derived similarity sim(t1, t2).
+  double Similarity(const XTuple& t1, const XTuple& t2) const;
+
+  const Thresholds& final_thresholds() const { return final_thresholds_; }
+  const DerivationFunction& derivation() const { return *theta_; }
+
+ private:
+  const TupleMatcher* matcher_;
+  const CombinationFunction* phi_;
+  const DerivationFunction* theta_;
+  Thresholds final_thresholds_;
+};
+
+}  // namespace pdd
+
+#endif  // PDD_DERIVE_XTUPLE_DECISION_MODEL_H_

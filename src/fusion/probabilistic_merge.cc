@@ -1,0 +1,76 @@
+#include "fusion/probabilistic_merge.h"
+
+#include <map>
+
+namespace pdd {
+
+Value FuseValues(const Value& a, const Value& b,
+                 const MergeOptions& options) {
+  double wa = options.weight_a;
+  double wb = 1.0 - wa;
+  std::vector<std::string> order;
+  std::map<std::pair<std::string, bool>, double> mass;
+  auto add = [&](const Alternative& alt, double w) {
+    auto key = std::make_pair(alt.text, alt.is_pattern);
+    auto [it, inserted] = mass.emplace(key, 0.0);
+    if (inserted) order.push_back(alt.text);
+    it->second += w * alt.prob;
+  };
+  for (const Alternative& alt : a.alternatives()) add(alt, wa);
+  for (const Alternative& alt : b.alternatives()) add(alt, wb);
+  std::vector<Alternative> fused;
+  fused.reserve(mass.size());
+  // Rebuild in the deterministic map order (text, pattern-flag).
+  for (const auto& [key, prob] : mass) {
+    if (prob < options.min_alternative_prob) continue;
+    fused.push_back({key.first, prob, key.second});
+  }
+  return Value::Unchecked(std::move(fused));
+}
+
+namespace {
+
+bool SameValues(const AltTuple& a, const AltTuple& b) {
+  if (a.values.size() != b.values.size()) return false;
+  for (size_t i = 0; i < a.values.size(); ++i) {
+    if (!(a.values[i] == b.values[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+XTuple FuseXTuples(const XTuple& a, const XTuple& b, std::string fused_id,
+                   const MergeOptions& options) {
+  double wa = options.weight_a;
+  double wb = 1.0 - wa;
+  // Mixture over conditioned alternatives, scaled back by the mixed
+  // existence probability: tuple membership carries fusion semantics,
+  // alternative choice carries value semantics.
+  double existence =
+      wa * a.existence_probability() + wb * b.existence_probability();
+  std::vector<double> pa = a.ConditionedProbabilities();
+  std::vector<double> pb = b.ConditionedProbabilities();
+  std::vector<AltTuple> fused;
+  auto add = [&](const AltTuple& alt, double prob) {
+    if (prob < options.min_alternative_prob) return;
+    for (AltTuple& existing : fused) {
+      if (SameValues(existing, alt)) {
+        existing.prob += prob;
+        return;
+      }
+    }
+    AltTuple copy = alt;
+    copy.prob = prob;
+    fused.push_back(std::move(copy));
+  };
+  for (size_t i = 0; i < a.size(); ++i) {
+    add(a.alternative(i), wa * pa[i] * existence);
+  }
+  for (size_t j = 0; j < b.size(); ++j) {
+    add(b.alternative(j), wb * pb[j] * existence);
+  }
+  return XTuple(std::move(fused_id), std::move(fused));
+}
+
+}  // namespace pdd

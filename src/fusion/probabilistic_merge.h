@@ -1,0 +1,45 @@
+// Data fusion of probabilistic duplicates: merging two probabilistic
+// representations of the same real-world entity into one. The paper
+// defers full probabilistic data fusion to future work (Section VI);
+// this module implements the natural mixture semantics so the
+// uncertain-result builder (core/uncertain_result.h) has a merge
+// operator to work with.
+
+#ifndef PDD_FUSION_PROBABILISTIC_MERGE_H_
+#define PDD_FUSION_PROBABILISTIC_MERGE_H_
+
+#include <string>
+
+#include "pdb/value.h"
+#include "pdb/xtuple.h"
+
+namespace pdd {
+
+/// Options of the probabilistic merge.
+struct MergeOptions {
+  /// Mixture weight of the first source in [0, 1] (e.g. source
+  /// reliability); the second source receives 1 - weight_a.
+  double weight_a = 0.5;
+  /// Alternatives with merged probability below this are dropped and
+  /// their mass renormalized over the survivors (keeps fused tuples from
+  /// accumulating negligible alternatives).
+  double min_alternative_prob = 1e-6;
+};
+
+/// Fuses two probabilistic values as a mixture: every outcome's
+/// probability is weight_a·P_a(outcome) + (1-weight_a)·P_b(outcome);
+/// equal texts merge, and ⊥ mass mixes the same way. The result is a
+/// valid distribution whenever the inputs are.
+Value FuseValues(const Value& a, const Value& b, const MergeOptions& options);
+
+/// Fuses two x-tuples believed to represent the same entity: the fused
+/// alternative set is the weighted union of both tuples' conditioned
+/// alternatives (alternatives with pairwise identical values merge).
+/// The fused existence probability is the mixture of both existence
+/// probabilities.
+XTuple FuseXTuples(const XTuple& a, const XTuple& b, std::string fused_id,
+                   const MergeOptions& options);
+
+}  // namespace pdd
+
+#endif  // PDD_FUSION_PROBABILISTIC_MERGE_H_

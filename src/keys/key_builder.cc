@@ -1,0 +1,143 @@
+#include "keys/key_builder.h"
+
+#include <map>
+
+#include "util/string_util.h"
+
+namespace pdd {
+
+double KeyDistribution::TotalMass() const {
+  double total = 0.0;
+  for (const auto& [key, prob] : entries) total += prob;
+  return total;
+}
+
+std::string KeyDistribution::MostProbableKey() const {
+  std::string best;
+  double best_prob = -1.0;
+  for (const auto& [key, prob] : entries) {
+    if (prob > best_prob + kProbEpsilon) {
+      best_prob = prob;
+      best = key;
+    }
+  }
+  return best;
+}
+
+std::string KeyBuilder::KeyForAlternative(const AltTuple& alt,
+                                          ConflictStrategy strategy) const {
+  std::vector<std::string> texts;
+  texts.reserve(spec_.components().size());
+  for (const KeyComponent& c : spec_.components()) {
+    texts.push_back(ResolveValue(alt.values[c.attribute], strategy));
+  }
+  return spec_.KeyFromTexts(texts);
+}
+
+std::string KeyBuilder::CertainKey(const XTuple& xtuple,
+                                   ConflictStrategy strategy) const {
+  size_t alt = ResolveAlternative(xtuple, strategy);
+  return KeyForAlternative(xtuple.alternative(alt), strategy);
+}
+
+std::vector<std::string> KeyBuilder::AlternativeKeys(
+    const XTuple& xtuple) const {
+  std::vector<std::string> keys;
+  keys.reserve(xtuple.size());
+  for (const AltTuple& alt : xtuple.alternatives()) {
+    std::string key = KeyForAlternative(alt);
+    if (keys.empty() || keys.back() != key) keys.push_back(std::move(key));
+  }
+  return keys;
+}
+
+std::vector<std::pair<size_t, std::string>> KeyBuilder::KeysForWorld(
+    const World& world, const XRelation& rel) const {
+  std::vector<std::pair<size_t, std::string>> out;
+  for (size_t i = 0; i < world.choice.size(); ++i) {
+    if (world.choice[i] == kAbsent) continue;
+    const AltTuple& alt =
+        rel.xtuple(i).alternative(static_cast<size_t>(world.choice[i]));
+    out.emplace_back(i, KeyForAlternative(alt));
+  }
+  return out;
+}
+
+std::vector<std::vector<std::pair<std::string, double>>>
+KeyBuilder::ComponentOutcomes(const AltTuple& alt) const {
+  std::vector<std::vector<std::pair<std::string, double>>> outcomes;
+  outcomes.reserve(spec_.components().size());
+  for (const KeyComponent& c : spec_.components()) {
+    const Value& v = alt.values[c.attribute];
+    std::vector<std::pair<std::string, double>> comp;
+    for (const Alternative& a : v.alternatives()) {
+      // Pattern alternatives contribute their literal prefix text; the key
+      // prefix cut happens in KeyFromTexts.
+      comp.emplace_back(a.text, a.prob);
+    }
+    if (v.null_probability() > kProbEpsilon) {
+      comp.emplace_back("", v.null_probability());  // ⊥ contributes nothing
+    }
+    outcomes.push_back(std::move(comp));
+  }
+  return outcomes;
+}
+
+KeyDistribution KeyBuilder::DistributionFor(const XTuple& xtuple,
+                                            bool conditioned) const {
+  // Merge masses per key string, preserving first-seen order (Fig. 13
+  // lists keys in alternative order).
+  std::vector<std::string> order;
+  std::map<std::string, double> mass;
+  auto add = [&](const std::string& key, double p) {
+    auto [it, inserted] = mass.emplace(key, 0.0);
+    if (inserted) order.push_back(key);
+    it->second += p;
+  };
+  std::vector<double> alt_probs;
+  alt_probs.reserve(xtuple.size());
+  if (conditioned) {
+    alt_probs = xtuple.ConditionedProbabilities();
+  } else {
+    for (const AltTuple& alt : xtuple.alternatives()) {
+      alt_probs.push_back(alt.prob);
+    }
+  }
+  for (size_t a = 0; a < xtuple.size(); ++a) {
+    const AltTuple& alt = xtuple.alternative(a);
+    std::vector<std::vector<std::pair<std::string, double>>> outcomes =
+        ComponentOutcomes(alt);
+    // Cartesian product over component outcomes (key attributes only; key
+    // attribute counts are small by construction).
+    std::vector<size_t> pos(outcomes.size(), 0);
+    while (true) {
+      std::vector<std::string> texts;
+      texts.reserve(outcomes.size());
+      double p = alt_probs[a];
+      for (size_t i = 0; i < outcomes.size(); ++i) {
+        texts.push_back(outcomes[i][pos[i]].first);
+        p *= outcomes[i][pos[i]].second;
+      }
+      add(spec_.KeyFromTexts(texts), p);
+      size_t i = outcomes.size();
+      bool done = true;
+      while (i > 0) {
+        --i;
+        if (++pos[i] < outcomes[i].size()) {
+          done = false;
+          break;
+        }
+        pos[i] = 0;
+      }
+      if (done) break;
+    }
+  }
+  KeyDistribution dist;
+  dist.entries.reserve(order.size());
+  for (const std::string& key : order) {
+    dist.entries.emplace_back(key, mass[key]);
+  }
+  return dist;
+}
+
+}  // namespace pdd

@@ -1,0 +1,85 @@
+// Key creation for probabilistic tuples (Section V-A): certain keys via
+// conflict resolution, per-alternative keys, per-world keys, and full
+// probabilistic key distributions (Fig. 13).
+
+#ifndef PDD_KEYS_KEY_BUILDER_H_
+#define PDD_KEYS_KEY_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "fusion/conflict_resolution.h"
+#include "keys/key_spec.h"
+#include "pdb/possible_worlds.h"
+#include "pdb/xrelation.h"
+
+namespace pdd {
+
+/// A probabilistic key value: distribution over key strings. Entries keep
+/// raw (unconditioned) alternative probabilities as in Fig. 13, where
+/// t32's key values carry 0.3/0.2/0.4 — not renormalized by p(t)=0.9.
+struct KeyDistribution {
+  std::vector<std::pair<std::string, double>> entries;
+
+  /// Total probability mass (< 1 for maybe x-tuples).
+  double TotalMass() const;
+  /// The highest-probability key (ties toward the earlier entry).
+  std::string MostProbableKey() const;
+};
+
+/// Builds keys for the x-tuples of one x-relation under a key spec.
+class KeyBuilder {
+ public:
+  /// `schema` must outlive the builder.
+  KeyBuilder(KeySpec spec, const Schema* schema)
+      : spec_(std::move(spec)), schema_(schema) {}
+
+  /// Key of one alternative tuple. Values that are themselves uncertain
+  /// are collapsed with `strategy` (the default matches the paper:
+  /// most probable). Pattern values contribute their literal prefix
+  /// ('mu*' with prefix length 2 yields "mu", as in Fig. 9/13).
+  std::string KeyForAlternative(const AltTuple& alt,
+                                ConflictStrategy strategy =
+                                    ConflictStrategy::kMostProbable) const;
+
+  /// Certain key for an entire x-tuple via conflict resolution
+  /// (Section V-A.2): picks one alternative with `strategy`, then
+  /// collapses any value-level uncertainty with the same strategy.
+  std::string CertainKey(const XTuple& xtuple,
+                         ConflictStrategy strategy =
+                             ConflictStrategy::kMostProbable) const;
+
+  /// One key per alternative (Section V-A.3, Fig. 11). Consecutive equal
+  /// keys of the same x-tuple are collapsed; remaining duplicates are kept
+  /// so callers can demonstrate the omission step themselves.
+  std::vector<std::string> AlternativeKeys(const XTuple& xtuple) const;
+
+  /// Keys of every x-tuple under one possible world (Section V-A.1):
+  /// the world fixes each x-tuple's alternative; value-level uncertainty
+  /// inside the chosen alternative is collapsed most-probably. Absent
+  /// tuples yield no entry.
+  std::vector<std::pair<size_t, std::string>> KeysForWorld(
+      const World& world, const XRelation& rel) const;
+
+  /// Full probabilistic key value (Section V-A.4, Fig. 13): expands the
+  /// x-tuple's alternatives and any value-level uncertainty inside the
+  /// key attributes; equal key strings are merged. Probabilities are raw
+  /// alternative masses (set `conditioned` to renormalize by p(t)).
+  KeyDistribution DistributionFor(const XTuple& xtuple,
+                                  bool conditioned = false) const;
+
+  const KeySpec& spec() const { return spec_; }
+
+ private:
+  /// Per-component (text, probability) outcomes of one alternative tuple,
+  /// including a ⊥ outcome rendered as "".
+  std::vector<std::vector<std::pair<std::string, double>>> ComponentOutcomes(
+      const AltTuple& alt) const;
+
+  KeySpec spec_;
+  const Schema* schema_;
+};
+
+}  // namespace pdd
+
+#endif  // PDD_KEYS_KEY_BUILDER_H_

@@ -1,0 +1,45 @@
+#include "keys/key_spec.h"
+
+#include "util/string_util.h"
+
+namespace pdd {
+
+Result<KeySpec> KeySpec::Make(std::vector<KeyComponent> components,
+                              const Schema& schema) {
+  if (components.empty()) {
+    return Status::InvalidArgument("key spec needs at least one component");
+  }
+  for (const KeyComponent& c : components) {
+    if (c.attribute >= schema.arity()) {
+      return Status::InvalidArgument(
+          "key component references attribute index " +
+          std::to_string(c.attribute) + " beyond schema arity " +
+          std::to_string(schema.arity()));
+    }
+  }
+  return KeySpec(std::move(components));
+}
+
+Result<KeySpec> KeySpec::FromNames(
+    const std::vector<std::pair<std::string, size_t>>& name_prefixes,
+    const Schema& schema) {
+  std::vector<KeyComponent> components;
+  components.reserve(name_prefixes.size());
+  for (const auto& [name, prefix] : name_prefixes) {
+    PDD_ASSIGN_OR_RETURN(size_t index, schema.IndexOf(name));
+    components.push_back({index, prefix});
+  }
+  return Make(std::move(components), schema);
+}
+
+std::string KeySpec::KeyFromTexts(const std::vector<std::string>& texts) const {
+  std::string key;
+  for (size_t i = 0; i < components_.size(); ++i) {
+    const std::string& text = texts[i];
+    size_t n = components_[i].prefix_length;
+    key += n == 0 ? text : std::string(Prefix(text, n));
+  }
+  return key;
+}
+
+}  // namespace pdd

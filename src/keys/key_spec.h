@@ -1,0 +1,55 @@
+// Sorting/blocking key specifications (Section V): a key concatenates
+// character prefixes of selected attributes. The paper's running example
+// uses the first three characters of name plus the first two of job
+// ("Johpi" for (John, pilot)); ⊥ values contribute nothing ("Joh" for
+// (John, ⊥)).
+
+#ifndef PDD_KEYS_KEY_SPEC_H_
+#define PDD_KEYS_KEY_SPEC_H_
+
+#include <string>
+#include <vector>
+
+#include "pdb/schema.h"
+#include "util/status.h"
+
+namespace pdd {
+
+/// One component of a key: a character prefix of an attribute's value.
+struct KeyComponent {
+  /// Attribute index in the schema.
+  size_t attribute = 0;
+  /// Number of leading characters used; 0 means the whole value.
+  size_t prefix_length = 0;
+};
+
+/// An ordered list of key components.
+class KeySpec {
+ public:
+  KeySpec() = default;
+  explicit KeySpec(std::vector<KeyComponent> components)
+      : components_(std::move(components)) {}
+
+  /// Validated construction against a schema (attribute indices in range,
+  /// at least one component).
+  static Result<KeySpec> Make(std::vector<KeyComponent> components,
+                              const Schema& schema);
+
+  /// Convenience: resolves attribute names against the schema.
+  static Result<KeySpec> FromNames(
+      const std::vector<std::pair<std::string, size_t>>& name_prefixes,
+      const Schema& schema);
+
+  /// The components in concatenation order.
+  const std::vector<KeyComponent>& components() const { return components_; }
+
+  /// Builds the key from one certain text per component (empty text = ⊥).
+  std::string KeyFromTexts(const std::vector<std::string>& texts) const;
+
+ private:
+  std::vector<KeyComponent> components_;
+};
+
+}  // namespace pdd
+
+#endif  // PDD_KEYS_KEY_SPEC_H_

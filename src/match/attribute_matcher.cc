@@ -1,0 +1,35 @@
+#include "match/attribute_matcher.h"
+
+#include <optional>
+
+namespace pdd {
+
+double OutcomeSimilarity(const std::optional<std::string_view>& a,
+                         const std::optional<std::string_view>& b,
+                         const Comparator& cmp) {
+  if (!a.has_value() && !b.has_value()) return 1.0;  // sim(⊥,⊥) = 1
+  if (!a.has_value() || !b.has_value()) return 0.0;  // sim(a,⊥) = 0
+  return cmp.Compare(*a, *b);
+}
+
+double ExpectedSimilarity(const Value& a, const Value& b,
+                          const Comparator& cmp) {
+  double total = 0.0;
+  // Cross product of explicit alternatives.
+  for (const Alternative& da : a.alternatives()) {
+    for (const Alternative& db : b.alternatives()) {
+      total += da.prob * db.prob * cmp.Compare(da.text, db.text);
+    }
+  }
+  // ⊥ outcomes: only the (⊥,⊥) cell contributes (similarity 1);
+  // mixed cells have similarity 0.
+  total += a.null_probability() * b.null_probability();
+  return total;
+}
+
+double EqualityProbability(const Value& a, const Value& b) {
+  static const ExactComparator exact;
+  return ExpectedSimilarity(a, b, exact);
+}
+
+}  // namespace pdd

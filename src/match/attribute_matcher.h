@@ -1,0 +1,42 @@
+// Attribute value matching for probabilistic values (Section IV-A).
+//
+// Implements the paper's Eq. 4 (error-free data: probability of equality)
+// and Eq. 5 (erroneous data: expected similarity under a base comparison
+// function), with the non-existence semantics
+//   sim(⊥,⊥) = 1,   sim(a,⊥) = sim(⊥,a) = 0  (a ≠ ⊥).
+
+#ifndef PDD_MATCH_ATTRIBUTE_MATCHER_H_
+#define PDD_MATCH_ATTRIBUTE_MATCHER_H_
+
+#include <optional>
+#include <string_view>
+
+#include "pdb/value.h"
+#include "sim/comparator.h"
+
+namespace pdd {
+
+/// Eq. 5: expected similarity of two probabilistic values under `cmp`:
+///   sim(a1,a2) = Σ_{d1} Σ_{d2} P(a1=d1)·P(a2=d2)·sim(d1,d2)
+/// including the ⊥ outcomes with the semantics above. Pattern
+/// alternatives must be expanded beforehand (see Value::Expanded);
+/// unexpanded patterns are treated as their literal prefix text.
+///
+/// Reproduces the paper's worked example: with normalized Hamming,
+/// sim(t11.name, t22.name) = 0.9 and sim(t11.job, t22.job) = 0.59.
+double ExpectedSimilarity(const Value& a, const Value& b,
+                          const Comparator& cmp);
+
+/// Eq. 4: probability that both values are equal (error-free data).
+/// Equivalent to ExpectedSimilarity with the exact comparator.
+double EqualityProbability(const Value& a, const Value& b);
+
+/// The ⊥-aware similarity of two *certain* outcomes, where the empty
+/// optional denotes ⊥: sim(⊥,⊥)=1, sim(a,⊥)=0, else cmp.
+double OutcomeSimilarity(const std::optional<std::string_view>& a,
+                         const std::optional<std::string_view>& b,
+                         const Comparator& cmp);
+
+}  // namespace pdd
+
+#endif  // PDD_MATCH_ATTRIBUTE_MATCHER_H_

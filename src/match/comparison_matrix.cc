@@ -1,0 +1,21 @@
+#include "match/comparison_matrix.h"
+
+namespace pdd {
+
+std::string ComparisonMatrix::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t j = 0; j < cols_; ++j) {
+      out += "(";
+      out += std::to_string(i + 1);
+      out += ",";
+      out += std::to_string(j + 1);
+      out += "): ";
+      out += at(i, j).ToString();
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace pdd

@@ -1,0 +1,46 @@
+// Comparison matrices for x-tuple pairs (Section IV-B, Fig. 6 input):
+// for x-tuples with k and l alternatives, a k×l grid of comparison vectors.
+
+#ifndef PDD_MATCH_COMPARISON_MATRIX_H_
+#define PDD_MATCH_COMPARISON_MATRIX_H_
+
+#include <string>
+#include <vector>
+
+#include "match/comparison_vector.h"
+
+namespace pdd {
+
+/// A k×l matrix of comparison vectors, one per alternative tuple pair.
+class ComparisonMatrix {
+ public:
+  ComparisonMatrix() = default;
+
+  /// Constructs a k×l matrix of empty vectors.
+  ComparisonMatrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), cells_(rows * cols) {}
+
+  /// Number of alternatives of the first x-tuple (k).
+  size_t rows() const { return rows_; }
+
+  /// Number of alternatives of the second x-tuple (l).
+  size_t cols() const { return cols_; }
+
+  /// The comparison vector of alternative pair (i, j).
+  const ComparisonVector& at(size_t i, size_t j) const {
+    return cells_[i * cols_ + j];
+  }
+  ComparisonVector& at(size_t i, size_t j) { return cells_[i * cols_ + j]; }
+
+  /// Multi-line rendering for diagnostics.
+  std::string ToString() const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<ComparisonVector> cells_;
+};
+
+}  // namespace pdd
+
+#endif  // PDD_MATCH_COMPARISON_MATRIX_H_

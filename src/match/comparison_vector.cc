@@ -1,0 +1,29 @@
+#include "match/comparison_vector.h"
+
+#include "pdb/value.h"
+#include "util/string_util.h"
+
+namespace pdd {
+
+Status ComparisonVector::Validate() const {
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (values_[i] < -kProbEpsilon || values_[i] > 1.0 + kProbEpsilon) {
+      return Status::OutOfRange("comparison vector component " +
+                                std::to_string(i) + " = " +
+                                FormatDouble(values_[i]) +
+                                " outside [0, 1]");
+    }
+  }
+  return Status::OK();
+}
+
+std::string ComparisonVector::ToString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += FormatDouble(values_[i], 4);
+  }
+  return out + "]";
+}
+
+}  // namespace pdd

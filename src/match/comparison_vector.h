@@ -1,0 +1,44 @@
+// Comparison vectors c⃗ = [c1, ..., cn] (Section III-C): one normalized
+// similarity per attribute of a tuple pair.
+
+#ifndef PDD_MATCH_COMPARISON_VECTOR_H_
+#define PDD_MATCH_COMPARISON_VECTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace pdd {
+
+/// The per-attribute similarity vector of one tuple pair.
+class ComparisonVector {
+ public:
+  ComparisonVector() = default;
+
+  /// Constructs from per-attribute similarities (each expected in [0, 1]).
+  explicit ComparisonVector(std::vector<double> values)
+      : values_(std::move(values)) {}
+
+  /// Number of attributes.
+  size_t size() const { return values_.size(); }
+
+  /// Similarity of attribute `i`.
+  double operator[](size_t i) const { return values_[i]; }
+
+  /// All similarities, attribute order.
+  const std::vector<double>& values() const { return values_; }
+
+  /// Verifies every component lies in [0, 1].
+  Status Validate() const;
+
+  /// "[0.9, 0.59]" rendering.
+  std::string ToString() const;
+
+ private:
+  std::vector<double> values_;
+};
+
+}  // namespace pdd
+
+#endif  // PDD_MATCH_COMPARISON_VECTOR_H_

@@ -1,0 +1,65 @@
+#include "match/tuple_matcher.h"
+
+#include <cassert>
+
+namespace pdd {
+
+TupleMatcher::TupleMatcher(Schema schema,
+                           std::vector<const Comparator*> comparators)
+    : schema_(std::move(schema)), comparators_(std::move(comparators)) {
+  assert(comparators_.size() == schema_.arity());
+}
+
+Result<TupleMatcher> TupleMatcher::Make(
+    Schema schema, std::vector<const Comparator*> comparators) {
+  if (comparators.size() != schema.arity()) {
+    return Status::InvalidArgument(
+        "comparator count " + std::to_string(comparators.size()) +
+        " does not match schema arity " + std::to_string(schema.arity()));
+  }
+  for (const Comparator* cmp : comparators) {
+    if (cmp == nullptr) {
+      return Status::InvalidArgument("null comparator");
+    }
+  }
+  return TupleMatcher(std::move(schema), std::move(comparators));
+}
+
+double TupleMatcher::MatchAttribute(size_t attr, const Value& a,
+                                    const Value& b) const {
+  const std::vector<std::string>& vocab = schema_.attribute(attr).vocabulary;
+  const Value& ea = a.has_pattern() ? a.Expanded(vocab) : a;
+  const Value& eb = b.has_pattern() ? b.Expanded(vocab) : b;
+  return ExpectedSimilarity(ea, eb, *comparators_[attr]);
+}
+
+ComparisonVector TupleMatcher::Compare(const Tuple& a, const Tuple& b) const {
+  std::vector<double> c(schema_.arity());
+  for (size_t i = 0; i < schema_.arity(); ++i) {
+    c[i] = MatchAttribute(i, a.value(i), b.value(i));
+  }
+  return ComparisonVector(std::move(c));
+}
+
+ComparisonVector TupleMatcher::CompareAlternatives(const AltTuple& a,
+                                                   const AltTuple& b) const {
+  std::vector<double> c(schema_.arity());
+  for (size_t i = 0; i < schema_.arity(); ++i) {
+    c[i] = MatchAttribute(i, a.values[i], b.values[i]);
+  }
+  return ComparisonVector(std::move(c));
+}
+
+ComparisonMatrix TupleMatcher::CompareXTuples(const XTuple& a,
+                                              const XTuple& b) const {
+  ComparisonMatrix matrix(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t j = 0; j < b.size(); ++j) {
+      matrix.at(i, j) = CompareAlternatives(a.alternative(i),
+                                            b.alternative(j));
+    }
+  }
+  return matrix;
+}
+
+}  // namespace pdd

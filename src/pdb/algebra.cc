@@ -1,0 +1,118 @@
+#include "pdb/algebra.h"
+
+namespace pdd {
+
+XRelation Select(const XRelation& rel, const AlternativePredicate& predicate,
+                 std::string result_name) {
+  XRelation out(result_name.empty() ? rel.name() + "_sel" : result_name,
+                rel.schema());
+  for (const XTuple& t : rel.xtuples()) {
+    std::vector<AltTuple> kept;
+    for (const AltTuple& alt : t.alternatives()) {
+      if (predicate(alt)) kept.push_back(alt);
+    }
+    if (!kept.empty()) {
+      out.AppendUnchecked(XTuple(t.id(), std::move(kept)));
+    }
+  }
+  return out;
+}
+
+Result<XRelation> SelectWhereExists(const XRelation& rel,
+                                    std::string_view attribute,
+                                    std::string result_name) {
+  PDD_ASSIGN_OR_RETURN(size_t index, rel.schema().IndexOf(attribute));
+  XRelation out(result_name.empty() ? rel.name() + "_exists" : result_name,
+                rel.schema());
+  for (const XTuple& t : rel.xtuples()) {
+    std::vector<AltTuple> kept;
+    for (const AltTuple& alt : t.alternatives()) {
+      const Value& v = alt.values[index];
+      double exists = v.existence_probability();
+      if (exists <= kProbEpsilon) continue;  // certainly ⊥ in this branch
+      AltTuple copy = alt;
+      if (v.null_probability() > kProbEpsilon) {
+        // Split the value's worlds: keep only the existing outcomes,
+        // conditioned to a full distribution, and scale the alternative
+        // by the existence share.
+        std::vector<Alternative> existing = v.alternatives();
+        for (Alternative& a : existing) a.prob /= exists;
+        copy.values[index] = Value::Unchecked(std::move(existing));
+        copy.prob = alt.prob * exists;
+      }
+      kept.push_back(std::move(copy));
+    }
+    if (!kept.empty()) {
+      out.AppendUnchecked(XTuple(t.id(), std::move(kept)));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+bool SameValues(const AltTuple& a, const AltTuple& b) {
+  if (a.values.size() != b.values.size()) return false;
+  for (size_t i = 0; i < a.values.size(); ++i) {
+    if (!(a.values[i] == b.values[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<XRelation> Project(const XRelation& rel,
+                          const std::vector<size_t>& attributes,
+                          std::string result_name) {
+  if (attributes.empty()) {
+    return Status::InvalidArgument("projection needs at least one attribute");
+  }
+  std::vector<AttributeDef> defs;
+  for (size_t idx : attributes) {
+    if (idx >= rel.schema().arity()) {
+      return Status::InvalidArgument("projection index " +
+                                     std::to_string(idx) +
+                                     " beyond schema arity");
+    }
+    defs.push_back(rel.schema().attribute(idx));
+  }
+  PDD_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(defs)));
+  XRelation out(result_name.empty() ? rel.name() + "_proj" : result_name,
+                schema);
+  for (const XTuple& t : rel.xtuples()) {
+    std::vector<AltTuple> projected;
+    for (const AltTuple& alt : t.alternatives()) {
+      AltTuple narrowed;
+      narrowed.prob = alt.prob;
+      for (size_t idx : attributes) {
+        narrowed.values.push_back(alt.values[idx]);
+      }
+      // Merge with an existing identical alternative.
+      bool merged = false;
+      for (AltTuple& existing : projected) {
+        if (SameValues(existing, narrowed)) {
+          existing.prob += narrowed.prob;
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) projected.push_back(std::move(narrowed));
+    }
+    out.AppendUnchecked(XTuple(t.id(), std::move(projected)));
+  }
+  return out;
+}
+
+Result<XRelation> ProjectByName(const XRelation& rel,
+                                const std::vector<std::string>& names,
+                                std::string result_name) {
+  std::vector<size_t> indices;
+  indices.reserve(names.size());
+  for (const std::string& name : names) {
+    PDD_ASSIGN_OR_RETURN(size_t idx, rel.schema().IndexOf(name));
+    indices.push_back(idx);
+  }
+  return Project(rel, indices, std::move(result_name));
+}
+
+}  // namespace pdd

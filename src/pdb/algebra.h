@@ -1,0 +1,57 @@
+// Probabilistic relational algebra over x-relations: selection and
+// projection with possible-world semantics.
+//
+// Selection is where the paper's Section IV membership example comes
+// from: a person who is jobless with confidence 90 % belongs to the
+// "people having a job" relation with p(t) = 0.1 — selecting on a
+// probabilistic predicate prunes alternatives and shrinks the existence
+// probability, producing maybe x-tuples from certain ones. Tuple
+// membership probabilities "result from the application context".
+
+#ifndef PDD_PDB_ALGEBRA_H_
+#define PDD_PDB_ALGEBRA_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "pdb/xrelation.h"
+#include "util/status.h"
+
+namespace pdd {
+
+/// Predicate over one alternative tuple (certain within a world).
+using AlternativePredicate = std::function<bool(const AltTuple&)>;
+
+/// Selection σ: keeps, within every x-tuple, exactly the alternatives
+/// satisfying the predicate. Alternative probabilities are preserved
+/// (not renormalized), so the x-tuple's existence probability drops by
+/// the discarded mass — the possible-world semantics of filtering.
+/// X-tuples losing every alternative disappear.
+XRelation Select(const XRelation& rel, const AlternativePredicate& predicate,
+                 std::string result_name = "");
+
+/// Convenience selection: the named attribute exists (is not ⊥) in the
+/// world. Values with partial ⊥ mass split their mass: the alternative
+/// is replaced by one carrying only the existing outcomes, scaled by the
+/// existence share (per-value worlds are integrated out).
+Result<XRelation> SelectWhereExists(const XRelation& rel,
+                                    std::string_view attribute,
+                                    std::string result_name = "");
+
+/// Projection π: keeps the given attributes (by index, in the given
+/// order). Alternatives of an x-tuple that become value-wise identical
+/// merge, their probabilities summing — projection can reduce
+/// tuple-level uncertainty.
+Result<XRelation> Project(const XRelation& rel,
+                          const std::vector<size_t>& attributes,
+                          std::string result_name = "");
+
+/// Projection by attribute names.
+Result<XRelation> ProjectByName(const XRelation& rel,
+                                const std::vector<std::string>& names,
+                                std::string result_name = "");
+
+}  // namespace pdd
+
+#endif  // PDD_PDB_ALGEBRA_H_

@@ -1,0 +1,38 @@
+#include "pdb/conditioning.h"
+
+namespace pdd {
+
+ConditionedWorlds ConditionOnAllPresent(const std::vector<World>& worlds) {
+  ConditionedWorlds out;
+  for (const World& w : worlds) {
+    if (w.AllPresent()) {
+      out.worlds.push_back(w);
+      out.event_probability += w.probability;
+    }
+  }
+  if (out.event_probability > 0.0) {
+    for (World& w : out.worlds) w.probability /= out.event_probability;
+  }
+  return out;
+}
+
+XTuple ConditionXTuple(const XTuple& xtuple) {
+  std::vector<double> conditioned = xtuple.ConditionedProbabilities();
+  std::vector<AltTuple> alts = xtuple.alternatives();
+  for (size_t i = 0; i < alts.size(); ++i) alts[i].prob = conditioned[i];
+  return XTuple(xtuple.id(), std::move(alts));
+}
+
+XRelation ConditionXRelation(const XRelation& rel) {
+  XRelation out(rel.name(), rel.schema());
+  for (const XTuple& t : rel.xtuples()) {
+    out.AppendUnchecked(ConditionXTuple(t));
+  }
+  return out;
+}
+
+double PairExistenceProbability(const XTuple& t1, const XTuple& t2) {
+  return t1.existence_probability() * t2.existence_probability();
+}
+
+}  // namespace pdd

@@ -1,0 +1,43 @@
+// Conditioning of probabilistic data on the existence event B
+// (Koch & Olteanu [32]; the paper's "scaling"/normalization step).
+//
+// Duplicate detection compares two tuples under the assumption that both
+// belong to their relations; all probabilities are therefore renormalized
+// by the existence probabilities (Section IV-B, Fig. 7).
+
+#ifndef PDD_PDB_CONDITIONING_H_
+#define PDD_PDB_CONDITIONING_H_
+
+#include <vector>
+
+#include "pdb/possible_worlds.h"
+#include "pdb/xrelation.h"
+
+namespace pdd {
+
+/// Result of conditioning a set of worlds on "all tuples present".
+struct ConditionedWorlds {
+  /// Surviving worlds with renormalized probabilities (sum to 1).
+  std::vector<World> worlds;
+  /// P(B): total unconditioned mass of the surviving worlds.
+  double event_probability = 0.0;
+};
+
+/// Removes worlds with absent tuples and renormalizes the rest by P(B)
+/// (Fig. 7: worlds I4..I8 are removed; I1..I3 divide by P(B)=0.72).
+ConditionedWorlds ConditionOnAllPresent(const std::vector<World>& worlds);
+
+/// Returns an x-tuple whose alternative probabilities are conditioned on
+/// existence: p(t_i)/p(t). The result's existence probability is 1.
+XTuple ConditionXTuple(const XTuple& xtuple);
+
+/// Conditions every x-tuple of a relation on existence.
+XRelation ConditionXRelation(const XRelation& rel);
+
+/// P(B) for a pair of x-tuples: p(t1) * p(t2) (independence across
+/// x-tuples; the paper computes 0.9 * 0.8 = 0.72 for (t32, t42)).
+double PairExistenceProbability(const XTuple& t1, const XTuple& t2);
+
+}  // namespace pdd
+
+#endif  // PDD_PDB_CONDITIONING_H_

@@ -1,0 +1,117 @@
+#include "pdb/lineage.h"
+
+#include <algorithm>
+
+namespace pdd {
+
+std::string LineageAtom::ToString() const {
+  return tuple_id + "/" + std::to_string(alternative + 1);
+}
+
+Lineage Lineage::True() { return Lineage(); }
+
+Lineage Lineage::Atom(std::string tuple_id, size_t alternative) {
+  Lineage l;
+  l.kind_ = Kind::kAtom;
+  l.atom_ = {std::move(tuple_id), alternative};
+  return l;
+}
+
+Lineage Lineage::And(Lineage a, Lineage b) {
+  if (a.is_true()) return b;
+  if (b.is_true()) return a;
+  Lineage l;
+  l.kind_ = Kind::kAnd;
+  l.left_ = std::make_shared<const Lineage>(std::move(a));
+  l.right_ = std::make_shared<const Lineage>(std::move(b));
+  return l;
+}
+
+Lineage Lineage::Or(Lineage a, Lineage b) {
+  Lineage l;
+  l.kind_ = Kind::kOr;
+  l.left_ = std::make_shared<const Lineage>(std::move(a));
+  l.right_ = std::make_shared<const Lineage>(std::move(b));
+  return l;
+}
+
+Lineage Lineage::Not(Lineage a) {
+  Lineage l;
+  l.kind_ = Kind::kNot;
+  l.left_ = std::make_shared<const Lineage>(std::move(a));
+  return l;
+}
+
+bool Lineage::Evaluate(
+    const std::vector<std::pair<std::string, size_t>>& chosen) const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return true;
+    case Kind::kAtom: {
+      for (const auto& [id, alternative] : chosen) {
+        if (id == atom_.tuple_id) return alternative == atom_.alternative;
+      }
+      return false;  // base tuple absent
+    }
+    case Kind::kAnd:
+      return left_->Evaluate(chosen) && right_->Evaluate(chosen);
+    case Kind::kOr:
+      return left_->Evaluate(chosen) || right_->Evaluate(chosen);
+    case Kind::kNot:
+      return !left_->Evaluate(chosen);
+  }
+  return false;
+}
+
+std::vector<std::string> Lineage::ReferencedTuples() const {
+  std::vector<std::string> out;
+  CollectInto(&out);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void Lineage::CollectInto(std::vector<std::string>* out) const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return;
+    case Kind::kAtom:
+      out->push_back(atom_.tuple_id);
+      return;
+    case Kind::kAnd:
+    case Kind::kOr:
+      left_->CollectInto(out);
+      right_->CollectInto(out);
+      return;
+    case Kind::kNot:
+      left_->CollectInto(out);
+      return;
+  }
+}
+
+std::string Lineage::ToString() const {
+  // Append-style concatenation (also sidesteps GCC 12's -Wrestrict
+  // false positive on operator+ chains, bug 105329).
+  std::string out;
+  switch (kind_) {
+    case Kind::kTrue:
+      return "true";
+    case Kind::kAtom:
+      return atom_.ToString();
+    case Kind::kAnd:
+    case Kind::kOr:
+      out += "(";
+      out += left_->ToString();
+      out += kind_ == Kind::kAnd ? " ∧ " : " ∨ ";
+      out += right_->ToString();
+      out += ")";
+      return out;
+    case Kind::kNot:
+      out += "¬";
+      out += left_->ToString();
+      return out;
+  }
+  return "?";
+}
+
+}  // namespace pdd

@@ -1,0 +1,71 @@
+// ULDB-style lineage (Benjelloun et al. [29]; the paper's Section VI):
+// boolean derivations over base alternative symbols. Lineage lets a
+// probabilistic result relation express dependencies between x-tuple
+// sets — e.g. "this merged tuple exists exactly in the worlds where t32
+// and t42 were declared duplicates".
+
+#ifndef PDD_PDB_LINEAGE_H_
+#define PDD_PDB_LINEAGE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pdd {
+
+/// A base symbol: one alternative of one base x-tuple, written
+/// "tuple/alternative" ("t32/1").
+struct LineageAtom {
+  std::string tuple_id;
+  size_t alternative = 0;
+
+  bool operator==(const LineageAtom& other) const = default;
+  std::string ToString() const;
+};
+
+/// A boolean lineage expression over base alternative symbols.
+class Lineage {
+ public:
+  /// The constant-true lineage (base tuples have it).
+  static Lineage True();
+
+  /// A single base symbol.
+  static Lineage Atom(std::string tuple_id, size_t alternative);
+
+  /// Conjunction / disjunction / negation.
+  static Lineage And(Lineage a, Lineage b);
+  static Lineage Or(Lineage a, Lineage b);
+  static Lineage Not(Lineage a);
+
+  /// Evaluates the expression given the chosen alternative per base
+  /// tuple id (absent id = tuple absent; any referenced atom of an
+  /// absent tuple is false).
+  bool Evaluate(
+      const std::vector<std::pair<std::string, size_t>>& chosen) const;
+
+  /// Collects the distinct tuple ids the expression references.
+  std::vector<std::string> ReferencedTuples() const;
+
+  /// Infix rendering, e.g. "(t32/1 ∧ t42/1)".
+  std::string ToString() const;
+
+  /// True iff this is the constant-true lineage.
+  bool is_true() const { return kind_ == Kind::kTrue; }
+
+ private:
+  enum class Kind { kTrue, kAtom, kAnd, kOr, kNot };
+
+  Lineage() = default;
+
+  /// Appends referenced tuple ids (with duplicates) to `out`.
+  void CollectInto(std::vector<std::string>* out) const;
+
+  Kind kind_ = Kind::kTrue;
+  LineageAtom atom_;
+  std::shared_ptr<const Lineage> left_;
+  std::shared_ptr<const Lineage> right_;
+};
+
+}  // namespace pdd
+
+#endif  // PDD_PDB_LINEAGE_H_

@@ -1,0 +1,211 @@
+#include "pdb/possible_worlds.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <queue>
+
+#include "util/string_util.h"
+
+namespace pdd {
+
+bool World::AllPresent() const {
+  return std::none_of(choice.begin(), choice.end(),
+                      [](int c) { return c == kAbsent; });
+}
+
+namespace {
+
+// Per-x-tuple options: (alternative index or kAbsent, probability),
+// restricted to positive-probability options.
+struct TupleOptions {
+  std::vector<std::pair<int, double>> options;
+};
+
+std::vector<TupleOptions> BuildOptions(const XRelation& rel,
+                                       bool all_present_only,
+                                       bool sort_descending) {
+  std::vector<TupleOptions> out(rel.size());
+  for (size_t i = 0; i < rel.size(); ++i) {
+    const XTuple& t = rel.xtuple(i);
+    for (size_t a = 0; a < t.size(); ++a) {
+      out[i].options.emplace_back(static_cast<int>(a), t.alternative(a).prob);
+    }
+    double absent = 1.0 - t.existence_probability();
+    if (!all_present_only && absent > kProbEpsilon) {
+      out[i].options.emplace_back(kAbsent, absent);
+    }
+    if (sort_descending) {
+      std::stable_sort(out[i].options.begin(), out[i].options.end(),
+                       [](const auto& x, const auto& y) {
+                         return x.second > y.second;
+                       });
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<World>> EnumerateWorlds(const XRelation& rel,
+                                           const EnumerateOptions& options) {
+  std::vector<TupleOptions> opts =
+      BuildOptions(rel, options.all_present_only, /*sort_descending=*/false);
+  // Overflow-safe world count check.
+  size_t count = 1;
+  for (const TupleOptions& to : opts) {
+    if (to.options.empty()) return std::vector<World>{};  // impossible event
+    if (count > options.max_worlds / to.options.size() &&
+        count * to.options.size() > options.max_worlds) {
+      return Status::ResourceExhausted(
+          "world count exceeds max_worlds=" +
+          std::to_string(options.max_worlds));
+    }
+    count *= to.options.size();
+  }
+  std::vector<World> worlds;
+  worlds.reserve(count);
+  World current;
+  current.choice.assign(rel.size(), 0);
+  current.probability = 1.0;
+  // Iterative odometer over the choice lattice.
+  std::vector<size_t> pos(rel.size(), 0);
+  while (true) {
+    World w;
+    w.choice.resize(rel.size());
+    w.probability = 1.0;
+    for (size_t i = 0; i < rel.size(); ++i) {
+      w.choice[i] = opts[i].options[pos[i]].first;
+      w.probability *= opts[i].options[pos[i]].second;
+    }
+    worlds.push_back(std::move(w));
+    // Advance odometer (last tuple fastest).
+    size_t i = rel.size();
+    while (i > 0) {
+      --i;
+      if (++pos[i] < opts[i].options.size()) break;
+      pos[i] = 0;
+      if (i == 0) return worlds;
+    }
+    if (rel.size() == 0) return worlds;  // single empty world emitted
+  }
+}
+
+size_t CountWorlds(const XRelation& rel) {
+  size_t count = 1;
+  for (const XTuple& t : rel.xtuples()) {
+    size_t n = t.size() + (t.is_maybe() ? 1 : 0);
+    if (n != 0 && count > std::numeric_limits<size_t>::max() / n) {
+      return std::numeric_limits<size_t>::max();
+    }
+    count *= n;
+  }
+  return count;
+}
+
+std::vector<World> TopKWorlds(const XRelation& rel, size_t k,
+                              bool all_present_only) {
+  std::vector<World> out;
+  if (k == 0 || rel.size() == 0) {
+    if (k > 0 && rel.size() == 0) out.push_back({{}, 1.0});
+    return out;
+  }
+  std::vector<TupleOptions> opts =
+      BuildOptions(rel, all_present_only, /*sort_descending=*/true);
+  for (const TupleOptions& to : opts) {
+    if (to.options.empty()) return out;  // impossible event
+  }
+  // Best-first search over rank vectors. State: per-tuple rank into the
+  // descending option list. Children advance one coordinate; to avoid
+  // revisiting states, a child may only advance coordinates >= the parent's
+  // last advanced coordinate (classic k-best for independent factors).
+  struct State {
+    std::vector<uint32_t> rank;
+    double prob;
+    size_t last;  // last advanced coordinate
+    bool operator<(const State& other) const { return prob < other.prob; }
+  };
+  std::priority_queue<State> heap;
+  State root;
+  root.rank.assign(rel.size(), 0);
+  root.prob = 1.0;
+  for (size_t i = 0; i < rel.size(); ++i) root.prob *= opts[i].options[0].second;
+  root.last = 0;
+  heap.push(root);
+  while (!heap.empty() && out.size() < k) {
+    State s = heap.top();
+    heap.pop();
+    World w;
+    w.choice.resize(rel.size());
+    w.probability = s.prob;
+    for (size_t i = 0; i < rel.size(); ++i) {
+      w.choice[i] = opts[i].options[s.rank[i]].first;
+    }
+    out.push_back(std::move(w));
+    for (size_t i = s.last; i < rel.size(); ++i) {
+      if (s.rank[i] + 1 < opts[i].options.size()) {
+        State child = s;
+        child.rank[i] += 1;
+        child.prob = s.prob / opts[i].options[s.rank[i]].second *
+                     opts[i].options[child.rank[i]].second;
+        child.last = i;
+        heap.push(child);
+      }
+    }
+  }
+  return out;
+}
+
+World SampleWorld(const XRelation& rel, Rng* rng) {
+  World w;
+  w.choice.resize(rel.size());
+  w.probability = 1.0;
+  for (size_t i = 0; i < rel.size(); ++i) {
+    const XTuple& t = rel.xtuple(i);
+    std::vector<double> weights;
+    weights.reserve(t.size() + 1);
+    for (const AltTuple& alt : t.alternatives()) weights.push_back(alt.prob);
+    double absent = 1.0 - t.existence_probability();
+    if (absent > kProbEpsilon) weights.push_back(absent);
+    size_t pick = rng->Discrete(weights);
+    if (pick < t.size()) {
+      w.choice[i] = static_cast<int>(pick);
+      w.probability *= t.alternative(pick).prob;
+    } else {
+      w.choice[i] = kAbsent;
+      w.probability *= absent;
+    }
+  }
+  return w;
+}
+
+World MostProbableWorld(const XRelation& rel, bool all_present_only) {
+  std::vector<World> top = TopKWorlds(rel, 1, all_present_only);
+  if (top.empty()) return World{std::vector<int>(rel.size(), kAbsent), 0.0};
+  return top[0];
+}
+
+std::vector<std::pair<size_t, size_t>> WorldTuples(const World& world) {
+  std::vector<std::pair<size_t, size_t>> out;
+  for (size_t i = 0; i < world.choice.size(); ++i) {
+    if (world.choice[i] != kAbsent) {
+      out.emplace_back(i, static_cast<size_t>(world.choice[i]));
+    }
+  }
+  return out;
+}
+
+std::string WorldToString(const World& world, const XRelation& rel) {
+  std::string out = "{";
+  bool first = true;
+  for (size_t i = 0; i < world.choice.size(); ++i) {
+    if (world.choice[i] == kAbsent) continue;
+    if (!first) out += ", ";
+    first = false;
+    out += rel.xtuple(i).id() + "/" + std::to_string(world.choice[i] + 1);
+  }
+  out += "} p=" + FormatDouble(world.probability, 6);
+  return out;
+}
+
+}  // namespace pdd

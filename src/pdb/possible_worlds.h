@@ -1,0 +1,76 @@
+// Possible-world semantics for x-relations.
+//
+// A possible world fixes, for every x-tuple, either one alternative or
+// absence (possible only for maybe x-tuples). World probability is the
+// product of the chosen alternative probabilities and, for absent tuples,
+// (1 - p(t)). Fig. 7 of the paper enumerates the eight worlds of {t32, t42}.
+
+#ifndef PDD_PDB_POSSIBLE_WORLDS_H_
+#define PDD_PDB_POSSIBLE_WORLDS_H_
+
+#include <string>
+#include <vector>
+
+#include "pdb/xrelation.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace pdd {
+
+/// Index marking an absent x-tuple in a world's choice vector.
+inline constexpr int kAbsent = -1;
+
+/// One possible world of an x-relation.
+struct World {
+  /// Per x-tuple (in relation order): chosen alternative index, or kAbsent.
+  std::vector<int> choice;
+  /// The world's probability (positive).
+  double probability = 0.0;
+
+  /// True iff every x-tuple is present.
+  bool AllPresent() const;
+};
+
+/// Options bounding world enumeration.
+struct EnumerateOptions {
+  /// Hard cap on the number of generated worlds; enumeration fails with
+  /// ResourceExhausted when the world count would exceed it.
+  size_t max_worlds = 1u << 20;
+  /// When true, only worlds with all x-tuples present are generated
+  /// (the paper's event B), with *unconditioned* probabilities; see
+  /// ConditionWorlds() to renormalize.
+  bool all_present_only = false;
+};
+
+/// Enumerates possible worlds of `rel` in lexicographic choice order
+/// (alternative 0 first, absence last). Probabilities sum to 1 (to P(B)
+/// when all_present_only). Fails when the cap would be exceeded.
+Result<std::vector<World>> EnumerateWorlds(const XRelation& rel,
+                                           const EnumerateOptions& options = {});
+
+/// Number of possible worlds of `rel` (saturates at SIZE_MAX on overflow).
+size_t CountWorlds(const XRelation& rel);
+
+/// The `k` most probable worlds in descending probability order, computed
+/// lazily (best-first over the independent choice lattice), without
+/// enumerating the full world set.
+std::vector<World> TopKWorlds(const XRelation& rel, size_t k,
+                              bool all_present_only = false);
+
+/// Draws one world at random according to the world distribution.
+World SampleWorld(const XRelation& rel, Rng* rng);
+
+/// The single most probable world (ties break toward lower alternative
+/// indices). Equivalent to TopKWorlds(rel, 1)[0].
+World MostProbableWorld(const XRelation& rel, bool all_present_only = false);
+
+/// Materializes the tuples of a world: pairs of (x-tuple index,
+/// alternative index). Absent tuples are skipped.
+std::vector<std::pair<size_t, size_t>> WorldTuples(const World& world);
+
+/// Renders a world like Fig. 7: "{t32/1, t42/1} p=0.24".
+std::string WorldToString(const World& world, const XRelation& rel);
+
+}  // namespace pdd
+
+#endif  // PDD_PDB_POSSIBLE_WORLDS_H_

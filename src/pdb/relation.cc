@@ -1,0 +1,37 @@
+#include "pdb/relation.h"
+
+#include <cassert>
+
+namespace pdd {
+
+Status Relation::Append(Tuple tuple) {
+  if (tuple.arity() != schema_.arity()) {
+    return Status::InvalidArgument(
+        "tuple arity " + std::to_string(tuple.arity()) +
+        " does not match schema arity " + std::to_string(schema_.arity()));
+  }
+  if (tuple.membership() <= 0.0 || tuple.membership() > 1.0 + kProbEpsilon) {
+    return Status::InvalidArgument("tuple membership outside (0, 1]");
+  }
+  tuples_.push_back(std::move(tuple));
+  return Status::OK();
+}
+
+void Relation::AppendUnchecked(Tuple tuple) {
+  Status s = Append(std::move(tuple));
+  assert(s.ok());
+  (void)s;
+}
+
+std::string Relation::ToString() const {
+  std::string out = name_ + "(";
+  for (size_t i = 0; i < schema_.arity(); ++i) {
+    if (i > 0) out += ", ";
+    out += schema_.attribute(i).name;
+  }
+  out += ")\n";
+  for (const Tuple& t : tuples_) out += "  " + t.ToString() + "\n";
+  return out;
+}
+
+}  // namespace pdd

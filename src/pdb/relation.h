@@ -1,0 +1,61 @@
+// Probabilistic relations of the dependency-free model (Fig. 4).
+
+#ifndef PDD_PDB_RELATION_H_
+#define PDD_PDB_RELATION_H_
+
+#include <string>
+#include <vector>
+
+#include "pdb/schema.h"
+#include "pdb/tuple.h"
+#include "util/status.h"
+
+namespace pdd {
+
+/// A named probabilistic relation: schema plus tuples whose attribute
+/// values are independent probabilistic values (no x-tuple dependencies).
+class Relation {
+ public:
+  Relation() = default;
+
+  /// Constructs an empty relation with the given name and schema.
+  Relation(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  /// Appends a tuple; fails when the tuple arity does not match the schema
+  /// or the membership probability is outside (0, 1].
+  Status Append(Tuple tuple);
+
+  /// Unchecked append for trusted construction (asserts in debug builds).
+  void AppendUnchecked(Tuple tuple);
+
+  /// Relation name.
+  const std::string& name() const { return name_; }
+
+  /// The schema.
+  const Schema& schema() const { return schema_; }
+
+  /// All tuples in insertion order.
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+
+  /// Tuple at position `i`.
+  const Tuple& tuple(size_t i) const { return tuples_[i]; }
+
+  /// Mutable tuple access (used by uncertainty injection).
+  Tuple* mutable_tuple(size_t i) { return &tuples_[i]; }
+
+  /// Number of tuples.
+  size_t size() const { return tuples_.size(); }
+
+  /// Paper-style multi-line rendering.
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Tuple> tuples_;
+};
+
+}  // namespace pdd
+
+#endif  // PDD_PDB_RELATION_H_

@@ -1,0 +1,65 @@
+#include "pdb/schema.h"
+
+#include <cassert>
+#include <unordered_set>
+
+namespace pdd {
+
+namespace {
+
+Status ValidateAttributes(const std::vector<AttributeDef>& attributes) {
+  std::unordered_set<std::string> seen;
+  for (const AttributeDef& attr : attributes) {
+    if (attr.name.empty()) {
+      return Status::InvalidArgument("empty attribute name");
+    }
+    if (!seen.insert(attr.name).second) {
+      return Status::InvalidArgument("duplicate attribute name '" +
+                                     attr.name + "'");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Schema::Schema(std::vector<AttributeDef> attributes)
+    : attributes_(std::move(attributes)) {
+  assert(ValidateAttributes(attributes_).ok());
+}
+
+Result<Schema> Schema::Make(std::vector<AttributeDef> attributes) {
+  PDD_RETURN_IF_ERROR(ValidateAttributes(attributes));
+  Schema schema;
+  schema.attributes_ = std::move(attributes);
+  return schema;
+}
+
+Schema Schema::Strings(std::vector<std::string> names) {
+  std::vector<AttributeDef> attrs;
+  attrs.reserve(names.size());
+  for (std::string& name : names) {
+    attrs.push_back({std::move(name), ValueType::kString, {}});
+  }
+  return Schema(std::move(attrs));
+}
+
+Result<size_t> Schema::IndexOf(std::string_view name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return Status::NotFound("no attribute named '" + std::string(name) + "'");
+}
+
+bool Schema::CompatibleWith(const Schema& other) const {
+  if (arity() != other.arity()) return false;
+  for (size_t i = 0; i < arity(); ++i) {
+    if (attributes_[i].name != other.attributes_[i].name ||
+        attributes_[i].type != other.attributes_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace pdd

@@ -1,0 +1,69 @@
+// Relation schemas: attribute names, types and optional domain
+// vocabularies (used to expand pattern values and by the semantic
+// comparator).
+
+#ifndef PDD_PDB_SCHEMA_H_
+#define PDD_PDB_SCHEMA_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace pdd {
+
+/// Logical attribute type; drives the default comparator choice.
+enum class ValueType {
+  kString = 0,
+  kNumeric = 1,
+};
+
+/// Definition of one attribute of a relation.
+struct AttributeDef {
+  /// Attribute name, unique within a schema.
+  std::string name;
+  /// Logical type of the attribute's values.
+  ValueType type = ValueType::kString;
+  /// Optional closed domain vocabulary (expands 'mu*'-style patterns).
+  std::vector<std::string> vocabulary;
+};
+
+/// An ordered list of attribute definitions.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Constructs from attribute definitions; names must be unique
+  /// (asserted in debug builds — use Make() for untrusted input).
+  explicit Schema(std::vector<AttributeDef> attributes);
+
+  /// Validated construction; fails on duplicate or empty attribute names.
+  static Result<Schema> Make(std::vector<AttributeDef> attributes);
+
+  /// Convenience: all-string schema from attribute names.
+  static Schema Strings(std::vector<std::string> names);
+
+  /// Number of attributes.
+  size_t arity() const { return attributes_.size(); }
+
+  /// Definition of attribute `i`.
+  const AttributeDef& attribute(size_t i) const { return attributes_[i]; }
+
+  /// All attribute definitions in order.
+  const std::vector<AttributeDef>& attributes() const { return attributes_; }
+
+  /// Index of the attribute named `name`, or error when absent.
+  Result<size_t> IndexOf(std::string_view name) const;
+
+  /// True iff both schemas have the same attribute names and types
+  /// in the same order (vocabularies are ignored).
+  bool CompatibleWith(const Schema& other) const;
+
+ private:
+  std::vector<AttributeDef> attributes_;
+};
+
+}  // namespace pdd
+
+#endif  // PDD_PDB_SCHEMA_H_

@@ -1,0 +1,93 @@
+#include "pdb/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace pdd {
+
+namespace {
+
+double ValueEntropyBits(const Value& v) {
+  double entropy = 0.0;
+  auto add = [&](double p) {
+    if (p > 0.0) entropy -= p * std::log2(p);
+  };
+  for (const Alternative& alt : v.alternatives()) add(alt.prob);
+  add(v.null_probability());
+  return entropy;
+}
+
+}  // namespace
+
+RelationStatistics ComputeStatistics(const XRelation& rel) {
+  RelationStatistics stats;
+  stats.tuple_count = rel.size();
+  if (rel.size() == 0) return stats;
+  size_t maybe = 0;
+  double existence_sum = 0.0;
+  size_t value_count = 0;
+  size_t uncertain_values = 0;
+  size_t value_alternatives = 0;
+  size_t null_values = 0;
+  size_t pattern_values = 0;
+  double entropy_sum = 0.0;
+  double log10_worlds = 0.0;
+  for (const XTuple& t : rel.xtuples()) {
+    stats.alternative_count += t.size();
+    stats.max_alternatives = std::max(stats.max_alternatives, t.size());
+    if (t.is_maybe()) ++maybe;
+    existence_sum += t.existence_probability();
+    log10_worlds +=
+        std::log10(static_cast<double>(t.size() + (t.is_maybe() ? 1 : 0)));
+    for (const AltTuple& alt : t.alternatives()) {
+      for (const Value& v : alt.values) {
+        ++value_count;
+        value_alternatives += v.size();
+        if (!v.is_certain()) ++uncertain_values;
+        if (v.null_probability() > kProbEpsilon) ++null_values;
+        if (v.has_pattern()) ++pattern_values;
+        entropy_sum += ValueEntropyBits(v);
+      }
+    }
+  }
+  stats.mean_alternatives = static_cast<double>(stats.alternative_count) /
+                            static_cast<double>(rel.size());
+  stats.maybe_fraction =
+      static_cast<double>(maybe) / static_cast<double>(rel.size());
+  stats.mean_existence = existence_sum / static_cast<double>(rel.size());
+  if (value_count > 0) {
+    stats.uncertain_value_fraction = static_cast<double>(uncertain_values) /
+                                     static_cast<double>(value_count);
+    stats.mean_value_alternatives = static_cast<double>(value_alternatives) /
+                                    static_cast<double>(value_count);
+    stats.null_mass_fraction = static_cast<double>(null_values) /
+                               static_cast<double>(value_count);
+    stats.pattern_fraction = static_cast<double>(pattern_values) /
+                             static_cast<double>(value_count);
+    stats.mean_value_entropy = entropy_sum / static_cast<double>(value_count);
+  }
+  stats.log10_world_count = log10_worlds;
+  return stats;
+}
+
+std::string RelationStatistics::ToString() const {
+  std::string out;
+  out += "tuples: " + std::to_string(tuple_count) + " (" +
+         std::to_string(alternative_count) + " alternatives, mean " +
+         FormatDouble(mean_alternatives, 2) + ", max " +
+         std::to_string(max_alternatives) + ")\n";
+  out += "maybe fraction: " + FormatDouble(maybe_fraction, 4) +
+         ", mean existence: " + FormatDouble(mean_existence, 4) + "\n";
+  out += "uncertain values: " + FormatDouble(uncertain_value_fraction, 4) +
+         " (mean alternatives " + FormatDouble(mean_value_alternatives, 2) +
+         ", null-mass " + FormatDouble(null_mass_fraction, 4) +
+         ", patterns " + FormatDouble(pattern_fraction, 4) + ")\n";
+  out += "mean value entropy: " + FormatDouble(mean_value_entropy, 4) +
+         " bits, log10(worlds): " + FormatDouble(log10_world_count, 2) +
+         "\n";
+  return out;
+}
+
+}  // namespace pdd

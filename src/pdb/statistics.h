@@ -1,0 +1,50 @@
+// Profiling statistics of probabilistic relations: how much uncertainty
+// a dataset carries on each of the paper's two levels. Used by reports,
+// experiments and generator validation.
+
+#ifndef PDD_PDB_STATISTICS_H_
+#define PDD_PDB_STATISTICS_H_
+
+#include <string>
+
+#include "pdb/xrelation.h"
+
+namespace pdd {
+
+/// Uncertainty profile of one x-relation.
+struct RelationStatistics {
+  size_t tuple_count = 0;
+  size_t alternative_count = 0;
+  /// Mean alternatives per x-tuple (tuple-level uncertainty width).
+  double mean_alternatives = 0.0;
+  /// Maximum alternatives of any x-tuple.
+  size_t max_alternatives = 0;
+  /// Fraction of maybe x-tuples (existence < 1).
+  double maybe_fraction = 0.0;
+  /// Mean existence probability p(t).
+  double mean_existence = 0.0;
+  /// Fraction of attribute values that are uncertain (more than one
+  /// alternative or partial ⊥ mass).
+  double uncertain_value_fraction = 0.0;
+  /// Mean alternatives per attribute value.
+  double mean_value_alternatives = 0.0;
+  /// Fraction of values carrying any ⊥ mass.
+  double null_mass_fraction = 0.0;
+  /// Fraction of values with pattern alternatives.
+  double pattern_fraction = 0.0;
+  /// Mean Shannon entropy (bits) of the value distributions (⊥ treated
+  /// as an outcome). 0 for certain values.
+  double mean_value_entropy = 0.0;
+  /// log10 of the number of possible worlds (capped world counting).
+  double log10_world_count = 0.0;
+
+  /// Multi-line human-readable rendering.
+  std::string ToString() const;
+};
+
+/// Computes the profile of `rel`.
+RelationStatistics ComputeStatistics(const XRelation& rel);
+
+}  // namespace pdd
+
+#endif  // PDD_PDB_STATISTICS_H_

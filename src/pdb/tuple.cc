@@ -1,0 +1,17 @@
+#include "pdb/tuple.h"
+
+#include "util/string_util.h"
+
+namespace pdd {
+
+std::string Tuple::ToString() const {
+  std::string out = id_ + "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += values_[i].ToString();
+  }
+  out += ", p=" + FormatDouble(membership_, 4) + ")";
+  return out;
+}
+
+}  // namespace pdd

@@ -1,0 +1,60 @@
+// Tuples of the dependency-free probabilistic model (Section IV-A):
+// attribute values are independent random variables; tuple membership in
+// the relation carries its own probability p(t).
+
+#ifndef PDD_PDB_TUPLE_H_
+#define PDD_PDB_TUPLE_H_
+
+#include <string>
+#include <vector>
+
+#include "pdb/value.h"
+
+namespace pdd {
+
+/// A probabilistic tuple: independent probabilistic attribute values plus
+/// a membership probability p(t) in (0, 1].
+///
+/// Per the paper (Section IV), the membership probability must NOT
+/// influence duplicate detection; it is carried along for completeness and
+/// for possible-world semantics only.
+class Tuple {
+ public:
+  Tuple() = default;
+
+  /// Constructs a tuple with the given values and membership probability.
+  Tuple(std::string id, std::vector<Value> values, double membership = 1.0)
+      : id_(std::move(id)),
+        values_(std::move(values)),
+        membership_(membership) {}
+
+  /// Identifier used in figures and gold standards (e.g. "t11").
+  const std::string& id() const { return id_; }
+
+  /// The attribute values, schema order.
+  const std::vector<Value>& values() const { return values_; }
+
+  /// Value of attribute `i`.
+  const Value& value(size_t i) const { return values_[i]; }
+
+  /// Mutable value access (used by uncertainty injection).
+  Value* mutable_value(size_t i) { return &values_[i]; }
+
+  /// Membership probability p(t) in (0, 1].
+  double membership() const { return membership_; }
+
+  /// Number of attributes.
+  size_t arity() const { return values_.size(); }
+
+  /// "id(values..., p)" rendering for diagnostics.
+  std::string ToString() const;
+
+ private:
+  std::string id_;
+  std::vector<Value> values_;
+  double membership_ = 1.0;
+};
+
+}  // namespace pdd
+
+#endif  // PDD_PDB_TUPLE_H_

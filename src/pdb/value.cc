@@ -1,0 +1,155 @@
+#include "pdb/value.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+#include "util/string_util.h"
+
+namespace pdd {
+
+namespace {
+
+Status ValidateAlternatives(const std::vector<Alternative>& alternatives) {
+  double total = 0.0;
+  for (const Alternative& alt : alternatives) {
+    if (alt.prob <= 0.0 || alt.prob > 1.0 + kProbEpsilon) {
+      return Status::InvalidArgument("alternative probability " +
+                                     FormatDouble(alt.prob) +
+                                     " outside (0, 1]");
+    }
+    total += alt.prob;
+  }
+  if (total > 1.0 + kProbEpsilon) {
+    return Status::InvalidArgument("alternative probabilities sum to " +
+                                   FormatDouble(total) + " > 1");
+  }
+  for (size_t i = 0; i < alternatives.size(); ++i) {
+    for (size_t j = i + 1; j < alternatives.size(); ++j) {
+      if (alternatives[i].text == alternatives[j].text &&
+          alternatives[i].is_pattern == alternatives[j].is_pattern) {
+        return Status::InvalidArgument("duplicate alternative '" +
+                                       alternatives[i].text + "'");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Value Value::Certain(std::string text) {
+  return Value({{std::move(text), 1.0, false}});
+}
+
+Value Value::Null() { return Value(); }
+
+Result<Value> Value::Make(std::vector<Alternative> alternatives) {
+  PDD_RETURN_IF_ERROR(ValidateAlternatives(alternatives));
+  return Value(std::move(alternatives));
+}
+
+Value Value::Unchecked(std::vector<Alternative> alternatives) {
+  assert(ValidateAlternatives(alternatives).ok());
+  return Value(std::move(alternatives));
+}
+
+Value Value::Dist(
+    std::initializer_list<std::pair<std::string, double>> pairs) {
+  std::vector<Alternative> alts;
+  alts.reserve(pairs.size());
+  for (const auto& [text, prob] : pairs) alts.push_back({text, prob, false});
+  return Unchecked(std::move(alts));
+}
+
+Value Value::Pattern(std::string prefix, double prob) {
+  return Unchecked({{std::move(prefix), prob, true}});
+}
+
+double Value::null_probability() const {
+  return std::max(0.0, 1.0 - existence_probability());
+}
+
+double Value::existence_probability() const {
+  double total = 0.0;
+  for (const Alternative& alt : alternatives_) total += alt.prob;
+  return std::min(1.0, total);
+}
+
+bool Value::is_certain() const {
+  if (alternatives_.empty()) return true;  // certainly ⊥
+  return alternatives_.size() == 1 &&
+         alternatives_[0].prob >= 1.0 - kProbEpsilon;
+}
+
+bool Value::has_pattern() const {
+  return std::any_of(alternatives_.begin(), alternatives_.end(),
+                     [](const Alternative& a) { return a.is_pattern; });
+}
+
+std::string Value::MostProbableText() const {
+  double best_prob = null_probability();
+  std::string best;  // empty string denotes ⊥
+  for (const Alternative& alt : alternatives_) {
+    if (alt.prob > best_prob + kProbEpsilon) {
+      best_prob = alt.prob;
+      best = alt.text;
+    }
+  }
+  return best;
+}
+
+Value Value::Expanded(const std::vector<std::string>& vocabulary) const {
+  if (!has_pattern()) return *this;
+  // Merge masses per concrete text; patterns expand uniformly over matches.
+  std::vector<std::string> order;
+  std::map<std::string, double> mass;
+  auto add = [&](const std::string& text, double p) {
+    auto [it, inserted] = mass.emplace(text, 0.0);
+    if (inserted) order.push_back(text);
+    it->second += p;
+  };
+  for (const Alternative& alt : alternatives_) {
+    if (!alt.is_pattern) {
+      add(alt.text, alt.prob);
+      continue;
+    }
+    std::vector<const std::string*> matches;
+    for (const std::string& word : vocabulary) {
+      if (StartsWith(word, alt.text)) matches.push_back(&word);
+    }
+    if (matches.empty()) {
+      add(alt.text, alt.prob);  // conservative literal fallback
+    } else {
+      double share = alt.prob / static_cast<double>(matches.size());
+      for (const std::string* word : matches) add(*word, share);
+    }
+  }
+  std::vector<Alternative> alts;
+  alts.reserve(order.size());
+  for (const std::string& text : order) {
+    alts.push_back({text, mass[text], false});
+  }
+  return Value(std::move(alts));
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "⊥";
+  auto render = [](const Alternative& a) {
+    return a.is_pattern ? a.text + "*" : a.text;
+  };
+  if (is_certain()) return render(alternatives_[0]);
+  std::string out = "{";
+  for (size_t i = 0; i < alternatives_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += render(alternatives_[i]) + ": " + FormatDouble(alternatives_[i].prob, 4);
+  }
+  double null_mass = null_probability();
+  if (null_mass > kProbEpsilon) {
+    out += ", ⊥: " + FormatDouble(null_mass, 4);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace pdd

@@ -1,0 +1,124 @@
+// Probabilistic attribute values.
+//
+// In the paper's model (Section IV), uncertainty exists on two levels:
+// tuple membership and attribute values. This file models the attribute
+// value level: a Value is a discrete probability distribution over string
+// alternatives, with any residual probability mass interpreted as
+// non-existence (the paper's ⊥). A certain value is the special case of a
+// single alternative with probability 1.
+//
+// Pattern alternatives ("mu*" in Fig. 5) represent a uniform distribution
+// over all domain elements matching a prefix; they can be expanded against
+// an attribute vocabulary.
+
+#ifndef PDD_PDB_VALUE_H_
+#define PDD_PDB_VALUE_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace pdd {
+
+/// Probability tolerance used when validating distributions.
+inline constexpr double kProbEpsilon = 1e-9;
+
+/// One weighted alternative of a probabilistic attribute value.
+struct Alternative {
+  /// The alternative's text, or the prefix for pattern alternatives
+  /// (pattern "mu*" is stored as text="mu", is_pattern=true).
+  std::string text;
+  /// Probability mass of this alternative, in (0, 1].
+  double prob = 1.0;
+  /// True for prefix-pattern alternatives representing a uniform
+  /// distribution over matching domain elements (Fig. 5, 'mu*').
+  bool is_pattern = false;
+
+  bool operator==(const Alternative& other) const = default;
+};
+
+/// A probabilistic attribute value: a distribution over alternatives plus
+/// an implicit non-existence (⊥) mass of 1 - sum(alternative probs).
+class Value {
+ public:
+  /// The certainly non-existent value ⊥.
+  Value() = default;
+
+  /// A certain value: single alternative with probability 1.
+  static Value Certain(std::string text);
+
+  /// The certainly non-existent value ⊥ (alias of the default constructor).
+  static Value Null();
+
+  /// A validated distribution. Fails if any probability is outside
+  /// (0, 1], the total mass exceeds 1, or an alternative text repeats.
+  /// Total mass below 1 is allowed: the rest is ⊥ mass.
+  static Result<Value> Make(std::vector<Alternative> alternatives);
+
+  /// Unchecked construction for literals whose validity is known
+  /// (asserts in debug builds). Prefer Make() for untrusted input.
+  static Value Unchecked(std::vector<Alternative> alternatives);
+
+  /// Convenience: distribution from (text, prob) pairs, unchecked.
+  static Value Dist(
+      std::initializer_list<std::pair<std::string, double>> pairs);
+
+  /// A prefix-pattern alternative with probability `prob`
+  /// (e.g. Pattern("mu", 0.3) is the paper's 'mu*' with mass 0.3).
+  static Value Pattern(std::string prefix, double prob = 1.0);
+
+  /// The explicit alternatives (excluding ⊥ mass).
+  const std::vector<Alternative>& alternatives() const {
+    return alternatives_;
+  }
+
+  /// Probability that the value does not exist: 1 - sum(alternative probs).
+  double null_probability() const;
+
+  /// Sum of alternative probabilities (existence probability).
+  double existence_probability() const;
+
+  /// True iff the value is a single alternative with probability 1,
+  /// or certainly ⊥.
+  bool is_certain() const;
+
+  /// True iff the value is certainly ⊥ (no alternatives).
+  bool is_null() const { return alternatives_.empty(); }
+
+  /// True iff any alternative is a pattern.
+  bool has_pattern() const;
+
+  /// Number of explicit alternatives.
+  size_t size() const { return alternatives_.size(); }
+
+  /// The most probable alternative's text; empty string when ⊥ mass
+  /// dominates every alternative or the value is ⊥. Ties break toward the
+  /// earlier alternative.
+  std::string MostProbableText() const;
+
+  /// Expands pattern alternatives against a vocabulary: each pattern's mass
+  /// is distributed uniformly over vocabulary entries with the pattern's
+  /// prefix. Patterns matching nothing keep a single literal alternative
+  /// equal to the prefix (a conservative fallback). Non-pattern
+  /// alternatives are kept as is; equal texts are merged.
+  Value Expanded(const std::vector<std::string>& vocabulary) const;
+
+  /// Renders the value like the paper: "Tim", "{John: 0.5, Johan: 0.5}",
+  /// "⊥" (with probability shown when the ⊥ mass is partial).
+  std::string ToString() const;
+
+  bool operator==(const Value& other) const = default;
+
+ private:
+  explicit Value(std::vector<Alternative> alternatives)
+      : alternatives_(std::move(alternatives)) {}
+
+  std::vector<Alternative> alternatives_;
+};
+
+}  // namespace pdd
+
+#endif  // PDD_PDB_VALUE_H_

@@ -1,0 +1,71 @@
+#include "pdb/world_selection.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pdd {
+
+double WorldSimilarity(const World& a, const World& b) {
+  assert(a.choice.size() == b.choice.size());
+  if (a.choice.empty()) return 1.0;
+  size_t agree = 0;
+  for (size_t i = 0; i < a.choice.size(); ++i) {
+    if (a.choice[i] == b.choice[i]) ++agree;
+  }
+  return static_cast<double>(agree) / static_cast<double>(a.choice.size());
+}
+
+std::vector<World> SelectWorlds(const XRelation& rel,
+                                const WorldSelectionOptions& options) {
+  if (options.count == 0) return {};
+  size_t pool_size = options.strategy == WorldSelectionStrategy::kTopProbable
+                         ? options.count
+                         : std::max(options.candidate_pool, options.count);
+  std::vector<World> pool =
+      TopKWorlds(rel, pool_size, options.all_present_only);
+  if (options.strategy == WorldSelectionStrategy::kTopProbable ||
+      pool.size() <= options.count) {
+    if (pool.size() > options.count) pool.resize(options.count);
+    return pool;
+  }
+  // Greedy maximal-marginal-relevance over the candidate pool.
+  std::vector<World> selected;
+  std::vector<bool> used(pool.size(), false);
+  selected.push_back(pool[0]);
+  used[0] = true;
+  while (selected.size() < options.count) {
+    double best_score = -1e300;
+    size_t best = pool.size();
+    for (size_t i = 0; i < pool.size(); ++i) {
+      if (used[i]) continue;
+      double max_sim = 0.0;
+      for (const World& s : selected) {
+        max_sim = std::max(max_sim, WorldSimilarity(pool[i], s));
+      }
+      double score = pool[i].probability - options.lambda * max_sim;
+      if (score > best_score) {
+        best_score = score;
+        best = i;
+      }
+    }
+    if (best == pool.size()) break;
+    used[best] = true;
+    selected.push_back(pool[best]);
+  }
+  return selected;
+}
+
+double MeanPairwiseSimilarity(const std::vector<World>& worlds) {
+  if (worlds.size() < 2) return 1.0;
+  double total = 0.0;
+  size_t pairs = 0;
+  for (size_t i = 0; i < worlds.size(); ++i) {
+    for (size_t j = i + 1; j < worlds.size(); ++j) {
+      total += WorldSimilarity(worlds[i], worlds[j]);
+      ++pairs;
+    }
+  }
+  return total / static_cast<double>(pairs);
+}
+
+}  // namespace pdd

@@ -1,0 +1,61 @@
+// World selection for multi-pass search space reduction (Section V-A.1).
+//
+// The paper observes that passes over the most probable worlds are often
+// redundant because highly probable worlds tend to be similar; it calls for
+// selecting "a set of highly probable and pairwise dissimilar worlds",
+// which "requires comparison techniques on complete worlds". This module
+// provides both the world similarity measure and the greedy diversified
+// selection.
+
+#ifndef PDD_PDB_WORLD_SELECTION_H_
+#define PDD_PDB_WORLD_SELECTION_H_
+
+#include <vector>
+
+#include "pdb/possible_worlds.h"
+#include "pdb/xrelation.h"
+
+namespace pdd {
+
+/// Similarity of two complete worlds of the same x-relation: the fraction
+/// of x-tuples with an identical choice (same alternative, or both absent).
+/// Returns 1 for empty relations.
+double WorldSimilarity(const World& a, const World& b);
+
+/// Strategy for picking the worlds of a multi-pass method.
+enum class WorldSelectionStrategy {
+  /// The k most probable worlds (may be near-duplicates of each other).
+  kTopProbable = 0,
+  /// Greedy maximal-marginal-relevance selection: start from the most
+  /// probable world, then repeatedly add the world maximizing
+  /// probability - lambda * max-similarity-to-selected.
+  kDiverse = 1,
+};
+
+/// Options for SelectWorlds.
+struct WorldSelectionOptions {
+  WorldSelectionStrategy strategy = WorldSelectionStrategy::kTopProbable;
+  /// Number of worlds to select.
+  size_t count = 2;
+  /// Diversity weight for kDiverse (0 reduces to kTopProbable).
+  double lambda = 0.5;
+  /// Candidate pool size: the kDiverse strategy first takes this many top
+  /// probable worlds and then diversifies within them.
+  size_t candidate_pool = 64;
+  /// Restrict to worlds where every x-tuple is present (the paper's
+  /// requirement for sorting keys: every tuple needs a key value).
+  bool all_present_only = true;
+};
+
+/// Selects worlds of `rel` per the options. Returned worlds are unique
+/// and ordered by selection sequence.
+std::vector<World> SelectWorlds(const XRelation& rel,
+                                const WorldSelectionOptions& options);
+
+/// Mean pairwise similarity of a world set (1 for fewer than two worlds);
+/// the redundancy measure used in experiment S3.
+double MeanPairwiseSimilarity(const std::vector<World>& worlds);
+
+}  // namespace pdd
+
+#endif  // PDD_PDB_WORLD_SELECTION_H_

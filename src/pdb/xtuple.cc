@@ -1,0 +1,70 @@
+#include "pdb/xtuple.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace pdd {
+
+double XTuple::existence_probability() const {
+  double total = 0.0;
+  for (const AltTuple& alt : alternatives_) total += alt.prob;
+  return std::min(1.0, total);
+}
+
+bool XTuple::is_maybe() const {
+  return existence_probability() < 1.0 - kProbEpsilon;
+}
+
+std::vector<double> XTuple::ConditionedProbabilities() const {
+  double p = 0.0;
+  for (const AltTuple& alt : alternatives_) p += alt.prob;
+  std::vector<double> out(alternatives_.size(), 0.0);
+  if (p <= 0.0) return out;
+  for (size_t i = 0; i < alternatives_.size(); ++i) {
+    out[i] = alternatives_[i].prob / p;
+  }
+  return out;
+}
+
+Status XTuple::Validate() const {
+  if (alternatives_.empty()) {
+    return Status::InvalidArgument("x-tuple '" + id_ + "' has no alternatives");
+  }
+  size_t arity = alternatives_[0].values.size();
+  double total = 0.0;
+  for (const AltTuple& alt : alternatives_) {
+    if (alt.values.size() != arity) {
+      return Status::InvalidArgument("x-tuple '" + id_ +
+                                     "' has alternatives of mixed arity");
+    }
+    if (alt.prob <= 0.0 || alt.prob > 1.0 + kProbEpsilon) {
+      return Status::InvalidArgument("x-tuple '" + id_ +
+                                     "' alternative probability outside (0, 1]");
+    }
+    total += alt.prob;
+  }
+  if (total > 1.0 + kProbEpsilon) {
+    return Status::InvalidArgument("x-tuple '" + id_ +
+                                   "' alternative probabilities sum to " +
+                                   FormatDouble(total) + " > 1");
+  }
+  return Status::OK();
+}
+
+std::string XTuple::ToString() const {
+  std::string out = id_;
+  if (is_maybe()) out += " ?";
+  out += "\n";
+  for (const AltTuple& alt : alternatives_) {
+    out += "  [";
+    for (size_t i = 0; i < alt.values.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += alt.values[i].ToString();
+    }
+    out += "] : " + FormatDouble(alt.prob, 4) + "\n";
+  }
+  return out;
+}
+
+}  // namespace pdd

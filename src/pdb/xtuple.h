@@ -1,0 +1,80 @@
+// X-tuples of the ULDB/Trio model (Section IV-B): a tuple is a set of
+// mutually exclusive alternative tuples; the probability sum below 1
+// marks a maybe x-tuple ('?') whose non-existence is possible.
+
+#ifndef PDD_PDB_XTUPLE_H_
+#define PDD_PDB_XTUPLE_H_
+
+#include <string>
+#include <vector>
+
+#include "pdb/value.h"
+#include "util/status.h"
+
+namespace pdd {
+
+/// One alternative of an x-tuple: a full tuple of (possibly probabilistic)
+/// attribute values with the alternative's probability.
+struct AltTuple {
+  /// Attribute values in schema order. Individual values can themselves be
+  /// uncertain (Fig. 5's 'mu*'), in which case Section IV-A formulas apply
+  /// per alternative pair.
+  std::vector<Value> values;
+  /// Probability of this alternative, in (0, 1].
+  double prob = 1.0;
+};
+
+/// An x-tuple: one or more mutually exclusive alternative tuples.
+class XTuple {
+ public:
+  XTuple() = default;
+
+  /// Constructs from alternatives; use Validate() or XRelation::Append for
+  /// untrusted input.
+  XTuple(std::string id, std::vector<AltTuple> alternatives)
+      : id_(std::move(id)), alternatives_(std::move(alternatives)) {}
+
+  /// Identifier used in figures and gold standards (e.g. "t32").
+  const std::string& id() const { return id_; }
+
+  /// The mutually exclusive alternatives.
+  const std::vector<AltTuple>& alternatives() const { return alternatives_; }
+
+  /// Alternative `i`.
+  const AltTuple& alternative(size_t i) const { return alternatives_[i]; }
+
+  /// Number of alternatives.
+  size_t size() const { return alternatives_.size(); }
+
+  /// Attribute count (0 for an empty x-tuple).
+  size_t arity() const {
+    return alternatives_.empty() ? 0 : alternatives_[0].values.size();
+  }
+
+  /// p(t) = sum of alternative probabilities; the probability the x-tuple
+  /// exists at all.
+  double existence_probability() const;
+
+  /// True iff existence_probability() < 1: the paper's '?' maybe x-tuple.
+  bool is_maybe() const;
+
+  /// Alternative probabilities normalized by p(t) — the paper's
+  /// conditioning p(t_i)/p(t) used everywhere in duplicate detection
+  /// (tuple membership must not influence matching).
+  std::vector<double> ConditionedProbabilities() const;
+
+  /// Checks alternatives: non-empty, consistent arity, probabilities in
+  /// (0, 1] summing to at most 1.
+  Status Validate() const;
+
+  /// Paper-style rendering, one alternative per line.
+  std::string ToString() const;
+
+ private:
+  std::string id_;
+  std::vector<AltTuple> alternatives_;
+};
+
+}  // namespace pdd
+
+#endif  // PDD_PDB_XTUPLE_H_

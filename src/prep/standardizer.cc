@@ -1,0 +1,143 @@
+#include "prep/standardizer.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace pdd {
+
+Standardizer& Standardizer::LowerCase() {
+  steps_.push_back({Kind::kLowerCase, {}});
+  return *this;
+}
+
+Standardizer& Standardizer::UpperCase() {
+  steps_.push_back({Kind::kUpperCase, {}});
+  return *this;
+}
+
+Standardizer& Standardizer::TrimWhitespace() {
+  steps_.push_back({Kind::kTrim, {}});
+  return *this;
+}
+
+Standardizer& Standardizer::CollapseWhitespace() {
+  steps_.push_back({Kind::kCollapseWhitespace, {}});
+  return *this;
+}
+
+Standardizer& Standardizer::StripPunctuation() {
+  steps_.push_back({Kind::kStripPunctuation, {}});
+  return *this;
+}
+
+Standardizer& Standardizer::StripDigits() {
+  steps_.push_back({Kind::kStripDigits, {}});
+  return *this;
+}
+
+Standardizer& Standardizer::MapTokens(
+    std::map<std::string, std::string> table) {
+  steps_.push_back({Kind::kMapTokens, std::move(table)});
+  return *this;
+}
+
+namespace {
+
+std::string StripIf(std::string_view s, bool (*predicate)(unsigned char)) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (!predicate(static_cast<unsigned char>(c))) out += c;
+  }
+  return out;
+}
+
+bool IsPunct(unsigned char c) { return std::ispunct(c) != 0; }
+bool IsDigit(unsigned char c) { return std::isdigit(c) != 0; }
+
+}  // namespace
+
+std::string Standardizer::Apply(std::string_view text) const {
+  std::string out(text);
+  for (const Step& step : steps_) {
+    switch (step.kind) {
+      case Kind::kLowerCase:
+        out = ToLower(out);
+        break;
+      case Kind::kUpperCase:
+        out = ToUpper(out);
+        break;
+      case Kind::kTrim:
+        out = std::string(Trim(out));
+        break;
+      case Kind::kCollapseWhitespace:
+        out = Join(SplitWhitespace(out), " ");
+        break;
+      case Kind::kStripPunctuation:
+        out = StripIf(out, IsPunct);
+        break;
+      case Kind::kStripDigits:
+        out = StripIf(out, IsDigit);
+        break;
+      case Kind::kMapTokens: {
+        std::vector<std::string> tokens = SplitWhitespace(out);
+        for (std::string& token : tokens) {
+          auto it = step.table.find(token);
+          if (it != step.table.end()) token = it->second;
+        }
+        out = Join(tokens, " ");
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Value Standardizer::ApplyToValue(const Value& value) const {
+  if (steps_.empty() || value.is_null()) return value;
+  // Merge alternatives whose standardized text collides; first-seen
+  // order is preserved. Empty results turn into ⊥ mass (dropped).
+  std::vector<Alternative> merged;
+  for (const Alternative& alt : value.alternatives()) {
+    std::string text = Apply(alt.text);
+    if (text.empty()) continue;  // cleaned away -> ⊥ mass
+    bool found = false;
+    for (Alternative& existing : merged) {
+      if (existing.text == text && existing.is_pattern == alt.is_pattern) {
+        existing.prob += alt.prob;
+        found = true;
+        break;
+      }
+    }
+    if (!found) merged.push_back({std::move(text), alt.prob, alt.is_pattern});
+  }
+  return Value::Unchecked(std::move(merged));
+}
+
+DataPreparation DataPreparation::Uniform(Standardizer standardizer,
+                                         size_t arity) {
+  std::vector<Standardizer> per_attribute(arity, standardizer);
+  return DataPreparation(std::move(per_attribute));
+}
+
+XTuple DataPreparation::PrepareXTuple(const XTuple& xtuple) const {
+  std::vector<AltTuple> alternatives = xtuple.alternatives();
+  for (AltTuple& alt : alternatives) {
+    for (size_t i = 0; i < alt.values.size() && i < per_attribute_.size();
+         ++i) {
+      alt.values[i] = per_attribute_[i].ApplyToValue(alt.values[i]);
+    }
+  }
+  return XTuple(xtuple.id(), std::move(alternatives));
+}
+
+XRelation DataPreparation::Prepare(const XRelation& rel) const {
+  XRelation out(rel.name(), rel.schema());
+  for (const XTuple& t : rel.xtuples()) {
+    out.AppendUnchecked(PrepareXTuple(t));
+  }
+  return out;
+}
+
+}  // namespace pdd

@@ -1,0 +1,100 @@
+// Data preparation (Section III-A): standardization (unification of
+// conventions) and cleaning (elimination of easy-to-recognize errors)
+// to obtain a homogeneous representation of all source data.
+//
+// For probabilistic data the transforms apply per alternative; when two
+// alternatives of one value standardize to the same text their masses
+// merge — standardization can therefore *reduce* uncertainty ("Tim " vs
+// "tim" collapses to one alternative).
+
+#ifndef PDD_PREP_STANDARDIZER_H_
+#define PDD_PREP_STANDARDIZER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pdb/value.h"
+#include "pdb/xrelation.h"
+
+namespace pdd {
+
+/// An ordered pipeline of text transforms applied to attribute values.
+class Standardizer {
+ public:
+  /// Fluent configuration; transforms run in the order added.
+  Standardizer& LowerCase();
+  Standardizer& UpperCase();
+  Standardizer& TrimWhitespace();
+  Standardizer& CollapseWhitespace();
+  /// Removes ASCII punctuation (keeps letters, digits, whitespace).
+  Standardizer& StripPunctuation();
+  /// Removes ASCII digits.
+  Standardizer& StripDigits();
+  /// Replaces whole tokens via a lookup table (nickname/abbreviation
+  /// unification: "bob" -> "robert", "st" -> "street"). Keys are matched
+  /// after the preceding transforms, so add LowerCase() first for
+  /// case-insensitive tables.
+  Standardizer& MapTokens(std::map<std::string, std::string> table);
+
+  /// Applies the pipeline to one text.
+  std::string Apply(std::string_view text) const;
+
+  /// Applies the pipeline to every alternative of a probabilistic value,
+  /// merging alternatives whose standardized texts collide (pattern
+  /// alternatives transform their prefix and stay patterns). ⊥ mass is
+  /// untouched. Alternatives standardizing to the empty string become
+  /// ⊥ mass (cleaning of empty values).
+  Value ApplyToValue(const Value& value) const;
+
+  /// Number of configured transforms.
+  size_t size() const { return steps_.size(); }
+
+ private:
+  enum class Kind {
+    kLowerCase,
+    kUpperCase,
+    kTrim,
+    kCollapseWhitespace,
+    kStripPunctuation,
+    kStripDigits,
+    kMapTokens,
+  };
+  struct Step {
+    Kind kind;
+    std::map<std::string, std::string> table;  // kMapTokens only
+  };
+
+  std::vector<Step> steps_;
+};
+
+/// Per-attribute data preparation for whole relations.
+class DataPreparation {
+ public:
+  DataPreparation() = default;
+
+  /// The same standardizer for every attribute of `arity`.
+  static DataPreparation Uniform(Standardizer standardizer, size_t arity);
+
+  /// Per-attribute standardizers (index-aligned with the schema).
+  explicit DataPreparation(std::vector<Standardizer> per_attribute)
+      : per_attribute_(std::move(per_attribute)) {}
+
+  /// Standardizes every value of every alternative of every x-tuple.
+  /// Attributes beyond the configured list pass through unchanged.
+  XRelation Prepare(const XRelation& rel) const;
+
+  /// Standardizes one x-tuple.
+  XTuple PrepareXTuple(const XTuple& xtuple) const;
+
+  const std::vector<Standardizer>& per_attribute() const {
+    return per_attribute_;
+  }
+
+ private:
+  std::vector<Standardizer> per_attribute_;
+};
+
+}  // namespace pdd
+
+#endif  // PDD_PREP_STANDARDIZER_H_

@@ -1,0 +1,70 @@
+#include "ranking/expected_rank.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace pdd {
+
+namespace {
+
+// Normalized copy of the entries (total mass 1); empty input stays empty.
+std::vector<std::pair<std::string, double>> Normalized(
+    const KeyDistribution& d) {
+  std::vector<std::pair<std::string, double>> out = d.entries;
+  double total = d.TotalMass();
+  if (total > 0.0) {
+    for (auto& [key, prob] : out) prob /= total;
+  }
+  return out;
+}
+
+}  // namespace
+
+double KeyLessProbability(const KeyDistribution& a, const KeyDistribution& b) {
+  auto na = Normalized(a), nb = Normalized(b);
+  double p = 0.0;
+  for (const auto& [ka, pa] : na) {
+    for (const auto& [kb, pb] : nb) {
+      if (ka < kb) p += pa * pb;
+    }
+  }
+  return p;
+}
+
+double KeyEqualProbability(const KeyDistribution& a,
+                           const KeyDistribution& b) {
+  auto na = Normalized(a), nb = Normalized(b);
+  double p = 0.0;
+  for (const auto& [ka, pa] : na) {
+    for (const auto& [kb, pb] : nb) {
+      if (ka == kb) p += pa * pb;
+    }
+  }
+  return p;
+}
+
+std::vector<double> ExpectedRanks(const std::vector<KeyDistribution>& keys) {
+  const size_t n = keys.size();
+  std::vector<double> ranks(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      ranks[i] += KeyLessProbability(keys[j], keys[i]) +
+                  0.5 * KeyEqualProbability(keys[j], keys[i]);
+    }
+  }
+  return ranks;
+}
+
+std::vector<size_t> RankByExpectedRank(
+    const std::vector<KeyDistribution>& keys) {
+  std::vector<double> ranks = ExpectedRanks(keys);
+  std::vector<size_t> order(keys.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return ranks[a] < ranks[b];
+  });
+  return order;
+}
+
+}  // namespace pdd

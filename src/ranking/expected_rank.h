@@ -1,0 +1,33 @@
+// Exact expected-rank ordering of tuples by uncertain key values
+// (Section V-A.4; cf. Cormode et al. [35]). Serves as the reference
+// implementation that the O(n log n) positional approximation is
+// validated against.
+
+#ifndef PDD_RANKING_EXPECTED_RANK_H_
+#define PDD_RANKING_EXPECTED_RANK_H_
+
+#include <vector>
+
+#include "keys/key_builder.h"
+
+namespace pdd {
+
+/// Probability that a key drawn from `a` sorts strictly before one drawn
+/// from `b` (lexicographic order). Distributions are normalized by their
+/// total mass first (tuple membership must not influence ordering).
+double KeyLessProbability(const KeyDistribution& a, const KeyDistribution& b);
+
+/// Probability that keys drawn from `a` and `b` are equal (after
+/// normalization).
+double KeyEqualProbability(const KeyDistribution& a, const KeyDistribution& b);
+
+/// Expected rank of each tuple: r_i = Σ_{j≠i} [P(k_j < k_i) + ½·P(k_j = k_i)].
+/// O(n²·a·b) over distribution entries.
+std::vector<double> ExpectedRanks(const std::vector<KeyDistribution>& keys);
+
+/// Tuple indices ordered by ascending expected rank (stable on ties).
+std::vector<size_t> RankByExpectedRank(const std::vector<KeyDistribution>& keys);
+
+}  // namespace pdd
+
+#endif  // PDD_RANKING_EXPECTED_RANK_H_

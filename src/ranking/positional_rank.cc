@@ -1,0 +1,70 @@
+#include "ranking/positional_rank.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <numeric>
+
+namespace pdd {
+
+std::vector<double> PositionalScores(
+    const std::vector<KeyDistribution>& keys) {
+  // Global sorted multiset of key strings with mean positions. Equal keys
+  // share the mean of their position range so ties are unbiased.
+  std::map<std::string, std::pair<double, size_t>> positions;  // sum, count
+  for (const KeyDistribution& d : keys) {
+    for (const auto& [key, prob] : d.entries) {
+      positions.emplace(key, std::make_pair(0.0, 0)).first->second.second++;
+    }
+  }
+  size_t next_pos = 0;
+  for (auto& [key, slot] : positions) {
+    size_t count = slot.second;
+    // Mean of positions [next_pos, next_pos + count).
+    slot.first = static_cast<double>(next_pos) +
+                 static_cast<double>(count - 1) / 2.0;
+    next_pos += count;
+  }
+  std::vector<double> scores(keys.size(), 0.0);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    double mass = keys[i].TotalMass();
+    if (mass <= 0.0) continue;
+    double acc = 0.0;
+    for (const auto& [key, prob] : keys[i].entries) {
+      acc += prob * positions[key].first;
+    }
+    scores[i] = acc / mass;
+  }
+  return scores;
+}
+
+std::vector<size_t> RankByPositionalScore(
+    const std::vector<KeyDistribution>& keys) {
+  std::vector<double> scores = PositionalScores(keys);
+  std::vector<size_t> order(keys.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] < scores[b];
+  });
+  return order;
+}
+
+double KendallTauAgreement(const std::vector<size_t>& a,
+                           const std::vector<size_t>& b) {
+  assert(a.size() == b.size());
+  const size_t n = a.size();
+  if (n < 2) return 1.0;
+  // Position of each element in ordering b.
+  std::vector<size_t> pos_b(n);
+  for (size_t i = 0; i < n; ++i) pos_b[b[i]] = i;
+  size_t concordant = 0, total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      ++total;
+      if (pos_b[a[i]] < pos_b[a[j]]) ++concordant;
+    }
+  }
+  return static_cast<double>(concordant) / static_cast<double>(total);
+}
+
+}  // namespace pdd

@@ -1,0 +1,38 @@
+// O(n log n) ranking of tuples by uncertain keys, in the spirit of the
+// PRF^e ranking framework (Li, Saha, Deshpande [37]) the paper cites for
+// achieving sort-like complexity.
+//
+// All key entries of all tuples are sorted once (O(N log N), N = total
+// entries); each tuple's score is the expected sorted position of its key
+// values. This approximates the exact expected rank (see
+// ranking/expected_rank.h) while matching the complexity of sorting
+// certain data — the paper's stated requirement.
+
+#ifndef PDD_RANKING_POSITIONAL_RANK_H_
+#define PDD_RANKING_POSITIONAL_RANK_H_
+
+#include <vector>
+
+#include "keys/key_builder.h"
+
+namespace pdd {
+
+/// Expected sorted position of each tuple's key distribution among all
+/// entries: score_i = Σ_k p_i(k)·pos(k) / Σ_k p_i(k), where pos(k) is the
+/// mean position of key string k in the global sorted entry list.
+std::vector<double> PositionalScores(const std::vector<KeyDistribution>& keys);
+
+/// Tuple indices ordered by ascending positional score (stable on ties).
+/// O(N log N) overall.
+std::vector<size_t> RankByPositionalScore(
+    const std::vector<KeyDistribution>& keys);
+
+/// Normalized Kendall-tau agreement in [0,1] between two orderings of the
+/// same index set (1 = identical order). Used to validate the
+/// approximation against the exact expected rank.
+double KendallTauAgreement(const std::vector<size_t>& a,
+                           const std::vector<size_t>& b);
+
+}  // namespace pdd
+
+#endif  // PDD_RANKING_POSITIONAL_RANK_H_

@@ -1,0 +1,55 @@
+#include "reduction/blocking.h"
+
+namespace pdd {
+
+std::vector<CandidatePair> PairsFromBlocks(const BlockMap& blocks) {
+  std::vector<CandidatePair> pairs;
+  for (const auto& [key, members] : blocks) {
+    for (size_t i = 0; i < members.size(); ++i) {
+      for (size_t j = i + 1; j < members.size(); ++j) {
+        if (members[i] != members[j]) {
+          pairs.push_back(MakePair(members[i], members[j]));
+        }
+      }
+    }
+  }
+  SortAndDedupPairs(&pairs);
+  return pairs;
+}
+
+BlockMap BlockingCertainKeys::Blocks(const XRelation& rel) const {
+  KeyBuilder builder(spec_, &rel.schema());
+  BlockMap blocks;
+  for (size_t i = 0; i < rel.size(); ++i) {
+    blocks[builder.CertainKey(rel.xtuple(i), strategy_)].push_back(i);
+  }
+  return blocks;
+}
+
+Result<std::vector<CandidatePair>> BlockingCertainKeys::Generate(
+    const XRelation& rel) const {
+  return PairsFromBlocks(Blocks(rel));
+}
+
+Result<std::vector<CandidatePair>> BlockingMultipassWorlds::Generate(
+    const XRelation& rel) const {
+  std::vector<World> worlds = SelectWorlds(rel, selection_);
+  if (worlds.empty()) {
+    return Status::FailedPrecondition(
+        "no all-present world exists for relation '" + rel.name() + "'");
+  }
+  KeyBuilder builder(spec_, &rel.schema());
+  std::vector<CandidatePair> all;
+  for (const World& world : worlds) {
+    BlockMap blocks;
+    for (const auto& [tuple, key] : builder.KeysForWorld(world, rel)) {
+      blocks[key].push_back(tuple);
+    }
+    std::vector<CandidatePair> pairs = PairsFromBlocks(blocks);
+    all.insert(all.end(), pairs.begin(), pairs.end());
+  }
+  SortAndDedupPairs(&all);
+  return all;
+}
+
+}  // namespace pdd

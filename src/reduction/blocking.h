@@ -1,0 +1,65 @@
+// Blocking (Section V-B): tuples are partitioned by a blocking key and
+// only tuples within one block are compared. This file provides the
+// certain-key variant (conflict resolution) and the multi-pass-over-
+// worlds variant; see blocking_alternatives.h and blocking_clustered.h
+// for the other adaptations.
+
+#ifndef PDD_REDUCTION_BLOCKING_H_
+#define PDD_REDUCTION_BLOCKING_H_
+
+#include <map>
+
+#include "keys/key_builder.h"
+#include "pdb/world_selection.h"
+#include "reduction/pair_generator.h"
+
+namespace pdd {
+
+/// Blocks keyed by block key value, each holding tuple indices.
+using BlockMap = std::map<std::string, std::vector<size_t>>;
+
+/// All within-block pairs of a block map (the comparisons blocking
+/// performs), deduplicated.
+std::vector<CandidatePair> PairsFromBlocks(const BlockMap& blocks);
+
+/// Certain-key blocking: one block key per tuple via conflict resolution.
+class BlockingCertainKeys : public PairGenerator {
+ public:
+  BlockingCertainKeys(KeySpec spec,
+                      ConflictStrategy strategy =
+                          ConflictStrategy::kMostProbable)
+      : spec_(std::move(spec)), strategy_(strategy) {}
+
+  Result<std::vector<CandidatePair>> Generate(
+      const XRelation& rel) const override;
+  std::string name() const override { return "blocking_certain_keys"; }
+
+  /// The block partition (exposed for inspection and tests).
+  BlockMap Blocks(const XRelation& rel) const;
+
+ private:
+  KeySpec spec_;
+  ConflictStrategy strategy_;
+};
+
+/// Multi-pass blocking over selected possible worlds: one blocking pass
+/// per world (certain keys within each world), candidate sets unioned.
+class BlockingMultipassWorlds : public PairGenerator {
+ public:
+  BlockingMultipassWorlds(KeySpec spec, WorldSelectionOptions selection)
+      : spec_(std::move(spec)), selection_(selection) {
+    selection_.all_present_only = true;
+  }
+
+  Result<std::vector<CandidatePair>> Generate(
+      const XRelation& rel) const override;
+  std::string name() const override { return "blocking_multipass_worlds"; }
+
+ private:
+  KeySpec spec_;
+  WorldSelectionOptions selection_;
+};
+
+}  // namespace pdd
+
+#endif  // PDD_REDUCTION_BLOCKING_H_

@@ -1,0 +1,43 @@
+#include "reduction/blocking_clustered.h"
+
+namespace pdd {
+
+std::vector<std::vector<size_t>> BlockingClustered::Clusters(
+    const XRelation& rel) const {
+  KeyBuilder builder(spec_, &rel.schema());
+  std::vector<KeyDistribution> dists;
+  dists.reserve(rel.size());
+  for (const XTuple& t : rel.xtuples()) {
+    dists.push_back(builder.DistributionFor(t, options_.conditioned));
+  }
+  DistanceFn distance = [&](size_t a, size_t b) {
+    if (options_.comparator != nullptr) {
+      return ExpectedKeyDistance(dists[a], dists[b], *options_.comparator);
+    }
+    return OverlapDistance(dists[a], dists[b]);
+  };
+  switch (options_.algorithm) {
+    case ClusteredBlockingOptions::Algorithm::kLeader:
+      return LeaderClustering(rel.size(), distance,
+                              options_.leader_threshold);
+    case ClusteredBlockingOptions::Algorithm::kKMedoids:
+      return KMedoids(rel.size(), distance, options_.kmedoids);
+  }
+  return {};
+}
+
+Result<std::vector<CandidatePair>> BlockingClustered::Generate(
+    const XRelation& rel) const {
+  std::vector<CandidatePair> pairs;
+  for (const std::vector<size_t>& cluster : Clusters(rel)) {
+    for (size_t i = 0; i < cluster.size(); ++i) {
+      for (size_t j = i + 1; j < cluster.size(); ++j) {
+        pairs.push_back(MakePair(cluster[i], cluster[j]));
+      }
+    }
+  }
+  SortAndDedupPairs(&pairs);
+  return pairs;
+}
+
+}  // namespace pdd

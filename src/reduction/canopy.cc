@@ -1,0 +1,65 @@
+#include "reduction/canopy.h"
+
+#include <deque>
+
+namespace pdd {
+
+std::vector<std::vector<size_t>> CanopyReduction::Canopies(
+    const XRelation& rel) const {
+  KeyBuilder builder(spec_, &rel.schema());
+  std::vector<KeyDistribution> dists;
+  dists.reserve(rel.size());
+  for (const XTuple& t : rel.xtuples()) {
+    dists.push_back(builder.DistributionFor(t, options_.conditioned));
+  }
+  auto distance = [&](size_t a, size_t b) {
+    if (options_.comparator != nullptr) {
+      return ExpectedKeyDistance(dists[a], dists[b], *options_.comparator);
+    }
+    return OverlapDistance(dists[a], dists[b]);
+  };
+  double tight = std::min(options_.tight, options_.loose);
+  std::deque<size_t> pool;
+  for (size_t i = 0; i < rel.size(); ++i) pool.push_back(i);
+  std::vector<bool> removed(rel.size(), false);
+  std::vector<std::vector<size_t>> canopies;
+  while (!pool.empty()) {
+    size_t center = pool.front();
+    pool.pop_front();
+    if (removed[center]) continue;
+    removed[center] = true;
+    std::vector<size_t> canopy = {center};
+    for (size_t i = 0; i < rel.size(); ++i) {
+      // Tuples tightly bound to an earlier center are consumed; tuples
+      // in the loose band stay in the pool and may join several
+      // canopies (the overlap that plain blocking lacks).
+      if (i == center || removed[i]) continue;
+      double d = distance(center, i);
+      if (d <= options_.loose) {
+        canopy.push_back(i);
+        if (d <= tight) removed[i] = true;
+      }
+    }
+    canopies.push_back(std::move(canopy));
+  }
+  return canopies;
+}
+
+Result<std::vector<CandidatePair>> CanopyReduction::Generate(
+    const XRelation& rel) const {
+  if (options_.tight > options_.loose) {
+    return Status::InvalidArgument("canopy tight threshold exceeds loose");
+  }
+  std::vector<CandidatePair> pairs;
+  for (const std::vector<size_t>& canopy : Canopies(rel)) {
+    for (size_t i = 0; i < canopy.size(); ++i) {
+      for (size_t j = i + 1; j < canopy.size(); ++j) {
+        pairs.push_back(MakePair(canopy[i], canopy[j]));
+      }
+    }
+  }
+  SortAndDedupPairs(&pairs);
+  return pairs;
+}
+
+}  // namespace pdd

@@ -1,0 +1,18 @@
+#include "reduction/full_pairs.h"
+
+namespace pdd {
+
+Result<std::vector<CandidatePair>> FullPairs::Generate(
+    const XRelation& rel) const {
+  std::vector<CandidatePair> pairs;
+  size_t n = rel.size();
+  pairs.reserve(n * (n - 1) / 2);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      pairs.push_back({i, j});
+    }
+  }
+  return pairs;
+}
+
+}  // namespace pdd

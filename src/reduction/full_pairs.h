@@ -1,0 +1,21 @@
+// The unreduced search space: every tuple pair (the baseline every
+// reduction method is measured against).
+
+#ifndef PDD_REDUCTION_FULL_PAIRS_H_
+#define PDD_REDUCTION_FULL_PAIRS_H_
+
+#include "reduction/pair_generator.h"
+
+namespace pdd {
+
+/// Generates all n(n-1)/2 pairs.
+class FullPairs : public PairGenerator {
+ public:
+  Result<std::vector<CandidatePair>> Generate(
+      const XRelation& rel) const override;
+  std::string name() const override { return "full"; }
+};
+
+}  // namespace pdd
+
+#endif  // PDD_REDUCTION_FULL_PAIRS_H_

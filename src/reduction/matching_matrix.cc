@@ -1,0 +1,29 @@
+#include "reduction/matching_matrix.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pdd {
+
+size_t MatchingMatrix::IndexOf(size_t a, size_t b) const {
+  if (a > b) std::swap(a, b);
+  assert(b < n_);
+  // Upper-triangular (including diagonal) row-major packing.
+  return a * n_ - a * (a + 1) / 2 + b;
+}
+
+bool MatchingMatrix::TestAndSet(size_t a, size_t b) {
+  if (a == b) return false;
+  size_t idx = IndexOf(a, b);
+  if (bits_[idx]) return false;
+  bits_[idx] = true;
+  ++count_;
+  return true;
+}
+
+bool MatchingMatrix::Contains(size_t a, size_t b) const {
+  if (a == b) return false;
+  return bits_[IndexOf(a, b)];
+}
+
+}  // namespace pdd

@@ -1,0 +1,44 @@
+// The matrix of already-executed matchings (Fig. 12): prevents the same
+// tuple pair from being matched twice when a tuple appears at several
+// sort positions or in several blocks.
+
+#ifndef PDD_REDUCTION_MATCHING_MATRIX_H_
+#define PDD_REDUCTION_MATCHING_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace pdd {
+
+/// Symmetric bit matrix over tuple indices storing executed matchings.
+class MatchingMatrix {
+ public:
+  /// Creates an empty matrix for `n` tuples.
+  explicit MatchingMatrix(size_t n) : n_(n), bits_(n * (n + 1) / 2, false) {}
+
+  /// Marks (a, b) executed. Returns true iff the pair was NOT executed
+  /// before (i.e. the caller should perform this matching now). Self
+  /// pairs always return false (matching a tuple with itself is
+  /// meaningless).
+  bool TestAndSet(size_t a, size_t b);
+
+  /// True iff (a, b) was executed.
+  bool Contains(size_t a, size_t b) const;
+
+  /// Number of executed matchings.
+  size_t count() const { return count_; }
+
+  /// Capacity in tuples.
+  size_t size() const { return n_; }
+
+ private:
+  size_t IndexOf(size_t a, size_t b) const;
+
+  size_t n_;
+  std::vector<bool> bits_;
+  size_t count_ = 0;
+};
+
+}  // namespace pdd
+
+#endif  // PDD_REDUCTION_MATCHING_MATRIX_H_

@@ -1,0 +1,62 @@
+#include "reduction/qgram_index.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace pdd {
+
+Result<std::vector<CandidatePair>> QGramIndexReduction::Generate(
+    const XRelation& rel) const {
+  if (options_.q == 0) {
+    return Status::InvalidArgument("q must be at least 1");
+  }
+  if (options_.min_shared_grams == 0) {
+    return Status::InvalidArgument("min_shared_grams must be at least 1");
+  }
+  KeyBuilder builder(spec_, &rel.schema());
+  // Distinct grams per tuple (set semantics across all alternative keys).
+  std::map<std::string, std::vector<size_t>> postings;
+  for (size_t i = 0; i < rel.size(); ++i) {
+    std::set<std::string> grams;
+    for (const std::string& key : builder.AlternativeKeys(rel.xtuple(i))) {
+      for (std::string& gram : QGrams(key, options_.q)) {
+        grams.insert(std::move(gram));
+      }
+    }
+    for (const std::string& gram : grams) {
+      postings[gram].push_back(i);
+    }
+  }
+  size_t max_posting = std::max(
+      options_.stop_gram_floor,
+      static_cast<size_t>(options_.max_posting_fraction *
+                          static_cast<double>(rel.size())));
+  if (max_posting == 0) max_posting = 1;
+  // Count shared grams per pair over the (filtered) posting lists.
+  std::unordered_map<uint64_t, size_t> shared;
+  for (const auto& [gram, tuples] : postings) {
+    if (tuples.size() > max_posting) continue;  // stop-gram
+    for (size_t a = 0; a < tuples.size(); ++a) {
+      for (size_t b = a + 1; b < tuples.size(); ++b) {
+        uint64_t code = (static_cast<uint64_t>(tuples[a]) << 32) |
+                        static_cast<uint64_t>(tuples[b]);
+        ++shared[code];
+      }
+    }
+  }
+  std::vector<CandidatePair> pairs;
+  for (const auto& [code, count] : shared) {
+    if (count >= options_.min_shared_grams) {
+      pairs.push_back({static_cast<size_t>(code >> 32),
+                       static_cast<size_t>(code & 0xffffffffu)});
+    }
+  }
+  SortAndDedupPairs(&pairs);
+  return pairs;
+}
+
+}  // namespace pdd

@@ -1,0 +1,45 @@
+#include "reduction/snm_adaptive.h"
+
+#include "sim/edit_distance.h"
+
+namespace pdd {
+
+Result<std::vector<CandidatePair>> SnmAdaptive::Generate(
+    const XRelation& rel) const {
+  if (options_.max_window < 2) {
+    return Status::InvalidArgument("adaptive SNM max_window must be >= 2");
+  }
+  static const NormalizedHammingComparator kDefaultComparator;
+  const Comparator& cmp = options_.comparator != nullptr
+                              ? *options_.comparator
+                              : kDefaultComparator;
+  KeyBuilder builder(spec_, &rel.schema());
+  std::vector<KeyedEntry> entries;
+  entries.reserve(rel.size());
+  for (size_t i = 0; i < rel.size(); ++i) {
+    entries.push_back({builder.CertainKey(rel.xtuple(i), options_.strategy),
+                       i});
+  }
+  SortEntries(&entries);
+  // Every entry pairs backwards while the chain of adjacent keys stays
+  // similar, up to max_window - 1 predecessors.
+  std::vector<CandidatePair> pairs;
+  for (size_t i = 1; i < entries.size(); ++i) {
+    for (size_t back = 1; back < options_.max_window && back <= i; ++back) {
+      size_t j = i - back;
+      // The window extends only while the adjacent links are similar:
+      // breaking one link stops the extension (key regions separate).
+      if (cmp.Compare(entries[j].key, entries[j + 1].key) <
+          options_.key_similarity_threshold) {
+        break;
+      }
+      if (entries[j].tuple != entries[i].tuple) {
+        pairs.push_back(MakePair(entries[j].tuple, entries[i].tuple));
+      }
+    }
+  }
+  SortAndDedupPairs(&pairs);
+  return pairs;
+}
+
+}  // namespace pdd

@@ -1,0 +1,30 @@
+#include "reduction/snm_certain_keys.h"
+
+namespace pdd {
+
+std::vector<KeyedEntry> SnmCertainKeys::SortedEntries(
+    const XRelation& rel) const {
+  KeyBuilder builder(spec_, &rel.schema());
+  std::vector<KeyedEntry> entries;
+  entries.reserve(rel.size());
+  for (size_t i = 0; i < rel.size(); ++i) {
+    entries.push_back({builder.CertainKey(rel.xtuple(i), options_.strategy),
+                       i});
+  }
+  SortEntries(&entries);
+  return entries;
+}
+
+Result<std::vector<CandidatePair>> SnmCertainKeys::Generate(
+    const XRelation& rel) const {
+  if (options_.window < 2) {
+    return Status::InvalidArgument("SNM window must be at least 2");
+  }
+  std::vector<KeyedEntry> entries = SortedEntries(rel);
+  std::vector<CandidatePair> pairs =
+      WindowPairs(entries, options_.window, nullptr);
+  SortAndDedupPairs(&pairs);
+  return pairs;
+}
+
+}  // namespace pdd

@@ -1,0 +1,43 @@
+#include "reduction/snm_core.h"
+
+#include <algorithm>
+
+namespace pdd {
+
+void SortEntries(std::vector<KeyedEntry>* entries) {
+  std::stable_sort(entries->begin(), entries->end(),
+                   [](const KeyedEntry& a, const KeyedEntry& b) {
+                     return a.key < b.key;
+                   });
+}
+
+void DropAdjacentSameTuple(std::vector<KeyedEntry>* entries) {
+  std::vector<KeyedEntry> kept;
+  kept.reserve(entries->size());
+  for (KeyedEntry& e : *entries) {
+    if (!kept.empty() && kept.back().tuple == e.tuple) continue;
+    kept.push_back(std::move(e));
+  }
+  *entries = std::move(kept);
+}
+
+std::vector<CandidatePair> WindowPairs(const std::vector<KeyedEntry>& sorted,
+                                       size_t window,
+                                       MatchingMatrix* executed) {
+  std::vector<CandidatePair> pairs;
+  if (window < 2) return pairs;
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    size_t lo = i >= window - 1 ? i - (window - 1) : 0;
+    for (size_t j = lo; j < i; ++j) {
+      if (sorted[j].tuple == sorted[i].tuple) continue;
+      if (executed != nullptr &&
+          !executed->TestAndSet(sorted[j].tuple, sorted[i].tuple)) {
+        continue;
+      }
+      pairs.push_back(MakePair(sorted[j].tuple, sorted[i].tuple));
+    }
+  }
+  return pairs;
+}
+
+}  // namespace pdd

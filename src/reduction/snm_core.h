@@ -1,0 +1,43 @@
+// Core of the sorted neighborhood method: key-sorted entries and the
+// sliding window pass (Hernandez & Stolfo [19]).
+
+#ifndef PDD_REDUCTION_SNM_CORE_H_
+#define PDD_REDUCTION_SNM_CORE_H_
+
+#include <string>
+#include <vector>
+
+#include "reduction/matching_matrix.h"
+#include "reduction/pair_generator.h"
+
+namespace pdd {
+
+/// One sortable entry: a key value referencing a tuple. A tuple may own
+/// several entries (multi-pass worlds, sorting alternatives).
+struct KeyedEntry {
+  std::string key;
+  size_t tuple = 0;
+};
+
+/// Stable sort by key (insertion order breaks ties, matching the paper's
+/// figures where t31's "Johpi" precedes t41's).
+void SortEntries(std::vector<KeyedEntry>* entries);
+
+/// Removes entries whose tuple equals the previous surviving entry's
+/// tuple (Fig. 11's omission rule: neighboring key values referencing the
+/// same tuple are redundant).
+void DropAdjacentSameTuple(std::vector<KeyedEntry>* entries);
+
+/// Slides a window of `window` entries over the sorted list; every entry
+/// is paired with the `window - 1` preceding entries. Self pairs are
+/// skipped. When `executed` is non-null it suppresses (and records)
+/// repeated matchings of the same tuple pair (Fig. 12). The returned
+/// pairs preserve encounter order (callers needing canonical order use
+/// SortAndDedupPairs).
+std::vector<CandidatePair> WindowPairs(const std::vector<KeyedEntry>& sorted,
+                                       size_t window,
+                                       MatchingMatrix* executed);
+
+}  // namespace pdd
+
+#endif  // PDD_REDUCTION_SNM_CORE_H_

@@ -1,0 +1,37 @@
+#include "reduction/snm_multipass_worlds.h"
+
+namespace pdd {
+
+std::vector<KeyedEntry> SnmMultipassWorlds::SortedEntriesForWorld(
+    const World& world, const XRelation& rel) const {
+  KeyBuilder builder(spec_, &rel.schema());
+  std::vector<KeyedEntry> entries;
+  for (const auto& [tuple, key] : builder.KeysForWorld(world, rel)) {
+    entries.push_back({key, tuple});
+  }
+  SortEntries(&entries);
+  return entries;
+}
+
+Result<std::vector<CandidatePair>> SnmMultipassWorlds::Generate(
+    const XRelation& rel) const {
+  if (options_.window < 2) {
+    return Status::InvalidArgument("SNM window must be at least 2");
+  }
+  std::vector<World> worlds = SelectWorlds(rel, options_.selection);
+  if (worlds.empty()) {
+    return Status::FailedPrecondition(
+        "no all-present world exists for relation '" + rel.name() + "'");
+  }
+  std::vector<CandidatePair> all;
+  for (const World& world : worlds) {
+    std::vector<KeyedEntry> entries = SortedEntriesForWorld(world, rel);
+    std::vector<CandidatePair> pairs =
+        WindowPairs(entries, options_.window, nullptr);
+    all.insert(all.end(), pairs.begin(), pairs.end());
+  }
+  SortAndDedupPairs(&all);
+  return all;
+}
+
+}  // namespace pdd

@@ -1,0 +1,38 @@
+#include "reduction/snm_sorting_alternatives.h"
+
+namespace pdd {
+
+std::vector<KeyedEntry> SnmSortingAlternatives::SortedEntries(
+    const XRelation& rel) const {
+  KeyBuilder builder(spec_, &rel.schema());
+  std::vector<KeyedEntry> entries;
+  for (size_t i = 0; i < rel.size(); ++i) {
+    for (std::string& key : builder.AlternativeKeys(rel.xtuple(i))) {
+      entries.push_back({std::move(key), i});
+    }
+  }
+  SortEntries(&entries);
+  return entries;
+}
+
+std::vector<KeyedEntry> SnmSortingAlternatives::SurvivingEntries(
+    const XRelation& rel) const {
+  std::vector<KeyedEntry> entries = SortedEntries(rel);
+  DropAdjacentSameTuple(&entries);
+  return entries;
+}
+
+Result<std::vector<CandidatePair>> SnmSortingAlternatives::Generate(
+    const XRelation& rel) const {
+  if (options_.window < 2) {
+    return Status::InvalidArgument("SNM window must be at least 2");
+  }
+  std::vector<KeyedEntry> entries = SurvivingEntries(rel);
+  MatchingMatrix executed(rel.size());
+  std::vector<CandidatePair> pairs =
+      WindowPairs(entries, options_.window, &executed);
+  SortAndDedupPairs(&pairs);
+  return pairs;
+}
+
+}  // namespace pdd

@@ -1,0 +1,48 @@
+#include "reduction/snm_uncertain_ranking.h"
+
+#include "ranking/expected_rank.h"
+#include "ranking/positional_rank.h"
+
+namespace pdd {
+
+std::vector<KeyDistribution> SnmUncertainRanking::Distributions(
+    const XRelation& rel) const {
+  KeyBuilder builder(spec_, &rel.schema());
+  std::vector<KeyDistribution> dists;
+  dists.reserve(rel.size());
+  for (const XTuple& t : rel.xtuples()) {
+    dists.push_back(builder.DistributionFor(t, options_.conditioned));
+  }
+  return dists;
+}
+
+std::vector<size_t> SnmUncertainRanking::RankedOrder(
+    const XRelation& rel) const {
+  std::vector<KeyDistribution> dists = Distributions(rel);
+  switch (options_.method) {
+    case RankingMethod::kExpectedRank:
+      return RankByExpectedRank(dists);
+    case RankingMethod::kPositional:
+      return RankByPositionalScore(dists);
+  }
+  return {};
+}
+
+Result<std::vector<CandidatePair>> SnmUncertainRanking::Generate(
+    const XRelation& rel) const {
+  if (options_.window < 2) {
+    return Status::InvalidArgument("SNM window must be at least 2");
+  }
+  std::vector<size_t> order = RankedOrder(rel);
+  std::vector<CandidatePair> pairs;
+  for (size_t i = 1; i < order.size(); ++i) {
+    size_t lo = i >= options_.window - 1 ? i - (options_.window - 1) : 0;
+    for (size_t j = lo; j < i; ++j) {
+      pairs.push_back(MakePair(order[j], order[i]));
+    }
+  }
+  SortAndDedupPairs(&pairs);
+  return pairs;
+}
+
+}  // namespace pdd

@@ -1,0 +1,23 @@
+#include "sim/comparator.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace pdd {
+
+double ExactIgnoreCaseComparator::Compare(std::string_view a,
+                                          std::string_view b) const {
+  return EqualsIgnoreCase(a, b) ? 1.0 : 0.0;
+}
+
+double PrefixComparator::Compare(std::string_view a, std::string_view b) const {
+  if (a.empty() && b.empty()) return 1.0;
+  size_t lcp = 0;
+  size_t limit = std::min(a.size(), b.size());
+  while (lcp < limit && a[lcp] == b[lcp]) ++lcp;
+  return static_cast<double>(lcp) /
+         static_cast<double>(std::max(a.size(), b.size()));
+}
+
+}  // namespace pdd

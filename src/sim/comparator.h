@@ -1,0 +1,52 @@
+// Comparison functions quantifying attribute value similarity
+// (Section III-C). All comparators are normalized: results lie in [0, 1].
+
+#ifndef PDD_SIM_COMPARATOR_H_
+#define PDD_SIM_COMPARATOR_H_
+
+#include <string>
+#include <string_view>
+
+namespace pdd {
+
+/// Interface of a normalized comparison function on certain values.
+///
+/// Implementations must be symmetric (Compare(a,b) == Compare(b,a)),
+/// reflexive (Compare(a,a) == 1) and return values in [0, 1].
+class Comparator {
+ public:
+  virtual ~Comparator() = default;
+
+  /// Similarity of two certain attribute values, in [0, 1].
+  virtual double Compare(std::string_view a, std::string_view b) const = 0;
+
+  /// Stable registry name ("hamming", "jaro_winkler", ...).
+  virtual std::string name() const = 0;
+};
+
+/// Exact equality: 1 when equal, else 0 (Eq. 4's identity comparator).
+class ExactComparator : public Comparator {
+ public:
+  double Compare(std::string_view a, std::string_view b) const override {
+    return a == b ? 1.0 : 0.0;
+  }
+  std::string name() const override { return "exact"; }
+};
+
+/// Case-insensitive exact equality.
+class ExactIgnoreCaseComparator : public Comparator {
+ public:
+  double Compare(std::string_view a, std::string_view b) const override;
+  std::string name() const override { return "exact_nocase"; }
+};
+
+/// Longest-common-prefix similarity: |lcp(a,b)| / max(|a|, |b|).
+class PrefixComparator : public Comparator {
+ public:
+  double Compare(std::string_view a, std::string_view b) const override;
+  std::string name() const override { return "prefix"; }
+};
+
+}  // namespace pdd
+
+#endif  // PDD_SIM_COMPARATOR_H_

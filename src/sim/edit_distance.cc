@@ -1,0 +1,103 @@
+#include "sim/edit_distance.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace pdd {
+
+size_t GeneralizedHammingDistance(std::string_view a, std::string_view b) {
+  size_t common = std::min(a.size(), b.size());
+  size_t dist = std::max(a.size(), b.size()) - common;
+  for (size_t i = 0; i < common; ++i) {
+    if (a[i] != b[i]) ++dist;
+  }
+  return dist;
+}
+
+size_t LevenshteinDistance(std::string_view a, std::string_view b) {
+  if (a.size() < b.size()) std::swap(a, b);
+  // b is the shorter string; one rolling row of |b|+1 entries.
+  std::vector<size_t> row(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t diag = row[0];
+    row[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      size_t next_diag = row[j];
+      size_t cost = a[i - 1] == b[j - 1] ? 0 : 1;
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, diag + cost});
+      diag = next_diag;
+    }
+  }
+  return row[b.size()];
+}
+
+size_t DamerauLevenshteinDistance(std::string_view a, std::string_view b) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  // Three rolling rows (current, previous, before-previous) for the
+  // optimal-string-alignment recurrence.
+  std::vector<size_t> prev2(m + 1), prev(m + 1), cur(m + 1);
+  for (size_t j = 0; j <= m; ++j) prev[j] = j;
+  for (size_t i = 1; i <= n; ++i) {
+    cur[0] = i;
+    for (size_t j = 1; j <= m; ++j) {
+      size_t cost = a[i - 1] == b[j - 1] ? 0 : 1;
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, prev[j - 1] + cost});
+      if (i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1]) {
+        cur[j] = std::min(cur[j], prev2[j - 2] + 1);
+      }
+    }
+    std::swap(prev2, prev);
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+size_t LongestCommonSubsequence(std::string_view a, std::string_view b) {
+  if (a.size() < b.size()) std::swap(a, b);
+  std::vector<size_t> prev(b.size() + 1, 0), cur(b.size() + 1, 0);
+  for (size_t i = 1; i <= a.size(); ++i) {
+    for (size_t j = 1; j <= b.size(); ++j) {
+      cur[j] = a[i - 1] == b[j - 1] ? prev[j - 1] + 1
+                                    : std::max(prev[j], cur[j - 1]);
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+namespace {
+
+double NormalizeByMaxLength(size_t distance, std::string_view a,
+                            std::string_view b) {
+  size_t max_len = std::max(a.size(), b.size());
+  if (max_len == 0) return 1.0;
+  return 1.0 - static_cast<double>(distance) / static_cast<double>(max_len);
+}
+
+}  // namespace
+
+double NormalizedHammingComparator::Compare(std::string_view a,
+                                            std::string_view b) const {
+  return NormalizeByMaxLength(GeneralizedHammingDistance(a, b), a, b);
+}
+
+double LevenshteinComparator::Compare(std::string_view a,
+                                      std::string_view b) const {
+  return NormalizeByMaxLength(LevenshteinDistance(a, b), a, b);
+}
+
+double DamerauLevenshteinComparator::Compare(std::string_view a,
+                                             std::string_view b) const {
+  return NormalizeByMaxLength(DamerauLevenshteinDistance(a, b), a, b);
+}
+
+double LcsComparator::Compare(std::string_view a, std::string_view b) const {
+  size_t max_len = std::max(a.size(), b.size());
+  if (max_len == 0) return 1.0;
+  return static_cast<double>(LongestCommonSubsequence(a, b)) /
+         static_cast<double>(max_len);
+}
+
+}  // namespace pdd

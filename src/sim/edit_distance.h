@@ -1,0 +1,60 @@
+// Edit-distance-family comparison functions: normalized Hamming (the
+// comparator used in all of the paper's worked examples), Levenshtein,
+// Damerau-Levenshtein (OSA), and longest common subsequence.
+
+#ifndef PDD_SIM_EDIT_DISTANCE_H_
+#define PDD_SIM_EDIT_DISTANCE_H_
+
+#include <cstddef>
+
+#include "sim/comparator.h"
+
+namespace pdd {
+
+/// Hamming distance generalized to unequal lengths: positions beyond the
+/// shorter string count as mismatches.
+size_t GeneralizedHammingDistance(std::string_view a, std::string_view b);
+
+/// Levenshtein (edit) distance.
+size_t LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// Damerau-Levenshtein distance, optimal-string-alignment variant
+/// (adjacent transposition counts as one edit).
+size_t DamerauLevenshteinDistance(std::string_view a, std::string_view b);
+
+/// Length of the longest common subsequence.
+size_t LongestCommonSubsequence(std::string_view a, std::string_view b);
+
+/// Normalized Hamming similarity: matching positions / max length.
+/// Reproduces the paper's values: sim(Tim,Kim)=2/3,
+/// sim(machinist,mechanic)=5/9, sim(Jim,Tom)=1/3.
+class NormalizedHammingComparator : public Comparator {
+ public:
+  double Compare(std::string_view a, std::string_view b) const override;
+  std::string name() const override { return "hamming"; }
+};
+
+/// Levenshtein similarity: 1 - distance / max length.
+class LevenshteinComparator : public Comparator {
+ public:
+  double Compare(std::string_view a, std::string_view b) const override;
+  std::string name() const override { return "levenshtein"; }
+};
+
+/// Damerau-Levenshtein (OSA) similarity: 1 - distance / max length.
+class DamerauLevenshteinComparator : public Comparator {
+ public:
+  double Compare(std::string_view a, std::string_view b) const override;
+  std::string name() const override { return "damerau"; }
+};
+
+/// LCS similarity: |lcs| / max length.
+class LcsComparator : public Comparator {
+ public:
+  double Compare(std::string_view a, std::string_view b) const override;
+  std::string name() const override { return "lcs"; }
+};
+
+}  // namespace pdd
+
+#endif  // PDD_SIM_EDIT_DISTANCE_H_

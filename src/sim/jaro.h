@@ -1,0 +1,44 @@
+// Jaro and Jaro-Winkler similarity (standard record-linkage comparators,
+// cited by the paper via Elmagarmid et al. [15]).
+
+#ifndef PDD_SIM_JARO_H_
+#define PDD_SIM_JARO_H_
+
+#include "sim/comparator.h"
+
+namespace pdd {
+
+/// Jaro similarity.
+double JaroSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro-Winkler similarity with prefix scale `p` (default 0.1) over at
+/// most the first four characters.
+double JaroWinklerSimilarity(std::string_view a, std::string_view b,
+                             double prefix_scale = 0.1);
+
+/// Jaro similarity comparator.
+class JaroComparator : public Comparator {
+ public:
+  double Compare(std::string_view a, std::string_view b) const override {
+    return JaroSimilarity(a, b);
+  }
+  std::string name() const override { return "jaro"; }
+};
+
+/// Jaro-Winkler comparator.
+class JaroWinklerComparator : public Comparator {
+ public:
+  explicit JaroWinklerComparator(double prefix_scale = 0.1)
+      : prefix_scale_(prefix_scale) {}
+  double Compare(std::string_view a, std::string_view b) const override {
+    return JaroWinklerSimilarity(a, b, prefix_scale_);
+  }
+  std::string name() const override { return "jaro_winkler"; }
+
+ private:
+  double prefix_scale_;
+};
+
+}  // namespace pdd
+
+#endif  // PDD_SIM_JARO_H_

@@ -1,0 +1,30 @@
+#include "sim/numeric_similarity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace pdd {
+
+double NumericComparator::Compare(std::string_view a, std::string_view b) const {
+  double x = 0.0, y = 0.0;
+  if (!ParseDouble(a, &x) || !ParseDouble(b, &y)) {
+    return a == b ? 1.0 : 0.0;
+  }
+  if (scale_ <= 0.0) return x == y ? 1.0 : 0.0;
+  return std::max(0.0, 1.0 - std::abs(x - y) / scale_);
+}
+
+double RelativeNumericComparator::Compare(std::string_view a,
+                                          std::string_view b) const {
+  double x = 0.0, y = 0.0;
+  if (!ParseDouble(a, &x) || !ParseDouble(b, &y)) {
+    return a == b ? 1.0 : 0.0;
+  }
+  double denom = std::max(std::abs(x), std::abs(y));
+  if (denom == 0.0) return 1.0;
+  return std::max(0.0, 1.0 - std::abs(x - y) / denom);
+}
+
+}  // namespace pdd

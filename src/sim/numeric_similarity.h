@@ -1,0 +1,35 @@
+// Similarity for numeric attributes (astronomy workloads: positions,
+// magnitudes). Values are still carried as strings in the data model;
+// this comparator parses them.
+
+#ifndef PDD_SIM_NUMERIC_SIMILARITY_H_
+#define PDD_SIM_NUMERIC_SIMILARITY_H_
+
+#include "sim/comparator.h"
+
+namespace pdd {
+
+/// Linear-decay numeric similarity: max(0, 1 - |a-b| / scale).
+/// Inputs that fail to parse as doubles fall back to exact string match.
+class NumericComparator : public Comparator {
+ public:
+  /// `scale` is the difference at which similarity reaches 0; must be > 0.
+  explicit NumericComparator(double scale = 1.0) : scale_(scale) {}
+  double Compare(std::string_view a, std::string_view b) const override;
+  std::string name() const override { return "numeric"; }
+
+ private:
+  double scale_;
+};
+
+/// Relative numeric similarity: max(0, 1 - |a-b| / max(|a|,|b|)), with
+/// 1 for two zeros. Suits magnitude-like attributes without a fixed scale.
+class RelativeNumericComparator : public Comparator {
+ public:
+  double Compare(std::string_view a, std::string_view b) const override;
+  std::string name() const override { return "numeric_rel"; }
+};
+
+}  // namespace pdd
+
+#endif  // PDD_SIM_NUMERIC_SIMILARITY_H_

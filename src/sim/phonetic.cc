@@ -1,0 +1,111 @@
+#include "sim/phonetic.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace pdd {
+
+namespace {
+
+// Soundex digit per letter; 0 means the letter is ignored (vowels, h, w, y).
+char SoundexDigit(char c) {
+  switch (std::tolower(static_cast<unsigned char>(c))) {
+    case 'b':
+    case 'f':
+    case 'p':
+    case 'v':
+      return '1';
+    case 'c':
+    case 'g':
+    case 'j':
+    case 'k':
+    case 'q':
+    case 's':
+    case 'x':
+    case 'z':
+      return '2';
+    case 'd':
+    case 't':
+      return '3';
+    case 'l':
+      return '4';
+    case 'm':
+    case 'n':
+      return '5';
+    case 'r':
+      return '6';
+    default:
+      return '0';
+  }
+}
+
+bool IsHW(char c) {
+  char l = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return l == 'h' || l == 'w';
+}
+
+}  // namespace
+
+std::string Soundex(std::string_view s) {
+  size_t i = 0;
+  while (i < s.size() && !std::isalpha(static_cast<unsigned char>(s[i]))) ++i;
+  if (i == s.size()) return "0000";
+  std::string code(1, static_cast<char>(
+                          std::toupper(static_cast<unsigned char>(s[i]))));
+  char prev_digit = SoundexDigit(s[i]);
+  for (++i; i < s.size() && code.size() < 4; ++i) {
+    if (!std::isalpha(static_cast<unsigned char>(s[i]))) continue;
+    char digit = SoundexDigit(s[i]);
+    if (digit == '0') {
+      // h/w do not reset the previous digit; vowels do.
+      if (!IsHW(s[i])) prev_digit = '0';
+      continue;
+    }
+    if (digit != prev_digit) code += digit;
+    prev_digit = digit;
+  }
+  while (code.size() < 4) code += '0';
+  return code;
+}
+
+double SoundexComparator::Compare(std::string_view a,
+                                  std::string_view b) const {
+  std::string ca = Soundex(a), cb = Soundex(b);
+  size_t agree = 0;
+  for (size_t i = 0; i < 4; ++i) {
+    if (ca[i] == cb[i]) ++agree;
+  }
+  return static_cast<double>(agree) / 4.0;
+}
+
+SynonymComparator::SynonymComparator(
+    std::vector<std::vector<std::string>> groups, const Comparator* inner,
+    double synonym_score)
+    : groups_(std::move(groups)),
+      inner_(inner),
+      synonym_score_(synonym_score) {
+  for (auto& group : groups_) {
+    for (auto& term : group) term = ToLower(term);
+  }
+}
+
+int SynonymComparator::GroupOf(std::string_view term) const {
+  std::string needle = ToLower(term);
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    for (const std::string& t : groups_[g]) {
+      if (t == needle) return static_cast<int>(g);
+    }
+  }
+  return -1;
+}
+
+double SynonymComparator::Compare(std::string_view a,
+                                  std::string_view b) const {
+  if (EqualsIgnoreCase(a, b)) return 1.0;
+  int ga = GroupOf(a);
+  if (ga >= 0 && ga == GroupOf(b)) return synonym_score_;
+  return inner_->Compare(a, b);
+}
+
+}  // namespace pdd

@@ -1,0 +1,48 @@
+// Phonetic (Soundex) and synonym-table comparators — the library's stand-in
+// for the paper's "semantic means (glossaries or ontologies)".
+
+#ifndef PDD_SIM_PHONETIC_H_
+#define PDD_SIM_PHONETIC_H_
+
+#include <string>
+#include <vector>
+
+#include "sim/comparator.h"
+
+namespace pdd {
+
+/// American Soundex code of `s` ("Robert" -> "R163"). Non-alphabetic
+/// leading characters are skipped; an empty input yields "0000".
+std::string Soundex(std::string_view s);
+
+/// 1 when Soundex codes agree, else a partial score of
+/// (matching code positions)/4 — sounds-alike evidence for names.
+class SoundexComparator : public Comparator {
+ public:
+  double Compare(std::string_view a, std::string_view b) const override;
+  std::string name() const override { return "soundex"; }
+};
+
+/// Synonym-table comparator: values in the same synonym group score
+/// `synonym_score`; otherwise an inner comparator decides. Stands in for
+/// glossary/ontology lookups (e.g. job titles: baker ~ confectioner).
+class SynonymComparator : public Comparator {
+ public:
+  /// `groups` lists synonym sets; `inner` must outlive this comparator.
+  SynonymComparator(std::vector<std::vector<std::string>> groups,
+                    const Comparator* inner, double synonym_score = 0.9);
+  double Compare(std::string_view a, std::string_view b) const override;
+  std::string name() const override { return "synonym"; }
+
+ private:
+  /// Group index per canonicalized (lower-cased) term; -1 when absent.
+  int GroupOf(std::string_view term) const;
+
+  std::vector<std::vector<std::string>> groups_;
+  const Comparator* inner_;
+  double synonym_score_;
+};
+
+}  // namespace pdd
+
+#endif  // PDD_SIM_PHONETIC_H_

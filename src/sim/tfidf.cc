@@ -1,0 +1,90 @@
+#include "sim/tfidf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/string_util.h"
+
+namespace pdd {
+
+IdfTable IdfTable::Train(const std::vector<std::string>& corpus) {
+  IdfTable table;
+  std::map<std::string, size_t> doc_freq;
+  for (const std::string& doc : corpus) {
+    std::set<std::string> seen;
+    for (const std::string& token : SplitWhitespace(ToLower(doc))) {
+      seen.insert(token);
+    }
+    for (const std::string& token : seen) ++doc_freq[token];
+  }
+  double n = static_cast<double>(std::max<size_t>(1, corpus.size()));
+  for (const auto& [token, df] : doc_freq) {
+    table.idf_[token] = std::log(1.0 + n / static_cast<double>(df));
+  }
+  table.default_idf_ = std::log(1.0 + n);
+  return table;
+}
+
+double IdfTable::Weight(const std::string& token) const {
+  auto it = idf_.find(token);
+  return it != idf_.end() ? it->second : default_idf_;
+}
+
+namespace {
+
+// Lower-cased token -> tf*idf weight, L2-normalized.
+std::map<std::string, double> WeightedVector(std::string_view text,
+                                             const IdfTable& idf) {
+  std::map<std::string, double> vec;
+  for (const std::string& token : SplitWhitespace(ToLower(text))) {
+    vec[token] += idf.Weight(token);
+  }
+  double norm = 0.0;
+  for (const auto& [token, w] : vec) norm += w * w;
+  norm = std::sqrt(norm);
+  if (norm > 0.0) {
+    for (auto& [token, w] : vec) w /= norm;
+  }
+  return vec;
+}
+
+}  // namespace
+
+double TfIdfComparator::Compare(std::string_view a, std::string_view b) const {
+  if (Trim(a).empty() && Trim(b).empty()) return 1.0;
+  std::map<std::string, double> va = WeightedVector(a, *idf_);
+  std::map<std::string, double> vb = WeightedVector(b, *idf_);
+  if (va.empty() || vb.empty()) return va.empty() == vb.empty() ? 1.0 : 0.0;
+  double dot = 0.0;
+  for (const auto& [token, w] : va) {
+    auto it = vb.find(token);
+    if (it != vb.end()) dot += w * it->second;
+  }
+  return std::min(1.0, dot);
+}
+
+double SoftTfIdfComparator::Compare(std::string_view a,
+                                    std::string_view b) const {
+  if (Trim(a).empty() && Trim(b).empty()) return 1.0;
+  std::map<std::string, double> va = WeightedVector(a, *idf_);
+  std::map<std::string, double> vb = WeightedVector(b, *idf_);
+  if (va.empty() || vb.empty()) return va.empty() == vb.empty() ? 1.0 : 0.0;
+  // Greedy best-pair alignment of close tokens (per CLOSE(θ, a, b)).
+  double score = 0.0;
+  for (const auto& [ta, wa] : va) {
+    double best_sim = 0.0;
+    double best_weight = 0.0;
+    for (const auto& [tb, wb] : vb) {
+      double sim = inner_->Compare(ta, tb);
+      if (sim >= token_threshold_ && sim > best_sim) {
+        best_sim = sim;
+        best_weight = wb;
+      }
+    }
+    if (best_sim > 0.0) score += wa * best_weight * best_sim;
+  }
+  return std::min(1.0, score);
+}
+
+}  // namespace pdd

@@ -1,0 +1,69 @@
+// Corpus-weighted token similarity: TF-IDF cosine and SoftTFIDF
+// (Cohen et al.'s hybrid of TF-IDF weighting with a secondary
+// character-level comparator). Rare tokens (surnames) count more than
+// ubiquitous ones ("inc", "street") — the standard upgrade over plain
+// Jaccard for multi-token fields.
+
+#ifndef PDD_SIM_TFIDF_H_
+#define PDD_SIM_TFIDF_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/comparator.h"
+
+namespace pdd {
+
+/// Inverse-document-frequency table trained from a corpus of field
+/// values (one document per value; tokens are whitespace-separated and
+/// lower-cased).
+class IdfTable {
+ public:
+  /// Trains from corpus values. Unseen tokens receive the maximal idf.
+  static IdfTable Train(const std::vector<std::string>& corpus);
+
+  /// idf weight of a (lower-cased) token.
+  double Weight(const std::string& token) const;
+
+  /// Number of distinct trained tokens.
+  size_t size() const { return idf_.size(); }
+
+ private:
+  std::map<std::string, double> idf_;
+  double default_idf_ = 1.0;
+};
+
+/// Cosine similarity of TF-IDF weighted token vectors.
+class TfIdfComparator : public Comparator {
+ public:
+  /// `idf` must outlive the comparator.
+  explicit TfIdfComparator(const IdfTable* idf) : idf_(idf) {}
+  double Compare(std::string_view a, std::string_view b) const override;
+  std::string name() const override { return "tfidf"; }
+
+ private:
+  const IdfTable* idf_;
+};
+
+/// SoftTFIDF: tokens need not match exactly — pairs whose secondary
+/// similarity exceeds `token_threshold` contribute, scaled by that
+/// similarity. Robust to per-token typos in multi-token fields.
+class SoftTfIdfComparator : public Comparator {
+ public:
+  /// `idf` and `inner` must outlive the comparator.
+  SoftTfIdfComparator(const IdfTable* idf, const Comparator* inner,
+                      double token_threshold = 0.9)
+      : idf_(idf), inner_(inner), token_threshold_(token_threshold) {}
+  double Compare(std::string_view a, std::string_view b) const override;
+  std::string name() const override { return "soft_tfidf"; }
+
+ private:
+  const IdfTable* idf_;
+  const Comparator* inner_;
+  double token_threshold_;
+};
+
+}  // namespace pdd
+
+#endif  // PDD_SIM_TFIDF_H_

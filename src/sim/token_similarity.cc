@@ -1,0 +1,104 @@
+#include "sim/token_similarity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace pdd {
+
+double QGramComparator::Compare(std::string_view a, std::string_view b) const {
+  if (a.empty() && b.empty()) return 1.0;
+  std::vector<std::string> ga = QGrams(a, q_);
+  std::vector<std::string> gb = QGrams(b, q_);
+  if (ga.empty() && gb.empty()) return 1.0;
+  if (ga.empty() || gb.empty()) return 0.0;
+  std::map<std::string, size_t> counts;
+  for (const std::string& g : ga) ++counts[g];
+  size_t intersection = 0;
+  for (const std::string& g : gb) {
+    auto it = counts.find(g);
+    if (it != counts.end() && it->second > 0) {
+      --it->second;
+      ++intersection;
+    }
+  }
+  return 2.0 * static_cast<double>(intersection) /
+         static_cast<double>(ga.size() + gb.size());
+}
+
+namespace {
+
+std::set<std::string> TokenSet(std::string_view s) {
+  std::vector<std::string> tokens = SplitWhitespace(s);
+  return {tokens.begin(), tokens.end()};
+}
+
+}  // namespace
+
+double JaccardTokenComparator::Compare(std::string_view a,
+                                       std::string_view b) const {
+  std::set<std::string> ta = TokenSet(a), tb = TokenSet(b);
+  if (ta.empty() && tb.empty()) return 1.0;
+  size_t intersection = 0;
+  for (const std::string& t : ta) intersection += tb.count(t);
+  size_t uni = ta.size() + tb.size() - intersection;
+  return uni == 0 ? 1.0
+                  : static_cast<double>(intersection) /
+                        static_cast<double>(uni);
+}
+
+double DiceTokenComparator::Compare(std::string_view a,
+                                    std::string_view b) const {
+  std::set<std::string> ta = TokenSet(a), tb = TokenSet(b);
+  if (ta.empty() && tb.empty()) return 1.0;
+  if (ta.empty() || tb.empty()) return 0.0;
+  size_t intersection = 0;
+  for (const std::string& t : ta) intersection += tb.count(t);
+  return 2.0 * static_cast<double>(intersection) /
+         static_cast<double>(ta.size() + tb.size());
+}
+
+double CosineQGramComparator::Compare(std::string_view a,
+                                      std::string_view b) const {
+  if (a.empty() && b.empty()) return 1.0;
+  std::map<std::string, double> va, vb;
+  for (const std::string& g : QGrams(a, q_)) va[g] += 1.0;
+  for (const std::string& g : QGrams(b, q_)) vb[g] += 1.0;
+  if (va.empty() && vb.empty()) return 1.0;
+  if (va.empty() || vb.empty()) return 0.0;
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (const auto& [g, w] : va) {
+    na += w * w;
+    auto it = vb.find(g);
+    if (it != vb.end()) dot += w * it->second;
+  }
+  for (const auto& [g, w] : vb) nb += w * w;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+double MongeElkanComparator::Compare(std::string_view a,
+                                     std::string_view b) const {
+  std::vector<std::string> ta = SplitWhitespace(a);
+  std::vector<std::string> tb = SplitWhitespace(b);
+  if (ta.empty() && tb.empty()) return 1.0;
+  if (ta.empty() || tb.empty()) return 0.0;
+  auto directed = [&](const std::vector<std::string>& xs,
+                      const std::vector<std::string>& ys) {
+    double total = 0.0;
+    for (const std::string& x : xs) {
+      double best = 0.0;
+      for (const std::string& y : ys) {
+        best = std::max(best, inner_->Compare(x, y));
+      }
+      total += best;
+    }
+    return total / static_cast<double>(xs.size());
+  };
+  return (directed(ta, tb) + directed(tb, ta)) / 2.0;
+}
+
+}  // namespace pdd

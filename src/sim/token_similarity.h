@@ -1,0 +1,66 @@
+// Token- and q-gram-based comparison functions (n-grams are cited in
+// Section III-C as standard syntactic means).
+
+#ifndef PDD_SIM_TOKEN_SIMILARITY_H_
+#define PDD_SIM_TOKEN_SIMILARITY_H_
+
+#include <memory>
+
+#include "sim/comparator.h"
+
+namespace pdd {
+
+/// Dice coefficient over padded character q-grams (multiset semantics):
+/// 2|A ∩ B| / (|A| + |B|).
+class QGramComparator : public Comparator {
+ public:
+  explicit QGramComparator(size_t q = 2) : q_(q) {}
+  double Compare(std::string_view a, std::string_view b) const override;
+  std::string name() const override { return "qgram" + std::to_string(q_); }
+
+ private:
+  size_t q_;
+};
+
+/// Jaccard coefficient over whitespace tokens: |A ∩ B| / |A ∪ B|.
+class JaccardTokenComparator : public Comparator {
+ public:
+  double Compare(std::string_view a, std::string_view b) const override;
+  std::string name() const override { return "jaccard"; }
+};
+
+/// Dice coefficient over whitespace token sets.
+class DiceTokenComparator : public Comparator {
+ public:
+  double Compare(std::string_view a, std::string_view b) const override;
+  std::string name() const override { return "dice"; }
+};
+
+/// Cosine similarity of q-gram frequency vectors.
+class CosineQGramComparator : public Comparator {
+ public:
+  explicit CosineQGramComparator(size_t q = 2) : q_(q) {}
+  double Compare(std::string_view a, std::string_view b) const override;
+  std::string name() const override { return "cosine"; }
+
+ private:
+  size_t q_;
+};
+
+/// Monge-Elkan similarity: mean over the tokens of one string of the best
+/// inner-comparator match in the other, symmetrized by averaging both
+/// directions. Suits multi-token fields (full names, addresses).
+class MongeElkanComparator : public Comparator {
+ public:
+  /// `inner` scores token pairs; must outlive this comparator.
+  explicit MongeElkanComparator(const Comparator* inner) : inner_(inner) {}
+  double Compare(std::string_view a, std::string_view b) const override;
+  std::string name() const override { return "monge_elkan"; }
+
+ private:
+  const Comparator* inner_;
+};
+
+}  // namespace pdd
+
+#endif  // PDD_SIM_TOKEN_SIMILARITY_H_

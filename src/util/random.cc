@@ -1,0 +1,29 @@
+#include "util/random.h"
+
+#include <cmath>
+
+namespace pdd {
+
+size_t Rng::Zipf(size_t n, double s) {
+  if (n == 0) return 0;
+  std::vector<double> weights(n);
+  for (size_t i = 0; i < n; ++i) {
+    weights[i] = 1.0 / std::pow(static_cast<double>(i + 1), s);
+  }
+  return Discrete(weights);
+}
+
+size_t Rng::Discrete(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0) return 0;
+  double r = Uniform() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace pdd

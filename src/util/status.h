@@ -1,0 +1,164 @@
+// Status / Result<T> error handling for the pdd library.
+//
+// The public API avoids exceptions (RocksDB idiom): fallible operations
+// return a Status, or a Result<T> when they also produce a value.
+
+#ifndef PDD_UTIL_STATUS_H_
+#define PDD_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace pdd {
+
+/// Machine-readable error category of a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kFailedPrecondition = 4,
+  kParseError = 5,
+  kResourceExhausted = 6,
+  kInternal = 7,
+};
+
+/// Returns a stable human-readable name for a status code ("OK",
+/// "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Result of a fallible operation: a code plus an optional message.
+///
+/// A default-constructed Status is OK. Statuses are cheap to copy; the
+/// message is only allocated on error paths.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Named constructors, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff the status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The error category.
+  StatusCode code() const { return code_; }
+
+  /// The error message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error union, analogous to absl::StatusOr<T>.
+///
+/// Either holds a T (status().ok()) or an error Status. Dereferencing a
+/// non-OK Result is a programming error caught by assert in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicitly, so functions can `return value;`).
+  Result(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+
+  /// Constructs from an error status. `status.ok()` is a programming error.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  /// True iff a value is held.
+  bool ok() const { return status_.ok(); }
+
+  /// The status; OK when a value is held.
+  const Status& status() const { return status_; }
+
+  /// Access the held value. Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  /// Rvalue dereference returns by value so that iterating `*Call()`
+  /// directly (range-for over a temporary Result) stays lifetime-safe.
+  T operator*() && { return std::move(*value_); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when in the error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates errors to the caller: `PDD_RETURN_IF_ERROR(DoThing());`
+#define PDD_RETURN_IF_ERROR(expr)           \
+  do {                                      \
+    ::pdd::Status _pdd_status = (expr);     \
+    if (!_pdd_status.ok()) return _pdd_status; \
+  } while (0)
+
+/// Unwraps a Result into `lhs`, propagating errors:
+/// `PDD_ASSIGN_OR_RETURN(auto v, ComputeV());`
+#define PDD_ASSIGN_OR_RETURN(lhs, expr)                  \
+  PDD_ASSIGN_OR_RETURN_IMPL_(                            \
+      PDD_STATUS_CONCAT_(_pdd_result, __LINE__), lhs, expr)
+#define PDD_STATUS_CONCAT_INNER_(a, b) a##b
+#define PDD_STATUS_CONCAT_(a, b) PDD_STATUS_CONCAT_INNER_(a, b)
+#define PDD_ASSIGN_OR_RETURN_IMPL_(result, lhs, expr) \
+  auto result = (expr);                               \
+  if (!result.ok()) return result.status();           \
+  lhs = std::move(result).value()
+
+}  // namespace pdd
+
+#endif  // PDD_UTIL_STATUS_H_

@@ -1,0 +1,40 @@
+// Fixed-width ASCII table printing for figure-reproduction benchmarks.
+
+#ifndef PDD_UTIL_TABLE_PRINTER_H_
+#define PDD_UTIL_TABLE_PRINTER_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pdd {
+
+/// Accumulates rows of string cells and renders an aligned ASCII table.
+///
+/// Used by the bench/ figure-reproduction binaries so that regenerated paper
+/// figures are easy to eyeball against the original.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; missing cells are rendered empty, extra cells dropped.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the full table (header, separator, rows).
+  std::string ToString() const;
+
+  /// Writes ToString() to the stream.
+  void Print(std::ostream& os) const;
+
+  /// Number of data rows added so far.
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pdd
+
+#endif  // PDD_UTIL_TABLE_PRINTER_H_

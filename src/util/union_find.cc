@@ -1,0 +1,19 @@
+#include "util/union_find.h"
+
+#include <unordered_map>
+
+namespace pdd {
+
+std::vector<std::vector<size_t>> UnionFind::Groups() {
+  std::unordered_map<size_t, size_t> root_to_group;
+  std::vector<std::vector<size_t>> groups;
+  for (size_t i = 0; i < parent_.size(); ++i) {
+    size_t root = Find(i);
+    auto [it, inserted] = root_to_group.emplace(root, groups.size());
+    if (inserted) groups.emplace_back();
+    groups[it->second].push_back(i);
+  }
+  return groups;
+}
+
+}  // namespace pdd

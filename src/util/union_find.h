@@ -1,0 +1,68 @@
+// Disjoint-set union with path compression and union by size — the
+// substrate for grouping pairwise match decisions into entity clusters
+// (entity resolution / merge-purge, Section III).
+
+#ifndef PDD_UTIL_UNION_FIND_H_
+#define PDD_UTIL_UNION_FIND_H_
+
+#include <cstddef>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+namespace pdd {
+
+/// Disjoint sets over indices [0, n).
+class UnionFind {
+ public:
+  /// Creates n singleton sets.
+  explicit UnionFind(size_t n)
+      : parent_(n), size_(n, 1), set_count_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  /// Representative of `x`'s set (with path compression).
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Merges the sets of `a` and `b`; returns false when already joined.
+  bool Union(size_t a, size_t b) {
+    size_t ra = Find(a), rb = Find(b);
+    if (ra == rb) return false;
+    if (size_[ra] < size_[rb]) std::swap(ra, rb);
+    parent_[rb] = ra;
+    size_[ra] += size_[rb];
+    --set_count_;
+    return true;
+  }
+
+  /// True iff `a` and `b` share a set.
+  bool Connected(size_t a, size_t b) { return Find(a) == Find(b); }
+
+  /// Size of `x`'s set.
+  size_t SetSize(size_t x) { return size_[Find(x)]; }
+
+  /// Number of elements.
+  size_t size() const { return parent_.size(); }
+
+  /// Number of disjoint sets.
+  size_t set_count() const { return set_count_; }
+
+  /// Materializes the sets as index groups in ascending member order,
+  /// ordered by each group's smallest member.
+  std::vector<std::vector<size_t>> Groups();
+
+ private:
+  std::vector<size_t> parent_;
+  std::vector<size_t> size_;
+  size_t set_count_;
+};
+
+}  // namespace pdd
+
+#endif  // PDD_UTIL_UNION_FIND_H_

@@ -1,0 +1,38 @@
+#include "verify/gold_io.h"
+
+#include "util/string_util.h"
+
+namespace pdd {
+
+std::string SerializeGoldStandard(const GoldStandard& gold) {
+  std::string out;
+  for (const IdPair& pair : gold.Pairs()) {
+    out += pair.first + "," + pair.second + "\n";
+  }
+  return out;
+}
+
+Result<GoldStandard> ParseGoldStandard(std::string_view text) {
+  GoldStandard gold;
+  size_t line_no = 0;
+  for (const std::string& line : Split(text, '\n')) {
+    ++line_no;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::vector<std::string> fields = Split(trimmed, ',');
+    if (fields.size() != 2) {
+      return Status::ParseError("line " + std::to_string(line_no) +
+                                ": expected 'id1,id2'");
+    }
+    std::string a(Trim(fields[0]));
+    std::string b(Trim(fields[1]));
+    if (a.empty() || b.empty()) {
+      return Status::ParseError("line " + std::to_string(line_no) +
+                                ": empty id");
+    }
+    gold.AddMatch(a, b);
+  }
+  return gold;
+}
+
+}  // namespace pdd

@@ -1,0 +1,24 @@
+// Text I/O for gold standards: one pair per line, "id1,id2"
+// ('#' comments and blank lines ignored).
+
+#ifndef PDD_VERIFY_GOLD_IO_H_
+#define PDD_VERIFY_GOLD_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+#include "verify/gold_standard.h"
+
+namespace pdd {
+
+/// Serializes the gold pairs, one "id1,id2" line each (canonical order).
+std::string SerializeGoldStandard(const GoldStandard& gold);
+
+/// Parses the format; fails (with the line number) on lines that are not
+/// exactly two non-empty comma-separated fields.
+Result<GoldStandard> ParseGoldStandard(std::string_view text);
+
+}  // namespace pdd
+
+#endif  // PDD_VERIFY_GOLD_IO_H_

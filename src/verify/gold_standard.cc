@@ -1,0 +1,28 @@
+#include "verify/gold_standard.h"
+
+namespace pdd {
+
+IdPair MakeIdPair(std::string a, std::string b) {
+  if (b < a) std::swap(a, b);
+  return {std::move(a), std::move(b)};
+}
+
+void GoldStandard::AddMatch(const std::string& a, const std::string& b) {
+  if (a == b) return;
+  pairs_.insert(MakeIdPair(a, b));
+}
+
+bool GoldStandard::IsMatch(const std::string& a, const std::string& b) const {
+  if (a == b) return false;
+  return pairs_.count(MakeIdPair(a, b)) > 0;
+}
+
+size_t GoldStandard::CountCovered(const std::vector<IdPair>& candidates) const {
+  size_t covered = 0;
+  for (const IdPair& pair : candidates) {
+    if (pairs_.count(MakeIdPair(pair.first, pair.second)) > 0) ++covered;
+  }
+  return covered;
+}
+
+}  // namespace pdd

@@ -1,0 +1,44 @@
+// Gold standards: the set of true duplicate pairs, keyed by tuple ids.
+
+#ifndef PDD_VERIFY_GOLD_STANDARD_H_
+#define PDD_VERIFY_GOLD_STANDARD_H_
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pdd {
+
+/// Canonical unordered id pair (lexicographically ordered endpoints).
+using IdPair = std::pair<std::string, std::string>;
+
+/// Orders the endpoints of an id pair canonically.
+IdPair MakeIdPair(std::string a, std::string b);
+
+/// The set of true-duplicate tuple pairs of a dataset.
+class GoldStandard {
+ public:
+  /// Records (a, b) as a true duplicate pair; order-insensitive,
+  /// idempotent. Self pairs are ignored.
+  void AddMatch(const std::string& a, const std::string& b);
+
+  /// True iff (a, b) is a recorded duplicate pair.
+  bool IsMatch(const std::string& a, const std::string& b) const;
+
+  /// Number of recorded pairs.
+  size_t size() const { return pairs_.size(); }
+
+  /// All pairs in canonical order.
+  std::vector<IdPair> Pairs() const { return {pairs_.begin(), pairs_.end()}; }
+
+  /// Counts how many of `candidates` are gold pairs.
+  size_t CountCovered(const std::vector<IdPair>& candidates) const;
+
+ private:
+  std::set<IdPair> pairs_;
+};
+
+}  // namespace pdd
+
+#endif  // PDD_VERIFY_GOLD_STANDARD_H_

@@ -1,0 +1,63 @@
+#include "verify/metrics.h"
+
+#include "util/string_util.h"
+
+namespace pdd {
+
+EffectivenessMetrics ComputeEffectiveness(const ConfusionCounts& counts) {
+  EffectivenessMetrics m;
+  const double tp = static_cast<double>(counts.true_positives);
+  const double fp = static_cast<double>(counts.false_positives);
+  const double fn = static_cast<double>(counts.false_negatives);
+  const double tn = static_cast<double>(counts.true_negatives);
+  if (tp + fp > 0.0) {
+    m.precision = tp / (tp + fp);
+  } else {
+    m.precision = fn == 0.0 ? 1.0 : 0.0;  // nothing predicted
+  }
+  if (tp + fn > 0.0) {
+    m.recall = tp / (tp + fn);
+  } else {
+    m.recall = fp == 0.0 ? 1.0 : 0.0;  // nothing to find
+  }
+  if (m.precision + m.recall > 0.0) {
+    m.f1 = 2.0 * m.precision * m.recall / (m.precision + m.recall);
+  }
+  if (fp + tn > 0.0) m.false_positive_rate = fp / (fp + tn);
+  if (tp + fn > 0.0) m.false_negative_rate = fn / (tp + fn);
+  const double total = tp + fp + fn + tn;
+  if (total > 0.0) m.accuracy = (tp + tn) / total;
+  return m;
+}
+
+std::string EffectivenessMetrics::ToString() const {
+  return "P=" + FormatDouble(precision, 4) + " R=" + FormatDouble(recall, 4) +
+         " F1=" + FormatDouble(f1, 4) +
+         " FPR=" + FormatDouble(false_positive_rate, 4) +
+         " FNR=" + FormatDouble(false_negative_rate, 4);
+}
+
+ReductionMetrics ComputeReduction(size_t candidates, size_t total_pairs,
+                                  size_t gold_covered, size_t gold_total) {
+  ReductionMetrics m;
+  if (total_pairs > 0) {
+    m.reduction_ratio = 1.0 - static_cast<double>(candidates) /
+                                  static_cast<double>(total_pairs);
+  }
+  m.pairs_completeness =
+      gold_total > 0 ? static_cast<double>(gold_covered) /
+                           static_cast<double>(gold_total)
+                     : 1.0;
+  m.pairs_quality = candidates > 0 ? static_cast<double>(gold_covered) /
+                                         static_cast<double>(candidates)
+                                   : (gold_total == 0 ? 1.0 : 0.0);
+  return m;
+}
+
+std::string ReductionMetrics::ToString() const {
+  return "RR=" + FormatDouble(reduction_ratio, 4) +
+         " PC=" + FormatDouble(pairs_completeness, 4) +
+         " PQ=" + FormatDouble(pairs_quality, 4);
+}
+
+}  // namespace pdd

@@ -1,0 +1,68 @@
+// Verification metrics (Section III-E): recall, precision, false
+// negative/positive percentages and F1 for match effectiveness, plus
+// reduction ratio / pairs completeness / pairs quality for search space
+// reduction methods.
+
+#ifndef PDD_VERIFY_METRICS_H_
+#define PDD_VERIFY_METRICS_H_
+
+#include <cstddef>
+#include <string>
+
+namespace pdd {
+
+/// Confusion counts over tuple pairs.
+struct ConfusionCounts {
+  size_t true_positives = 0;
+  size_t false_positives = 0;
+  size_t false_negatives = 0;
+  size_t true_negatives = 0;
+
+  size_t total() const {
+    return true_positives + false_positives + false_negatives +
+           true_negatives;
+  }
+};
+
+/// Effectiveness measures of Section III-E. Degenerate denominators
+/// (no predicted / no actual matches) yield the conventional 0, except
+/// that perfect emptiness (no gold matches and none predicted) scores 1.
+struct EffectivenessMetrics {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  /// FP / (FP + TN): fraction of true non-matches declared matches.
+  double false_positive_rate = 0.0;
+  /// FN / (TP + FN): fraction of true matches missed.
+  double false_negative_rate = 0.0;
+  double accuracy = 0.0;
+
+  /// One-line "P=.. R=.. F1=.." summary.
+  std::string ToString() const;
+};
+
+/// Derives the effectiveness metrics from confusion counts.
+EffectivenessMetrics ComputeEffectiveness(const ConfusionCounts& counts);
+
+/// Quality measures of a search space reduction method.
+struct ReductionMetrics {
+  /// 1 - candidates / total pairs (how much work was saved).
+  double reduction_ratio = 0.0;
+  /// Fraction of true-match pairs surviving into the candidate set
+  /// (recall of the reduction step).
+  double pairs_completeness = 0.0;
+  /// True-match pairs per candidate pair (precision of the reduction).
+  double pairs_quality = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Computes reduction metrics. `gold_covered` counts gold pairs present
+/// among the candidates, `gold_total` all gold pairs, `candidates` the
+/// candidate pair count and `total_pairs` n(n-1)/2.
+ReductionMetrics ComputeReduction(size_t candidates, size_t total_pairs,
+                                  size_t gold_covered, size_t gold_total);
+
+}  // namespace pdd
+
+#endif  // PDD_VERIFY_METRICS_H_

@@ -1,0 +1,54 @@
+#include "verify/similarity_histogram.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace pdd {
+
+SimilarityHistogram::SimilarityHistogram(size_t buckets, double lo, double hi)
+    : lo_(lo), hi_(hi), counts_(buckets == 0 ? 1 : buckets, 0) {}
+
+void SimilarityHistogram::Add(double value) {
+  double clamped = std::clamp(value, lo_, hi_);
+  double span = hi_ - lo_;
+  size_t idx =
+      span <= 0.0
+          ? 0
+          : std::min(counts_.size() - 1,
+                     static_cast<size_t>((clamped - lo_) / span *
+                                         static_cast<double>(counts_.size())));
+  ++counts_[idx];
+  ++total_;
+}
+
+void SimilarityHistogram::AddAll(const std::vector<double>& values) {
+  for (double v : values) Add(v);
+}
+
+double SimilarityHistogram::BucketLow(size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(counts_.size());
+}
+
+std::string SimilarityHistogram::ToString(size_t max_bar_width) const {
+  size_t max_count = 0;
+  for (size_t c : counts_) max_count = std::max(max_count, c);
+  std::string out;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    char label[64];
+    std::snprintf(label, sizeof(label), "%5.2f-%5.2f |", BucketLow(i),
+                  BucketLow(i + 1));
+    out += label;
+    size_t bar = max_count == 0
+                     ? 0
+                     : counts_[i] * max_bar_width / max_count;
+    out += std::string(bar, '#');
+    out += std::string(max_bar_width - bar, ' ');
+    char count[32];
+    std::snprintf(count, sizeof(count), "| %zu\n", counts_[i]);
+    out += count;
+  }
+  return out;
+}
+
+}  // namespace pdd

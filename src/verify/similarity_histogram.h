@@ -1,0 +1,51 @@
+// Similarity histograms: the distribution of candidate-pair similarities
+// a run produced. The two-mode shape (non-matches near 0, matches near
+// 1) is what Fig. 2's thresholds carve up; the histogram makes threshold
+// choice visible before a gold standard exists.
+
+#ifndef PDD_VERIFY_SIMILARITY_HISTOGRAM_H_
+#define PDD_VERIFY_SIMILARITY_HISTOGRAM_H_
+
+#include <string>
+#include <vector>
+
+namespace pdd {
+
+/// Fixed-width histogram over [lo, hi].
+class SimilarityHistogram {
+ public:
+  /// Creates `buckets` equal-width buckets spanning [lo, hi].
+  SimilarityHistogram(size_t buckets = 20, double lo = 0.0, double hi = 1.0);
+
+  /// Adds one observation (clamped into [lo, hi]).
+  void Add(double value);
+
+  /// Adds many observations.
+  void AddAll(const std::vector<double>& values);
+
+  /// Count in bucket `i`.
+  size_t bucket(size_t i) const { return counts_[i]; }
+
+  /// Number of buckets.
+  size_t bucket_count() const { return counts_.size(); }
+
+  /// Total observations.
+  size_t total() const { return total_; }
+
+  /// The left edge of bucket `i`.
+  double BucketLow(size_t i) const;
+
+  /// ASCII rendering, one bucket per line:
+  /// "0.40-0.45 |#########          | 123".
+  std::string ToString(size_t max_bar_width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<size_t> counts_;
+  size_t total_ = 0;
+};
+
+}  // namespace pdd
+
+#endif  // PDD_VERIFY_SIMILARITY_HISTOGRAM_H_

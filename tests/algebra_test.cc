@@ -1,0 +1,159 @@
+// Unit tests for the probabilistic relational algebra, including the
+// paper's Section IV membership example (selection creating
+// maybe-tuples with the exact probabilities the paper states).
+
+#include <gtest/gtest.h>
+
+#include "core/paper_examples.h"
+#include "pdb/algebra.h"
+
+namespace pdd {
+namespace {
+
+// The paper's example: a person certainly 34 years old, jobless with
+// confidence 90 % (job exists with probability 0.1).
+XRelation PersonsRelation() {
+  XRelation rel("people", Schema::Strings({"name", "age", "job"}));
+  rel.AppendUnchecked(XTuple(
+      "ann", {{{Value::Certain("Ann"), Value::Certain("34"),
+                Value::Dist({{"clerk", 0.1}})},  // ⊥ mass 0.9
+               1.0}}));
+  rel.AppendUnchecked(XTuple(
+      "bob", {{{Value::Certain("Bob"), Value::Certain("51"),
+                Value::Certain("baker")},
+               1.0}}));
+  return rel;
+}
+
+TEST(AlgebraTest, PaperMembershipExample) {
+  // Selecting "people having a job" gives Ann membership p = 0.1
+  // (Section IV: "the probability that a corresponding tuple t2 belongs
+  // to the second relation is only p(t2) = 0.1") and Bob p = 1.
+  XRelation people = PersonsRelation();
+  Result<XRelation> employed = SelectWhereExists(people, "job", "employed");
+  ASSERT_TRUE(employed.ok());
+  ASSERT_EQ(employed->size(), 2u);
+  const XTuple& ann = employed->xtuple(0);
+  EXPECT_EQ(ann.id(), "ann");
+  EXPECT_NEAR(ann.existence_probability(), 0.1, 1e-12);
+  EXPECT_TRUE(ann.is_maybe());
+  // Within the surviving worlds Ann's job is certain.
+  EXPECT_TRUE(ann.alternative(0).values[2].is_certain());
+  EXPECT_EQ(ann.alternative(0).values[2].MostProbableText(), "clerk");
+  const XTuple& bob = employed->xtuple(1);
+  EXPECT_NEAR(bob.existence_probability(), 1.0, 1e-12);
+}
+
+TEST(AlgebraTest, SelectWhereExistsDropsCertainNullBranches) {
+  // t43's first alternative has a ⊥ job: selecting job-existence keeps
+  // only the (Sean, pilot) alternative with its original mass 0.6.
+  XRelation r4 = BuildR4();
+  Result<XRelation> selected = SelectWhereExists(r4, "job");
+  ASSERT_TRUE(selected.ok());
+  const XTuple* t43 = nullptr;
+  for (const XTuple& t : selected->xtuples()) {
+    if (t.id() == "t43") t43 = &t;
+  }
+  ASSERT_NE(t43, nullptr);
+  ASSERT_EQ(t43->size(), 1u);
+  EXPECT_NEAR(t43->existence_probability(), 0.6, 1e-12);
+  EXPECT_EQ(t43->alternative(0).values[0], Value::Certain("Sean"));
+}
+
+TEST(AlgebraTest, SelectWhereExistsUnknownAttributeFails) {
+  EXPECT_FALSE(SelectWhereExists(BuildR4(), "city").ok());
+}
+
+TEST(AlgebraTest, SelectByPredicatePreservesMass) {
+  XRelation r34 = BuildR34();
+  // Keep alternatives whose name starts with 'J'.
+  XRelation selected = Select(r34, [](const AltTuple& alt) {
+    std::string name = alt.values[0].MostProbableText();
+    return !name.empty() && name[0] == 'J';
+  });
+  // t31: both alternatives survive minus none; t32: only the Jim ones.
+  const XTuple* t32 = nullptr;
+  for (const XTuple& t : selected.xtuples()) {
+    if (t.id() == "t32") t32 = &t;
+  }
+  ASSERT_NE(t32, nullptr);
+  EXPECT_EQ(t32->size(), 2u);
+  EXPECT_NEAR(t32->existence_probability(), 0.6, 1e-12);  // 0.2 + 0.4
+}
+
+TEST(AlgebraTest, SelectDropsEmptyTuples) {
+  XRelation r34 = BuildR34();
+  XRelation none = Select(r34, [](const AltTuple&) { return false; });
+  EXPECT_EQ(none.size(), 0u);
+  XRelation all = Select(r34, [](const AltTuple&) { return true; });
+  EXPECT_EQ(all.size(), r34.size());
+}
+
+TEST(AlgebraTest, ProjectionKeepsSelectedAttributes) {
+  XRelation r34 = BuildR34();
+  Result<XRelation> names = ProjectByName(r34, {"name"});
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(names->schema().arity(), 1u);
+  EXPECT_EQ(names->schema().attribute(0).name, "name");
+  EXPECT_EQ(names->size(), r34.size());
+}
+
+TEST(AlgebraTest, ProjectionMergesIdenticalAlternatives) {
+  // t32's alternatives (Jim, mechanic) 0.2 and (Jim, baker) 0.4 merge to
+  // Jim 0.6 when the job attribute is projected away.
+  XRelation r34 = BuildR34();
+  Result<XRelation> names = ProjectByName(r34, {"name"});
+  ASSERT_TRUE(names.ok());
+  const XTuple* t32 = nullptr;
+  for (const XTuple& t : names->xtuples()) {
+    if (t.id() == "t32") t32 = &t;
+  }
+  ASSERT_NE(t32, nullptr);
+  ASSERT_EQ(t32->size(), 2u);  // Tim 0.3, Jim 0.6
+  EXPECT_NEAR(t32->alternative(0).prob, 0.3, 1e-12);
+  EXPECT_NEAR(t32->alternative(1).prob, 0.6, 1e-12);
+  // Existence probability is untouched by projection.
+  EXPECT_NEAR(t32->existence_probability(), 0.9, 1e-12);
+}
+
+TEST(AlgebraTest, ProjectionReordersAttributes) {
+  XRelation r34 = BuildR34();
+  Result<XRelation> swapped = ProjectByName(r34, {"job", "name"});
+  ASSERT_TRUE(swapped.ok());
+  EXPECT_EQ(swapped->schema().attribute(0).name, "job");
+  EXPECT_EQ(swapped->xtuple(0).alternative(0).values[1],
+            Value::Certain("John"));
+}
+
+TEST(AlgebraTest, ProjectionValidation) {
+  XRelation r34 = BuildR34();
+  EXPECT_FALSE(Project(r34, {}).ok());
+  EXPECT_FALSE(Project(r34, {7}).ok());
+  EXPECT_FALSE(ProjectByName(r34, {"city"}).ok());
+  // Duplicate attribute names in the result schema are rejected.
+  EXPECT_FALSE(Project(r34, {0, 0}).ok());
+}
+
+TEST(AlgebraTest, ResultNamesDefaultAndOverride) {
+  XRelation r34 = BuildR34();
+  EXPECT_EQ(Select(r34, [](const AltTuple&) { return true; }).name(),
+            "R34_sel");
+  EXPECT_EQ(Select(r34, [](const AltTuple&) { return true; }, "X").name(),
+            "X");
+  EXPECT_EQ(ProjectByName(r34, {"name"})->name(), "R34_proj");
+}
+
+TEST(AlgebraTest, SelectionComposesWithProjection) {
+  // π_name(σ_job-exists(R4)) — pipeline of both operators.
+  Result<XRelation> employed = SelectWhereExists(BuildR4(), "job");
+  ASSERT_TRUE(employed.ok());
+  Result<XRelation> names = ProjectByName(*employed, {"name"});
+  ASSERT_TRUE(names.ok());
+  for (const XTuple& t : names->xtuples()) {
+    EXPECT_TRUE(t.Validate().ok());
+    EXPECT_EQ(t.arity(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace pdd

@@ -1,0 +1,198 @@
+// Unit tests for the bibliography generator, relation statistics and
+// the interpolated Fellegi-Sunter weight.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/paper_examples.h"
+#include "datagen/bibliography_generator.h"
+#include "decision/fellegi_sunter.h"
+#include "pdb/statistics.h"
+#include "util/string_util.h"
+
+namespace pdd {
+namespace {
+
+// ------------------------------------------------------------ bibliography
+
+TEST(BibliographyTest, SchemaShape) {
+  Schema schema = BibliographySchema();
+  EXPECT_EQ(schema.arity(), 4u);
+  EXPECT_EQ(schema.attribute(0).name, "author");
+  EXPECT_EQ(schema.attribute(3).type, ValueType::kNumeric);
+}
+
+TEST(BibliographyTest, VenueSynonymsPairFullAndAbbrev) {
+  for (const auto& group : VenueSynonyms()) {
+    ASSERT_EQ(group.size(), 2u);
+    EXPECT_GT(group[0].size(), group[1].size());  // full form longer
+  }
+  EXPECT_GE(VenueSynonyms().size(), 8u);
+}
+
+TEST(BibliographyTest, GeneratesValidRelationAndGold) {
+  BiblioGenOptions gen;
+  gen.num_publications = 50;
+  gen.duplicate_rate = 1.0;
+  GeneratedData data = GenerateBibliography(gen);
+  EXPECT_GE(data.relation.size(), 50u);
+  EXPECT_GT(data.gold.size(), 0u);
+  std::set<std::string> ids;
+  for (const XTuple& t : data.relation.xtuples()) {
+    EXPECT_TRUE(t.Validate().ok());
+    EXPECT_TRUE(ids.insert(t.id()).second);
+    EXPECT_EQ(t.arity(), 4u);
+  }
+}
+
+TEST(BibliographyTest, DeterministicUnderSeed) {
+  BiblioGenOptions gen;
+  gen.num_publications = 20;
+  GeneratedData a = GenerateBibliography(gen);
+  GeneratedData b = GenerateBibliography(gen);
+  ASSERT_EQ(a.relation.size(), b.relation.size());
+  EXPECT_EQ(a.gold.size(), b.gold.size());
+  for (size_t i = 0; i < a.relation.size(); ++i) {
+    EXPECT_EQ(a.relation.xtuple(i).ToString(),
+              b.relation.xtuple(i).ToString());
+  }
+}
+
+TEST(BibliographyTest, UncertaintyProducesTwoAlternativeValues) {
+  BiblioGenOptions gen;
+  gen.num_publications = 80;
+  gen.duplicate_rate = 1.5;
+  gen.uncertainty_prob = 1.0;  // every corrupted field keeps both readings
+  GeneratedData data = GenerateBibliography(gen);
+  size_t uncertain = 0;
+  for (const XTuple& t : data.relation.xtuples()) {
+    for (const Value& v : t.alternative(0).values) {
+      if (v.size() == 2) ++uncertain;
+    }
+  }
+  EXPECT_GT(uncertain, 0u);
+}
+
+TEST(BibliographyTest, ZeroRatesYieldCleanCopies) {
+  BiblioGenOptions gen;
+  gen.num_publications = 20;
+  gen.duplicate_rate = 1.0;
+  gen.author_initial_prob = 0.0;
+  gen.venue_abbrev_prob = 0.0;
+  gen.title_word_drop_prob = 0.0;
+  gen.year_error_prob = 0.0;
+  gen.uncertainty_prob = 0.0;
+  GeneratedData data = GenerateBibliography(gen);
+  // Every duplicate is identical to its original: gold pairs must have
+  // identical tuples.
+  for (const IdPair& pair : data.gold.Pairs()) {
+    const XTuple* a = nullptr;
+    const XTuple* b = nullptr;
+    for (const XTuple& t : data.relation.xtuples()) {
+      if (t.id() == pair.first) a = &t;
+      if (t.id() == pair.second) b = &t;
+    }
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    for (size_t v = 0; v < 4; ++v) {
+      EXPECT_EQ(a->alternative(0).values[v], b->alternative(0).values[v]);
+    }
+  }
+}
+
+// -------------------------------------------------------------- statistics
+
+TEST(StatisticsTest, EmptyRelation) {
+  XRelation empty("E", PaperSchema());
+  RelationStatistics stats = ComputeStatistics(empty);
+  EXPECT_EQ(stats.tuple_count, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean_alternatives, 0.0);
+}
+
+TEST(StatisticsTest, PaperR34Profile) {
+  RelationStatistics stats = ComputeStatistics(BuildR34());
+  EXPECT_EQ(stats.tuple_count, 5u);
+  EXPECT_EQ(stats.alternative_count, 10u);
+  EXPECT_DOUBLE_EQ(stats.mean_alternatives, 2.0);
+  EXPECT_EQ(stats.max_alternatives, 3u);
+  EXPECT_NEAR(stats.maybe_fraction, 3.0 / 5.0, 1e-12);  // t32, t42, t43
+  EXPECT_NEAR(stats.mean_existence, (1.0 + 0.9 + 1.0 + 0.8 + 0.8) / 5.0,
+              1e-12);
+  // One pattern value ('mu*') and one ⊥ value among 20 values.
+  EXPECT_NEAR(stats.pattern_fraction, 1.0 / 20.0, 1e-12);
+  // t43's first alternative has a ⊥ job — the only value with ⊥ mass
+  // among the 20 attribute values of R34's alternatives.
+  EXPECT_NEAR(stats.null_mass_fraction, 1.0 / 20.0, 1e-12);
+  // 96 worlds -> log10 ≈ 1.98.
+  EXPECT_NEAR(stats.log10_world_count, std::log10(96.0), 1e-9);
+}
+
+TEST(StatisticsTest, CertainRelationHasZeroEntropy) {
+  XRelation rel("C", PaperSchema());
+  rel.AppendUnchecked(XTuple(
+      "t", {{{Value::Certain("a"), Value::Certain("b")}, 1.0}}));
+  RelationStatistics stats = ComputeStatistics(rel);
+  EXPECT_DOUBLE_EQ(stats.mean_value_entropy, 0.0);
+  EXPECT_DOUBLE_EQ(stats.uncertain_value_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(stats.log10_world_count, 0.0);
+}
+
+TEST(StatisticsTest, EntropyOfUniformBinaryValueIsOneBit) {
+  XRelation rel("U", Schema::Strings({"a"}));
+  rel.AppendUnchecked(XTuple(
+      "t", {{{Value::Dist({{"x", 0.5}, {"y", 0.5}})}, 1.0}}));
+  RelationStatistics stats = ComputeStatistics(rel);
+  EXPECT_NEAR(stats.mean_value_entropy, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.uncertain_value_fraction, 1.0);
+}
+
+TEST(StatisticsTest, ToStringMentionsKeyFigures) {
+  std::string s = ComputeStatistics(BuildR34()).ToString();
+  EXPECT_NE(s.find("tuples: 5"), std::string::npos);
+  EXPECT_NE(s.find("maybe fraction"), std::string::npos);
+  EXPECT_NE(s.find("log10(worlds)"), std::string::npos);
+}
+
+// -------------------------------------------------- interpolated FS weight
+
+TEST(InterpolatedWeightTest, EndpointsMatchBinarizedWeight) {
+  FellegiSunterModel fs({{0.9, 0.1, 0.5}, {0.8, 0.2, 0.5}});
+  // Full agreement (c=1) and full disagreement (c=0) must coincide with
+  // the binarized weight.
+  EXPECT_NEAR(fs.InterpolatedWeight(ComparisonVector({1.0, 1.0})),
+              fs.MatchingWeight(ComparisonVector({1.0, 1.0})), 1e-9);
+  EXPECT_NEAR(fs.InterpolatedWeight(ComparisonVector({0.0, 0.0})),
+              fs.MatchingWeight(ComparisonVector({0.0, 0.0})), 1e-9);
+}
+
+TEST(InterpolatedWeightTest, MonotoneInSimilarity) {
+  FellegiSunterModel fs({{0.9, 0.1, 0.5}});
+  double prev = 0.0;
+  for (double c = 0.0; c <= 1.0001; c += 0.1) {
+    double w = fs.InterpolatedWeight(ComparisonVector({c}));
+    EXPECT_GE(w, prev);
+    prev = w;
+  }
+}
+
+TEST(InterpolatedWeightTest, PreservesContinuousEvidence) {
+  // Binarized weight treats 0.81 and 0.99 identically (both above the
+  // 0.8 agreement threshold); the interpolated weight does not.
+  FellegiSunterModel fs({{0.9, 0.1, 0.8}});
+  EXPECT_DOUBLE_EQ(fs.MatchingWeight(ComparisonVector({0.81})),
+                   fs.MatchingWeight(ComparisonVector({0.99})));
+  EXPECT_LT(fs.InterpolatedWeight(ComparisonVector({0.81})),
+            fs.InterpolatedWeight(ComparisonVector({0.99})));
+}
+
+TEST(InterpolatedWeightTest, MidpointIsGeometricMean) {
+  FellegiSunterModel fs({{0.9, 0.1, 0.5}});
+  double agree = 9.0, disagree = 1.0 / 9.0;
+  EXPECT_NEAR(fs.InterpolatedWeight(ComparisonVector({0.5})),
+              std::sqrt(agree * disagree), 1e-9);
+}
+
+}  // namespace
+}  // namespace pdd

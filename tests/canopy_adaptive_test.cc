@@ -1,0 +1,220 @@
+// Unit tests for the canopy and adaptive-SNM reduction methods and the
+// detector-integrated data preparation.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/detector.h"
+#include "core/paper_examples.h"
+#include "datagen/person_generator.h"
+#include "reduction/canopy.h"
+#include "reduction/full_pairs.h"
+#include "reduction/snm_adaptive.h"
+#include "sim/edit_distance.h"
+
+namespace pdd {
+namespace {
+
+constexpr size_t kT31 = 0, kT32 = 1, kT41 = 2, kT42 = 3, kT43 = 4;
+
+// ------------------------------------------------------------------ canopy
+
+TEST(CanopyTest, EveryTupleLandsInSomeCanopy) {
+  CanopyOptions options;
+  CanopyReduction canopy(PaperSortingKey(), options);
+  XRelation r34 = BuildR34();
+  std::vector<std::vector<size_t>> canopies = canopy.Canopies(r34);
+  std::vector<bool> seen(r34.size(), false);
+  for (const auto& c : canopies) {
+    EXPECT_FALSE(c.empty());
+    for (size_t i : c) seen[i] = true;
+  }
+  for (size_t i = 0; i < seen.size(); ++i) EXPECT_TRUE(seen[i]) << i;
+}
+
+TEST(CanopyTest, OverlappingKeysShareACanopy) {
+  // t31 {Johpi .7, Johmu .3} and t41 {Johpi 1.0}: overlap distance 0.3.
+  CanopyOptions options;
+  options.loose = 0.5;
+  options.tight = 0.2;
+  CanopyReduction canopy(PaperSortingKey(), options);
+  Result<std::vector<CandidatePair>> pairs = canopy.Generate(BuildR34());
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_TRUE(ContainsPair(*pairs, MakePair(kT31, kT41)));
+}
+
+TEST(CanopyTest, LooseThresholdOneComparesEverything) {
+  CanopyOptions options;
+  options.loose = 1.0;
+  options.tight = 1.0;
+  CanopyReduction canopy(PaperSortingKey(), options);
+  XRelation r34 = BuildR34();
+  Result<std::vector<CandidatePair>> pairs = canopy.Generate(r34);
+  ASSERT_TRUE(pairs.ok());
+  FullPairs full;
+  EXPECT_EQ(pairs->size(), full.Generate(r34)->size());
+}
+
+TEST(CanopyTest, TightAboveLooseRejected) {
+  CanopyOptions options;
+  options.loose = 0.3;
+  options.tight = 0.8;
+  CanopyReduction canopy(PaperSortingKey(), options);
+  EXPECT_FALSE(canopy.Generate(BuildR34()).ok());
+}
+
+TEST(CanopyTest, ExpectedKeyDistanceFindsNearKeys) {
+  // With the soft distance, Joh-prefixed keys cluster even without
+  // identical key strings.
+  NormalizedHammingComparator hamming;
+  CanopyOptions options;
+  options.comparator = &hamming;
+  options.loose = 0.5;
+  options.tight = 0.3;
+  CanopyReduction canopy(PaperSortingKey(), options);
+  Result<std::vector<CandidatePair>> pairs = canopy.Generate(BuildR34());
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_TRUE(ContainsPair(*pairs, MakePair(kT31, kT41)));
+}
+
+TEST(CanopyTest, SubsetOfFullPairs) {
+  PersonGenOptions gen;
+  gen.num_entities = 30;
+  GeneratedData data = GeneratePersons(gen);
+  KeySpec spec = *KeySpec::FromNames({{"name", 3}, {"job", 2}},
+                                     PersonSchema());
+  CanopyReduction canopy(spec, CanopyOptions{});
+  Result<std::vector<CandidatePair>> pairs = canopy.Generate(data.relation);
+  ASSERT_TRUE(pairs.ok());
+  FullPairs full;
+  Result<std::vector<CandidatePair>> all = full.Generate(data.relation);
+  for (const CandidatePair& p : *pairs) {
+    EXPECT_TRUE(ContainsPair(*all, p));
+  }
+}
+
+// ---------------------------------------------------------------- adaptive
+
+TEST(SnmAdaptiveTest, SimilarKeyRunsPairUp) {
+  // Certain keys of R34: Jimba, Johpi, Johpi, Seapi, Tomme (Fig. 10).
+  // The two Johpi entries are identical -> similarity 1 -> paired.
+  SnmAdaptiveOptions options;
+  options.key_similarity_threshold = 0.9;
+  SnmAdaptive snm(PaperSortingKey(), options);
+  Result<std::vector<CandidatePair>> pairs = snm.Generate(BuildR34());
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_TRUE(ContainsPair(*pairs, MakePair(kT31, kT41)));
+  // Jimba vs Johpi differ in 3 of 5 positions (sim 0.4 < 0.9): the chain
+  // breaks, so t32 pairs with nobody.
+  for (const CandidatePair& p : *pairs) {
+    EXPECT_NE(p.first, kT32);
+    EXPECT_NE(p.second, kT32);
+  }
+}
+
+TEST(SnmAdaptiveTest, LowerThresholdWidensWindows) {
+  XRelation r34 = BuildR34();
+  SnmAdaptiveOptions strict;
+  strict.key_similarity_threshold = 0.95;
+  SnmAdaptiveOptions loose;
+  loose.key_similarity_threshold = 0.1;
+  SnmAdaptive strict_snm(PaperSortingKey(), strict);
+  SnmAdaptive loose_snm(PaperSortingKey(), loose);
+  Result<std::vector<CandidatePair>> strict_pairs = strict_snm.Generate(r34);
+  Result<std::vector<CandidatePair>> loose_pairs = loose_snm.Generate(r34);
+  ASSERT_TRUE(strict_pairs.ok());
+  ASSERT_TRUE(loose_pairs.ok());
+  EXPECT_GE(loose_pairs->size(), strict_pairs->size());
+  for (const CandidatePair& p : *strict_pairs) {
+    EXPECT_TRUE(ContainsPair(*loose_pairs, p));
+  }
+}
+
+TEST(SnmAdaptiveTest, MaxWindowCapsChains) {
+  // Identical keys everywhere: only max_window bounds the pairing.
+  XRelation rel("R", Schema::Strings({"a"}));
+  for (int i = 0; i < 6; ++i) {
+    rel.AppendUnchecked(XTuple("t" + std::to_string(i),
+                               {{{Value::Certain("same")}, 1.0}}));
+  }
+  KeySpec spec({{0, 4}});
+  SnmAdaptiveOptions options;
+  options.max_window = 2;  // adjacent only
+  SnmAdaptive snm(spec, options);
+  Result<std::vector<CandidatePair>> pairs = snm.Generate(rel);
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_EQ(pairs->size(), 5u);  // chain of adjacents
+  options.max_window = 6;
+  SnmAdaptive wide(spec, options);
+  EXPECT_EQ(wide.Generate(rel)->size(), 15u);  // all pairs
+}
+
+TEST(SnmAdaptiveTest, RejectsDegenerateWindow) {
+  SnmAdaptiveOptions options;
+  options.max_window = 1;
+  SnmAdaptive snm(PaperSortingKey(), options);
+  EXPECT_FALSE(snm.Generate(BuildR34()).ok());
+}
+
+// ----------------------------------------------------- detector integration
+
+TEST(DetectorIntegrationTest, CanopyAndAdaptiveRunThroughConfig) {
+  for (ReductionMethod method :
+       {ReductionMethod::kCanopy, ReductionMethod::kSnmAdaptive}) {
+    DetectorConfig config;
+    config.key = {{"name", 3}, {"job", 2}};
+    config.weights = {0.8, 0.2};
+    config.reduction = method;
+    Result<DuplicateDetector> detector =
+        DuplicateDetector::Make(config, PaperSchema());
+    ASSERT_TRUE(detector.ok()) << ReductionMethodName(method);
+    Result<DetectionResult> result = detector->Run(BuildR34());
+    ASSERT_TRUE(result.ok()) << ReductionMethodName(method);
+  }
+}
+
+TEST(DetectorIntegrationTest, PreparationNormalizesCase) {
+  // Two sources disagreeing only in case: without preparation the pair
+  // scores low under case-sensitive Hamming; with lowering it matches.
+  XRelation rel("R", PaperSchema());
+  rel.AppendUnchecked(XTuple(
+      "a", {{{Value::Certain("JOHN"), Value::Certain("PILOT")}, 1.0}}));
+  rel.AppendUnchecked(XTuple(
+      "b", {{{Value::Certain("john"), Value::Certain("pilot")}, 1.0}}));
+  DetectorConfig config;
+  config.key = {{"name", 3}, {"job", 2}};
+  config.weights = {0.8, 0.2};
+  config.final_thresholds = {0.4, 0.7};
+  Result<DuplicateDetector> plain =
+      DuplicateDetector::Make(config, PaperSchema());
+  Standardizer lower;
+  lower.LowerCase();
+  config.preparation = DataPreparation::Uniform(lower, 2);
+  Result<DuplicateDetector> prepared =
+      DuplicateDetector::Make(config, PaperSchema());
+  double sim_plain = (*plain->Run(rel)).decisions[0].similarity;
+  double sim_prepared = (*prepared->Run(rel)).decisions[0].similarity;
+  EXPECT_LT(sim_plain, 0.2);
+  EXPECT_NEAR(sim_prepared, 1.0, 1e-12);
+}
+
+TEST(DetectorIntegrationTest, PreparationDoesNotMutateInput) {
+  XRelation rel("R", PaperSchema());
+  rel.AppendUnchecked(XTuple(
+      "a", {{{Value::Certain("JOHN"), Value::Certain("PILOT")}, 1.0}}));
+  DetectorConfig config;
+  config.key = {{"name", 3}, {"job", 2}};
+  config.weights = {0.8, 0.2};
+  Standardizer lower;
+  lower.LowerCase();
+  config.preparation = DataPreparation::Uniform(lower, 2);
+  Result<DuplicateDetector> detector =
+      DuplicateDetector::Make(config, PaperSchema());
+  ASSERT_TRUE(detector->Run(rel).ok());
+  EXPECT_EQ(rel.xtuple(0).alternative(0).values[0],
+            Value::Certain("JOHN"));
+}
+
+}  // namespace
+}  // namespace pdd

@@ -1,0 +1,329 @@
+// Unit tests for decision models: combination functions, threshold
+// classification (Fig. 2), the knowledge-based rule engine and parser
+// (Fig. 1), the Fellegi-Sunter model and EM estimation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/paper_examples.h"
+#include "decision/classifier.h"
+#include "decision/combination.h"
+#include "decision/em_estimator.h"
+#include "decision/fellegi_sunter.h"
+#include "decision/rule_engine.h"
+#include "decision/rule_parser.h"
+#include "util/random.h"
+
+namespace pdd {
+namespace {
+
+// ------------------------------------------------------------ combination
+
+TEST(WeightedSumTest, PaperExample) {
+  // φ(c⃗) = 0.8*0.9 + 0.2*0.59 ≈ 0.838.
+  WeightedSumCombination phi({0.8, 0.2});
+  double job = 0.2 + 0.7 * 5.0 / 9.0;
+  EXPECT_NEAR(phi.Combine(ComparisonVector({0.9, job})),
+              0.8 * 0.9 + 0.2 * job, 1e-12);
+  EXPECT_NEAR(phi.Combine(ComparisonVector({0.9, job})), 0.838, 0.001);
+  EXPECT_TRUE(phi.normalized());
+}
+
+TEST(WeightedSumTest, UnnormalizedWhenWeightsExceedOne) {
+  WeightedSumCombination phi({2.0, 2.0});
+  EXPECT_FALSE(phi.normalized());
+  EXPECT_NEAR(phi.Combine(ComparisonVector({1.0, 1.0})), 4.0, 1e-12);
+}
+
+TEST(WeightedSumTest, MakeValidation) {
+  EXPECT_FALSE(WeightedSumCombination::Make({-0.5, 0.5}).ok());
+  EXPECT_FALSE(WeightedSumCombination::Make({0.0, 0.0}).ok());
+  EXPECT_TRUE(WeightedSumCombination::Make({0.8, 0.2}).ok());
+}
+
+TEST(WeightedProductTest, ZeroComponentDominates) {
+  WeightedProductCombination phi({1.0, 1.0});
+  EXPECT_DOUBLE_EQ(phi.Combine(ComparisonVector({0.0, 1.0})), 0.0);
+  EXPECT_NEAR(phi.Combine(ComparisonVector({0.5, 0.5})), 0.25, 1e-12);
+}
+
+TEST(MinMaxMeanTest, Basics) {
+  ComparisonVector c({0.2, 0.8, 0.5});
+  EXPECT_DOUBLE_EQ(MinCombination().Combine(c), 0.2);
+  EXPECT_DOUBLE_EQ(MaxCombination().Combine(c), 0.8);
+  EXPECT_NEAR(MeanCombination().Combine(c), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(MeanCombination().Combine(ComparisonVector()), 0.0);
+}
+
+// -------------------------------------------------------------- classifier
+
+TEST(ClassifierTest, Fig2Bands) {
+  Thresholds t{0.4, 0.7};
+  EXPECT_EQ(Classify(0.9, t), MatchClass::kMatch);
+  EXPECT_EQ(Classify(0.5, t), MatchClass::kPossible);
+  EXPECT_EQ(Classify(0.1, t), MatchClass::kUnmatch);
+  // Boundaries are inclusive to the possible band (strict > and <).
+  EXPECT_EQ(Classify(0.7, t), MatchClass::kPossible);
+  EXPECT_EQ(Classify(0.4, t), MatchClass::kPossible);
+}
+
+TEST(ClassifierTest, SingleThresholdDisablesPossibleBand) {
+  Thresholds t{0.6, 0.6};
+  EXPECT_EQ(Classify(0.7, t), MatchClass::kMatch);
+  EXPECT_EQ(Classify(0.5, t), MatchClass::kUnmatch);
+  EXPECT_EQ(Classify(0.6, t), MatchClass::kPossible);  // exact boundary
+}
+
+TEST(ClassifierTest, ValidateOrdersThresholds) {
+  EXPECT_TRUE((Thresholds{0.4, 0.7}).Validate().ok());
+  EXPECT_FALSE((Thresholds{0.8, 0.7}).Validate().ok());
+}
+
+TEST(ClassifierTest, CodesAndNames) {
+  EXPECT_EQ(MatchClassCode(MatchClass::kMatch), 'm');
+  EXPECT_EQ(MatchClassCode(MatchClass::kPossible), 'p');
+  EXPECT_EQ(MatchClassCode(MatchClass::kUnmatch), 'u');
+  EXPECT_STREQ(MatchClassName(MatchClass::kMatch), "match");
+}
+
+// ------------------------------------------------------------- rule engine
+
+TEST(RuleEngineTest, PaperRuleFires) {
+  IdentificationRule rule = PaperRule();
+  EXPECT_TRUE(rule.Fires(ComparisonVector({0.9, 0.59})));
+  EXPECT_FALSE(rule.Fires(ComparisonVector({0.8, 0.59})));  // strict >
+  EXPECT_FALSE(rule.Fires(ComparisonVector({0.9, 0.5})));
+}
+
+TEST(RuleEngineTest, EvaluateMaxPolicy) {
+  RuleEngine engine({{{{0, 0.5}}, 0.6}, {{{0, 0.8}}, 0.9}},
+                    RuleEngine::Policy::kMax);
+  EXPECT_DOUBLE_EQ(engine.Evaluate(ComparisonVector({0.9})), 0.9);
+  EXPECT_DOUBLE_EQ(engine.Evaluate(ComparisonVector({0.6})), 0.6);
+  EXPECT_DOUBLE_EQ(engine.Evaluate(ComparisonVector({0.3})), 0.0);
+}
+
+TEST(RuleEngineTest, EvaluateNoisyOrPolicy) {
+  RuleEngine engine({{{{0, 0.5}}, 0.6}, {{{1, 0.5}}, 0.5}},
+                    RuleEngine::Policy::kNoisyOr);
+  // Both fire: 1 - 0.4*0.5 = 0.8.
+  EXPECT_NEAR(engine.Evaluate(ComparisonVector({0.9, 0.9})), 0.8, 1e-12);
+}
+
+TEST(RuleEngineTest, MakeValidatesIndicesAndRanges) {
+  Schema schema = PaperSchema();
+  EXPECT_FALSE(RuleEngine::Make({{{{5, 0.5}}, 0.8}}, schema).ok());
+  EXPECT_FALSE(RuleEngine::Make({{{{0, 1.5}}, 0.8}}, schema).ok());
+  EXPECT_FALSE(RuleEngine::Make({{{{0, 0.5}}, 1.8}}, schema).ok());
+  EXPECT_TRUE(RuleEngine::Make({PaperRule()}, schema).ok());
+}
+
+TEST(RuleEngineTest, ConditionBeyondVectorNeverFires) {
+  IdentificationRule rule{{{3, 0.1}}, 1.0};
+  EXPECT_FALSE(rule.Fires(ComparisonVector({0.9, 0.9})));
+}
+
+// ------------------------------------------------------------- rule parser
+
+TEST(RuleParserTest, ParsesFig1Syntax) {
+  Schema schema = PaperSchema();
+  Result<IdentificationRule> rule = ParseRule(
+      "IF name > 0.8 AND job > 0.5 THEN DUPLICATES WITH CERTAINTY 0.8",
+      schema);
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  ASSERT_EQ(rule->conditions.size(), 2u);
+  EXPECT_EQ(rule->conditions[0].attribute, 0u);
+  EXPECT_DOUBLE_EQ(rule->conditions[0].threshold, 0.8);
+  EXPECT_EQ(rule->conditions[1].attribute, 1u);
+  EXPECT_DOUBLE_EQ(rule->conditions[1].threshold, 0.5);
+  EXPECT_DOUBLE_EQ(rule->certainty, 0.8);
+}
+
+TEST(RuleParserTest, AcceptsEqualsSyntaxAndCaseInsensitivity) {
+  Schema schema = PaperSchema();
+  Result<IdentificationRule> rule =
+      ParseRule("if name>0.9 then duplicates certainty=0.7", schema);
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  EXPECT_DOUBLE_EQ(rule->certainty, 0.7);
+}
+
+TEST(RuleParserTest, CertaintyDefaultsToOne) {
+  Schema schema = PaperSchema();
+  Result<IdentificationRule> rule =
+      ParseRule("IF job > 0.5 THEN DUPLICATES", schema);
+  ASSERT_TRUE(rule.ok());
+  EXPECT_DOUBLE_EQ(rule->certainty, 1.0);
+}
+
+TEST(RuleParserTest, RejectsMalformedInput) {
+  Schema schema = PaperSchema();
+  EXPECT_FALSE(ParseRule("name > 0.8 THEN DUPLICATES", schema).ok());
+  EXPECT_FALSE(ParseRule("IF city > 0.8 THEN DUPLICATES", schema).ok());
+  EXPECT_FALSE(ParseRule("IF name 0.8 THEN DUPLICATES", schema).ok());
+  EXPECT_FALSE(ParseRule("IF name > abc THEN DUPLICATES", schema).ok());
+  EXPECT_FALSE(ParseRule("IF name > 1.8 THEN DUPLICATES", schema).ok());
+  EXPECT_FALSE(ParseRule("IF name > 0.8 THEN MATCHES", schema).ok());
+  EXPECT_FALSE(
+      ParseRule("IF name > 0.8 THEN DUPLICATES WITH CERTAINTY 2", schema)
+          .ok());
+  EXPECT_FALSE(
+      ParseRule("IF name > 0.8 THEN DUPLICATES WITH CERTAINTY 0.8 junk",
+                schema)
+          .ok());
+}
+
+TEST(RuleParserTest, ParsesRuleFileWithComments) {
+  Schema schema = PaperSchema();
+  Result<std::vector<IdentificationRule>> rules = ParseRules(
+      "# paper rule\n"
+      "IF name > 0.8 AND job > 0.5 THEN DUPLICATES WITH CERTAINTY 0.8\n"
+      "\n"
+      "IF name > 0.95 THEN DUPLICATES WITH CERTAINTY 0.9\n",
+      schema);
+  ASSERT_TRUE(rules.ok());
+  EXPECT_EQ(rules->size(), 2u);
+}
+
+// ---------------------------------------------------------- FellegiSunter
+
+TEST(FellegiSunterTest, MatchingWeightAgreeDisagree) {
+  FellegiSunterModel fs({{0.9, 0.1, 0.8}, {0.8, 0.2, 0.8}});
+  // Both agree: (0.9/0.1) * (0.8/0.2) = 36.
+  EXPECT_NEAR(fs.MatchingWeight(ComparisonVector({0.9, 0.9})), 36.0, 1e-9);
+  // First agrees, second disagrees: 9 * (0.2/0.8) = 2.25.
+  EXPECT_NEAR(fs.MatchingWeight(ComparisonVector({0.9, 0.5})), 2.25, 1e-9);
+  // Both disagree: (0.1/0.9) * 0.25 ≈ 0.02778.
+  EXPECT_NEAR(fs.MatchingWeight(ComparisonVector({0.1, 0.1})), 1.0 / 36.0,
+              1e-9);
+}
+
+TEST(FellegiSunterTest, LogWeightIsLog2) {
+  FellegiSunterModel fs({{0.9, 0.1, 0.8}});
+  EXPECT_NEAR(fs.LogWeight(ComparisonVector({1.0})), std::log2(9.0), 1e-9);
+}
+
+TEST(FellegiSunterTest, AgreementsUseThreshold) {
+  FellegiSunterModel fs({{0.9, 0.1, 0.75}});
+  EXPECT_TRUE(fs.Agreements(ComparisonVector({0.75}))[0]);
+  EXPECT_FALSE(fs.Agreements(ComparisonVector({0.74}))[0]);
+}
+
+TEST(FellegiSunterTest, MakeValidatesProbabilities) {
+  EXPECT_FALSE(FellegiSunterModel::Make({}).ok());
+  EXPECT_FALSE(FellegiSunterModel::Make({{1.0, 0.1, 0.8}}).ok());
+  EXPECT_FALSE(FellegiSunterModel::Make({{0.9, 0.0, 0.8}}).ok());
+  EXPECT_TRUE(FellegiSunterModel::Make({{0.9, 0.1, 0.8}}).ok());
+}
+
+TEST(FellegiSunterTest, IsUnnormalizedCombination) {
+  FellegiSunterModel fs({{0.9, 0.1, 0.8}});
+  EXPECT_FALSE(fs.normalized());
+  EXPECT_EQ(fs.name(), "fellegi_sunter");
+}
+
+TEST(FellegiSunterTest, DeriveThresholdsSeparateBands) {
+  FellegiSunterModel fs(
+      {{0.95, 0.05, 0.8}, {0.9, 0.1, 0.8}, {0.85, 0.15, 0.8}});
+  Thresholds t = fs.DeriveThresholds(0.01, 0.01);
+  EXPECT_TRUE(t.Validate().ok());
+  // All-agree weight must classify as match, all-disagree as unmatch.
+  double all_agree = fs.MatchingWeight(ComparisonVector({1, 1, 1}));
+  double none_agree = fs.MatchingWeight(ComparisonVector({0, 0, 0}));
+  EXPECT_EQ(Classify(all_agree, t), MatchClass::kMatch);
+  EXPECT_EQ(Classify(none_agree, t), MatchClass::kUnmatch);
+}
+
+TEST(FellegiSunterTest, LooseBoundsCollapseBands) {
+  FellegiSunterModel fs({{0.9, 0.1, 0.8}});
+  // With generous error budgets the P band shrinks to (almost) nothing:
+  // every pattern is decided.
+  Thresholds t = fs.DeriveThresholds(1.0, 1.0);
+  EXPECT_LE(t.t_lambda, t.t_mu);
+  EXPECT_EQ(Classify(fs.MatchingWeight(ComparisonVector({1.0})), t),
+            MatchClass::kMatch);
+  EXPECT_EQ(Classify(fs.MatchingWeight(ComparisonVector({0.0})), t),
+            MatchClass::kUnmatch);
+}
+
+// ---------------------------------------------------------------- EM
+
+// Synthesizes comparison vectors from a known two-component model.
+std::vector<ComparisonVector> SynthesizeVectors(double p, double m, double u,
+                                                size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ComparisonVector> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    bool is_match = rng.Bernoulli(p);
+    std::vector<double> c(3);
+    for (size_t a = 0; a < 3; ++a) {
+      double rate = is_match ? m : u;
+      c[a] = rng.Bernoulli(rate) ? 1.0 : 0.0;
+    }
+    out.push_back(ComparisonVector(std::move(c)));
+  }
+  return out;
+}
+
+TEST(EmTest, RecoversPlantedParameters) {
+  std::vector<ComparisonVector> vectors =
+      SynthesizeVectors(0.2, 0.9, 0.1, 6000, 7);
+  EmOptions options;
+  options.initial_p = 0.3;
+  Result<EmEstimate> est = EstimateWithEm(vectors, options);
+  ASSERT_TRUE(est.ok()) << est.status().ToString();
+  EXPECT_NEAR(est->p, 0.2, 0.05);
+  for (const FsAttribute& a : est->attributes) {
+    EXPECT_NEAR(a.m, 0.9, 0.07);
+    EXPECT_NEAR(a.u, 0.1, 0.07);
+  }
+}
+
+TEST(EmTest, LogLikelihoodIsMonotonicallyNonDecreasing) {
+  std::vector<ComparisonVector> vectors =
+      SynthesizeVectors(0.3, 0.85, 0.15, 2000, 11);
+  Result<EmEstimate> est = EstimateWithEm(vectors);
+  ASSERT_TRUE(est.ok());
+  for (size_t i = 1; i < est->trajectory.size(); ++i) {
+    EXPECT_GE(est->trajectory[i], est->trajectory[i - 1] - 1e-7) << i;
+  }
+}
+
+TEST(EmTest, MatchComponentHasHigherAgreement) {
+  std::vector<ComparisonVector> vectors =
+      SynthesizeVectors(0.25, 0.9, 0.1, 3000, 13);
+  // Mirrored initialization must still land on m > u by convention.
+  EmOptions options;
+  options.initial_m = 0.2;
+  options.initial_u = 0.8;
+  Result<EmEstimate> est = EstimateWithEm(vectors, options);
+  ASSERT_TRUE(est.ok());
+  for (const FsAttribute& a : est->attributes) EXPECT_GT(a.m, a.u);
+}
+
+TEST(EmTest, ValidatesInput) {
+  EXPECT_FALSE(EstimateWithEm({}).ok());
+  std::vector<ComparisonVector> mixed = {ComparisonVector({0.5}),
+                                         ComparisonVector({0.5, 0.5})};
+  EXPECT_FALSE(EstimateWithEm(mixed).ok());
+  EmOptions bad;
+  bad.initial_p = 0.0;
+  EXPECT_FALSE(
+      EstimateWithEm({ComparisonVector({0.5})}, bad).ok());
+}
+
+TEST(EmTest, EstimatedModelSeparatesClasses) {
+  std::vector<ComparisonVector> vectors =
+      SynthesizeVectors(0.2, 0.92, 0.08, 4000, 17);
+  Result<EmEstimate> est = EstimateWithEm(vectors);
+  ASSERT_TRUE(est.ok());
+  FellegiSunterModel fs(est->attributes);
+  double agree_weight = fs.MatchingWeight(ComparisonVector({1, 1, 1}));
+  double disagree_weight = fs.MatchingWeight(ComparisonVector({0, 0, 0}));
+  EXPECT_GT(agree_weight, 1.0);
+  EXPECT_LT(disagree_weight, 1.0);
+}
+
+}  // namespace
+}  // namespace pdd

@@ -1,0 +1,211 @@
+// Unit tests for the x-tuple derivation functions (Section IV-B),
+// including the full Fig. 7 worked example for both the similarity-based
+// (Eq. 6) and decision-based (Eq. 7-9) approaches.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/paper_examples.h"
+#include "decision/combination.h"
+#include "derive/decision_based.h"
+#include "derive/similarity_based.h"
+#include "derive/xtuple_decision_model.h"
+#include "match/tuple_matcher.h"
+#include "sim/edit_distance.h"
+
+namespace pdd {
+namespace {
+
+const Comparator& Hamming() {
+  static NormalizedHammingComparator cmp;
+  return cmp;
+}
+
+TupleMatcher MakePaperMatcher() {
+  return *TupleMatcher::Make(PaperSchema(),
+                             {&Hamming(), &Hamming()});
+}
+
+// Scores of the Fig. 7 pair (t32, t42) under φ = 0.8 c1 + 0.2 c2.
+AlternativePairScores PaperScores() {
+  TupleMatcher matcher = MakePaperMatcher();
+  WeightedSumCombination phi({0.8, 0.2});
+  XTuple t32 = BuildR3().xtuple(1);
+  XTuple t42 = BuildR4().xtuple(1);
+  return BuildAlternativePairScores(t32, t42, matcher, phi);
+}
+
+TEST(AlternativePairScoresTest, PaperAlternativeSimilarities) {
+  AlternativePairScores scores = PaperScores();
+  ASSERT_EQ(scores.rows, 3u);
+  ASSERT_EQ(scores.cols, 1u);
+  EXPECT_NEAR(scores.sim(0, 0), 11.0 / 15.0, 1e-12);  // (Tim,mechanic)
+  EXPECT_NEAR(scores.sim(1, 0), 7.0 / 15.0, 1e-12);   // (Jim,mechanic)
+  EXPECT_NEAR(scores.sim(2, 0), 4.0 / 15.0, 1e-12);   // (Jim,baker)
+}
+
+TEST(AlternativePairScoresTest, ConditionedProbabilities) {
+  AlternativePairScores scores = PaperScores();
+  EXPECT_NEAR(scores.p1[0], 0.3 / 0.9, 1e-12);
+  EXPECT_NEAR(scores.p1[1], 0.2 / 0.9, 1e-12);
+  EXPECT_NEAR(scores.p1[2], 0.4 / 0.9, 1e-12);
+  EXPECT_NEAR(scores.p2[0], 1.0, 1e-12);
+  EXPECT_NEAR(scores.weight(2, 0), 4.0 / 9.0, 1e-12);
+}
+
+// ---------------------------------------------------- similarity-based
+
+TEST(ExpectedSimilarityDerivationTest, PaperEq6Value) {
+  // sim(t32, t42) = 7/15.
+  ExpectedSimilarityDerivation theta;
+  EXPECT_NEAR(theta.Derive(PaperScores()), 7.0 / 15.0, 1e-12);
+}
+
+TEST(ExpectedSimilarityDerivationTest, EqualsBruteForceWorldExpectation) {
+  // Eq. 6 must equal the expected similarity over the conditioned worlds
+  // of Fig. 7: P(I1|B)*sim1 + P(I2|B)*sim2 + P(I3|B)*sim3.
+  AlternativePairScores scores = PaperScores();
+  double brute = (0.24 / 0.72) * scores.sim(0, 0) +
+                 (0.16 / 0.72) * scores.sim(1, 0) +
+                 (0.32 / 0.72) * scores.sim(2, 0);
+  ExpectedSimilarityDerivation theta;
+  EXPECT_NEAR(theta.Derive(scores), brute, 1e-12);
+}
+
+TEST(MaxMinDerivationTest, Extremes) {
+  AlternativePairScores scores = PaperScores();
+  EXPECT_NEAR(MaxSimilarityDerivation().Derive(scores), 11.0 / 15.0, 1e-12);
+  EXPECT_NEAR(MinSimilarityDerivation().Derive(scores), 4.0 / 15.0, 1e-12);
+}
+
+TEST(ModeDerivationTest, PicksMostProbablePair) {
+  // Most probable alternative pair is (Jim, baker) x (Tom, mechanic).
+  AlternativePairScores scores = PaperScores();
+  EXPECT_NEAR(ModeSimilarityDerivation().Derive(scores), 4.0 / 15.0, 1e-12);
+}
+
+TEST(MinDerivationTest, EmptyScoresYieldZero) {
+  AlternativePairScores empty;
+  EXPECT_DOUBLE_EQ(MinSimilarityDerivation().Derive(empty), 0.0);
+  EXPECT_DOUBLE_EQ(MaxSimilarityDerivation().Derive(empty), 0.0);
+}
+
+// ------------------------------------------------------ decision-based
+
+TEST(ClassifyAlternativePairsTest, PaperEtaVector) {
+  std::vector<MatchClass> eta =
+      ClassifyAlternativePairs(PaperScores(), Thresholds{0.4, 0.7});
+  ASSERT_EQ(eta.size(), 3u);
+  EXPECT_EQ(eta[0], MatchClass::kMatch);     // 11/15 > 0.7
+  EXPECT_EQ(eta[1], MatchClass::kPossible);  // 7/15 in [0.4, 0.7]
+  EXPECT_EQ(eta[2], MatchClass::kUnmatch);   // 4/15 < 0.4
+}
+
+TEST(MatchingMassTest, PaperMasses) {
+  MatchingMass mass = ComputeMatchingMass(PaperScores(),
+                                          Thresholds{0.4, 0.7});
+  EXPECT_NEAR(mass.p_match, 3.0 / 9.0, 1e-12);
+  EXPECT_NEAR(mass.p_possible, 2.0 / 9.0, 1e-12);
+  EXPECT_NEAR(mass.p_unmatch, 4.0 / 9.0, 1e-12);
+  EXPECT_NEAR(mass.p_match + mass.p_possible + mass.p_unmatch, 1.0, 1e-12);
+}
+
+TEST(MatchingWeightDerivationTest, PaperEq7Value) {
+  // sim(t32, t42) = (3/9)/(4/9) = 0.75.
+  MatchingWeightDerivation theta(Thresholds{0.4, 0.7});
+  EXPECT_NEAR(theta.Derive(PaperScores()), 0.75, 1e-12);
+  EXPECT_FALSE(theta.normalized());
+}
+
+TEST(MatchingWeightDerivationTest, InfinityWhenNoUnmatchMass) {
+  // Single identical alternative pair: everything is a match.
+  AlternativePairScores scores;
+  scores.rows = scores.cols = 1;
+  scores.sims = {0.95};
+  scores.p1 = {1.0};
+  scores.p2 = {1.0};
+  MatchingWeightDerivation theta(Thresholds{0.4, 0.7});
+  EXPECT_TRUE(std::isinf(theta.Derive(scores)));
+}
+
+TEST(MatchingWeightDerivationTest, NeutralWhenAllPossible) {
+  AlternativePairScores scores;
+  scores.rows = scores.cols = 1;
+  scores.sims = {0.5};
+  scores.p1 = {1.0};
+  scores.p2 = {1.0};
+  MatchingWeightDerivation theta(Thresholds{0.4, 0.7});
+  EXPECT_DOUBLE_EQ(theta.Derive(scores), 1.0);
+}
+
+TEST(ExpectedMatchingDerivationTest, PaperValue) {
+  // E[η] = 2*(3/9) + 1*(2/9) + 0*(4/9) = 8/9.
+  ExpectedMatchingDerivation theta(Thresholds{0.4, 0.7});
+  EXPECT_NEAR(theta.Derive(PaperScores()), 8.0 / 9.0, 1e-12);
+}
+
+TEST(ExpectedMatchingDerivationTest, NormalizedVariantHalves) {
+  ExpectedMatchingDerivation theta(Thresholds{0.4, 0.7}, /*normalize=*/true);
+  EXPECT_NEAR(theta.Derive(PaperScores()), 4.0 / 9.0, 1e-12);
+  EXPECT_TRUE(theta.normalized());
+}
+
+// ----------------------------------------------------------- full model
+
+TEST(XTupleDecisionModelTest, DecidePaperPair) {
+  TupleMatcher matcher = MakePaperMatcher();
+  WeightedSumCombination phi({0.8, 0.2});
+  ExpectedSimilarityDerivation theta;
+  XTupleDecisionModel model(&matcher, &phi, &theta, Thresholds{0.4, 0.7});
+  XTuple t32 = BuildR3().xtuple(1);
+  XTuple t42 = BuildR4().xtuple(1);
+  XPairDecision decision = model.Decide(t32, t42);
+  EXPECT_NEAR(decision.similarity, 7.0 / 15.0, 1e-12);
+  EXPECT_EQ(decision.match_class, MatchClass::kPossible);
+}
+
+TEST(XTupleDecisionModelTest, DecisionBasedClassification) {
+  TupleMatcher matcher = MakePaperMatcher();
+  WeightedSumCombination phi({0.8, 0.2});
+  MatchingWeightDerivation theta(Thresholds{0.4, 0.7});
+  // Matching-weight scale: treat R > 1 as match, R < 0.5 as unmatch.
+  XTupleDecisionModel model(&matcher, &phi, &theta, Thresholds{0.5, 1.0});
+  XTuple t32 = BuildR3().xtuple(1);
+  XTuple t42 = BuildR4().xtuple(1);
+  XPairDecision decision = model.Decide(t32, t42);
+  EXPECT_NEAR(decision.similarity, 0.75, 1e-12);
+  EXPECT_EQ(decision.match_class, MatchClass::kPossible);
+}
+
+TEST(XTupleDecisionModelTest, IdenticalXTuplesScoreOne) {
+  TupleMatcher matcher = MakePaperMatcher();
+  WeightedSumCombination phi({0.8, 0.2});
+  ExpectedSimilarityDerivation theta;
+  XTupleDecisionModel model(&matcher, &phi, &theta, Thresholds{0.4, 0.7});
+  XTuple t41 = BuildR4().xtuple(0);
+  XPairDecision decision = model.Decide(t41, t41);
+  // Not exactly 1: different alternatives of t41 disagree. But the
+  // diagonal worlds dominate; value must be high and classified m or p.
+  EXPECT_GT(decision.similarity, 0.6);
+}
+
+TEST(XTupleDecisionModelTest, TupleMembershipDoesNotInfluenceSimilarity) {
+  // Scaling all alternative probabilities by a constant (changing p(t))
+  // must not change the derived similarity (Section IV's key principle).
+  TupleMatcher matcher = MakePaperMatcher();
+  WeightedSumCombination phi({0.8, 0.2});
+  ExpectedSimilarityDerivation theta;
+  XTupleDecisionModel model(&matcher, &phi, &theta, Thresholds{0.4, 0.7});
+  XTuple t32 = BuildR3().xtuple(1);
+  std::vector<AltTuple> scaled_alts = t32.alternatives();
+  for (AltTuple& alt : scaled_alts) alt.prob *= 0.5;
+  XTuple t32_scaled("t32s", std::move(scaled_alts));
+  XTuple t42 = BuildR4().xtuple(1);
+  EXPECT_NEAR(model.Similarity(t32, t42), model.Similarity(t32_scaled, t42),
+              1e-12);
+}
+
+}  // namespace
+}  // namespace pdd

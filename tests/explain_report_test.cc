@@ -1,0 +1,203 @@
+// Unit tests for the rule-based end-to-end configuration, the pair
+// explanation API and the report writer.
+
+#include <gtest/gtest.h>
+
+#include "core/detector.h"
+#include "core/explain.h"
+#include "core/paper_examples.h"
+#include "core/report_writer.h"
+
+namespace pdd {
+namespace {
+
+DetectorConfig PaperConfig() {
+  DetectorConfig config;
+  config.key = {{"name", 3}, {"job", 2}};
+  config.weights = {0.8, 0.2};
+  config.final_thresholds = {0.4, 0.7};
+  return config;
+}
+
+// ------------------------------------------------------- rule combination
+
+TEST(RuleCombinationTest, EndToEndWithPaperRule) {
+  DetectorConfig config = PaperConfig();
+  config.combination = CombinationKind::kRules;
+  config.rules_text =
+      "IF name > 0.8 AND job > 0.5 THEN DUPLICATES WITH CERTAINTY 0.8\n";
+  // Certainty factors are normalized; a single threshold suits the
+  // knowledge-based technique (P unused, per Section III-D).
+  config.final_thresholds = {0.5, 0.5};
+  Result<DuplicateDetector> detector =
+      DuplicateDetector::Make(config, PaperSchema());
+  ASSERT_TRUE(detector.ok()) << detector.status().ToString();
+  // (t11, t22) fires the rule: comparison vector (0.9, 0.589) -> 0.8.
+  XRelation r12("R12", PaperSchema());
+  Relation r1 = BuildR1();
+  Relation r2 = BuildR2();
+  XRelation x1 = XRelation::FromRelation(r1);
+  XRelation x2 = XRelation::FromRelation(r2);
+  Result<DetectionResult> result = detector->RunOnSources(x1, x2);
+  ASSERT_TRUE(result.ok());
+  bool found = false;
+  for (const PairDecisionRecord& rec : result->decisions) {
+    if ((rec.id1 == "t11" && rec.id2 == "t22") ||
+        (rec.id1 == "t22" && rec.id2 == "t11")) {
+      found = true;
+      EXPECT_NEAR(rec.similarity, 0.8, 1e-12);
+      EXPECT_EQ(rec.match_class, MatchClass::kMatch);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(RuleCombinationTest, ConfigValidation) {
+  DetectorConfig config = PaperConfig();
+  config.combination = CombinationKind::kRules;
+  EXPECT_FALSE(config.Validate().ok());  // missing rules_text
+  config.rules_text = "IF bogus > 0.5 THEN DUPLICATES";
+  EXPECT_TRUE(config.Validate().ok());   // syntax checked at Make
+  EXPECT_FALSE(DuplicateDetector::Make(config, PaperSchema()).ok());
+}
+
+TEST(RuleCombinationTest, AdapterExposesEngine) {
+  RuleEngine engine({PaperRule()});
+  RuleCombination phi(std::move(engine));
+  EXPECT_EQ(phi.name(), "rules");
+  EXPECT_TRUE(phi.normalized());
+  EXPECT_DOUBLE_EQ(phi.Combine(ComparisonVector({0.9, 0.6})), 0.8);
+  EXPECT_DOUBLE_EQ(phi.Combine(ComparisonVector({0.1, 0.6})), 0.0);
+  EXPECT_EQ(phi.engine().rules().size(), 1u);
+}
+
+// ------------------------------------------------------------ explanation
+
+TEST(ExplainTest, PaperPairBreakdown) {
+  Result<DuplicateDetector> detector =
+      DuplicateDetector::Make(PaperConfig(), PaperSchema());
+  ASSERT_TRUE(detector.ok());
+  XTuple t32 = BuildR3().xtuple(1);
+  XTuple t42 = BuildR4().xtuple(1);
+  PairExplanation explanation = ExplainPair(*detector, t32, t42);
+  ASSERT_EQ(explanation.alternatives.size(), 3u);
+  // φ values of the three alternative pairs (Fig. 7 example).
+  EXPECT_NEAR(explanation.alternatives[0].phi, 11.0 / 15.0, 1e-12);
+  EXPECT_NEAR(explanation.alternatives[1].phi, 7.0 / 15.0, 1e-12);
+  EXPECT_NEAR(explanation.alternatives[2].phi, 4.0 / 15.0, 1e-12);
+  // η classes m, p, u.
+  EXPECT_EQ(explanation.alternatives[0].eta, MatchClass::kMatch);
+  EXPECT_EQ(explanation.alternatives[1].eta, MatchClass::kPossible);
+  EXPECT_EQ(explanation.alternatives[2].eta, MatchClass::kUnmatch);
+  // Masses and derived similarity match the paper.
+  EXPECT_NEAR(explanation.mass.p_match, 3.0 / 9.0, 1e-12);
+  EXPECT_NEAR(explanation.mass.p_unmatch, 4.0 / 9.0, 1e-12);
+  EXPECT_NEAR(explanation.similarity, 7.0 / 15.0, 1e-12);
+  EXPECT_EQ(explanation.match_class, MatchClass::kPossible);
+}
+
+TEST(ExplainTest, WeightsAreConditioned) {
+  Result<DuplicateDetector> detector =
+      DuplicateDetector::Make(PaperConfig(), PaperSchema());
+  ASSERT_TRUE(detector.ok());
+  XTuple t32 = BuildR3().xtuple(1);
+  XTuple t42 = BuildR4().xtuple(1);
+  PairExplanation explanation = ExplainPair(*detector, t32, t42);
+  double total = 0.0;
+  for (const AlternativePairExplanation& alt : explanation.alternatives) {
+    total += alt.weight;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(ExplainTest, ToStringMentionsAttributesAndClasses) {
+  Result<DuplicateDetector> detector =
+      DuplicateDetector::Make(PaperConfig(), PaperSchema());
+  ASSERT_TRUE(detector.ok());
+  PairExplanation explanation =
+      ExplainPair(*detector, BuildR3().xtuple(1), BuildR4().xtuple(1));
+  std::string s = explanation.ToString(PaperSchema());
+  EXPECT_NE(s.find("pair (t32, t42)"), std::string::npos);
+  EXPECT_NE(s.find("name="), std::string::npos);
+  EXPECT_NE(s.find("job="), std::string::npos);
+  EXPECT_NE(s.find("P(m)=0.3333"), std::string::npos);
+  EXPECT_NE(s.find("possible"), std::string::npos);
+}
+
+// ----------------------------------------------------------------- report
+
+DetectionResult RunPaperDetection() {
+  Result<DuplicateDetector> detector =
+      DuplicateDetector::Make(PaperConfig(), PaperSchema());
+  return *detector->Run(BuildR34());
+}
+
+TEST(ReportTest, CsvHasHeaderAndRows) {
+  DetectionResult result = RunPaperDetection();
+  std::string csv = DecisionsToCsv(result);
+  EXPECT_EQ(csv.find("id1,id2,similarity,decision\n"), 0u);
+  // 10 data rows + header.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 11);
+  EXPECT_NE(csv.find("t31,t41"), std::string::npos);
+}
+
+TEST(ReportTest, CsvGoldColumn) {
+  DetectionResult result = RunPaperDetection();
+  GoldStandard gold;
+  gold.AddMatch("t31", "t41");
+  std::string csv = DecisionsToCsv(result, &gold);
+  EXPECT_NE(csv.find("id1,id2,similarity,decision,gold"), std::string::npos);
+  EXPECT_NE(csv.find(",match"), std::string::npos);
+  EXPECT_NE(csv.find(",non-match"), std::string::npos);
+}
+
+TEST(ReportTest, CsvEscapesStructuralCharacters) {
+  DetectionResult result;
+  result.total_pairs = 1;
+  result.candidate_count = 1;
+  result.decisions.push_back(
+      {"id,with,commas", "id\"quoted\"", 0, 1, 0.5, MatchClass::kMatch});
+  std::string csv = DecisionsToCsv(result);
+  EXPECT_NE(csv.find("\"id,with,commas\""), std::string::npos);
+  EXPECT_NE(csv.find("\"id\"\"quoted\"\"\""), std::string::npos);
+}
+
+TEST(ReportTest, MarkdownReportSections) {
+  DetectionResult result = RunPaperDetection();
+  GoldStandard gold;
+  gold.AddMatch("t31", "t41");
+  std::string report = DetectionReport(result, &gold);
+  EXPECT_NE(report.find("# Duplicate detection report"), std::string::npos);
+  EXPECT_NE(report.find("## Verification"), std::string::npos);
+  EXPECT_NE(report.find("## Clerical review queue"), std::string::npos);
+  EXPECT_NE(report.find("matches (M): 1"), std::string::npos);
+}
+
+TEST(ReportTest, ReviewQueueTruncates) {
+  DetectionResult result;
+  result.total_pairs = 100;
+  result.candidate_count = 20;
+  for (int i = 0; i < 20; ++i) {
+    result.decisions.push_back({"a" + std::to_string(i),
+                                "b" + std::to_string(i),
+                                static_cast<size_t>(i), 50, 0.5 + i * 0.001,
+                                MatchClass::kPossible});
+  }
+  std::string report = DetectionReport(result, nullptr, 5);
+  EXPECT_NE(report.find("(15 more)"), std::string::npos);
+  // Highest similarity first.
+  size_t first = report.find("a19 ~ b19");
+  size_t later = report.find("a15 ~ b15");
+  EXPECT_NE(first, std::string::npos);
+  EXPECT_NE(later, std::string::npos);
+  EXPECT_LT(first, later);
+}
+
+TEST(ReportTest, ReportWithoutGoldSkipsVerification) {
+  DetectionResult result = RunPaperDetection();
+  std::string report = DetectionReport(result);
+  EXPECT_EQ(report.find("## Verification"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pdd

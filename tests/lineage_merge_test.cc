@@ -1,0 +1,382 @@
+// Unit tests for the Section VI machinery: union-find, lineage,
+// probabilistic merge, entity clustering and the uncertain
+// deduplication result.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/detector.h"
+#include "core/entity_clusters.h"
+#include "core/paper_examples.h"
+#include "core/uncertain_result.h"
+#include "fusion/probabilistic_merge.h"
+#include "pdb/lineage.h"
+#include "util/random.h"
+#include "util/union_find.h"
+
+namespace pdd {
+namespace {
+
+// -------------------------------------------------------------- UnionFind
+
+TEST(UnionFindTest, SingletonsInitially) {
+  UnionFind uf(4);
+  EXPECT_EQ(uf.set_count(), 4u);
+  EXPECT_FALSE(uf.Connected(0, 1));
+  EXPECT_EQ(uf.SetSize(2), 1u);
+}
+
+TEST(UnionFindTest, UnionMergesAndCounts) {
+  UnionFind uf(5);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_TRUE(uf.Union(1, 2));
+  EXPECT_FALSE(uf.Union(0, 2));  // already connected
+  EXPECT_EQ(uf.set_count(), 3u);
+  EXPECT_TRUE(uf.Connected(0, 2));
+  EXPECT_EQ(uf.SetSize(1), 3u);
+}
+
+TEST(UnionFindTest, GroupsMaterializeAllElements) {
+  UnionFind uf(6);
+  uf.Union(0, 3);
+  uf.Union(4, 5);
+  std::vector<std::vector<size_t>> groups = uf.Groups();
+  EXPECT_EQ(groups.size(), 4u);
+  size_t total = 0;
+  for (const auto& g : groups) total += g.size();
+  EXPECT_EQ(total, 6u);
+  EXPECT_EQ(groups[0], (std::vector<size_t>{0, 3}));
+}
+
+TEST(UnionFindTest, TransitiveChains) {
+  UnionFind uf(100);
+  for (size_t i = 0; i + 1 < 100; ++i) uf.Union(i, i + 1);
+  EXPECT_EQ(uf.set_count(), 1u);
+  EXPECT_TRUE(uf.Connected(0, 99));
+  EXPECT_EQ(uf.SetSize(50), 100u);
+}
+
+// ---------------------------------------------------------------- Lineage
+
+TEST(LineageTest, TrueLineage) {
+  Lineage t = Lineage::True();
+  EXPECT_TRUE(t.is_true());
+  EXPECT_TRUE(t.Evaluate({}));
+  EXPECT_EQ(t.ToString(), "true");
+  EXPECT_TRUE(t.ReferencedTuples().empty());
+}
+
+TEST(LineageTest, AtomEvaluation) {
+  Lineage atom = Lineage::Atom("t32", 1);
+  EXPECT_TRUE(atom.Evaluate({{"t32", 1}}));
+  EXPECT_FALSE(atom.Evaluate({{"t32", 0}}));
+  EXPECT_FALSE(atom.Evaluate({}));  // absent tuple
+  EXPECT_EQ(atom.ToString(), "t32/2");
+}
+
+TEST(LineageTest, BooleanConnectives) {
+  Lineage a = Lineage::Atom("x", 0);
+  Lineage b = Lineage::Atom("y", 0);
+  Lineage both = Lineage::And(a, b);
+  Lineage either = Lineage::Or(a, b);
+  Lineage neg = Lineage::Not(a);
+  EXPECT_TRUE(both.Evaluate({{"x", 0}, {"y", 0}}));
+  EXPECT_FALSE(both.Evaluate({{"x", 0}}));
+  EXPECT_TRUE(either.Evaluate({{"y", 0}}));
+  EXPECT_FALSE(either.Evaluate({}));
+  EXPECT_TRUE(neg.Evaluate({}));
+  EXPECT_FALSE(neg.Evaluate({{"x", 0}}));
+}
+
+TEST(LineageTest, AndWithTrueSimplifies) {
+  Lineage a = Lineage::Atom("x", 0);
+  EXPECT_EQ(Lineage::And(Lineage::True(), a).ToString(), "x/1");
+  EXPECT_EQ(Lineage::And(a, Lineage::True()).ToString(), "x/1");
+}
+
+TEST(LineageTest, ReferencedTuplesDeduplicated) {
+  Lineage expr = Lineage::Or(
+      Lineage::And(Lineage::Atom("a", 0), Lineage::Atom("b", 1)),
+      Lineage::Not(Lineage::Atom("a", 1)));
+  EXPECT_EQ(expr.ReferencedTuples(), (std::vector<std::string>{"a", "b"}));
+}
+
+// ------------------------------------------------------------- FuseValues
+
+TEST(FuseValuesTest, EqualValuesStayFixed) {
+  Value v = Value::Dist({{"Tim", 0.7}, {"Tom", 0.3}});
+  Value fused = FuseValues(v, v, MergeOptions{});
+  EXPECT_NEAR(fused.existence_probability(), 1.0, 1e-12);
+  ASSERT_EQ(fused.size(), 2u);
+  // Mixture of identical distributions is the distribution itself.
+  for (const Alternative& alt : fused.alternatives()) {
+    if (alt.text == "Tim") {
+      EXPECT_NEAR(alt.prob, 0.7, 1e-12);
+    }
+    if (alt.text == "Tom") {
+      EXPECT_NEAR(alt.prob, 0.3, 1e-12);
+    }
+  }
+}
+
+TEST(FuseValuesTest, MixtureWeights) {
+  Value a = Value::Certain("John");
+  Value b = Value::Certain("Jon");
+  MergeOptions options;
+  options.weight_a = 0.8;
+  Value fused = FuseValues(a, b, options);
+  ASSERT_EQ(fused.size(), 2u);
+  for (const Alternative& alt : fused.alternatives()) {
+    if (alt.text == "John") {
+      EXPECT_NEAR(alt.prob, 0.8, 1e-12);
+    }
+    if (alt.text == "Jon") {
+      EXPECT_NEAR(alt.prob, 0.2, 1e-12);
+    }
+  }
+}
+
+TEST(FuseValuesTest, NullMassMixes) {
+  Value a = Value::Dist({{"x", 0.6}});  // ⊥ 0.4
+  Value b = Value::Null();
+  Value fused = FuseValues(a, b, MergeOptions{});
+  EXPECT_NEAR(fused.null_probability(), 0.5 * 0.4 + 0.5 * 1.0, 1e-12);
+}
+
+TEST(FuseValuesTest, PatternsKeptDistinctFromLiterals) {
+  Value a = Value::Pattern("mu");
+  Value b = Value::Certain("mu");
+  Value fused = FuseValues(a, b, MergeOptions{});
+  EXPECT_EQ(fused.size(), 2u);
+  EXPECT_TRUE(fused.has_pattern());
+}
+
+// ------------------------------------------------------------ FuseXTuples
+
+TEST(FuseXTuplesTest, MergesIdenticalAlternatives) {
+  XTuple t41 = BuildR4().xtuple(0);
+  XTuple fused = FuseXTuples(t41, t41, "f", MergeOptions{});
+  // Both sources agree: same two alternatives, same conditioned probs.
+  ASSERT_EQ(fused.size(), 2u);
+  EXPECT_NEAR(fused.existence_probability(), 1.0, 1e-12);
+  EXPECT_NEAR(fused.alternative(0).prob, 0.8, 1e-12);
+  EXPECT_NEAR(fused.alternative(1).prob, 0.2, 1e-12);
+  EXPECT_TRUE(fused.Validate().ok());
+}
+
+TEST(FuseXTuplesTest, UnionOfDistinctAlternatives) {
+  XTuple t32 = BuildR3().xtuple(1);  // 3 alternatives, existence 0.9
+  XTuple t42 = BuildR4().xtuple(1);  // 1 alternative, existence 0.8
+  XTuple fused = FuseXTuples(t32, t42, "t32+t42", MergeOptions{});
+  EXPECT_EQ(fused.id(), "t32+t42");
+  ASSERT_EQ(fused.size(), 4u);
+  EXPECT_NEAR(fused.existence_probability(), 0.5 * 0.9 + 0.5 * 0.8, 1e-12);
+  EXPECT_TRUE(fused.Validate().ok());
+  // The (Tom, mechanic) alternative carries half the mixed existence.
+  EXPECT_NEAR(fused.alternative(3).prob, 0.5 * 0.85, 1e-12);
+}
+
+TEST(FuseXTuplesTest, MembershipMixesButConditioningPreserved) {
+  XTuple a("a", {{{Value::Certain("x")}, 0.5}});
+  XTuple b("b", {{{Value::Certain("x")}, 1.0}});
+  XTuple fused = FuseXTuples(a, b, "ab", MergeOptions{});
+  ASSERT_EQ(fused.size(), 1u);
+  EXPECT_NEAR(fused.existence_probability(), 0.75, 1e-12);
+}
+
+TEST(FuseXTuplesTest, RandomPairsStayValid) {
+  // Property sweep: fusing any two random x-tuples yields a valid
+  // x-tuple whose existence is the configured mixture.
+  Rng rng(31);
+  for (int round = 0; round < 100; ++round) {
+    auto random_xtuple = [&](const std::string& id) {
+      size_t alts = 1 + rng.Index(3);
+      std::vector<AltTuple> list;
+      std::vector<double> raw;
+      for (size_t a = 0; a < alts; ++a) raw.push_back(rng.Uniform(0.1, 1.0));
+      double total = 0.0;
+      for (double r : raw) total += r;
+      double existence = rng.Uniform(0.3, 1.0);
+      for (size_t a = 0; a < alts; ++a) {
+        std::string text(1, static_cast<char>('a' + rng.Index(4)));
+        list.push_back({{Value::Certain(text)}, raw[a] / total * existence});
+      }
+      return XTuple(id, std::move(list));
+    };
+    XTuple t1 = random_xtuple("t1");
+    XTuple t2 = random_xtuple("t2");
+    MergeOptions options;
+    options.weight_a = rng.Uniform(0.1, 0.9);
+    XTuple fused = FuseXTuples(t1, t2, "f", options);
+    ASSERT_TRUE(fused.Validate().ok()) << fused.ToString();
+    double expected = options.weight_a * t1.existence_probability() +
+                      (1.0 - options.weight_a) * t2.existence_probability();
+    EXPECT_NEAR(fused.existence_probability(), expected, 1e-9);
+  }
+}
+
+// --------------------------------------------------------- EntityClusters
+
+DetectionResult RunPaperDetection() {
+  DetectorConfig config;
+  config.key = {{"name", 3}, {"job", 2}};
+  config.weights = {0.8, 0.2};
+  config.final_thresholds = {0.4, 0.7};
+  Result<DuplicateDetector> detector =
+      DuplicateDetector::Make(config, PaperSchema());
+  return *detector->Run(BuildR34());
+}
+
+TEST(EntityClustersTest, MatchesFormClusters) {
+  DetectionResult result = RunPaperDetection();
+  std::vector<std::vector<size_t>> clusters = ClusterEntities(5, result);
+  // (t31, t41) is the only match -> 4 clusters over 5 tuples.
+  EXPECT_EQ(clusters.size(), 4u);
+  bool together = false;
+  for (const auto& c : clusters) {
+    if (c.size() == 2 && c[0] == 0 && c[1] == 2) together = true;
+  }
+  EXPECT_TRUE(together);
+}
+
+TEST(EntityClustersTest, IncludePossibleGrowsClusters) {
+  DetectionResult result = RunPaperDetection();
+  ClusterOptions options;
+  options.include_possible = true;
+  std::vector<std::vector<size_t>> strict = ClusterEntities(5, result);
+  std::vector<std::vector<size_t>> lenient =
+      ClusterEntities(5, result, options);
+  EXPECT_LE(lenient.size(), strict.size());
+}
+
+TEST(EntityClustersTest, EvaluateClusteringAgainstGold) {
+  DetectionResult result = RunPaperDetection();
+  std::vector<std::vector<size_t>> clusters = ClusterEntities(5, result);
+  GoldStandard gold;
+  gold.AddMatch("t31", "t41");
+  XRelation r34 = BuildR34();
+  EffectivenessMetrics m = EvaluateClustering(clusters, r34, gold);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+}
+
+TEST(EntityClustersTest, TransitiveClosurePenalizesWrongBridges) {
+  // Clustering that wrongly bridges two entities counts all induced
+  // pairs as false positives.
+  XRelation rel("R", Schema::Strings({"a"}));
+  for (int i = 0; i < 4; ++i) {
+    rel.AppendUnchecked(XTuple("t" + std::to_string(i),
+                               {{{Value::Certain("x")}, 1.0}}));
+  }
+  GoldStandard gold;
+  gold.AddMatch("t0", "t1");
+  std::vector<std::vector<size_t>> clusters = {{0, 1, 2}, {3}};
+  EffectivenessMetrics m = EvaluateClustering(clusters, rel, gold);
+  EXPECT_NEAR(m.precision, 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+}
+
+// -------------------------------------------------------- UncertainResult
+
+TEST(UncertainResultTest, PossibleMatchYieldsThreeOutcomes) {
+  DetectionResult result = RunPaperDetection();
+  XRelation r34 = BuildR34();
+  UncertainDedupResult dedup = BuildUncertainResult(r34, result);
+  // t31+t41 merge certainly (1 tuple); the best possible pair (t32,t42)
+  // yields 3 outcome tuples; t43 passes through.
+  size_t merged = 0, outcome_branches = 0, passthrough = 0;
+  for (const ResultTuple& t : dedup.tuples) {
+    if (t.base_ids.size() == 2 && t.confidence == 1.0) ++merged;
+    if (t.confidence < 1.0) ++outcome_branches;
+    if (t.base_ids.size() == 1 && t.confidence == 1.0) ++passthrough;
+  }
+  EXPECT_EQ(merged, 1u);
+  EXPECT_EQ(outcome_branches, 3u);
+  EXPECT_EQ(passthrough, 1u);
+}
+
+TEST(UncertainResultTest, OutcomeConfidencesAreComplementary) {
+  DetectionResult result = RunPaperDetection();
+  XRelation r34 = BuildR34();
+  UncertainDedupResult dedup = BuildUncertainResult(r34, result);
+  for (const ResultTuple& t : dedup.tuples) {
+    if (t.base_ids.size() == 2 && t.confidence < 1.0) {
+      // Find the two complementary branches referencing one base id.
+      for (const ResultTuple& branch : dedup.tuples) {
+        if (branch.base_ids.size() == 1 &&
+            (branch.base_ids[0] == t.base_ids[0] ||
+             branch.base_ids[0] == t.base_ids[1]) &&
+            branch.confidence < 1.0) {
+          EXPECT_NEAR(branch.confidence, 1.0 - t.confidence, 1e-12);
+        }
+      }
+    }
+  }
+}
+
+TEST(UncertainResultTest, LineagesOfOneEventAreMutuallyExclusive) {
+  DetectionResult result = RunPaperDetection();
+  XRelation r34 = BuildR34();
+  UncertainDedupResult dedup = BuildUncertainResult(r34, result);
+  const ResultTuple* merged_branch = nullptr;
+  const ResultTuple* original_branch = nullptr;
+  for (const ResultTuple& t : dedup.tuples) {
+    if (t.confidence < 1.0) {
+      if (t.base_ids.size() == 2) merged_branch = &t;
+      if (t.base_ids.size() == 1 && original_branch == nullptr) {
+        original_branch = &t;
+      }
+    }
+  }
+  ASSERT_NE(merged_branch, nullptr);
+  ASSERT_NE(original_branch, nullptr);
+  std::vector<std::string> events = merged_branch->lineage.ReferencedTuples();
+  ASSERT_EQ(events.size(), 1u);
+  // In the world where the match event fires, the merge exists and the
+  // original does not — and vice versa.
+  std::vector<std::pair<std::string, size_t>> fired = {{events[0], 0}};
+  std::vector<std::pair<std::string, size_t>> not_fired = {};
+  EXPECT_TRUE(merged_branch->lineage.Evaluate(fired));
+  EXPECT_FALSE(original_branch->lineage.Evaluate(fired));
+  EXPECT_FALSE(merged_branch->lineage.Evaluate(not_fired));
+  EXPECT_TRUE(original_branch->lineage.Evaluate(not_fired));
+}
+
+TEST(UncertainResultTest, ExpectedEntityCount) {
+  DetectionResult result = RunPaperDetection();
+  XRelation r34 = BuildR34();
+  UncertainDedupResult dedup = BuildUncertainResult(r34, result);
+  // 5 base tuples; one certain merge (-1 entity); one possible merge
+  // (expected 2 - c entities for the pair).
+  double expected = dedup.ExpectedEntityCount();
+  EXPECT_GT(expected, 3.0);
+  EXPECT_LT(expected, 5.0);
+}
+
+TEST(UncertainResultTest, NoMatchesMeansPassthrough) {
+  DetectorConfig config;
+  config.key = {{"name", 3}, {"job", 2}};
+  config.weights = {0.8, 0.2};
+  config.final_thresholds = {0.99, 0.999};  // nothing matches
+  Result<DuplicateDetector> detector =
+      DuplicateDetector::Make(config, PaperSchema());
+  XRelation r34 = BuildR34();
+  DetectionResult result = *detector->Run(r34);
+  UncertainDedupResult dedup = BuildUncertainResult(r34, result);
+  EXPECT_EQ(dedup.tuples.size(), 5u);
+  EXPECT_NEAR(dedup.ExpectedEntityCount(), 5.0, 1e-12);
+}
+
+TEST(UncertainResultTest, ToStringMentionsConfidenceAndLineage) {
+  DetectionResult result = RunPaperDetection();
+  XRelation r34 = BuildR34();
+  UncertainDedupResult dedup = BuildUncertainResult(r34, result);
+  std::string s = dedup.ToString();
+  EXPECT_NE(s.find("confidence"), std::string::npos);
+  EXPECT_NE(s.find("lineage"), std::string::npos);
+  EXPECT_NE(s.find("t31+t41"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pdd

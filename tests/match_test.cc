@@ -1,0 +1,199 @@
+// Unit tests for attribute value matching (Eq. 4 / Eq. 5) and the tuple
+// matcher, including the paper's Section IV-A worked example.
+
+#include <gtest/gtest.h>
+
+#include "core/paper_examples.h"
+#include "match/attribute_matcher.h"
+#include "match/comparison_matrix.h"
+#include "match/tuple_matcher.h"
+#include "sim/edit_distance.h"
+#include "sim/registry.h"
+
+namespace pdd {
+namespace {
+
+const Comparator& Hamming() {
+  static NormalizedHammingComparator cmp;
+  return cmp;
+}
+
+// --------------------------------------------------------- ⊥ semantics
+
+TEST(OutcomeSimilarityTest, NullSemantics) {
+  EXPECT_DOUBLE_EQ(OutcomeSimilarity(std::nullopt, std::nullopt, Hamming()),
+                   1.0);
+  EXPECT_DOUBLE_EQ(OutcomeSimilarity("a", std::nullopt, Hamming()), 0.0);
+  EXPECT_DOUBLE_EQ(OutcomeSimilarity(std::nullopt, "a", Hamming()), 0.0);
+  EXPECT_DOUBLE_EQ(OutcomeSimilarity("a", "a", Hamming()), 1.0);
+}
+
+TEST(ExpectedSimilarityTest, BothCertainNull) {
+  EXPECT_DOUBLE_EQ(ExpectedSimilarity(Value::Null(), Value::Null(), Hamming()),
+                   1.0);
+}
+
+TEST(ExpectedSimilarityTest, CertainVersusNull) {
+  EXPECT_DOUBLE_EQ(
+      ExpectedSimilarity(Value::Certain("a"), Value::Null(), Hamming()), 0.0);
+}
+
+TEST(ExpectedSimilarityTest, PartialNullMassContributes) {
+  // {a: 0.6, ⊥: 0.4} vs {a: 0.5, ⊥: 0.5}:
+  // 0.6*0.5*1 (a,a) + 0.4*0.5*1 (⊥,⊥) = 0.5.
+  Value v1 = Value::Dist({{"a", 0.6}});
+  Value v2 = Value::Dist({{"a", 0.5}});
+  EXPECT_NEAR(ExpectedSimilarity(v1, v2, Hamming()), 0.5, 1e-12);
+}
+
+// ------------------------------------------------- paper worked example
+
+TEST(ExpectedSimilarityTest, PaperNameSimilarity) {
+  // sim(t11.name, t22.name) = 0.7*1 + 0.3*(2/3) = 0.9.
+  Relation r1 = BuildR1();
+  Relation r2 = BuildR2();
+  double sim = ExpectedSimilarity(r1.tuple(0).value(0), r2.tuple(1).value(0),
+                                  Hamming());
+  EXPECT_NEAR(sim, 0.9, 1e-12);
+}
+
+TEST(ExpectedSimilarityTest, PaperJobSimilarity) {
+  // sim(t11.job, t22.job) = 0.2 + 0.7*(5/9) ≈ 0.5889 (the paper rounds
+  // to 0.59).
+  Relation r1 = BuildR1();
+  Relation r2 = BuildR2();
+  double sim = ExpectedSimilarity(r1.tuple(0).value(1), r2.tuple(1).value(1),
+                                  Hamming());
+  EXPECT_NEAR(sim, 0.2 + 0.7 * 5.0 / 9.0, 1e-12);
+  EXPECT_NEAR(sim, 0.59, 0.005);
+}
+
+TEST(EqualityProbabilityTest, IsExpectedSimilarityUnderExact) {
+  Value v1 = Value::Dist({{"John", 0.5}, {"Johan", 0.5}});
+  Value v2 = Value::Dist({{"John", 0.7}, {"Jon", 0.3}});
+  // P(equal) = 0.5 * 0.7 = 0.35.
+  EXPECT_NEAR(EqualityProbability(v1, v2), 0.35, 1e-12);
+}
+
+TEST(EqualityProbabilityTest, ErrorFreeSpecialCase) {
+  // Eq. 4 equals Eq. 5 with the exact comparator.
+  ExactComparator exact;
+  Value v1 = Value::Dist({{"a", 0.4}, {"b", 0.4}});
+  Value v2 = Value::Dist({{"b", 0.5}, {"c", 0.3}});
+  EXPECT_NEAR(EqualityProbability(v1, v2),
+              ExpectedSimilarity(v1, v2, exact), 1e-12);
+}
+
+TEST(ExpectedSimilarityTest, SymmetricInArguments) {
+  Value v1 = Value::Dist({{"machinist", 0.7}, {"mechanic", 0.2}});
+  Value v2 = Value::Certain("mechanic");
+  EXPECT_NEAR(ExpectedSimilarity(v1, v2, Hamming()),
+              ExpectedSimilarity(v2, v1, Hamming()), 1e-12);
+}
+
+// ------------------------------------------------------ ComparisonVector
+
+TEST(ComparisonVectorTest, ValidateBounds) {
+  EXPECT_TRUE(ComparisonVector({0.0, 0.5, 1.0}).Validate().ok());
+  EXPECT_FALSE(ComparisonVector({-0.1}).Validate().ok());
+  EXPECT_FALSE(ComparisonVector({1.1}).Validate().ok());
+}
+
+TEST(ComparisonVectorTest, AccessAndToString) {
+  ComparisonVector c({0.9, 0.59});
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_DOUBLE_EQ(c[0], 0.9);
+  EXPECT_EQ(c.ToString(), "[0.9, 0.59]");
+}
+
+// ------------------------------------------------------ ComparisonMatrix
+
+TEST(ComparisonMatrixTest, ShapeAndAccess) {
+  ComparisonMatrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  m.at(1, 2) = ComparisonVector({0.5});
+  EXPECT_DOUBLE_EQ(m.at(1, 2)[0], 0.5);
+  EXPECT_EQ(m.at(0, 0).size(), 0u);
+}
+
+// ---------------------------------------------------------- TupleMatcher
+
+TupleMatcher MakePaperMatcher() {
+  Schema schema = PaperSchema();
+  std::vector<const Comparator*> cmps(2, &Hamming());
+  return *TupleMatcher::Make(schema, cmps);
+}
+
+TEST(TupleMatcherTest, MakeValidatesArity) {
+  Schema schema = PaperSchema();
+  EXPECT_FALSE(TupleMatcher::Make(schema, {&Hamming()}).ok());
+  EXPECT_FALSE(TupleMatcher::Make(schema, {&Hamming(), nullptr}).ok());
+  EXPECT_TRUE(TupleMatcher::Make(schema, {&Hamming(), &Hamming()}).ok());
+}
+
+TEST(TupleMatcherTest, PaperComparisonVector) {
+  TupleMatcher matcher = MakePaperMatcher();
+  Relation r1 = BuildR1();
+  Relation r2 = BuildR2();
+  ComparisonVector c = matcher.Compare(r1.tuple(0), r2.tuple(1));
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_NEAR(c[0], 0.9, 1e-12);
+  EXPECT_NEAR(c[1], 0.2 + 0.7 * 5.0 / 9.0, 1e-12);
+}
+
+TEST(TupleMatcherTest, XTupleMatrixShape) {
+  TupleMatcher matcher = MakePaperMatcher();
+  XRelation r3 = BuildR3();
+  XRelation r4 = BuildR4();
+  ComparisonMatrix m = matcher.CompareXTuples(r3.xtuple(1), r4.xtuple(1));
+  EXPECT_EQ(m.rows(), 3u);  // t32 alternatives
+  EXPECT_EQ(m.cols(), 1u);  // t42 alternatives
+  // (Tim, mechanic) vs (Tom, mechanic): name 2/3, job 1.
+  EXPECT_NEAR(m.at(0, 0)[0], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(m.at(0, 0)[1], 1.0, 1e-12);
+}
+
+TEST(TupleMatcherTest, PatternValuesExpandAgainstVocabulary) {
+  TupleMatcher matcher = MakePaperMatcher();
+  // t31's second alternative job 'mu*' expands over the paper vocabulary
+  // (musician is the only mu-word), so (Johan, mu*) vs (Johan, musician)
+  // scores job similarity 1.
+  AltTuple pattern_alt{{Value::Certain("Johan"), Value::Pattern("mu")}, 1.0};
+  AltTuple concrete_alt{{Value::Certain("Johan"), Value::Certain("musician")},
+                        1.0};
+  ComparisonVector c = matcher.CompareAlternatives(pattern_alt, concrete_alt);
+  EXPECT_NEAR(c[0], 1.0, 1e-12);
+  EXPECT_NEAR(c[1], 1.0, 1e-12);
+}
+
+TEST(TupleMatcherTest, MatchAttributeUsesPerAttributeComparator) {
+  Schema schema = PaperSchema();
+  ExactComparator exact;
+  std::vector<const Comparator*> cmps = {&exact, &Hamming()};
+  TupleMatcher matcher = *TupleMatcher::Make(schema, cmps);
+  // Attribute 0 (exact): Tim vs Tom -> 0; attribute 1 (hamming) -> 1/3.
+  EXPECT_DOUBLE_EQ(
+      matcher.MatchAttribute(0, Value::Certain("Tim"), Value::Certain("Tom")),
+      0.0);
+  EXPECT_NEAR(
+      matcher.MatchAttribute(1, Value::Certain("Tim"), Value::Certain("Tom")),
+      2.0 / 3.0, 1e-12);
+}
+
+TEST(TupleMatcherTest, CompareUncertainBothSides) {
+  TupleMatcher matcher = MakePaperMatcher();
+  // t12 vs t21: names {John:.5, Johan:.5} vs {John:.7, Jon:.3}.
+  Relation r1 = BuildR1();
+  Relation r2 = BuildR2();
+  ComparisonVector c = matcher.Compare(r1.tuple(1), r2.tuple(0));
+  // Hand computation of the name component:
+  // John/John=1(.35), John/Jon: hamming("John","Jon")= J=J,o=o,h≠n,n -> 2/4=0.5 (.15*0.5)
+  // Johan/John: J,o,h,a≠n,n -> 3/5 (.35*0.6), Johan/Jon: J,o,h≠n,a,n -> 2/5 (.15*0.4)
+  double expected_name = 0.5 * 0.7 * 1.0 + 0.5 * 0.3 * 0.5 +
+                         0.5 * 0.7 * 0.6 + 0.5 * 0.3 * 0.4;
+  EXPECT_NEAR(c[0], expected_name, 1e-12);
+}
+
+}  // namespace
+}  // namespace pdd

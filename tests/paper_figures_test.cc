@@ -1,0 +1,221 @@
+// Integration tests asserting every worked number and ordering of the
+// paper's 14 figures (the paper's de-facto evaluation). Each test cites
+// the figure or section it reproduces.
+
+#include <gtest/gtest.h>
+
+#include "core/detector.h"
+#include "core/paper_examples.h"
+#include "decision/rule_parser.h"
+#include "derive/decision_based.h"
+#include "derive/similarity_based.h"
+#include "match/attribute_matcher.h"
+#include "pdb/conditioning.h"
+#include "pdb/possible_worlds.h"
+#include "reduction/blocking_alternatives.h"
+#include "reduction/snm_certain_keys.h"
+#include "reduction/snm_multipass_worlds.h"
+#include "reduction/snm_sorting_alternatives.h"
+#include "reduction/snm_uncertain_ranking.h"
+#include "sim/edit_distance.h"
+
+namespace pdd {
+namespace {
+
+const Comparator& Hamming() {
+  static NormalizedHammingComparator cmp;
+  return cmp;
+}
+
+// Fig. 1: the identification rule parses and behaves as described.
+TEST(PaperFigures, Fig1IdentificationRule) {
+  Schema schema = PaperSchema();
+  Result<IdentificationRule> parsed = ParseRule(
+      "IF name > 0.8 AND job > 0.5 THEN DUPLICATES WITH CERTAINTY 0.8",
+      schema);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->conditions.size(), PaperRule().conditions.size());
+  EXPECT_DOUBLE_EQ(parsed->certainty, 0.8);
+  // The paper's worked comparison vector (0.9, 0.59) fires the rule.
+  EXPECT_TRUE(parsed->Fires(ComparisonVector({0.9, 0.59})));
+}
+
+// Fig. 2: classification of the matching weight R against Tλ and Tμ.
+TEST(PaperFigures, Fig2ThresholdBands) {
+  Thresholds t{0.4, 0.7};
+  EXPECT_EQ(Classify(0.39, t), MatchClass::kUnmatch);
+  EXPECT_EQ(Classify(0.55, t), MatchClass::kPossible);
+  EXPECT_EQ(Classify(0.71, t), MatchClass::kMatch);
+}
+
+// Fig. 3 / Section IV-A: the two-step decision model on (t11, t22).
+TEST(PaperFigures, Fig3TwoStepDecisionModel) {
+  Relation r1 = BuildR1();
+  Relation r2 = BuildR2();
+  TupleMatcher matcher =
+      *TupleMatcher::Make(PaperSchema(), {&Hamming(), &Hamming()});
+  ComparisonVector c = matcher.Compare(r1.tuple(0), r2.tuple(1));
+  WeightedSumCombination phi({0.8, 0.2});
+  double sim = phi.Combine(c);
+  EXPECT_NEAR(sim, 0.8 * 0.9 + 0.2 * (0.2 + 0.7 * 5.0 / 9.0), 1e-12);
+  EXPECT_NEAR(sim, 0.838, 0.001);  // paper's rounded value
+  EXPECT_EQ(Classify(sim, Thresholds{0.4, 0.7}), MatchClass::kMatch);
+}
+
+// Fig. 4 / Section IV-A: attribute value matching worked example.
+TEST(PaperFigures, Fig4AttributeValueMatching) {
+  Relation r1 = BuildR1();
+  Relation r2 = BuildR2();
+  const Tuple& t11 = r1.tuple(0);
+  const Tuple& t22 = r2.tuple(1);
+  EXPECT_NEAR(ExpectedSimilarity(t11.value(0), t22.value(0), Hamming()), 0.9,
+              1e-12);
+  EXPECT_NEAR(ExpectedSimilarity(t11.value(1), t22.value(1), Hamming()),
+              0.2 + 0.7 * 5.0 / 9.0, 1e-12);
+}
+
+// Fig. 5: the x-relations' structure (maybe markers, pattern value).
+TEST(PaperFigures, Fig5XRelationStructure) {
+  XRelation r3 = BuildR3();
+  XRelation r4 = BuildR4();
+  EXPECT_FALSE(r3.xtuple(0).is_maybe());  // t31
+  EXPECT_TRUE(r3.xtuple(1).is_maybe());   // t32 ?
+  EXPECT_FALSE(r4.xtuple(0).is_maybe());  // t41
+  EXPECT_TRUE(r4.xtuple(1).is_maybe());   // t42 ?
+  EXPECT_TRUE(r4.xtuple(2).is_maybe());   // t43 ?
+  EXPECT_NEAR(r3.xtuple(1).existence_probability(), 0.9, 1e-12);
+  EXPECT_NEAR(r4.xtuple(2).existence_probability(), 0.8, 1e-12);
+}
+
+// Fig. 7: possible worlds of {t32, t42}, P(B), conditional probabilities.
+TEST(PaperFigures, Fig7PossibleWorlds) {
+  XRelation pair("pair", PaperSchema());
+  pair.AppendUnchecked(BuildR3().xtuple(1));
+  pair.AppendUnchecked(BuildR4().xtuple(1));
+  EXPECT_EQ(CountWorlds(pair), 8u);
+  Result<std::vector<World>> worlds = EnumerateWorlds(pair);
+  ASSERT_TRUE(worlds.ok());
+  ConditionedWorlds conditioned = ConditionOnAllPresent(*worlds);
+  EXPECT_NEAR(conditioned.event_probability, 0.72, 1e-12);
+  ASSERT_EQ(conditioned.worlds.size(), 3u);
+}
+
+// Section IV-B similarity-based derivation: sim(t32, t42) = 7/15.
+TEST(PaperFigures, Eq6ExpectedSimilarity) {
+  TupleMatcher matcher =
+      *TupleMatcher::Make(PaperSchema(), {&Hamming(), &Hamming()});
+  WeightedSumCombination phi({0.8, 0.2});
+  ExpectedSimilarityDerivation theta;
+  XTupleDecisionModel model(&matcher, &phi, &theta, Thresholds{0.4, 0.7});
+  EXPECT_NEAR(model.Similarity(BuildR3().xtuple(1), BuildR4().xtuple(1)),
+              7.0 / 15.0, 1e-12);
+}
+
+// Section IV-B decision-based derivation: P(m)=3/9, P(u)=4/9, sim=0.75.
+TEST(PaperFigures, Eq7To9MatchingWeight) {
+  TupleMatcher matcher =
+      *TupleMatcher::Make(PaperSchema(), {&Hamming(), &Hamming()});
+  WeightedSumCombination phi({0.8, 0.2});
+  AlternativePairScores scores = BuildAlternativePairScores(
+      BuildR3().xtuple(1), BuildR4().xtuple(1), matcher, phi);
+  MatchingMass mass = ComputeMatchingMass(scores, Thresholds{0.4, 0.7});
+  EXPECT_NEAR(mass.p_match, 3.0 / 9.0, 1e-12);
+  EXPECT_NEAR(mass.p_unmatch, 4.0 / 9.0, 1e-12);
+  MatchingWeightDerivation theta(Thresholds{0.4, 0.7});
+  EXPECT_NEAR(theta.Derive(scores), 0.75, 1e-12);
+}
+
+// Fig. 8/9: multi-pass sorted orders in worlds I1 and I2 of R34.
+TEST(PaperFigures, Fig9MultipassSortOrders) {
+  XRelation r34 = BuildR34();
+  SnmMultipassOptions options;
+  options.window = 2;
+  SnmMultipassWorlds snm(PaperSortingKey(), options);
+  std::vector<KeyedEntry> i1 =
+      snm.SortedEntriesForWorld(World{{0, 0, 0, 0, 1}, 0.0}, r34);
+  std::vector<std::string> i1_keys, i1_ids;
+  for (const KeyedEntry& e : i1) {
+    i1_keys.push_back(e.key);
+    i1_ids.push_back(r34.xtuple(e.tuple).id());
+  }
+  // Note: the paper's Fig. 9 prints "Seapil" for t43, inconsistent with
+  // its own key definition (3+2 chars); the correct key is "Seapi".
+  EXPECT_EQ(i1_keys, (std::vector<std::string>{"Johpi", "Johpi", "Seapi",
+                                               "Timme", "Tomme"}));
+  EXPECT_EQ(i1_ids,
+            (std::vector<std::string>{"t31", "t41", "t43", "t32", "t42"}));
+  std::vector<KeyedEntry> i2 =
+      snm.SortedEntriesForWorld(World{{1, 1, 0, 0, 0}, 0.0}, r34);
+  std::vector<std::string> i2_ids;
+  for (const KeyedEntry& e : i2) i2_ids.push_back(r34.xtuple(e.tuple).id());
+  EXPECT_EQ(i2_ids,
+            (std::vector<std::string>{"t32", "t43", "t31", "t41", "t42"}));
+}
+
+// Fig. 10: certain keys via the most probable alternative.
+TEST(PaperFigures, Fig10CertainKeySorting) {
+  SnmCertainKeys snm(PaperSortingKey(), SnmCertainKeyOptions{});
+  std::vector<KeyedEntry> entries = snm.SortedEntries(BuildR34());
+  std::vector<std::string> keys;
+  for (const KeyedEntry& e : entries) keys.push_back(e.key);
+  EXPECT_EQ(keys, (std::vector<std::string>{"Jimba", "Johpi", "Johpi",
+                                            "Seapi", "Tomme"}));
+}
+
+// Fig. 11 + Fig. 12: sorting alternatives, omission rule, five matchings.
+TEST(PaperFigures, Fig11Fig12SortingAlternatives) {
+  SnmAlternativesOptions options;
+  options.window = 2;
+  SnmSortingAlternatives snm(PaperSortingKey(), options);
+  XRelation r34 = BuildR34();
+  EXPECT_EQ(snm.SortedEntries(r34).size(), 9u);
+  EXPECT_EQ(snm.SurvivingEntries(r34).size(), 7u);
+  Result<std::vector<CandidatePair>> pairs = snm.Generate(r34);
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_EQ(pairs->size(), 5u);  // "five matchings are applied"
+}
+
+// Fig. 13: ranking by uncertain keys orders R34 as t32,t31,t41,t43,t42.
+TEST(PaperFigures, Fig13UncertainKeyRanking) {
+  SnmUncertainRanking snm(PaperSortingKey(), SnmRankingOptions{});
+  std::vector<size_t> order = snm.RankedOrder(BuildR34());
+  XRelation r34 = BuildR34();
+  std::vector<std::string> ids;
+  for (size_t i : order) ids.push_back(r34.xtuple(i).id());
+  EXPECT_EQ(ids,
+            (std::vector<std::string>{"t32", "t31", "t41", "t43", "t42"}));
+}
+
+// Fig. 14: blocking with alternative keys yields six blocks and exactly
+// three matchings.
+TEST(PaperFigures, Fig14AlternativeKeyBlocking) {
+  BlockingAlternatives blocking(PaperBlockingKey());
+  XRelation r34 = BuildR34();
+  EXPECT_EQ(blocking.Blocks(r34).size(), 6u);
+  Result<std::vector<CandidatePair>> pairs = blocking.Generate(r34);
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_EQ(pairs->size(), 3u);
+}
+
+// Section IV's guiding principle: equal persons with different
+// membership probabilities still match (the adults/jobless example).
+TEST(PaperFigures, MembershipExampleFromSection4) {
+  // A 34-year-old person: certainly in "adults" (p=1.0), in "employed"
+  // only with p=0.1. Same attribute values -> similarity 1 regardless.
+  Schema schema = Schema::Strings({"name", "age"});
+  NormalizedHammingComparator hamming;
+  TupleMatcher matcher =
+      *TupleMatcher::Make(schema, {&hamming, &hamming});
+  WeightedSumCombination phi({0.5, 0.5});
+  ExpectedSimilarityDerivation theta;
+  XTupleDecisionModel model(&matcher, &phi, &theta, Thresholds{0.4, 0.7});
+  XTuple adult("a", {{{Value::Certain("Ann"), Value::Certain("34")}, 1.0}});
+  XTuple employed("e",
+                  {{{Value::Certain("Ann"), Value::Certain("34")}, 0.1}});
+  XPairDecision decision = model.Decide(adult, employed);
+  EXPECT_NEAR(decision.similarity, 1.0, 1e-12);
+  EXPECT_EQ(decision.match_class, MatchClass::kMatch);
+}
+
+}  // namespace
+}  // namespace pdd

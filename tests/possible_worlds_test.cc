@@ -1,0 +1,267 @@
+// Unit tests for possible-world semantics: enumeration, counting, top-k,
+// sampling, conditioning (Fig. 7) and diverse world selection.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "core/paper_examples.h"
+#include "pdb/conditioning.h"
+#include "pdb/possible_worlds.h"
+#include "pdb/world_selection.h"
+
+namespace pdd {
+namespace {
+
+// The Fig. 7 pair relation {t32, t42}.
+XRelation BuildT32T42() {
+  XRelation rel("pair", PaperSchema());
+  XRelation r3 = BuildR3();
+  XRelation r4 = BuildR4();
+  rel.AppendUnchecked(r3.xtuple(1));  // t32
+  rel.AppendUnchecked(r4.xtuple(1));  // t42
+  return rel;
+}
+
+TEST(PossibleWorldsTest, CountWorldsFig7) {
+  // t32 has 3 alternatives + absence, t42 has 1 + absence: 4 * 2 = 8.
+  EXPECT_EQ(CountWorlds(BuildT32T42()), 8u);
+}
+
+TEST(PossibleWorldsTest, CountWorldsR34) {
+  // t31: 2, t32: 3+1, t41: 2, t42: 1+1, t43: 2+1 -> 2*4*2*2*3 = 96.
+  EXPECT_EQ(CountWorlds(BuildR34()), 96u);
+}
+
+TEST(PossibleWorldsTest, EnumerationMatchesFig7Probabilities) {
+  Result<std::vector<World>> worlds = EnumerateWorlds(BuildT32T42());
+  ASSERT_TRUE(worlds.ok());
+  ASSERT_EQ(worlds->size(), 8u);
+  // Collect probabilities by (choice of t32, choice of t42).
+  std::map<std::pair<int, int>, double> probs;
+  for (const World& w : *worlds) {
+    probs[{w.choice[0], w.choice[1]}] = w.probability;
+  }
+  EXPECT_NEAR((probs[{0, 0}]), 0.24, 1e-12);        // I1
+  EXPECT_NEAR((probs[{1, 0}]), 0.16, 1e-12);        // I2
+  EXPECT_NEAR((probs[{2, 0}]), 0.32, 1e-12);        // I3
+  EXPECT_NEAR((probs[{kAbsent, 0}]), 0.08, 1e-12);  // I4
+  EXPECT_NEAR((probs[{0, kAbsent}]), 0.06, 1e-12);  // I5
+  EXPECT_NEAR((probs[{1, kAbsent}]), 0.04, 1e-12);  // I6
+  EXPECT_NEAR((probs[{2, kAbsent}]), 0.08, 1e-12);  // I7
+  EXPECT_NEAR((probs[{kAbsent, kAbsent}]), 0.02, 1e-12);  // I8
+}
+
+TEST(PossibleWorldsTest, EnumerationProbabilitiesSumToOne) {
+  Result<std::vector<World>> worlds = EnumerateWorlds(BuildR34());
+  ASSERT_TRUE(worlds.ok());
+  double total = 0.0;
+  for (const World& w : *worlds) total += w.probability;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(PossibleWorldsTest, AllPresentOnlySumsToEventProbability) {
+  EnumerateOptions options;
+  options.all_present_only = true;
+  Result<std::vector<World>> worlds = EnumerateWorlds(BuildT32T42(), options);
+  ASSERT_TRUE(worlds.ok());
+  ASSERT_EQ(worlds->size(), 3u);
+  double total = 0.0;
+  for (const World& w : *worlds) {
+    total += w.probability;
+    EXPECT_TRUE(w.AllPresent());
+  }
+  EXPECT_NEAR(total, 0.72, 1e-12);  // P(B) of Fig. 7
+}
+
+TEST(PossibleWorldsTest, EnumerationRespectsCap) {
+  EnumerateOptions options;
+  options.max_worlds = 4;
+  Result<std::vector<World>> worlds = EnumerateWorlds(BuildT32T42(), options);
+  EXPECT_FALSE(worlds.ok());
+  EXPECT_EQ(worlds.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(PossibleWorldsTest, ConditioningRenormalizes) {
+  Result<std::vector<World>> worlds = EnumerateWorlds(BuildT32T42());
+  ASSERT_TRUE(worlds.ok());
+  ConditionedWorlds conditioned = ConditionOnAllPresent(*worlds);
+  EXPECT_NEAR(conditioned.event_probability, 0.72, 1e-12);
+  ASSERT_EQ(conditioned.worlds.size(), 3u);
+  double total = 0.0;
+  for (const World& w : conditioned.worlds) total += w.probability;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // P(I1|B) = 0.24/0.72 = 1/3.
+  std::map<std::pair<int, int>, double> probs;
+  for (const World& w : conditioned.worlds) {
+    probs[{w.choice[0], w.choice[1]}] = w.probability;
+  }
+  EXPECT_NEAR((probs[{0, 0}]), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR((probs[{1, 0}]), 2.0 / 9.0, 1e-12);
+  EXPECT_NEAR((probs[{2, 0}]), 4.0 / 9.0, 1e-12);
+}
+
+TEST(PossibleWorldsTest, ConditionXTupleNormalizes) {
+  XTuple t32 = BuildR3().xtuple(1);
+  XTuple conditioned = ConditionXTuple(t32);
+  EXPECT_NEAR(conditioned.existence_probability(), 1.0, 1e-12);
+  EXPECT_NEAR(conditioned.alternative(0).prob, 0.3 / 0.9, 1e-12);
+  EXPECT_FALSE(conditioned.is_maybe());
+}
+
+TEST(PossibleWorldsTest, ConditionXRelationConditionsAll) {
+  XRelation conditioned = ConditionXRelation(BuildR34());
+  for (const XTuple& t : conditioned.xtuples()) {
+    EXPECT_NEAR(t.existence_probability(), 1.0, 1e-12) << t.id();
+  }
+}
+
+TEST(PossibleWorldsTest, PairExistenceProbability) {
+  XRelation rel = BuildT32T42();
+  EXPECT_NEAR(PairExistenceProbability(rel.xtuple(0), rel.xtuple(1)), 0.72,
+              1e-12);
+}
+
+TEST(PossibleWorldsTest, TopKReturnsDescendingProbabilities) {
+  std::vector<World> top = TopKWorlds(BuildR34(), 10);
+  ASSERT_EQ(top.size(), 10u);
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].probability, top[i].probability - 1e-12);
+  }
+}
+
+TEST(PossibleWorldsTest, TopKMatchesEnumeration) {
+  XRelation rel = BuildR34();
+  Result<std::vector<World>> all = EnumerateWorlds(rel);
+  ASSERT_TRUE(all.ok());
+  std::vector<double> probs;
+  for (const World& w : *all) probs.push_back(w.probability);
+  std::sort(probs.rbegin(), probs.rend());
+  std::vector<World> top = TopKWorlds(rel, 5);
+  ASSERT_EQ(top.size(), 5u);
+  for (size_t i = 0; i < top.size(); ++i) {
+    EXPECT_NEAR(top[i].probability, probs[i], 1e-12) << i;
+  }
+}
+
+TEST(PossibleWorldsTest, TopKExhaustsWorldCount) {
+  std::vector<World> top = TopKWorlds(BuildT32T42(), 100);
+  EXPECT_EQ(top.size(), 8u);
+}
+
+TEST(PossibleWorldsTest, TopKAllPresentOnly) {
+  std::vector<World> top = TopKWorlds(BuildT32T42(), 100,
+                                      /*all_present_only=*/true);
+  ASSERT_EQ(top.size(), 3u);
+  for (const World& w : top) EXPECT_TRUE(w.AllPresent());
+  // Most probable all-present world picks t32's (Jim, baker).
+  EXPECT_EQ(top[0].choice[0], 2);
+  EXPECT_NEAR(top[0].probability, 0.32, 1e-12);
+}
+
+TEST(PossibleWorldsTest, MostProbableWorld) {
+  World best = MostProbableWorld(BuildT32T42());
+  EXPECT_NEAR(best.probability, 0.32, 1e-12);
+  EXPECT_EQ(best.choice[0], 2);
+  EXPECT_EQ(best.choice[1], 0);
+}
+
+TEST(PossibleWorldsTest, SamplingFollowsDistribution) {
+  XRelation rel = BuildT32T42();
+  Rng rng(99);
+  std::map<std::pair<int, int>, int> counts;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    World w = SampleWorld(rel, &rng);
+    counts[{w.choice[0], w.choice[1]}]++;
+  }
+  EXPECT_NEAR((counts[{0, 0}]) / static_cast<double>(trials), 0.24, 0.02);
+  EXPECT_NEAR((counts[{2, 0}]) / static_cast<double>(trials), 0.32, 0.02);
+  EXPECT_NEAR((counts[{kAbsent, kAbsent}]) / static_cast<double>(trials),
+              0.02, 0.01);
+}
+
+TEST(PossibleWorldsTest, WorldTuplesSkipsAbsent) {
+  World w{{0, kAbsent, 2}, 0.1};
+  std::vector<std::pair<size_t, size_t>> tuples = WorldTuples(w);
+  ASSERT_EQ(tuples.size(), 2u);
+  EXPECT_EQ(tuples[0], (std::pair<size_t, size_t>{0, 0}));
+  EXPECT_EQ(tuples[1], (std::pair<size_t, size_t>{2, 2}));
+}
+
+TEST(PossibleWorldsTest, WorldToStringNamesTuples) {
+  XRelation rel = BuildT32T42();
+  World w{{0, 0}, 0.24};
+  std::string s = WorldToString(w, rel);
+  EXPECT_NE(s.find("t32/1"), std::string::npos);
+  EXPECT_NE(s.find("t42/1"), std::string::npos);
+  EXPECT_NE(s.find("0.24"), std::string::npos);
+}
+
+TEST(PossibleWorldsTest, EmptyRelationHasOneWorld) {
+  XRelation empty("E", Schema::Strings({"a"}));
+  EXPECT_EQ(CountWorlds(empty), 1u);
+  Result<std::vector<World>> worlds = EnumerateWorlds(empty);
+  ASSERT_TRUE(worlds.ok());
+  ASSERT_EQ(worlds->size(), 1u);
+  EXPECT_NEAR((*worlds)[0].probability, 1.0, 1e-12);
+}
+
+// ---------------------------------------------------------- WorldSelection
+
+TEST(WorldSelectionTest, SimilarityCountsAgreeingChoices) {
+  World a{{0, 1, 2}, 0.1};
+  World b{{0, 1, 0}, 0.1};
+  EXPECT_NEAR(WorldSimilarity(a, b), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(WorldSimilarity(a, a), 1.0, 1e-12);
+}
+
+TEST(WorldSelectionTest, TopProbableStrategy) {
+  WorldSelectionOptions options;
+  options.strategy = WorldSelectionStrategy::kTopProbable;
+  options.count = 3;
+  std::vector<World> selected = SelectWorlds(BuildR34(), options);
+  ASSERT_EQ(selected.size(), 3u);
+  EXPECT_GE(selected[0].probability, selected[1].probability);
+  for (const World& w : selected) EXPECT_TRUE(w.AllPresent());
+}
+
+TEST(WorldSelectionTest, DiverseSelectionReducesRedundancy) {
+  WorldSelectionOptions top;
+  top.strategy = WorldSelectionStrategy::kTopProbable;
+  top.count = 4;
+  WorldSelectionOptions diverse = top;
+  diverse.strategy = WorldSelectionStrategy::kDiverse;
+  diverse.lambda = 0.9;
+  XRelation rel = BuildR34();
+  double top_sim = MeanPairwiseSimilarity(SelectWorlds(rel, top));
+  double diverse_sim = MeanPairwiseSimilarity(SelectWorlds(rel, diverse));
+  // The diversified set must not be more redundant than the top set.
+  EXPECT_LE(diverse_sim, top_sim + 1e-12);
+}
+
+TEST(WorldSelectionTest, DiverseSelectionStartsWithMostProbable) {
+  WorldSelectionOptions options;
+  options.strategy = WorldSelectionStrategy::kDiverse;
+  options.count = 2;
+  XRelation rel = BuildR34();
+  std::vector<World> selected = SelectWorlds(rel, options);
+  World best = MostProbableWorld(rel, /*all_present_only=*/true);
+  ASSERT_GE(selected.size(), 1u);
+  EXPECT_EQ(selected[0].choice, best.choice);
+}
+
+TEST(WorldSelectionTest, CountZeroYieldsEmpty) {
+  WorldSelectionOptions options;
+  options.count = 0;
+  EXPECT_TRUE(SelectWorlds(BuildR34(), options).empty());
+}
+
+TEST(WorldSelectionTest, MeanPairwiseSimilarityDegenerate) {
+  EXPECT_DOUBLE_EQ(MeanPairwiseSimilarity({}), 1.0);
+  EXPECT_DOUBLE_EQ(MeanPairwiseSimilarity({World{{0}, 1.0}}), 1.0);
+}
+
+}  // namespace
+}  // namespace pdd

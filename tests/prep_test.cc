@@ -1,0 +1,151 @@
+// Unit tests for data preparation (Section III-A): text transforms,
+// probabilistic value standardization (alternative merging), and
+// relation-level preparation.
+
+#include <gtest/gtest.h>
+
+#include "core/paper_examples.h"
+#include "prep/standardizer.h"
+
+namespace pdd {
+namespace {
+
+TEST(StandardizerTest, EmptyPipelineIsIdentity) {
+  Standardizer s;
+  EXPECT_EQ(s.Apply("  MiXeD  Case "), "  MiXeD  Case ");
+  EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(StandardizerTest, LowerUpperCase) {
+  EXPECT_EQ(Standardizer().LowerCase().Apply("TimOTHY"), "timothy");
+  EXPECT_EQ(Standardizer().UpperCase().Apply("tim"), "TIM");
+}
+
+TEST(StandardizerTest, TrimAndCollapse) {
+  EXPECT_EQ(Standardizer().TrimWhitespace().Apply("  a b  "), "a b");
+  EXPECT_EQ(Standardizer().CollapseWhitespace().Apply(" a   b\t c "),
+            "a b c");
+}
+
+TEST(StandardizerTest, StripPunctuationAndDigits) {
+  EXPECT_EQ(Standardizer().StripPunctuation().Apply("O'Brien, Jr."),
+            "OBrien Jr");
+  EXPECT_EQ(Standardizer().StripDigits().Apply("route66"), "route");
+}
+
+TEST(StandardizerTest, MapTokensReplacesWholeTokens) {
+  Standardizer s;
+  s.MapTokens({{"bob", "robert"}, {"st", "street"}});
+  EXPECT_EQ(s.Apply("bob lives st side"), "robert lives street side");
+  // Partial tokens are not replaced.
+  EXPECT_EQ(s.Apply("bobby"), "bobby");
+}
+
+TEST(StandardizerTest, TransformsRunInOrder) {
+  Standardizer s;
+  s.LowerCase().MapTokens({{"bob", "robert"}});
+  EXPECT_EQ(s.Apply("BOB"), "robert");
+  Standardizer reversed;
+  reversed.MapTokens({{"bob", "robert"}}).LowerCase();
+  EXPECT_EQ(reversed.Apply("BOB"), "bob");  // table sees "BOB", misses
+}
+
+TEST(StandardizerTest, ValueAlternativesMergeAfterStandardization) {
+  // "Tim " and "tim" collapse into one alternative: standardization
+  // reduces uncertainty.
+  Standardizer s;
+  s.LowerCase().TrimWhitespace();
+  Value v = Value::Dist({{"Tim ", 0.4}, {"tim", 0.3}, {"Tom", 0.3}});
+  Value out = s.ApplyToValue(v);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.alternatives()[0].text, "tim");
+  EXPECT_NEAR(out.alternatives()[0].prob, 0.7, 1e-12);
+  EXPECT_EQ(out.alternatives()[1].text, "tom");
+}
+
+TEST(StandardizerTest, EmptyResultsBecomeNullMass) {
+  Standardizer s;
+  s.StripDigits();
+  Value v = Value::Dist({{"123", 0.5}, {"abc", 0.5}});
+  Value out = s.ApplyToValue(v);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.alternatives()[0].text, "abc");
+  EXPECT_NEAR(out.null_probability(), 0.5, 1e-12);
+}
+
+TEST(StandardizerTest, NullValuePassesThrough) {
+  Standardizer s;
+  s.LowerCase();
+  EXPECT_TRUE(s.ApplyToValue(Value::Null()).is_null());
+}
+
+TEST(StandardizerTest, PatternsKeepPatternFlag) {
+  Standardizer s;
+  s.UpperCase();
+  Value v = Value::Pattern("mu", 0.6);
+  Value out = s.ApplyToValue(v);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out.alternatives()[0].is_pattern);
+  EXPECT_EQ(out.alternatives()[0].text, "MU");
+}
+
+TEST(StandardizerTest, PatternAndLiteralDoNotMerge) {
+  Standardizer s;
+  s.LowerCase();
+  Value v = Value::Unchecked({{"MU", 0.4, false}, {"mu", 0.3, true}});
+  Value out = s.ApplyToValue(v);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(DataPreparationTest, UniformAppliesToEveryAttribute) {
+  Standardizer lower;
+  lower.LowerCase();
+  DataPreparation prep = DataPreparation::Uniform(lower, 2);
+  XRelation r3 = BuildR3();
+  XRelation out = prep.Prepare(r3);
+  ASSERT_EQ(out.size(), r3.size());
+  EXPECT_EQ(out.xtuple(0).alternative(0).values[0],
+            Value::Certain("john"));
+  EXPECT_EQ(out.xtuple(0).alternative(0).values[1],
+            Value::Certain("pilot"));
+  EXPECT_EQ(out.xtuple(0).id(), "t31");
+}
+
+TEST(DataPreparationTest, PerAttributeConfiguration) {
+  Standardizer upper;
+  upper.UpperCase();
+  Standardizer none;
+  DataPreparation prep({upper, none});
+  XRelation r3 = BuildR3();
+  XRelation out = prep.Prepare(r3);
+  EXPECT_EQ(out.xtuple(0).alternative(0).values[0],
+            Value::Certain("JOHN"));
+  EXPECT_EQ(out.xtuple(0).alternative(0).values[1],
+            Value::Certain("pilot"));
+}
+
+TEST(DataPreparationTest, PreservesProbabilitiesAndValidity) {
+  Standardizer lower;
+  lower.LowerCase().CollapseWhitespace();
+  DataPreparation prep = DataPreparation::Uniform(lower, 2);
+  XRelation r34 = BuildR34();
+  XRelation out = prep.Prepare(r34);
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_TRUE(out.xtuple(i).Validate().ok());
+    EXPECT_NEAR(out.xtuple(i).existence_probability(),
+                r34.xtuple(i).existence_probability(), 1e-12);
+  }
+}
+
+TEST(DataPreparationTest, ExtraAttributesPassThrough) {
+  Standardizer lower;
+  lower.LowerCase();
+  DataPreparation prep({lower});  // only attribute 0 configured
+  XRelation r3 = BuildR3();
+  XRelation out = prep.Prepare(r3);
+  EXPECT_EQ(out.xtuple(0).alternative(0).values[1],
+            Value::Certain("pilot"));  // untouched
+}
+
+}  // namespace
+}  // namespace pdd

@@ -1,0 +1,387 @@
+// Property-based tests: randomized sweeps (parameterized over seeds)
+// asserting the library's core invariants, most importantly the
+// equivalence of Eq. 5/6 with brute-force expectation over enumerated
+// possible worlds (the paper's own justification of its formulas).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "core/paper_examples.h"
+#include "datagen/person_generator.h"
+#include "decision/combination.h"
+#include "derive/decision_based.h"
+#include "derive/similarity_based.h"
+#include "match/attribute_matcher.h"
+#include "pdb/conditioning.h"
+#include "pdb/possible_worlds.h"
+#include "ranking/expected_rank.h"
+#include "ranking/positional_rank.h"
+#include "reduction/blocking.h"
+#include "reduction/full_pairs.h"
+#include "reduction/snm_certain_keys.h"
+#include "reduction/snm_core.h"
+#include "reduction/snm_multipass_worlds.h"
+#include "sim/edit_distance.h"
+#include "sim/registry.h"
+
+namespace pdd {
+namespace {
+
+const Comparator& Hamming() {
+  static NormalizedHammingComparator cmp;
+  return cmp;
+}
+
+// ------------------------------------------------------ random builders
+
+std::string RandomWord(Rng* rng, size_t max_len = 8) {
+  size_t len = 1 + rng->Index(max_len);
+  std::string w;
+  for (size_t i = 0; i < len; ++i) {
+    w += static_cast<char>('a' + rng->Index(6));  // small alphabet: collisions
+  }
+  return w;
+}
+
+Value RandomValue(Rng* rng) {
+  size_t alt_count = 1 + rng->Index(3);
+  std::set<std::string> texts;
+  while (texts.size() < alt_count) texts.insert(RandomWord(rng));
+  std::vector<double> raw;
+  for (size_t i = 0; i < alt_count; ++i) raw.push_back(rng->Uniform(0.1, 1.0));
+  double total = 0.0;
+  for (double r : raw) total += r;
+  double mass = rng->Bernoulli(0.3) ? rng->Uniform(0.5, 1.0) : 1.0;
+  std::vector<Alternative> alts;
+  size_t i = 0;
+  for (const std::string& text : texts) {
+    alts.push_back({text, raw[i] / total * mass, false});
+    ++i;
+  }
+  return Value::Unchecked(std::move(alts));
+}
+
+XTuple RandomXTuple(const std::string& id, size_t arity, Rng* rng) {
+  size_t alt_count = 1 + rng->Index(3);
+  std::vector<double> raw;
+  for (size_t i = 0; i < alt_count; ++i) raw.push_back(rng->Uniform(0.1, 1.0));
+  double total = 0.0;
+  for (double r : raw) total += r;
+  double existence = rng->Bernoulli(0.4) ? rng->Uniform(0.4, 1.0) : 1.0;
+  std::vector<AltTuple> alts;
+  for (size_t a = 0; a < alt_count; ++a) {
+    AltTuple alt;
+    for (size_t v = 0; v < arity; ++v) alt.values.push_back(RandomValue(rng));
+    alt.prob = raw[a] / total * existence;
+    alts.push_back(std::move(alt));
+  }
+  return XTuple(id, std::move(alts));
+}
+
+class SeededPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+// --------------------------------------------- Eq. 5 expectation bounds
+
+TEST_P(SeededPropertyTest, ExpectedSimilarityBoundedAndSymmetric) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    Value a = RandomValue(&rng);
+    Value b = RandomValue(&rng);
+    double ab = ExpectedSimilarity(a, b, Hamming());
+    EXPECT_GE(ab, 0.0);
+    EXPECT_LE(ab, 1.0 + 1e-12);
+    EXPECT_NEAR(ab, ExpectedSimilarity(b, a, Hamming()), 1e-12);
+  }
+}
+
+TEST_P(SeededPropertyTest, SelfSimilarityEqualsCollisionMass) {
+  // sim(a, a) under exact equality is Σ p_i² + p_⊥² — the probability two
+  // independent draws agree; certain values must score exactly 1.
+  Rng rng(GetParam());
+  ExactComparator exact;
+  for (int i = 0; i < 30; ++i) {
+    Value a = RandomValue(&rng);
+    double expected = a.null_probability() * a.null_probability();
+    for (const Alternative& alt : a.alternatives()) {
+      expected += alt.prob * alt.prob;
+    }
+    EXPECT_NEAR(ExpectedSimilarity(a, a, exact), expected, 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(
+      ExpectedSimilarity(Value::Certain("x"), Value::Certain("x"), exact),
+      1.0);
+}
+
+// ----------------------------------- Eq. 5 equals world-level brute force
+
+TEST_P(SeededPropertyTest, Eq5EqualsBruteForceOverValueOutcomes) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 30; ++i) {
+    Value a = RandomValue(&rng);
+    Value b = RandomValue(&rng);
+    // Brute force: iterate all outcome pairs including ⊥.
+    double brute = a.null_probability() * b.null_probability();
+    for (const Alternative& da : a.alternatives()) {
+      for (const Alternative& db : b.alternatives()) {
+        brute += da.prob * db.prob * Hamming().Compare(da.text, db.text);
+      }
+    }
+    EXPECT_NEAR(ExpectedSimilarity(a, b, Hamming()), brute, 1e-12);
+  }
+}
+
+// ----------------------------------- Eq. 6 equals conditioned world sum
+
+TEST_P(SeededPropertyTest, Eq6EqualsExpectationOverConditionedWorlds) {
+  Rng rng(GetParam());
+  TupleMatcher matcher =
+      *TupleMatcher::Make(Schema::Strings({"a", "b"}),
+                          {&Hamming(), &Hamming()});
+  WeightedSumCombination phi({0.6, 0.4});
+  ExpectedSimilarityDerivation theta;
+  for (int i = 0; i < 10; ++i) {
+    XTuple t1 = RandomXTuple("t1", 2, &rng);
+    XTuple t2 = RandomXTuple("t2", 2, &rng);
+    AlternativePairScores scores =
+        BuildAlternativePairScores(t1, t2, matcher, phi);
+    double eq6 = theta.Derive(scores);
+    // Brute force: enumerate the pair relation's worlds, condition on B,
+    // and average φ over the chosen alternative pairs.
+    XRelation pair("pair", Schema::Strings({"a", "b"}));
+    pair.AppendUnchecked(t1);
+    pair.AppendUnchecked(t2);
+    Result<std::vector<World>> worlds = EnumerateWorlds(pair);
+    ASSERT_TRUE(worlds.ok());
+    ConditionedWorlds conditioned = ConditionOnAllPresent(*worlds);
+    double brute = 0.0;
+    for (const World& w : conditioned.worlds) {
+      ComparisonVector c = matcher.CompareAlternatives(
+          t1.alternative(static_cast<size_t>(w.choice[0])),
+          t2.alternative(static_cast<size_t>(w.choice[1])));
+      brute += w.probability * phi.Combine(c);
+    }
+    EXPECT_NEAR(eq6, brute, 1e-9);
+    // P(B) must equal the product of existence probabilities.
+    EXPECT_NEAR(conditioned.event_probability,
+                PairExistenceProbability(t1, t2), 1e-9);
+  }
+}
+
+// ------------------------------------------- decision-based mass closure
+
+TEST_P(SeededPropertyTest, MatchingMassPartitionsUnity) {
+  Rng rng(GetParam());
+  TupleMatcher matcher =
+      *TupleMatcher::Make(Schema::Strings({"a", "b"}),
+                          {&Hamming(), &Hamming()});
+  WeightedSumCombination phi({0.5, 0.5});
+  for (int i = 0; i < 20; ++i) {
+    XTuple t1 = RandomXTuple("t1", 2, &rng);
+    XTuple t2 = RandomXTuple("t2", 2, &rng);
+    AlternativePairScores scores =
+        BuildAlternativePairScores(t1, t2, matcher, phi);
+    double lambda = rng.Uniform(0.0, 0.6);
+    Thresholds t{lambda, rng.Uniform(lambda, 1.0)};
+    MatchingMass mass = ComputeMatchingMass(scores, t);
+    EXPECT_NEAR(mass.p_match + mass.p_possible + mass.p_unmatch, 1.0, 1e-9);
+    EXPECT_GE(mass.p_match, -1e-12);
+    EXPECT_GE(mass.p_possible, -1e-12);
+    EXPECT_GE(mass.p_unmatch, -1e-12);
+  }
+}
+
+// ----------------------------------------------- derivation order lemmas
+
+TEST_P(SeededPropertyTest, ExpectedSimilarityBetweenMinAndMax) {
+  Rng rng(GetParam());
+  TupleMatcher matcher =
+      *TupleMatcher::Make(Schema::Strings({"a"}), {&Hamming()});
+  WeightedSumCombination phi({1.0});
+  for (int i = 0; i < 20; ++i) {
+    XTuple t1 = RandomXTuple("t1", 1, &rng);
+    XTuple t2 = RandomXTuple("t2", 1, &rng);
+    AlternativePairScores scores =
+        BuildAlternativePairScores(t1, t2, matcher, phi);
+    double expected = ExpectedSimilarityDerivation().Derive(scores);
+    EXPECT_GE(expected,
+              MinSimilarityDerivation().Derive(scores) - 1e-12);
+    EXPECT_LE(expected,
+              MaxSimilarityDerivation().Derive(scores) + 1e-12);
+  }
+}
+
+// --------------------------------------------------- conditioning lemmas
+
+TEST_P(SeededPropertyTest, ConditioningPreservesRatiosAndNormalizes) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 20; ++i) {
+    XTuple t = RandomXTuple("t", 2, &rng);
+    XTuple conditioned = ConditionXTuple(t);
+    EXPECT_NEAR(conditioned.existence_probability(), 1.0, 1e-9);
+    ASSERT_EQ(conditioned.size(), t.size());
+    for (size_t a = 1; a < t.size(); ++a) {
+      double ratio_before = t.alternative(a).prob / t.alternative(0).prob;
+      double ratio_after =
+          conditioned.alternative(a).prob / conditioned.alternative(0).prob;
+      EXPECT_NEAR(ratio_before, ratio_after, 1e-9);
+    }
+  }
+}
+
+// -------------------------------------------------- top-k vs enumeration
+
+TEST_P(SeededPropertyTest, TopKWorldsMatchEnumeration) {
+  Rng rng(GetParam());
+  XRelation rel("R", Schema::Strings({"a"}));
+  size_t n = 2 + rng.Index(3);
+  for (size_t i = 0; i < n; ++i) {
+    rel.AppendUnchecked(RandomXTuple("t" + std::to_string(i), 1, &rng));
+  }
+  Result<std::vector<World>> all = EnumerateWorlds(rel);
+  ASSERT_TRUE(all.ok());
+  std::vector<double> probs;
+  for (const World& w : *all) probs.push_back(w.probability);
+  std::sort(probs.rbegin(), probs.rend());
+  size_t k = std::min<size_t>(7, probs.size());
+  std::vector<World> top = TopKWorlds(rel, k);
+  ASSERT_EQ(top.size(), k);
+  for (size_t i = 0; i < k; ++i) {
+    EXPECT_NEAR(top[i].probability, probs[i], 1e-9) << i;
+  }
+}
+
+// --------------------------------------- reduction containment property
+
+TEST_P(SeededPropertyTest, CertainKeySnmIsSubsetOfMultipass) {
+  PersonGenOptions gen;
+  gen.num_entities = 15;
+  gen.duplicate_rate = 0.5;
+  gen.seed = GetParam();
+  gen.uncertainty.xtuple_alternative_prob = 0.5;
+  GeneratedData data = GeneratePersons(gen);
+  KeySpec spec = *KeySpec::FromNames({{"name", 3}, {"job", 2}},
+                                     PersonSchema());
+  SnmCertainKeyOptions copt;
+  copt.window = 3;
+  SnmCertainKeys certain(spec, copt);
+  SnmMultipassOptions mopt;
+  mopt.window = 3;
+  mopt.selection.count = 1;
+  SnmMultipassWorlds multi(spec, mopt);
+  Result<std::vector<CandidatePair>> certain_pairs =
+      certain.Generate(data.relation);
+  Result<std::vector<CandidatePair>> multi_pairs =
+      multi.Generate(data.relation);
+  ASSERT_TRUE(certain_pairs.ok());
+  ASSERT_TRUE(multi_pairs.ok());
+  for (const CandidatePair& p : *certain_pairs) {
+    EXPECT_TRUE(ContainsPair(*multi_pairs, p));
+  }
+}
+
+TEST_P(SeededPropertyTest, BlockingPartitionsAreDisjointAndComplete) {
+  PersonGenOptions gen;
+  gen.num_entities = 20;
+  gen.seed = GetParam();
+  GeneratedData data = GeneratePersons(gen);
+  KeySpec spec = *KeySpec::FromNames({{"name", 1}, {"job", 1}},
+                                     PersonSchema());
+  BlockingCertainKeys blocking(spec);
+  BlockMap blocks = blocking.Blocks(data.relation);
+  std::vector<bool> seen(data.relation.size(), false);
+  for (const auto& [key, members] : blocks) {
+    for (size_t i : members) {
+      EXPECT_FALSE(seen[i]);
+      seen[i] = true;
+    }
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST_P(SeededPropertyTest, WindowPairCountBound) {
+  Rng rng(GetParam());
+  size_t n = 5 + rng.Index(20);
+  std::vector<KeyedEntry> entries;
+  for (size_t i = 0; i < n; ++i) entries.push_back({RandomWord(&rng), i});
+  SortEntries(&entries);
+  for (size_t window = 2; window <= 5; ++window) {
+    std::vector<CandidatePair> pairs = WindowPairs(entries, window, nullptr);
+    EXPECT_LE(pairs.size(), (n - 1) * (window - 1));
+  }
+}
+
+// ------------------------------------------------------- ranking lemmas
+
+TEST_P(SeededPropertyTest, RankingsOfCertainKeysEqualPlainSorting) {
+  Rng rng(GetParam());
+  size_t n = 4 + rng.Index(8);
+  std::vector<KeyDistribution> keys(n);
+  std::vector<std::pair<std::string, size_t>> sortable;
+  std::set<std::string> used;
+  for (size_t i = 0; i < n; ++i) {
+    std::string key;
+    do {
+      key = RandomWord(&rng);
+    } while (!used.insert(key).second);
+    keys[i].entries = {{key, 1.0}};
+    sortable.emplace_back(key, i);
+  }
+  std::sort(sortable.begin(), sortable.end());
+  std::vector<size_t> expected;
+  for (const auto& [key, idx] : sortable) expected.push_back(idx);
+  EXPECT_EQ(RankByExpectedRank(keys), expected);
+  EXPECT_EQ(RankByPositionalScore(keys), expected);
+}
+
+TEST_P(SeededPropertyTest, PositionalApproximatesExpectedRank) {
+  Rng rng(GetParam());
+  size_t n = 6 + rng.Index(6);
+  std::vector<KeyDistribution> keys(n);
+  for (size_t i = 0; i < n; ++i) {
+    size_t alts = 1 + rng.Index(3);
+    double remaining = 1.0;
+    for (size_t a = 0; a < alts; ++a) {
+      double p = a + 1 == alts ? remaining : remaining * rng.Uniform(0.3, 0.7);
+      keys[i].entries.emplace_back(RandomWord(&rng, 4), p);
+      remaining -= p;
+    }
+  }
+  double agreement = KendallTauAgreement(RankByExpectedRank(keys),
+                                         RankByPositionalScore(keys));
+  // The O(n log n) approximation must strongly agree with the exact rank.
+  EXPECT_GE(agreement, 0.75);
+}
+
+// ----------------------------------------------------- generator hygiene
+
+TEST_P(SeededPropertyTest, GeneratedRelationsAlwaysValidate) {
+  PersonGenOptions gen;
+  gen.num_entities = 15;
+  gen.duplicate_rate = 0.7;
+  gen.seed = GetParam();
+  gen.uncertainty.value_uncertainty_prob = 0.6;
+  gen.uncertainty.maybe_prob = 0.3;
+  gen.uncertainty.xtuple_alternative_prob = 0.5;
+  GeneratedData data = GeneratePersons(gen);
+  for (const XTuple& t : data.relation.xtuples()) {
+    ASSERT_TRUE(t.Validate().ok()) << t.ToString();
+    for (const AltTuple& alt : t.alternatives()) {
+      for (const Value& v : alt.values) {
+        EXPECT_LE(v.existence_probability(), 1.0 + 1e-9);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89),
+                         [](const ::testing::TestParamInfo<uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace pdd

@@ -1,0 +1,216 @@
+// Unit tests for the pruning filter (Section III-B's third heuristic)
+// and the supervised weight learner.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/paper_examples.h"
+#include "datagen/person_generator.h"
+#include "decision/combination.h"
+#include "decision/weight_learner.h"
+#include "derive/similarity_based.h"
+#include "match/tuple_matcher.h"
+#include "reduction/full_pairs.h"
+#include "reduction/pruning.h"
+#include "sim/edit_distance.h"
+#include "util/random.h"
+
+namespace pdd {
+namespace {
+
+// ----------------------------------------------------------- length bound
+
+TEST(LengthBoundTest, EqualLengthsBoundOne) {
+  EXPECT_DOUBLE_EQ(LengthBound("abc", "xyz"), 1.0);
+  EXPECT_DOUBLE_EQ(LengthBound("", ""), 1.0);
+}
+
+TEST(LengthBoundTest, LengthGapLowersBound) {
+  EXPECT_NEAR(LengthBound("abcd", "ab"), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(LengthBound("abc", ""), 0.0);
+}
+
+TEST(LengthBoundTest, SoundForMaxLengthNormalizedComparators) {
+  // The bound must dominate the actual similarity for Hamming,
+  // Levenshtein, Damerau and LCS on random strings.
+  NormalizedHammingComparator hamming;
+  LevenshteinComparator levenshtein;
+  DamerauLevenshteinComparator damerau;
+  LcsComparator lcs;
+  Rng rng(3);
+  for (int i = 0; i < 300; ++i) {
+    std::string a, b;
+    size_t la = rng.Index(10), lb = rng.Index(10);
+    for (size_t c = 0; c < la; ++c) a += static_cast<char>('a' + rng.Index(4));
+    for (size_t c = 0; c < lb; ++c) b += static_cast<char>('a' + rng.Index(4));
+    double bound = LengthBound(a, b);
+    EXPECT_GE(bound + 1e-12, hamming.Compare(a, b)) << a << "/" << b;
+    EXPECT_GE(bound + 1e-12, levenshtein.Compare(a, b)) << a << "/" << b;
+    EXPECT_GE(bound + 1e-12, damerau.Compare(a, b)) << a << "/" << b;
+    EXPECT_GE(bound + 1e-12, lcs.Compare(a, b)) << a << "/" << b;
+  }
+}
+
+TEST(ValueLengthBoundTest, SharedNullMassLiftsToOne) {
+  Value a = Value::Dist({{"abcdef", 0.5}});
+  Value b = Value::Dist({{"x", 0.5}});
+  EXPECT_DOUBLE_EQ(ValueLengthBound(a, b), 1.0);  // both carry ⊥ mass
+  Value c = Value::Certain("x");
+  EXPECT_NEAR(ValueLengthBound(a, c), 1.0 / 6.0, 1e-12);
+}
+
+TEST(ValueLengthBoundTest, MaxOverAlternatives) {
+  Value a = Value::Unchecked({{"abcdef", 0.5, false}, {"xy", 0.5, false}});
+  Value b = Value::Certain("pq");
+  EXPECT_DOUBLE_EQ(ValueLengthBound(a, b), 1.0);  // xy vs pq same length
+}
+
+// ---------------------------------------------------------- pruning filter
+
+TEST(PruningFilterTest, SoundnessOnPaperRelations) {
+  // A pruned pair's true combined similarity (under Hamming and the
+  // paper's weights) must lie below the threshold.
+  NormalizedHammingComparator hamming;
+  TupleMatcher matcher =
+      *TupleMatcher::Make(PaperSchema(), {&hamming, &hamming});
+  WeightedSumCombination phi({0.8, 0.2});
+  ExpectedSimilarityDerivation theta;
+  PruningOptions options;
+  options.threshold = 0.4;
+  options.weights = {0.8, 0.2};
+  PruningFilter filter(std::make_unique<FullPairs>(), options);
+  XRelation r34 = BuildR34();
+  Result<std::vector<CandidatePair>> kept = filter.Generate(r34);
+  ASSERT_TRUE(kept.ok());
+  FullPairs full;
+  Result<std::vector<CandidatePair>> all = full.Generate(r34);
+  for (const CandidatePair& pair : *all) {
+    if (ContainsPair(*kept, pair)) continue;
+    AlternativePairScores scores = BuildAlternativePairScores(
+        r34.xtuple(pair.first), r34.xtuple(pair.second), matcher, phi);
+    EXPECT_LT(theta.Derive(scores), options.threshold)
+        << pair.first << "," << pair.second;
+  }
+}
+
+TEST(PruningFilterTest, ZeroThresholdKeepsEverything) {
+  PruningOptions options;
+  options.threshold = 0.0;
+  PruningFilter filter(std::make_unique<FullPairs>(), options);
+  XRelation r34 = BuildR34();
+  EXPECT_EQ(filter.Generate(r34)->size(), 10u);
+}
+
+TEST(PruningFilterTest, HighThresholdPrunesAggressively) {
+  PersonGenOptions gen;
+  gen.num_entities = 60;
+  gen.duplicate_rate = 0.5;
+  GeneratedData data = GeneratePersons(gen);
+  PruningOptions options;
+  options.threshold = 0.9;
+  PruningFilter filter(std::make_unique<FullPairs>(), options);
+  FullPairs full;
+  Result<std::vector<CandidatePair>> kept = filter.Generate(data.relation);
+  ASSERT_TRUE(kept.ok());
+  EXPECT_LT(kept->size(), full.Generate(data.relation)->size());
+}
+
+TEST(PruningFilterTest, NameReflectsInner) {
+  PruningFilter filter(std::make_unique<FullPairs>(), PruningOptions{});
+  EXPECT_EQ(filter.name(), "pruned(full)");
+}
+
+// ----------------------------------------------------------- weight learner
+
+std::vector<LabeledVector> SyntheticTrainingData(size_t n, uint64_t seed) {
+  // Matches: high first component, moderate second; non-matches: low.
+  Rng rng(seed);
+  std::vector<LabeledVector> data;
+  for (size_t i = 0; i < n; ++i) {
+    bool is_match = rng.Bernoulli(0.4);
+    double c1 = is_match ? rng.Uniform(0.7, 1.0) : rng.Uniform(0.0, 0.5);
+    double c2 = is_match ? rng.Uniform(0.5, 1.0) : rng.Uniform(0.0, 0.6);
+    data.push_back({ComparisonVector({c1, c2}), is_match});
+  }
+  return data;
+}
+
+TEST(WeightLearnerTest, SeparatesSyntheticClasses) {
+  std::vector<LabeledVector> data = SyntheticTrainingData(400, 7);
+  Result<LearnedWeights> model = LearnWeights(data);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  size_t correct = 0;
+  for (const LabeledVector& lv : data) {
+    bool predicted = model->Predict(lv.comparison) > 0.5;
+    if (predicted == lv.is_match) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / data.size(), 0.9);
+}
+
+TEST(WeightLearnerTest, FirstAttributeDominates) {
+  // c1 separates the classes more than c2 by construction.
+  std::vector<LabeledVector> data = SyntheticTrainingData(600, 11);
+  Result<LearnedWeights> model = LearnWeights(data);
+  ASSERT_TRUE(model.ok());
+  EXPECT_GT(model->weights[0], model->weights[1]);
+  EXPECT_GT(model->weights[0], 0.0);
+}
+
+TEST(WeightLearnerTest, ValidatesInput) {
+  EXPECT_FALSE(LearnWeights({}).ok());
+  std::vector<LabeledVector> single_class = {
+      {ComparisonVector({0.5}), true}, {ComparisonVector({0.9}), true}};
+  EXPECT_FALSE(LearnWeights(single_class).ok());
+  std::vector<LabeledVector> mixed_arity = {
+      {ComparisonVector({0.5}), true}, {ComparisonVector({0.5, 0.5}), false}};
+  EXPECT_FALSE(LearnWeights(mixed_arity).ok());
+}
+
+TEST(WeightLearnerTest, ToCombinationNormalizesWeights) {
+  std::vector<LabeledVector> data = SyntheticTrainingData(300, 13);
+  Result<LearnedWeights> model = LearnWeights(data);
+  ASSERT_TRUE(model.ok());
+  auto [weights, thresholds] = model->ToCombination();
+  double total = 0.0;
+  for (double w : weights) {
+    EXPECT_GE(w, 0.0);
+    total += w;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_TRUE(thresholds.Validate().ok());
+  EXPECT_GE(thresholds.t_mu, 0.0);
+  EXPECT_LE(thresholds.t_mu, 1.0);
+}
+
+TEST(WeightLearnerTest, LearnedCombinationClassifiesWell) {
+  std::vector<LabeledVector> data = SyntheticTrainingData(500, 17);
+  Result<LearnedWeights> model = LearnWeights(data);
+  ASSERT_TRUE(model.ok());
+  auto [weights, thresholds] = model->ToCombination();
+  WeightedSumCombination phi(weights);
+  size_t correct = 0;
+  for (const LabeledVector& lv : data) {
+    bool predicted =
+        Classify(phi.Combine(lv.comparison), thresholds) == MatchClass::kMatch;
+    if (predicted == lv.is_match) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / data.size(), 0.85);
+}
+
+TEST(WeightLearnerTest, LogLikelihoodImprovesOverTraining) {
+  std::vector<LabeledVector> data = SyntheticTrainingData(300, 19);
+  WeightLearnOptions quick;
+  quick.iterations = 2;
+  WeightLearnOptions longer;
+  longer.iterations = 400;
+  Result<LearnedWeights> early = LearnWeights(data, quick);
+  Result<LearnedWeights> late = LearnWeights(data, longer);
+  ASSERT_TRUE(early.ok());
+  ASSERT_TRUE(late.ok());
+  EXPECT_GT(late->log_likelihood, early->log_likelihood);
+}
+
+}  // namespace
+}  // namespace pdd

@@ -1,0 +1,126 @@
+// Unit tests for q-gram inverted-index candidate generation.
+
+#include <gtest/gtest.h>
+
+#include "core/detector.h"
+#include "core/paper_examples.h"
+#include "datagen/person_generator.h"
+#include "reduction/full_pairs.h"
+#include "reduction/qgram_index.h"
+
+namespace pdd {
+namespace {
+
+constexpr size_t kT31 = 0, kT41 = 2;
+
+TEST(QGramIndexTest, SharedKeyPrefixesBecomeCandidates) {
+  QGramIndexOptions options;
+  options.q = 2;
+  options.min_shared_grams = 3;
+  QGramIndexReduction index(PaperSortingKey(), options);
+  Result<std::vector<CandidatePair>> pairs = index.Generate(BuildR34());
+  ASSERT_TRUE(pairs.ok());
+  // t31 and t41 share the full key "Johpi" -> all grams shared.
+  EXPECT_TRUE(ContainsPair(*pairs, MakePair(kT31, kT41)));
+}
+
+TEST(QGramIndexTest, ThresholdOneDegeneratesTowardFullPairs) {
+  // With min_shared_grams=1 and no stop-gram filter, any shared bigram
+  // connects tuples — a superset of stricter settings.
+  QGramIndexOptions loose;
+  loose.min_shared_grams = 1;
+  loose.max_posting_fraction = 1.0;
+  QGramIndexOptions strict;
+  strict.min_shared_grams = 4;
+  strict.max_posting_fraction = 1.0;
+  XRelation r34 = BuildR34();
+  Result<std::vector<CandidatePair>> loose_pairs =
+      QGramIndexReduction(PaperSortingKey(), loose).Generate(r34);
+  Result<std::vector<CandidatePair>> strict_pairs =
+      QGramIndexReduction(PaperSortingKey(), strict).Generate(r34);
+  ASSERT_TRUE(loose_pairs.ok());
+  ASSERT_TRUE(strict_pairs.ok());
+  EXPECT_GE(loose_pairs->size(), strict_pairs->size());
+  for (const CandidatePair& p : *strict_pairs) {
+    EXPECT_TRUE(ContainsPair(*loose_pairs, p));
+  }
+}
+
+TEST(QGramIndexTest, StopGramFilterPrunesUbiquitousGrams) {
+  // All tuples share one key prefix: with aggressive stop-gram filtering
+  // the ubiquitous grams are dropped and fewer pairs survive.
+  XRelation rel("R", PaperSchema());
+  for (int i = 0; i < 8; ++i) {
+    // Common prefix "Joh", distinct suffixes.
+    std::string name = "Joh" + std::string(1, static_cast<char>('a' + i));
+    rel.AppendUnchecked(XTuple(
+        "t" + std::to_string(i),
+        {{{Value::Certain(name), Value::Certain("pilot")}, 1.0}}));
+  }
+  QGramIndexOptions no_filter;
+  no_filter.max_posting_fraction = 1.0;
+  QGramIndexOptions filtered;
+  filtered.max_posting_fraction = 0.4;
+  filtered.stop_gram_floor = 1;  // allow filtering on this tiny relation
+  KeySpec key({{0, 4}});
+  Result<std::vector<CandidatePair>> all =
+      QGramIndexReduction(key, no_filter).Generate(rel);
+  Result<std::vector<CandidatePair>> few =
+      QGramIndexReduction(key, filtered).Generate(rel);
+  ASSERT_TRUE(all.ok());
+  ASSERT_TRUE(few.ok());
+  EXPECT_EQ(all->size(), 28u);  // every pair shares "Joh" grams
+  EXPECT_LT(few->size(), all->size());
+}
+
+TEST(QGramIndexTest, ValidatesOptions) {
+  QGramIndexOptions bad_q;
+  bad_q.q = 0;
+  EXPECT_FALSE(
+      QGramIndexReduction(PaperSortingKey(), bad_q).Generate(BuildR34()).ok());
+  QGramIndexOptions bad_min;
+  bad_min.min_shared_grams = 0;
+  EXPECT_FALSE(QGramIndexReduction(PaperSortingKey(), bad_min)
+                   .Generate(BuildR34())
+                   .ok());
+}
+
+TEST(QGramIndexTest, SubsetOfFullPairsOnGeneratedData) {
+  PersonGenOptions gen;
+  gen.num_entities = 40;
+  GeneratedData data = GeneratePersons(gen);
+  KeySpec key = *KeySpec::FromNames({{"name", 3}, {"job", 2}},
+                                    PersonSchema());
+  QGramIndexReduction index(key, QGramIndexOptions{});
+  Result<std::vector<CandidatePair>> pairs = index.Generate(data.relation);
+  ASSERT_TRUE(pairs.ok());
+  FullPairs full;
+  Result<std::vector<CandidatePair>> all = full.Generate(data.relation);
+  for (const CandidatePair& p : *pairs) {
+    EXPECT_TRUE(ContainsPair(*all, p));
+    EXPECT_LT(p.first, p.second);
+  }
+  EXPECT_LT(pairs->size(), all->size());
+}
+
+TEST(QGramIndexTest, RunsThroughDetectorConfig) {
+  DetectorConfig config;
+  config.key = {{"name", 3}, {"job", 2}};
+  config.weights = {0.8, 0.2};
+  config.reduction = ReductionMethod::kQGramIndex;
+  config.qgram.min_shared_grams = 2;
+  Result<DuplicateDetector> detector =
+      DuplicateDetector::Make(config, PaperSchema());
+  ASSERT_TRUE(detector.ok());
+  Result<DetectionResult> result = detector->Run(BuildR34());
+  ASSERT_TRUE(result.ok());
+  // The (t31, t41) duplicate must survive the index.
+  bool found = false;
+  for (const IdPair& pair : result->Matches()) {
+    if (pair.first == "t31" && pair.second == "t41") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace pdd

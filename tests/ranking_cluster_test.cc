@@ -1,0 +1,237 @@
+// Unit tests for probabilistic ranking (expected rank, positional
+// approximation, Fig. 13 order) and clustering of key distributions.
+
+#include <gtest/gtest.h>
+
+#include "cluster/k_medoids.h"
+#include "cluster/key_distribution_distance.h"
+#include "cluster/leader_clustering.h"
+#include "core/paper_examples.h"
+#include "keys/key_builder.h"
+#include "ranking/expected_rank.h"
+#include "ranking/positional_rank.h"
+#include "sim/edit_distance.h"
+
+namespace pdd {
+namespace {
+
+KeyDistribution Dist(std::vector<std::pair<std::string, double>> entries) {
+  KeyDistribution d;
+  d.entries = std::move(entries);
+  return d;
+}
+
+std::vector<KeyDistribution> PaperKeyDistributions() {
+  Schema schema = PaperSchema();
+  KeyBuilder builder(PaperSortingKey(), &schema);
+  XRelation r34 = BuildR34();
+  std::vector<KeyDistribution> dists;
+  for (const XTuple& t : r34.xtuples()) {
+    dists.push_back(builder.DistributionFor(t));
+  }
+  return dists;
+}
+
+// ------------------------------------------------------------- expected
+
+TEST(ExpectedRankTest, KeyLessProbabilityCertainKeys) {
+  KeyDistribution a = Dist({{"aaa", 1.0}});
+  KeyDistribution b = Dist({{"bbb", 1.0}});
+  EXPECT_DOUBLE_EQ(KeyLessProbability(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(KeyLessProbability(b, a), 0.0);
+  EXPECT_DOUBLE_EQ(KeyEqualProbability(a, a), 1.0);
+}
+
+TEST(ExpectedRankTest, KeyLessProbabilityMixed) {
+  KeyDistribution a = Dist({{"a", 0.5}, {"c", 0.5}});
+  KeyDistribution b = Dist({{"b", 1.0}});
+  EXPECT_NEAR(KeyLessProbability(a, b), 0.5, 1e-12);
+  EXPECT_NEAR(KeyLessProbability(b, a), 0.5, 1e-12);
+  EXPECT_NEAR(KeyEqualProbability(a, b), 0.0, 1e-12);
+}
+
+TEST(ExpectedRankTest, NormalizesRawMasses) {
+  // Unconditioned distributions (mass < 1) must behave like conditioned.
+  KeyDistribution a = Dist({{"a", 0.45}, {"c", 0.45}});  // mass 0.9
+  KeyDistribution b = Dist({{"b", 0.8}});                // mass 0.8
+  EXPECT_NEAR(KeyLessProbability(a, b), 0.5, 1e-12);
+}
+
+TEST(ExpectedRankTest, CertainKeysReduceToSorting) {
+  std::vector<KeyDistribution> keys = {Dist({{"c", 1.0}}),
+                                       Dist({{"a", 1.0}}),
+                                       Dist({{"b", 1.0}})};
+  std::vector<size_t> order = RankByExpectedRank(keys);
+  EXPECT_EQ(order, (std::vector<size_t>{1, 2, 0}));
+}
+
+TEST(ExpectedRankTest, PaperFig13Order) {
+  // Fig. 13 right: t32, t31, t41, t43, t42 (indices 1, 0, 2, 4, 3).
+  std::vector<size_t> order = RankByExpectedRank(PaperKeyDistributions());
+  EXPECT_EQ(order, (std::vector<size_t>{1, 0, 2, 4, 3}));
+}
+
+TEST(ExpectedRankTest, RanksAreConsistentWithPairwiseProbabilities) {
+  std::vector<KeyDistribution> keys = PaperKeyDistributions();
+  std::vector<double> ranks = ExpectedRanks(keys);
+  ASSERT_EQ(ranks.size(), keys.size());
+  // Expected ranks over n items must sum to n(n-1)/2.
+  double total = 0.0;
+  for (double r : ranks) total += r;
+  EXPECT_NEAR(total, 10.0, 1e-9);
+}
+
+// ------------------------------------------------------------ positional
+
+TEST(PositionalRankTest, CertainKeysReduceToSorting) {
+  std::vector<KeyDistribution> keys = {Dist({{"c", 1.0}}),
+                                       Dist({{"a", 1.0}}),
+                                       Dist({{"b", 1.0}})};
+  std::vector<size_t> order = RankByPositionalScore(keys);
+  EXPECT_EQ(order, (std::vector<size_t>{1, 2, 0}));
+}
+
+TEST(PositionalRankTest, PaperFig13Order) {
+  std::vector<size_t> order = RankByPositionalScore(PaperKeyDistributions());
+  EXPECT_EQ(order, (std::vector<size_t>{1, 0, 2, 4, 3}));
+}
+
+TEST(PositionalRankTest, AgreesWithExpectedRankOnPaperData) {
+  std::vector<KeyDistribution> keys = PaperKeyDistributions();
+  EXPECT_DOUBLE_EQ(KendallTauAgreement(RankByExpectedRank(keys),
+                                       RankByPositionalScore(keys)),
+                   1.0);
+}
+
+TEST(KendallTauTest, AgreementBounds) {
+  std::vector<size_t> a = {0, 1, 2, 3};
+  std::vector<size_t> reversed = {3, 2, 1, 0};
+  EXPECT_DOUBLE_EQ(KendallTauAgreement(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(KendallTauAgreement(a, reversed), 0.0);
+  std::vector<size_t> one_swap = {1, 0, 2, 3};
+  EXPECT_NEAR(KendallTauAgreement(a, one_swap), 5.0 / 6.0, 1e-12);
+}
+
+TEST(KendallTauTest, TrivialSizes) {
+  EXPECT_DOUBLE_EQ(KendallTauAgreement({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(KendallTauAgreement({0}, {0}), 1.0);
+}
+
+// -------------------------------------------------------------- distances
+
+TEST(DistanceTest, OverlapDistanceIdenticalAndDisjoint) {
+  KeyDistribution a = Dist({{"x", 0.5}, {"y", 0.5}});
+  KeyDistribution b = Dist({{"z", 1.0}});
+  EXPECT_NEAR(OverlapDistance(a, a), 0.0, 1e-12);
+  EXPECT_NEAR(OverlapDistance(a, b), 1.0, 1e-12);
+}
+
+TEST(DistanceTest, OverlapDistancePartial) {
+  KeyDistribution a = Dist({{"x", 0.7}, {"y", 0.3}});
+  KeyDistribution b = Dist({{"x", 0.4}, {"z", 0.6}});
+  // Overlap = min(0.7, 0.4) = 0.4.
+  EXPECT_NEAR(OverlapDistance(a, b), 0.6, 1e-12);
+}
+
+TEST(DistanceTest, OverlapNormalizesMasses) {
+  KeyDistribution a = Dist({{"x", 0.9}});            // mass 0.9
+  KeyDistribution b = Dist({{"x", 0.5}});            // mass 0.5
+  EXPECT_NEAR(OverlapDistance(a, b), 0.0, 1e-12);    // same normalized dist
+}
+
+TEST(DistanceTest, ExpectedKeyDistanceSoftensNearMatches) {
+  NormalizedHammingComparator hamming;
+  KeyDistribution a = Dist({{"Johpi", 1.0}});
+  KeyDistribution b = Dist({{"Johmu", 1.0}});
+  // Overlap distance is 1; expected key distance sees the shared prefix.
+  EXPECT_NEAR(OverlapDistance(a, b), 1.0, 1e-12);
+  EXPECT_NEAR(ExpectedKeyDistance(a, b, hamming), 1.0 - 3.0 / 5.0, 1e-12);
+}
+
+// ------------------------------------------------------------- clustering
+
+TEST(LeaderClusteringTest, ThresholdControlsGranularity) {
+  // Distance = |i - j| / 10.
+  DistanceFn distance = [](size_t a, size_t b) {
+    return std::abs(static_cast<double>(a) - static_cast<double>(b)) / 10.0;
+  };
+  std::vector<std::vector<size_t>> tight = LeaderClustering(10, distance, 0.05);
+  EXPECT_EQ(tight.size(), 10u);  // nothing within 0.05 except self
+  std::vector<std::vector<size_t>> loose = LeaderClustering(10, distance, 1.0);
+  EXPECT_EQ(loose.size(), 1u);
+}
+
+TEST(LeaderClusteringTest, EveryItemAppearsExactlyOnce) {
+  DistanceFn distance = [](size_t a, size_t b) {
+    return a % 3 == b % 3 ? 0.0 : 1.0;
+  };
+  std::vector<std::vector<size_t>> clusters =
+      LeaderClustering(12, distance, 0.5);
+  EXPECT_EQ(clusters.size(), 3u);
+  std::vector<bool> seen(12, false);
+  for (const auto& cluster : clusters) {
+    for (size_t i : cluster) {
+      EXPECT_FALSE(seen[i]);
+      seen[i] = true;
+    }
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(LeaderClusteringTest, EmptyInput) {
+  EXPECT_TRUE(LeaderClustering(0, [](size_t, size_t) { return 0.0; }, 0.5)
+                  .empty());
+}
+
+TEST(KMedoidsTest, SeparatesObviousClusters) {
+  // Items 0-4 mutually close, 5-9 mutually close, groups far apart.
+  DistanceFn distance = [](size_t a, size_t b) {
+    bool ga = a < 5, gb = b < 5;
+    if (ga == gb) return 0.1;
+    return 10.0;
+  };
+  KMedoidsOptions options;
+  options.k = 2;
+  std::vector<std::vector<size_t>> clusters = KMedoids(10, distance, options);
+  ASSERT_EQ(clusters.size(), 2u);
+  for (const auto& cluster : clusters) {
+    bool group = cluster.front() < 5;
+    for (size_t i : cluster) EXPECT_EQ(i < 5, group);
+  }
+}
+
+TEST(KMedoidsTest, KClampedToN) {
+  DistanceFn distance = [](size_t, size_t) { return 1.0; };
+  KMedoidsOptions options;
+  options.k = 10;
+  std::vector<std::vector<size_t>> clusters = KMedoids(3, distance, options);
+  size_t total = 0;
+  for (const auto& c : clusters) total += c.size();
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(KMedoidsTest, EmptyInput) {
+  KMedoidsOptions options;
+  EXPECT_TRUE(KMedoids(0, [](size_t, size_t) { return 0.0; }, options)
+                  .empty());
+}
+
+TEST(KMedoidsTest, CoversAllItems) {
+  DistanceFn distance = [](size_t a, size_t b) {
+    return std::abs(static_cast<double>(a) - static_cast<double>(b));
+  };
+  KMedoidsOptions options;
+  options.k = 3;
+  std::vector<std::vector<size_t>> clusters = KMedoids(9, distance, options);
+  std::vector<bool> seen(9, false);
+  for (const auto& cluster : clusters) {
+    for (size_t i : cluster) {
+      EXPECT_FALSE(seen[i]);
+      seen[i] = true;
+    }
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+}  // namespace
+}  // namespace pdd

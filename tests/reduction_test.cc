@@ -1,0 +1,442 @@
+// Unit tests for search space reduction: SNM core, the matching matrix
+// (Fig. 12), all four SNM adaptations (Fig. 9-13) and all blocking
+// adaptations (Fig. 14).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "core/paper_examples.h"
+#include "reduction/blocking.h"
+#include "reduction/blocking_alternatives.h"
+#include "reduction/blocking_clustered.h"
+#include "reduction/full_pairs.h"
+#include "reduction/matching_matrix.h"
+#include "reduction/snm_certain_keys.h"
+#include "reduction/snm_core.h"
+#include "reduction/snm_multipass_worlds.h"
+#include "reduction/snm_sorting_alternatives.h"
+#include "reduction/snm_uncertain_ranking.h"
+#include "sim/edit_distance.h"
+
+namespace pdd {
+namespace {
+
+// R34 index map: t31=0, t32=1, t41=2, t42=3, t43=4.
+constexpr size_t kT31 = 0, kT32 = 1, kT41 = 2, kT42 = 3, kT43 = 4;
+
+std::vector<std::string> Keys(const std::vector<KeyedEntry>& entries) {
+  std::vector<std::string> keys;
+  for (const KeyedEntry& e : entries) keys.push_back(e.key);
+  return keys;
+}
+
+std::vector<size_t> Tuples(const std::vector<KeyedEntry>& entries) {
+  std::vector<size_t> tuples;
+  for (const KeyedEntry& e : entries) tuples.push_back(e.tuple);
+  return tuples;
+}
+
+// ------------------------------------------------------------- pair utils
+
+TEST(PairGeneratorTest, MakePairOrders) {
+  EXPECT_EQ(MakePair(3, 1), (CandidatePair{1, 3}));
+  EXPECT_EQ(MakePair(1, 3), (CandidatePair{1, 3}));
+}
+
+TEST(PairGeneratorTest, SortAndDedup) {
+  std::vector<CandidatePair> pairs = {{1, 3}, {0, 2}, {1, 3}, {0, 1}};
+  SortAndDedupPairs(&pairs);
+  EXPECT_EQ(pairs, (std::vector<CandidatePair>{{0, 1}, {0, 2}, {1, 3}}));
+  EXPECT_TRUE(ContainsPair(pairs, {0, 2}));
+  EXPECT_FALSE(ContainsPair(pairs, {2, 3}));
+}
+
+TEST(FullPairsTest, GeneratesAllPairs) {
+  FullPairs full;
+  Result<std::vector<CandidatePair>> pairs = full.Generate(BuildR34());
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_EQ(pairs->size(), 10u);  // 5 choose 2
+}
+
+// --------------------------------------------------------- MatchingMatrix
+
+TEST(MatchingMatrixTest, TestAndSetSemantics) {
+  MatchingMatrix m(5);
+  EXPECT_TRUE(m.TestAndSet(1, 3));
+  EXPECT_FALSE(m.TestAndSet(1, 3));
+  EXPECT_FALSE(m.TestAndSet(3, 1));  // symmetric
+  EXPECT_TRUE(m.Contains(3, 1));
+  EXPECT_EQ(m.count(), 1u);
+}
+
+TEST(MatchingMatrixTest, SelfPairsRejected) {
+  MatchingMatrix m(3);
+  EXPECT_FALSE(m.TestAndSet(2, 2));
+  EXPECT_FALSE(m.Contains(2, 2));
+  EXPECT_EQ(m.count(), 0u);
+}
+
+TEST(MatchingMatrixTest, AllPairsIndependent) {
+  MatchingMatrix m(4);
+  size_t set_count = 0;
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = i + 1; j < 4; ++j) {
+      if (m.TestAndSet(i, j)) ++set_count;
+    }
+  }
+  EXPECT_EQ(set_count, 6u);
+  EXPECT_EQ(m.count(), 6u);
+}
+
+// ---------------------------------------------------------------- SNM core
+
+TEST(SnmCoreTest, SortEntriesIsStable) {
+  std::vector<KeyedEntry> entries = {{"b", 0}, {"a", 1}, {"b", 2}};
+  SortEntries(&entries);
+  EXPECT_EQ(Tuples(entries), (std::vector<size_t>{1, 0, 2}));
+}
+
+TEST(SnmCoreTest, DropAdjacentSameTuple) {
+  std::vector<KeyedEntry> entries = {
+      {"a", 0}, {"b", 0}, {"c", 1}, {"d", 0}, {"e", 1}, {"f", 1}};
+  DropAdjacentSameTuple(&entries);
+  EXPECT_EQ(Keys(entries), (std::vector<std::string>{"a", "c", "d", "e"}));
+}
+
+TEST(SnmCoreTest, WindowPairsAdjacent) {
+  std::vector<KeyedEntry> entries = {{"a", 0}, {"b", 1}, {"c", 2}};
+  std::vector<CandidatePair> pairs = WindowPairs(entries, 2, nullptr);
+  EXPECT_EQ(pairs, (std::vector<CandidatePair>{{0, 1}, {1, 2}}));
+}
+
+TEST(SnmCoreTest, WindowThreePairsTwoBack) {
+  std::vector<KeyedEntry> entries = {{"a", 0}, {"b", 1}, {"c", 2}, {"d", 3}};
+  std::vector<CandidatePair> pairs = WindowPairs(entries, 3, nullptr);
+  SortAndDedupPairs(&pairs);
+  EXPECT_EQ(pairs, (std::vector<CandidatePair>{
+                       {0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}}));
+}
+
+TEST(SnmCoreTest, WindowSkipsSelfPairs) {
+  std::vector<KeyedEntry> entries = {{"a", 0}, {"b", 0}, {"c", 1}};
+  std::vector<CandidatePair> pairs = WindowPairs(entries, 2, nullptr);
+  EXPECT_EQ(pairs, (std::vector<CandidatePair>{{0, 1}}));
+}
+
+TEST(SnmCoreTest, WindowBelowTwoYieldsNothing) {
+  std::vector<KeyedEntry> entries = {{"a", 0}, {"b", 1}};
+  EXPECT_TRUE(WindowPairs(entries, 1, nullptr).empty());
+  EXPECT_TRUE(WindowPairs(entries, 0, nullptr).empty());
+}
+
+TEST(SnmCoreTest, MatrixSuppressesRepeats) {
+  std::vector<KeyedEntry> entries = {{"a", 0}, {"b", 1}, {"c", 0}, {"d", 1}};
+  MatchingMatrix executed(2);
+  std::vector<CandidatePair> pairs = WindowPairs(entries, 2, &executed);
+  // (0,1) at positions 0-1; positions 1-2 repeat (1,0); positions 2-3
+  // repeat (0,1) again.
+  EXPECT_EQ(pairs, (std::vector<CandidatePair>{{0, 1}}));
+}
+
+// ----------------------------------------------- SNM 1: multipass worlds
+
+TEST(SnmMultipassTest, Fig9WorldOrders) {
+  XRelation r34 = BuildR34();
+  SnmMultipassOptions options;
+  options.window = 2;
+  SnmMultipassWorlds snm(PaperSortingKey(), options);
+  // Fig. 8/9 world I1: t31/(John,pilot), t32/(Tim,mechanic),
+  // t41/(John,pilot), t42/(Tom,mechanic), t43/(Sean,pilot).
+  World i1{{0, 0, 0, 0, 1}, 0.0};
+  std::vector<KeyedEntry> e1 = snm.SortedEntriesForWorld(i1, r34);
+  EXPECT_EQ(Keys(e1), (std::vector<std::string>{"Johpi", "Johpi", "Seapi",
+                                                "Timme", "Tomme"}));
+  EXPECT_EQ(Tuples(e1), (std::vector<size_t>{kT31, kT41, kT43, kT32, kT42}));
+  // World I2: t31/(Johan,mu*), t32/(Jim,mechanic), t41/(John,pilot),
+  // t42/(Tom,mechanic), t43/(John,⊥).
+  World i2{{1, 1, 0, 0, 0}, 0.0};
+  std::vector<KeyedEntry> e2 = snm.SortedEntriesForWorld(i2, r34);
+  EXPECT_EQ(Keys(e2), (std::vector<std::string>{"Jimme", "Joh", "Johmu",
+                                                "Johpi", "Tomme"}));
+  EXPECT_EQ(Tuples(e2), (std::vector<size_t>{kT32, kT43, kT31, kT41, kT42}));
+}
+
+TEST(SnmMultipassTest, GenerateUnionsPasses) {
+  SnmMultipassOptions options;
+  options.window = 2;
+  options.selection.count = 4;
+  SnmMultipassWorlds snm(PaperSortingKey(), options);
+  Result<std::vector<CandidatePair>> pairs = snm.Generate(BuildR34());
+  ASSERT_TRUE(pairs.ok()) << pairs.status().ToString();
+  EXPECT_FALSE(pairs->empty());
+  EXPECT_LE(pairs->size(), 10u);
+  // Pairs are canonical and unique.
+  std::vector<CandidatePair> copy = *pairs;
+  SortAndDedupPairs(&copy);
+  EXPECT_EQ(copy, *pairs);
+}
+
+TEST(SnmMultipassTest, MoreWorldsNeverShrinkCandidates) {
+  XRelation r34 = BuildR34();
+  size_t prev = 0;
+  for (size_t count : {1u, 2u, 4u, 8u}) {
+    SnmMultipassOptions options;
+    options.window = 2;
+    options.selection.count = count;
+    SnmMultipassWorlds snm(PaperSortingKey(), options);
+    Result<std::vector<CandidatePair>> pairs = snm.Generate(r34);
+    ASSERT_TRUE(pairs.ok());
+    EXPECT_GE(pairs->size(), prev);
+    prev = pairs->size();
+  }
+}
+
+TEST(SnmMultipassTest, RejectsWindowBelowTwo) {
+  SnmMultipassOptions options;
+  options.window = 1;
+  SnmMultipassWorlds snm(PaperSortingKey(), options);
+  EXPECT_FALSE(snm.Generate(BuildR34()).ok());
+}
+
+// -------------------------------------------------- SNM 2: certain keys
+
+TEST(SnmCertainKeysTest, Fig10Order) {
+  SnmCertainKeyOptions options;
+  options.window = 2;
+  SnmCertainKeys snm(PaperSortingKey(), options);
+  std::vector<KeyedEntry> entries = snm.SortedEntries(BuildR34());
+  // Fig. 10: Jimba t32, Johpi t31, Johpi t41, Seapi t43, Tomme t42.
+  EXPECT_EQ(Keys(entries), (std::vector<std::string>{"Jimba", "Johpi",
+                                                     "Johpi", "Seapi",
+                                                     "Tomme"}));
+  EXPECT_EQ(Tuples(entries),
+            (std::vector<size_t>{kT32, kT31, kT41, kT43, kT42}));
+}
+
+TEST(SnmCertainKeysTest, SubsetOfMultipass) {
+  // Section V-A.2: the certain-key (most probable) matchings are a subset
+  // of the multi-pass matchings whenever the most probable world is among
+  // the passes.
+  XRelation r34 = BuildR34();
+  SnmCertainKeyOptions copt;
+  copt.window = 3;
+  SnmCertainKeys certain(PaperSortingKey(), copt);
+  Result<std::vector<CandidatePair>> certain_pairs = certain.Generate(r34);
+  ASSERT_TRUE(certain_pairs.ok());
+  SnmMultipassOptions mopt;
+  mopt.window = 3;
+  mopt.selection.count = 1;  // exactly the most probable world
+  SnmMultipassWorlds multi(PaperSortingKey(), mopt);
+  Result<std::vector<CandidatePair>> multi_pairs = multi.Generate(r34);
+  ASSERT_TRUE(multi_pairs.ok());
+  for (const CandidatePair& p : *certain_pairs) {
+    EXPECT_TRUE(ContainsPair(*multi_pairs, p))
+        << p.first << "," << p.second;
+  }
+}
+
+// -------------------------------------------- SNM 3: sorting alternatives
+
+TEST(SnmSortingAlternativesTest, Fig11SortedEntries) {
+  SnmAlternativesOptions options;
+  SnmSortingAlternatives snm(PaperSortingKey(), options);
+  std::vector<KeyedEntry> sorted = snm.SortedEntries(BuildR34());
+  EXPECT_EQ(Keys(sorted),
+            (std::vector<std::string>{"Jimba", "Jimme", "Joh", "Johmu",
+                                      "Johpi", "Johpi", "Seapi", "Timme",
+                                      "Tomme"}));
+  EXPECT_EQ(Tuples(sorted), (std::vector<size_t>{kT32, kT32, kT43, kT31,
+                                                 kT31, kT41, kT43, kT32,
+                                                 kT42}));
+}
+
+TEST(SnmSortingAlternativesTest, Fig11OmissionRule) {
+  SnmAlternativesOptions options;
+  SnmSortingAlternatives snm(PaperSortingKey(), options);
+  std::vector<KeyedEntry> surviving = snm.SurvivingEntries(BuildR34());
+  // Jimme (t32 after Jimba/t32) and Johpi/t31 (after Johmu/t31) omitted.
+  EXPECT_EQ(Keys(surviving),
+            (std::vector<std::string>{"Jimba", "Joh", "Johmu", "Johpi",
+                                      "Seapi", "Timme", "Tomme"}));
+  EXPECT_EQ(Tuples(surviving), (std::vector<size_t>{kT32, kT43, kT31, kT41,
+                                                    kT43, kT32, kT42}));
+}
+
+TEST(SnmSortingAlternativesTest, Fig12ExactlyFiveMatchings) {
+  SnmAlternativesOptions options;
+  options.window = 2;
+  SnmSortingAlternatives snm(PaperSortingKey(), options);
+  Result<std::vector<CandidatePair>> pairs = snm.Generate(BuildR34());
+  ASSERT_TRUE(pairs.ok());
+  // The paper's five matchings: (t32,t43), (t43,t31), (t31,t41),
+  // (t41,t43), (t32,t42) — each applied exactly once.
+  std::vector<CandidatePair> expected = {
+      MakePair(kT32, kT43), MakePair(kT43, kT31), MakePair(kT31, kT41),
+      MakePair(kT41, kT43), MakePair(kT32, kT42)};
+  SortAndDedupPairs(&expected);
+  EXPECT_EQ(*pairs, expected);
+}
+
+// ---------------------------------------------- SNM 4: uncertain ranking
+
+TEST(SnmUncertainRankingTest, Fig13RankedOrder) {
+  for (RankingMethod method :
+       {RankingMethod::kExpectedRank, RankingMethod::kPositional}) {
+    SnmRankingOptions options;
+    options.method = method;
+    SnmUncertainRanking snm(PaperSortingKey(), options);
+    std::vector<size_t> order = snm.RankedOrder(BuildR34());
+    EXPECT_EQ(order, (std::vector<size_t>{kT32, kT31, kT41, kT43, kT42}));
+  }
+}
+
+TEST(SnmUncertainRankingTest, WindowPairsOverRankedTuples) {
+  SnmRankingOptions options;
+  options.window = 2;
+  SnmUncertainRanking snm(PaperSortingKey(), options);
+  Result<std::vector<CandidatePair>> pairs = snm.Generate(BuildR34());
+  ASSERT_TRUE(pairs.ok());
+  // Ranked order t32, t31, t41, t43, t42 with window 2 pairs neighbors.
+  std::vector<CandidatePair> expected = {
+      MakePair(kT32, kT31), MakePair(kT31, kT41), MakePair(kT41, kT43),
+      MakePair(kT43, kT42)};
+  SortAndDedupPairs(&expected);
+  EXPECT_EQ(*pairs, expected);
+}
+
+TEST(SnmUncertainRankingTest, DistributionsExposeFig13Keys) {
+  SnmRankingOptions options;
+  SnmUncertainRanking snm(PaperSortingKey(), options);
+  std::vector<KeyDistribution> dists = snm.Distributions(BuildR34());
+  ASSERT_EQ(dists.size(), 5u);
+  EXPECT_EQ(dists[kT41].entries.size(), 1u);
+  EXPECT_EQ(dists[kT41].entries[0].first, "Johpi");
+}
+
+// ------------------------------------------------------------- blocking
+
+TEST(BlockingCertainKeysTest, GroupsByResolvedKey) {
+  BlockingCertainKeys blocking(PaperSortingKey());
+  BlockMap blocks = blocking.Blocks(BuildR34());
+  // Certain keys (Fig. 10): Jimba, Johpi, Johpi, Seapi, Tomme.
+  ASSERT_EQ(blocks.size(), 4u);
+  EXPECT_EQ(blocks["Johpi"], (std::vector<size_t>{kT31, kT41}));
+  Result<std::vector<CandidatePair>> pairs = blocking.Generate(BuildR34());
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_EQ(*pairs, (std::vector<CandidatePair>{MakePair(kT31, kT41)}));
+}
+
+TEST(BlockingAlternativesTest, Fig14BlocksAndMatchings) {
+  BlockingAlternatives blocking(PaperBlockingKey());
+  BlockMap blocks = blocking.Blocks(BuildR34());
+  // Six blocks: Jp {t31,t41}, Jm {t31,t32}, Tm {t32,t42}, Jb {t32},
+  // J {t43}, Sp {t43}. (The paper's Fig. 14 labels them B1='JP'...B6='SP';
+  // its tuple subscripts contain typos — see EXPERIMENTS.md.)
+  ASSERT_EQ(blocks.size(), 6u);
+  EXPECT_EQ(blocks["Jp"], (std::vector<size_t>{kT31, kT41}));
+  EXPECT_EQ(blocks["Jm"], (std::vector<size_t>{kT31, kT32}));
+  EXPECT_EQ(blocks["Tm"], (std::vector<size_t>{kT32, kT42}));
+  EXPECT_EQ(blocks["Jb"], (std::vector<size_t>{kT32}));
+  EXPECT_EQ(blocks["J"], (std::vector<size_t>{kT43}));
+  EXPECT_EQ(blocks["Sp"], (std::vector<size_t>{kT43}));
+  Result<std::vector<CandidatePair>> pairs = blocking.Generate(BuildR34());
+  ASSERT_TRUE(pairs.ok());
+  std::vector<CandidatePair> expected = {
+      MakePair(kT31, kT41), MakePair(kT31, kT32), MakePair(kT32, kT42)};
+  SortAndDedupPairs(&expected);
+  EXPECT_EQ(*pairs, expected);
+}
+
+TEST(BlockingAlternativesTest, TupleAllocatedOncePerBlock) {
+  // t41's two alternatives map to the same block key Jp; the tuple must
+  // appear only once in that block.
+  BlockingAlternatives blocking(PaperBlockingKey());
+  BlockMap blocks = blocking.Blocks(BuildR34());
+  size_t t41_count = std::count(blocks["Jp"].begin(), blocks["Jp"].end(),
+                                kT41);
+  EXPECT_EQ(t41_count, 1u);
+}
+
+TEST(BlockingMultipassTest, UnionOverWorlds) {
+  WorldSelectionOptions selection;
+  selection.count = 4;
+  BlockingMultipassWorlds blocking(PaperSortingKey(), selection);
+  Result<std::vector<CandidatePair>> pairs = blocking.Generate(BuildR34());
+  ASSERT_TRUE(pairs.ok());
+  // In the most probable world both Johpi tuples (t31, t41) block together.
+  EXPECT_TRUE(ContainsPair(*pairs, MakePair(kT31, kT41)));
+}
+
+TEST(BlockingClusteredTest, LeaderClustersSimilarDistributions) {
+  ClusteredBlockingOptions options;
+  options.leader_threshold = 0.7;
+  BlockingClustered blocking(PaperSortingKey(), options);
+  std::vector<std::vector<size_t>> clusters = blocking.Clusters(BuildR34());
+  // t31 {Johpi .7, Johmu .3} and t41 {Johpi 1.0} overlap 0.7 ->
+  // distance 0.3 <= 0.7: same cluster.
+  bool together = false;
+  for (const auto& cluster : clusters) {
+    bool has31 = std::count(cluster.begin(), cluster.end(), kT31) > 0;
+    bool has41 = std::count(cluster.begin(), cluster.end(), kT41) > 0;
+    if (has31 && has41) together = true;
+  }
+  EXPECT_TRUE(together);
+  Result<std::vector<CandidatePair>> pairs = blocking.Generate(BuildR34());
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_TRUE(ContainsPair(*pairs, MakePair(kT31, kT41)));
+}
+
+TEST(BlockingClusteredTest, KMedoidsVariantRuns) {
+  ClusteredBlockingOptions options;
+  options.algorithm = ClusteredBlockingOptions::Algorithm::kKMedoids;
+  options.kmedoids.k = 3;
+  BlockingClustered blocking(PaperSortingKey(), options);
+  std::vector<std::vector<size_t>> clusters = blocking.Clusters(BuildR34());
+  size_t total = 0;
+  for (const auto& c : clusters) total += c.size();
+  EXPECT_EQ(total, 5u);
+}
+
+TEST(BlockingClusteredTest, ExpectedKeyDistanceVariant) {
+  NormalizedHammingComparator hamming;
+  ClusteredBlockingOptions options;
+  options.comparator = &hamming;
+  options.leader_threshold = 0.45;
+  BlockingClustered blocking(PaperSortingKey(), options);
+  Result<std::vector<CandidatePair>> pairs = blocking.Generate(BuildR34());
+  ASSERT_TRUE(pairs.ok());
+  // Softer distance merges the Joh* tuples.
+  EXPECT_TRUE(ContainsPair(*pairs, MakePair(kT31, kT41)));
+}
+
+// ------------------------------------------------------ cross-method law
+
+TEST(ReductionLawTest, AllMethodsProduceSubsetOfFullPairs) {
+  XRelation r34 = BuildR34();
+  FullPairs full;
+  Result<std::vector<CandidatePair>> all = full.Generate(r34);
+  ASSERT_TRUE(all.ok());
+  std::vector<std::unique_ptr<PairGenerator>> methods;
+  methods.push_back(std::make_unique<SnmCertainKeys>(
+      PaperSortingKey(), SnmCertainKeyOptions{}));
+  methods.push_back(std::make_unique<SnmSortingAlternatives>(
+      PaperSortingKey(), SnmAlternativesOptions{}));
+  methods.push_back(std::make_unique<SnmUncertainRanking>(
+      PaperSortingKey(), SnmRankingOptions{}));
+  methods.push_back(std::make_unique<BlockingCertainKeys>(PaperSortingKey()));
+  methods.push_back(
+      std::make_unique<BlockingAlternatives>(PaperBlockingKey()));
+  for (const auto& method : methods) {
+    Result<std::vector<CandidatePair>> pairs = method->Generate(r34);
+    ASSERT_TRUE(pairs.ok()) << method->name();
+    for (const CandidatePair& p : *pairs) {
+      EXPECT_TRUE(ContainsPair(*all, p)) << method->name();
+      EXPECT_LT(p.first, p.second) << method->name();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pdd

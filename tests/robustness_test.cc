@@ -1,0 +1,198 @@
+// Robustness and failure-injection tests: the parsers must never crash
+// or accept garbage silently — every malformed input returns a Status —
+// and round trips must hold on randomized generated data.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/detector.h"
+#include "core/paper_examples.h"
+#include "datagen/person_generator.h"
+#include "decision/rule_parser.h"
+#include "pdb/text_format.h"
+#include "util/random.h"
+
+namespace pdd {
+namespace {
+
+class FuzzSeedTest : public ::testing::TestWithParam<uint64_t> {};
+
+// Random mutations of a valid serialized relation must either parse to a
+// valid relation or fail with a ParseError/InvalidArgument — never crash
+// and never produce an invalid relation.
+TEST_P(FuzzSeedTest, MutatedRelationTextNeverProducesInvalidData) {
+  Rng rng(GetParam());
+  std::string base = SerializeXRelation(BuildR34());
+  for (int round = 0; round < 200; ++round) {
+    std::string mutated = base;
+    size_t mutations = 1 + rng.Index(5);
+    for (size_t m = 0; m < mutations; ++m) {
+      if (mutated.empty()) break;
+      size_t pos = rng.Index(mutated.size());
+      switch (rng.Index(4)) {
+        case 0:
+          mutated[pos] = static_cast<char>(rng.UniformInt(32, 126));
+          break;
+        case 1:
+          mutated.erase(pos, 1);
+          break;
+        case 2:
+          mutated.insert(pos, 1,
+                         static_cast<char>(rng.UniformInt(32, 126)));
+          break;
+        default:
+          // Duplicate a random line.
+          mutated += "\n" + mutated.substr(pos, 30);
+          break;
+      }
+    }
+    Result<XRelation> parsed = ParseXRelation(mutated);
+    if (parsed.ok()) {
+      for (const XTuple& t : parsed->xtuples()) {
+        EXPECT_TRUE(t.Validate().ok()) << mutated;
+        EXPECT_EQ(t.arity(), parsed->schema().arity());
+      }
+    } else {
+      EXPECT_TRUE(parsed.status().code() == StatusCode::kParseError ||
+                  parsed.status().code() == StatusCode::kInvalidArgument)
+          << parsed.status().ToString();
+    }
+  }
+}
+
+// Random rule strings: parse must return cleanly.
+TEST_P(FuzzSeedTest, RandomRuleStringsNeverCrash) {
+  Rng rng(GetParam());
+  Schema schema = PaperSchema();
+  const std::string tokens[] = {"IF",   "AND",  "THEN", "DUPLICATES",
+                                "WITH", "CERTAINTY", "name", "job",
+                                ">",    "=",    "0.5",  "1.5",
+                                "abc",  "0.8"};
+  for (int round = 0; round < 300; ++round) {
+    std::string text;
+    size_t count = rng.Index(10);
+    for (size_t i = 0; i < count; ++i) {
+      text += tokens[rng.Index(std::size(tokens))];
+      text += " ";
+    }
+    Result<IdentificationRule> rule = ParseRule(text, schema);
+    if (rule.ok()) {
+      // Anything accepted must be a structurally valid rule.
+      EXPECT_FALSE(rule->conditions.empty());
+      EXPECT_GE(rule->certainty, 0.0);
+      EXPECT_LE(rule->certainty, 1.0);
+    }
+  }
+}
+
+// Serialization round trip on randomized generated relations.
+TEST_P(FuzzSeedTest, GeneratedRelationsRoundTripThroughTextFormat) {
+  PersonGenOptions gen;
+  gen.num_entities = 10;
+  gen.duplicate_rate = 0.5;
+  gen.seed = GetParam();
+  gen.uncertainty.value_uncertainty_prob = 0.6;
+  gen.uncertainty.xtuple_alternative_prob = 0.5;
+  gen.uncertainty.maybe_prob = 0.3;
+  GeneratedData data = GeneratePersons(gen);
+  std::string text = SerializeXRelation(data.relation);
+  Result<XRelation> parsed = ParseXRelation(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), data.relation.size());
+  for (size_t i = 0; i < parsed->size(); ++i) {
+    const XTuple& a = parsed->xtuple(i);
+    const XTuple& b = data.relation.xtuple(i);
+    EXPECT_EQ(a.id(), b.id());
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_NEAR(a.existence_probability(), b.existence_probability(), 1e-6);
+    for (size_t alt = 0; alt < a.size(); ++alt) {
+      ASSERT_EQ(a.alternative(alt).values.size(),
+                b.alternative(alt).values.size());
+      for (size_t v = 0; v < a.alternative(alt).values.size(); ++v) {
+        const Value& va = a.alternative(alt).values[v];
+        const Value& vb = b.alternative(alt).values[v];
+        ASSERT_EQ(va.size(), vb.size());
+        EXPECT_NEAR(va.null_probability(), vb.null_probability(), 1e-6);
+      }
+    }
+  }
+}
+
+// The full pipeline must handle degenerate relations without crashing.
+TEST_P(FuzzSeedTest, PipelineSurvivesDegenerateRelations) {
+  DetectorConfig config;
+  config.key = {{"name", 3}, {"job", 2}};
+  config.weights = {0.8, 0.2};
+  Result<DuplicateDetector> detector =
+      DuplicateDetector::Make(config, PaperSchema());
+  ASSERT_TRUE(detector.ok());
+  // Empty relation.
+  XRelation empty("E", PaperSchema());
+  Result<DetectionResult> r1 = detector->Run(empty);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1->candidate_count, 0u);
+  // Single tuple.
+  XRelation single("S", PaperSchema());
+  single.AppendUnchecked(XTuple(
+      "only", {{{Value::Certain("X"), Value::Null()}, 1.0}}));
+  Result<DetectionResult> r2 = detector->Run(single);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->candidate_count, 0u);
+  // All-null values.
+  XRelation nulls("N", PaperSchema());
+  nulls.AppendUnchecked(
+      XTuple("n1", {{{Value::Null(), Value::Null()}, 1.0}}));
+  nulls.AppendUnchecked(
+      XTuple("n2", {{{Value::Null(), Value::Null()}, 1.0}}));
+  Result<DetectionResult> r3 = detector->Run(nulls);
+  ASSERT_TRUE(r3.ok());
+  ASSERT_EQ(r3->decisions.size(), 1u);
+  // sim(⊥,⊥)=1 per attribute -> combined similarity 1 -> match.
+  EXPECT_NEAR(r3->decisions[0].similarity, 1.0, 1e-12);
+}
+
+TEST_P(FuzzSeedTest, EveryReductionMethodHandlesUniformKeys) {
+  // All tuples share one key value: SNM/blocking degenerate to (nearly)
+  // full comparison but must stay correct and terminate.
+  Rng rng(GetParam());
+  XRelation rel("U", PaperSchema());
+  size_t n = 4 + rng.Index(4);
+  for (size_t i = 0; i < n; ++i) {
+    rel.AppendUnchecked(XTuple(
+        "t" + std::to_string(i),
+        {{{Value::Certain("same"), Value::Certain("key")}, 1.0}}));
+  }
+  for (ReductionMethod method :
+       {ReductionMethod::kSnmCertainKeys,
+        ReductionMethod::kSnmSortingAlternatives,
+        ReductionMethod::kSnmUncertainRanking,
+        ReductionMethod::kBlockingCertainKeys,
+        ReductionMethod::kBlockingAlternatives, ReductionMethod::kCanopy,
+        ReductionMethod::kSnmAdaptive, ReductionMethod::kQGramIndex}) {
+    DetectorConfig config;
+    config.key = {{"name", 3}, {"job", 2}};
+    config.weights = {0.8, 0.2};
+    config.reduction = method;
+    config.window = 4;
+    Result<DuplicateDetector> detector =
+        DuplicateDetector::Make(config, PaperSchema());
+    ASSERT_TRUE(detector.ok()) << ReductionMethodName(method);
+    Result<DetectionResult> result = detector->Run(rel);
+    ASSERT_TRUE(result.ok()) << ReductionMethodName(method);
+    // Identical tuples: every examined pair must classify as a match.
+    for (const PairDecisionRecord& rec : result->decisions) {
+      EXPECT_EQ(rec.match_class, MatchClass::kMatch)
+          << ReductionMethodName(method);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeedTest,
+                         ::testing::Values(101, 202, 303, 404, 505),
+                         [](const ::testing::TestParamInfo<uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace pdd

@@ -1,0 +1,180 @@
+// Unit tests for schemas, tuples, relations, x-tuples and x-relations.
+
+#include <gtest/gtest.h>
+
+#include "core/paper_examples.h"
+#include "pdb/relation.h"
+#include "pdb/xrelation.h"
+
+namespace pdd {
+namespace {
+
+// ---------------------------------------------------------------- Schema
+
+TEST(SchemaTest, StringsConvenience) {
+  Schema s = Schema::Strings({"name", "job"});
+  EXPECT_EQ(s.arity(), 2u);
+  EXPECT_EQ(s.attribute(0).name, "name");
+  EXPECT_EQ(s.attribute(1).type, ValueType::kString);
+}
+
+TEST(SchemaTest, IndexOf) {
+  Schema s = Schema::Strings({"name", "job"});
+  EXPECT_EQ(s.IndexOf("job").value(), 1u);
+  EXPECT_FALSE(s.IndexOf("city").ok());
+}
+
+TEST(SchemaTest, MakeRejectsDuplicates) {
+  EXPECT_FALSE(Schema::Make({{"a", ValueType::kString, {}},
+                             {"a", ValueType::kString, {}}})
+                   .ok());
+  EXPECT_FALSE(Schema::Make({{"", ValueType::kString, {}}}).ok());
+}
+
+TEST(SchemaTest, CompatibilityIgnoresVocabulary) {
+  Schema a({{"x", ValueType::kString, {"v1"}}});
+  Schema b({{"x", ValueType::kString, {}}});
+  EXPECT_TRUE(a.CompatibleWith(b));
+}
+
+TEST(SchemaTest, CompatibilityChecksNamesAndTypes) {
+  Schema a({{"x", ValueType::kString, {}}});
+  Schema b({{"x", ValueType::kNumeric, {}}});
+  Schema c({{"y", ValueType::kString, {}}});
+  EXPECT_FALSE(a.CompatibleWith(b));
+  EXPECT_FALSE(a.CompatibleWith(c));
+  EXPECT_FALSE(a.CompatibleWith(Schema::Strings({"x", "y"})));
+}
+
+// -------------------------------------------------------------- Relation
+
+TEST(RelationTest, AppendValidatesArity) {
+  Relation r("R", Schema::Strings({"a", "b"}));
+  EXPECT_TRUE(r.Append(Tuple("t1", {Value::Certain("x"),
+                                    Value::Certain("y")})).ok());
+  EXPECT_FALSE(r.Append(Tuple("t2", {Value::Certain("x")})).ok());
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(RelationTest, AppendValidatesMembership) {
+  Relation r("R", Schema::Strings({"a"}));
+  EXPECT_FALSE(r.Append(Tuple("t", {Value::Certain("x")}, 0.0)).ok());
+  EXPECT_FALSE(r.Append(Tuple("t", {Value::Certain("x")}, 1.5)).ok());
+  EXPECT_TRUE(r.Append(Tuple("t", {Value::Certain("x")}, 0.6)).ok());
+}
+
+TEST(RelationTest, PaperR1HasExpectedShape) {
+  Relation r1 = BuildR1();
+  ASSERT_EQ(r1.size(), 3u);
+  EXPECT_EQ(r1.tuple(0).id(), "t11");
+  EXPECT_DOUBLE_EQ(r1.tuple(2).membership(), 0.6);
+  // t11's job has 10% ⊥ mass (the person may be jobless).
+  EXPECT_NEAR(r1.tuple(0).value(1).null_probability(), 0.1, 1e-12);
+}
+
+TEST(RelationTest, ToStringMentionsSchemaAndTuples) {
+  Relation r1 = BuildR1();
+  std::string s = r1.ToString();
+  EXPECT_NE(s.find("R1(name, job)"), std::string::npos);
+  EXPECT_NE(s.find("t11"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- XTuple
+
+TEST(XTupleTest, ExistenceProbabilityAndMaybe) {
+  XRelation r3 = BuildR3();
+  const XTuple& t31 = r3.xtuple(0);
+  const XTuple& t32 = r3.xtuple(1);
+  EXPECT_NEAR(t31.existence_probability(), 1.0, 1e-12);
+  EXPECT_FALSE(t31.is_maybe());
+  EXPECT_NEAR(t32.existence_probability(), 0.9, 1e-12);
+  EXPECT_TRUE(t32.is_maybe());
+}
+
+TEST(XTupleTest, ConditionedProbabilitiesSumToOne) {
+  XRelation r3 = BuildR3();
+  std::vector<double> probs = r3.xtuple(1).ConditionedProbabilities();
+  ASSERT_EQ(probs.size(), 3u);
+  EXPECT_NEAR(probs[0] + probs[1] + probs[2], 1.0, 1e-12);
+  EXPECT_NEAR(probs[0], 0.3 / 0.9, 1e-12);
+  EXPECT_NEAR(probs[2], 0.4 / 0.9, 1e-12);
+}
+
+TEST(XTupleTest, ValidateRejectsEmptyAndMixedArity) {
+  EXPECT_FALSE(XTuple("t", {}).Validate().ok());
+  XTuple mixed("t", {{{Value::Certain("a")}, 0.5},
+                     {{Value::Certain("a"), Value::Certain("b")}, 0.5}});
+  EXPECT_FALSE(mixed.Validate().ok());
+}
+
+TEST(XTupleTest, ValidateRejectsOverflowingMass) {
+  XTuple over("t", {{{Value::Certain("a")}, 0.8},
+                    {{Value::Certain("b")}, 0.4}});
+  EXPECT_FALSE(over.Validate().ok());
+}
+
+TEST(XTupleTest, ToStringMarksMaybe) {
+  XRelation r4 = BuildR4();
+  EXPECT_NE(r4.xtuple(1).ToString().find("?"), std::string::npos);  // t42
+  EXPECT_EQ(r4.xtuple(0).ToString().find("?"), std::string::npos);  // t41
+}
+
+// ------------------------------------------------------------- XRelation
+
+TEST(XRelationTest, PaperR3R4Shapes) {
+  XRelation r3 = BuildR3();
+  XRelation r4 = BuildR4();
+  EXPECT_EQ(r3.size(), 2u);
+  EXPECT_EQ(r4.size(), 3u);
+  EXPECT_EQ(r3.TotalAlternatives(), 5u);
+  EXPECT_EQ(r4.TotalAlternatives(), 5u);
+  // t31's second alternative has the 'mu*' pattern job.
+  EXPECT_TRUE(r3.xtuple(0).alternative(1).values[1].has_pattern());
+  // t43's first alternative has a ⊥ job.
+  EXPECT_TRUE(r4.xtuple(2).alternative(0).values[1].is_null());
+}
+
+TEST(XRelationTest, UnionConcatenates) {
+  XRelation r34 = BuildR34();
+  ASSERT_EQ(r34.size(), 5u);
+  EXPECT_EQ(r34.xtuple(0).id(), "t31");
+  EXPECT_EQ(r34.xtuple(2).id(), "t41");
+  EXPECT_EQ(r34.xtuple(4).id(), "t43");
+}
+
+TEST(XRelationTest, UnionRejectsIncompatibleSchemas) {
+  XRelation a("A", Schema::Strings({"x"}));
+  XRelation b("B", Schema::Strings({"x", "y"}));
+  EXPECT_FALSE(XRelation::Union(a, b, "AB").ok());
+}
+
+TEST(XRelationTest, UnionRejectsDuplicateIds) {
+  XRelation a("A", Schema::Strings({"x"}));
+  a.AppendUnchecked(XTuple("t1", {{{Value::Certain("v")}, 1.0}}));
+  XRelation b("B", Schema::Strings({"x"}));
+  b.AppendUnchecked(XTuple("t1", {{{Value::Certain("w")}, 1.0}}));
+  EXPECT_FALSE(XRelation::Union(a, b, "AB").ok());
+}
+
+TEST(XRelationTest, AppendValidatesAgainstSchema) {
+  XRelation r("R", Schema::Strings({"a", "b"}));
+  EXPECT_FALSE(r.Append(XTuple("t", {{{Value::Certain("x")}, 1.0}})).ok());
+  EXPECT_TRUE(
+      r.Append(XTuple("t", {{{Value::Certain("x"), Value::Certain("y")},
+                             1.0}}))
+          .ok());
+}
+
+TEST(XRelationTest, FromRelationWrapsTuples) {
+  Relation r1 = BuildR1();
+  XRelation x = XRelation::FromRelation(r1);
+  ASSERT_EQ(x.size(), 3u);
+  // Membership probability becomes the single alternative's probability.
+  EXPECT_NEAR(x.xtuple(2).alternative(0).prob, 0.6, 1e-12);
+  EXPECT_TRUE(x.xtuple(2).is_maybe());
+  // Attribute-level uncertainty is preserved.
+  EXPECT_EQ(x.xtuple(1).alternative(0).values[0].size(), 2u);
+}
+
+}  // namespace
+}  // namespace pdd

@@ -1,0 +1,320 @@
+// Unit and property tests for the comparison function library,
+// including every similarity value the paper computes with the
+// normalized Hamming distance.
+
+#include <gtest/gtest.h>
+
+#include "sim/edit_distance.h"
+#include "sim/jaro.h"
+#include "sim/numeric_similarity.h"
+#include "sim/phonetic.h"
+#include "sim/registry.h"
+#include "sim/token_similarity.h"
+#include "util/random.h"
+
+namespace pdd {
+namespace {
+
+// ------------------------------------------------------- paper's values
+
+TEST(HammingTest, PaperTimKim) {
+  NormalizedHammingComparator cmp;
+  EXPECT_NEAR(cmp.Compare("Tim", "Kim"), 2.0 / 3.0, 1e-12);
+}
+
+TEST(HammingTest, PaperMachinistMechanic) {
+  NormalizedHammingComparator cmp;
+  EXPECT_NEAR(cmp.Compare("machinist", "mechanic"), 5.0 / 9.0, 1e-12);
+}
+
+TEST(HammingTest, PaperJimTom) {
+  NormalizedHammingComparator cmp;
+  EXPECT_NEAR(cmp.Compare("Jim", "Tom"), 1.0 / 3.0, 1e-12);
+}
+
+TEST(HammingTest, PaperBakerMechanic) {
+  NormalizedHammingComparator cmp;
+  EXPECT_NEAR(cmp.Compare("baker", "mechanic"), 0.0, 1e-12);
+}
+
+// ---------------------------------------------------------- edit family
+
+TEST(HammingTest, UnequalLengthsCountAsMismatch) {
+  EXPECT_EQ(GeneralizedHammingDistance("abc", "abcd"), 1u);
+  EXPECT_EQ(GeneralizedHammingDistance("abc", ""), 3u);
+  NormalizedHammingComparator cmp;
+  EXPECT_NEAR(cmp.Compare("abc", "abcd"), 0.75, 1e-12);
+}
+
+TEST(HammingTest, EmptyStringsAreIdentical) {
+  NormalizedHammingComparator cmp;
+  EXPECT_DOUBLE_EQ(cmp.Compare("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(cmp.Compare("a", ""), 0.0);
+}
+
+TEST(LevenshteinTest, KnownDistances) {
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(LevenshteinDistance("", "abc"), 3u);
+  EXPECT_EQ(LevenshteinDistance("abc", "abc"), 0u);
+  EXPECT_EQ(LevenshteinDistance("flaw", "lawn"), 2u);
+}
+
+TEST(LevenshteinTest, SimilarityNormalizesByMaxLength) {
+  LevenshteinComparator cmp;
+  EXPECT_NEAR(cmp.Compare("kitten", "sitting"), 1.0 - 3.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(cmp.Compare("", ""), 1.0);
+}
+
+TEST(DamerauTest, TranspositionIsOneEdit) {
+  EXPECT_EQ(DamerauLevenshteinDistance("ab", "ba"), 1u);
+  EXPECT_EQ(LevenshteinDistance("ab", "ba"), 2u);
+  EXPECT_EQ(DamerauLevenshteinDistance("Tim", "Tmi"), 1u);
+}
+
+TEST(DamerauTest, NeverExceedsLevenshtein) {
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    std::string a, b;
+    for (int c = 0; c < 6; ++c) {
+      a += static_cast<char>('a' + rng.Index(4));
+      b += static_cast<char>('a' + rng.Index(4));
+    }
+    EXPECT_LE(DamerauLevenshteinDistance(a, b), LevenshteinDistance(a, b));
+  }
+}
+
+TEST(LcsTest, KnownValues) {
+  EXPECT_EQ(LongestCommonSubsequence("ABCBDAB", "BDCABA"), 4u);
+  EXPECT_EQ(LongestCommonSubsequence("abc", "def"), 0u);
+  LcsComparator cmp;
+  EXPECT_NEAR(cmp.Compare("ABCBDAB", "BDCABA"), 4.0 / 7.0, 1e-12);
+}
+
+// ----------------------------------------------------------------- Jaro
+
+TEST(JaroTest, ClassicExamples) {
+  EXPECT_NEAR(JaroSimilarity("MARTHA", "MARHTA"), 0.944444, 1e-5);
+  EXPECT_NEAR(JaroSimilarity("DWAYNE", "DUANE"), 0.822222, 1e-5);
+  EXPECT_NEAR(JaroSimilarity("DIXON", "DICKSONX"), 0.766667, 1e-5);
+}
+
+TEST(JaroTest, EdgeCases) {
+  EXPECT_DOUBLE_EQ(JaroSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("a", ""), 0.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", "xyz"), 0.0);
+}
+
+TEST(JaroWinklerTest, BoostsCommonPrefix) {
+  EXPECT_NEAR(JaroWinklerSimilarity("MARTHA", "MARHTA"), 0.961111, 1e-5);
+  EXPECT_GE(JaroWinklerSimilarity("prefixed", "prefixes"),
+            JaroSimilarity("prefixed", "prefixes"));
+}
+
+TEST(JaroWinklerTest, PrefixCapAtFour) {
+  // Identical 10-char prefix must not push similarity above 1.
+  EXPECT_LE(JaroWinklerSimilarity("abcdefghij", "abcdefghik"), 1.0);
+}
+
+// ------------------------------------------------------------ q-grams &
+// tokens
+
+TEST(QGramTest, IdenticalAndDisjoint) {
+  QGramComparator cmp(2);
+  EXPECT_DOUBLE_EQ(cmp.Compare("night", "night"), 1.0);
+  EXPECT_DOUBLE_EQ(cmp.Compare("", ""), 1.0);
+  EXPECT_GT(cmp.Compare("night", "nacht"), 0.0);
+  EXPECT_LT(cmp.Compare("night", "nacht"), 1.0);
+}
+
+TEST(QGramTest, MultisetSemantics) {
+  QGramComparator cmp(2);
+  // "aaa" vs "aa": padded bigrams {#a,aa,aa,a#} vs {#a,aa,a#}.
+  EXPECT_NEAR(cmp.Compare("aaa", "aa"), 2.0 * 3.0 / 7.0, 1e-12);
+}
+
+TEST(JaccardTest, TokenOverlap) {
+  JaccardTokenComparator cmp;
+  EXPECT_DOUBLE_EQ(cmp.Compare("john smith", "smith john"), 1.0);
+  EXPECT_NEAR(cmp.Compare("john smith", "john doe"), 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(cmp.Compare("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(cmp.Compare("a", "b"), 0.0);
+}
+
+TEST(DiceTest, TokenOverlap) {
+  DiceTokenComparator cmp;
+  EXPECT_NEAR(cmp.Compare("john smith", "john doe"), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(cmp.Compare("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(cmp.Compare("x", ""), 0.0);
+}
+
+TEST(CosineTest, BoundsAndIdentity) {
+  CosineQGramComparator cmp(2);
+  EXPECT_NEAR(cmp.Compare("hello", "hello"), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(cmp.Compare("abc", "xyz"), 0.0);
+  double v = cmp.Compare("hello", "hallo");
+  EXPECT_GT(v, 0.0);
+  EXPECT_LT(v, 1.0);
+}
+
+TEST(MongeElkanTest, BestTokenAlignment) {
+  JaroWinklerComparator inner;
+  MongeElkanComparator cmp(&inner);
+  // Token order must not matter much.
+  double forward = cmp.Compare("peter john smith", "smith peter john");
+  EXPECT_GT(forward, 0.95);
+  EXPECT_DOUBLE_EQ(cmp.Compare("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(cmp.Compare("a", ""), 0.0);
+}
+
+TEST(MongeElkanTest, IsSymmetric) {
+  JaroWinklerComparator inner;
+  MongeElkanComparator cmp(&inner);
+  EXPECT_NEAR(cmp.Compare("john q smith", "jon smith"),
+              cmp.Compare("jon smith", "john q smith"), 1e-12);
+}
+
+// -------------------------------------------------------------- phonetic
+
+TEST(SoundexTest, ClassicCodes) {
+  EXPECT_EQ(Soundex("Robert"), "R163");
+  EXPECT_EQ(Soundex("Rupert"), "R163");
+  EXPECT_EQ(Soundex("Ashcraft"), "A261");
+  EXPECT_EQ(Soundex("Tymczak"), "T522");
+  EXPECT_EQ(Soundex("Pfister"), "P236");
+  EXPECT_EQ(Soundex("Honeyman"), "H555");
+}
+
+TEST(SoundexTest, EmptyAndNonAlpha) {
+  EXPECT_EQ(Soundex(""), "0000");
+  EXPECT_EQ(Soundex("123"), "0000");
+  EXPECT_EQ(Soundex("  Lee"), "L000");
+}
+
+TEST(SoundexComparatorTest, SoundsAlikeScoresHigh) {
+  SoundexComparator cmp;
+  EXPECT_DOUBLE_EQ(cmp.Compare("Robert", "Rupert"), 1.0);
+  EXPECT_LT(cmp.Compare("Robert", "Baker"), 1.0);
+}
+
+TEST(SynonymComparatorTest, GroupsScoreSynonymValue) {
+  ExactComparator inner;
+  SynonymComparator cmp({{"baker", "confectioner"}}, &inner, 0.9);
+  EXPECT_DOUBLE_EQ(cmp.Compare("baker", "confectioner"), 0.9);
+  EXPECT_DOUBLE_EQ(cmp.Compare("Baker", "CONFECTIONER"), 0.9);
+  EXPECT_DOUBLE_EQ(cmp.Compare("baker", "baker"), 1.0);
+  EXPECT_DOUBLE_EQ(cmp.Compare("baker", "pilot"), 0.0);
+}
+
+TEST(SynonymComparatorTest, FallsBackToInner) {
+  NormalizedHammingComparator inner;
+  SynonymComparator cmp({{"baker", "confectioner"}}, &inner, 0.9);
+  EXPECT_NEAR(cmp.Compare("Tim", "Kim"), 2.0 / 3.0, 1e-12);
+}
+
+// --------------------------------------------------------------- numeric
+
+TEST(NumericTest, LinearDecay) {
+  NumericComparator cmp(10.0);
+  EXPECT_DOUBLE_EQ(cmp.Compare("5", "5"), 1.0);
+  EXPECT_NEAR(cmp.Compare("5", "10"), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(cmp.Compare("0", "100"), 0.0);
+}
+
+TEST(NumericTest, NonNumericFallsBackToExact) {
+  NumericComparator cmp(10.0);
+  EXPECT_DOUBLE_EQ(cmp.Compare("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(cmp.Compare("abc", "abd"), 0.0);
+}
+
+TEST(RelativeNumericTest, ScaleFree) {
+  RelativeNumericComparator cmp;
+  EXPECT_DOUBLE_EQ(cmp.Compare("0", "0"), 1.0);
+  EXPECT_NEAR(cmp.Compare("100", "90"), 0.9, 1e-12);
+  EXPECT_NEAR(cmp.Compare("1.0", "0.9"), 0.9, 1e-12);
+  EXPECT_DOUBLE_EQ(cmp.Compare("1", "-1"), 0.0);
+}
+
+// --------------------------------------------------------------- others
+
+TEST(PrefixComparatorTest, LcpOverMaxLength) {
+  PrefixComparator cmp;
+  EXPECT_NEAR(cmp.Compare("Johan", "John"), 3.0 / 5.0, 1e-12);
+  EXPECT_DOUBLE_EQ(cmp.Compare("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(cmp.Compare("abc", "xbc"), 0.0);
+}
+
+TEST(ExactIgnoreCaseTest, CaseInsensitive) {
+  ExactIgnoreCaseComparator cmp;
+  EXPECT_DOUBLE_EQ(cmp.Compare("Tim", "tim"), 1.0);
+  EXPECT_DOUBLE_EQ(cmp.Compare("Tim", "Tom"), 0.0);
+}
+
+// -------------------------------------------------------------- registry
+
+TEST(RegistryTest, ResolvesAllDocumentedNames) {
+  for (const std::string& name : ComparatorNames()) {
+    Result<const Comparator*> cmp = GetComparator(name);
+    ASSERT_TRUE(cmp.ok()) << name;
+    EXPECT_NE(*cmp, nullptr);
+  }
+  EXPECT_GE(ComparatorNames().size(), 18u);
+}
+
+TEST(RegistryTest, UnknownNameFails) {
+  EXPECT_FALSE(GetComparator("no_such_comparator").ok());
+  EXPECT_EQ(GetComparator("no_such_comparator").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(RegistryTest, NamesRoundTrip) {
+  Result<const Comparator*> cmp = GetComparator("jaro_winkler");
+  ASSERT_TRUE(cmp.ok());
+  EXPECT_EQ((*cmp)->name(), "jaro_winkler");
+}
+
+// ------------------------------------------------- comparator properties
+// Parameterized sweep: every registered comparator must be normalized,
+// symmetric and reflexive on a randomized word corpus.
+
+class ComparatorPropertyTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ComparatorPropertyTest, NormalizedSymmetricReflexive) {
+  Result<const Comparator*> cmp_result = GetComparator(GetParam());
+  ASSERT_TRUE(cmp_result.ok());
+  const Comparator& cmp = **cmp_result;
+  Rng rng(42);
+  std::vector<std::string> corpus = {"", "a", "Tim", "Tom", "machinist",
+                                     "mechanic", "John Smith", "42", "3.14"};
+  for (int i = 0; i < 40; ++i) {
+    std::string w;
+    size_t len = rng.Index(12);
+    for (size_t c = 0; c < len; ++c) {
+      w += static_cast<char>('a' + rng.Index(26));
+    }
+    corpus.push_back(w);
+  }
+  for (const std::string& a : corpus) {
+    EXPECT_NEAR(cmp.Compare(a, a), 1.0, 1e-9) << cmp.name() << " on " << a;
+    for (const std::string& b : corpus) {
+      double ab = cmp.Compare(a, b);
+      EXPECT_GE(ab, 0.0) << cmp.name() << " " << a << "/" << b;
+      EXPECT_LE(ab, 1.0 + 1e-12) << cmp.name() << " " << a << "/" << b;
+      EXPECT_NEAR(ab, cmp.Compare(b, a), 1e-9)
+          << cmp.name() << " " << a << "/" << b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllComparators, ComparatorPropertyTest,
+    ::testing::Values("exact", "exact_nocase", "prefix", "hamming",
+                      "levenshtein", "damerau", "lcs", "jaro", "jaro_winkler",
+                      "qgram2", "qgram3", "jaccard", "dice", "cosine",
+                      "monge_elkan", "soundex", "numeric", "numeric_rel"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+}  // namespace
+}  // namespace pdd

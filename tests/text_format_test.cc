@@ -1,0 +1,187 @@
+// Unit tests for the probabilistic relation text format: value syntax,
+// full relation round trips, and parser error reporting.
+
+#include <gtest/gtest.h>
+
+#include "core/paper_examples.h"
+#include "pdb/text_format.h"
+
+namespace pdd {
+namespace {
+
+// ------------------------------------------------------------ value level
+
+TEST(ValueFormatTest, SerializeCertainNullPattern) {
+  EXPECT_EQ(SerializeValue(Value::Certain("Tim")), "Tim");
+  EXPECT_EQ(SerializeValue(Value::Null()), "_");
+  EXPECT_EQ(SerializeValue(Value::Pattern("mu")), "mu*");
+}
+
+TEST(ValueFormatTest, SerializeDistribution) {
+  Value v = Value::Dist({{"John", 0.5}, {"Johan", 0.5}});
+  EXPECT_EQ(SerializeValue(v), "{John:0.5, Johan:0.5}");
+}
+
+TEST(ValueFormatTest, ParseCertain) {
+  Result<Value> v = ParseValue("Tim");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, Value::Certain("Tim"));
+}
+
+TEST(ValueFormatTest, ParseNull) {
+  Result<Value> v = ParseValue(" _ ");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_null());
+}
+
+TEST(ValueFormatTest, ParsePattern) {
+  Result<Value> v = ParseValue("mu*");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->has_pattern());
+  EXPECT_EQ(v->alternatives()[0].text, "mu");
+}
+
+TEST(ValueFormatTest, ParseDistribution) {
+  Result<Value> v = ParseValue("{machinist:0.7, mechanic:0.2}");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->size(), 2u);
+  EXPECT_NEAR(v->null_probability(), 0.1, 1e-12);
+}
+
+TEST(ValueFormatTest, ParseDistributionWithPatternEntry) {
+  Result<Value> v = ParseValue("{musician:0.5, mu*:0.3}");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->has_pattern());
+  EXPECT_NEAR(v->existence_probability(), 0.8, 1e-12);
+}
+
+TEST(ValueFormatTest, ValueRoundTrips) {
+  for (const Value& v :
+       {Value::Certain("Tim"), Value::Null(), Value::Pattern("mu", 1.0),
+        Value::Dist({{"a", 0.25}, {"b", 0.5}}),
+        Value::Unchecked({{"x", 0.3, false}, {"mu", 0.4, true}})}) {
+    Result<Value> parsed = ParseValue(SerializeValue(v));
+    ASSERT_TRUE(parsed.ok()) << SerializeValue(v);
+    EXPECT_EQ(*parsed, v) << SerializeValue(v);
+  }
+}
+
+TEST(ValueFormatTest, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(ParseValue("").ok());
+  EXPECT_FALSE(ParseValue("{a:0.5").ok());
+  EXPECT_FALSE(ParseValue("{a}").ok());
+  EXPECT_FALSE(ParseValue("{a:x}").ok());
+  EXPECT_FALSE(ParseValue("{:0.5}").ok());
+  EXPECT_FALSE(ParseValue("{a:0.6, a:0.6}").ok());  // sums above 1
+  EXPECT_FALSE(ParseValue("*").ok());
+}
+
+// --------------------------------------------------------- relation level
+
+TEST(RelationFormatTest, PaperRelationsRoundTrip) {
+  for (const XRelation& rel : {BuildR3(), BuildR4(), BuildR34()}) {
+    std::string text = SerializeXRelation(rel);
+    Result<XRelation> parsed = ParseXRelation(text);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << text;
+    EXPECT_EQ(parsed->name(), rel.name());
+    ASSERT_EQ(parsed->size(), rel.size());
+    for (size_t i = 0; i < rel.size(); ++i) {
+      EXPECT_EQ(parsed->xtuple(i).id(), rel.xtuple(i).id());
+      ASSERT_EQ(parsed->xtuple(i).size(), rel.xtuple(i).size());
+      EXPECT_NEAR(parsed->xtuple(i).existence_probability(),
+                  rel.xtuple(i).existence_probability(), 1e-9);
+      for (size_t a = 0; a < rel.xtuple(i).size(); ++a) {
+        EXPECT_EQ(parsed->xtuple(i).alternative(a).values,
+                  rel.xtuple(i).alternative(a).values);
+      }
+    }
+  }
+}
+
+TEST(RelationFormatTest, VocabularyRoundTrips) {
+  XRelation r3 = BuildR3();
+  Result<XRelation> parsed = ParseXRelation(SerializeXRelation(r3));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->schema().attribute(1).vocabulary,
+            PaperSchema().attribute(1).vocabulary);
+}
+
+TEST(RelationFormatTest, ParsesHandWrittenInput) {
+  Result<XRelation> rel = ParseXRelation(
+      "# paper example\n"
+      "relation R3\n"
+      "schema name:string, job:string\n"
+      "vocab job musician, muleteer\n"
+      "tuple t31\n"
+      "alt 0.7 | John ; pilot\n"
+      "alt 0.3 | Johan ; mu*\n"
+      "tuple t32\n"
+      "alt 0.3 | Tim ; mechanic\n"
+      "alt 0.2 | Jim ; mechanic\n"
+      "alt 0.4 | Jim ; baker\n");
+  ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+  EXPECT_EQ(rel->size(), 2u);
+  EXPECT_TRUE(rel->xtuple(0).alternative(1).values[1].has_pattern());
+  EXPECT_TRUE(rel->xtuple(1).is_maybe());
+  EXPECT_EQ(rel->schema().attribute(1).vocabulary.size(), 2u);
+}
+
+TEST(RelationFormatTest, NumericSchemaRoundTrips) {
+  XRelation rel("T", Schema({{"ra", ValueType::kNumeric, {}},
+                             {"mag", ValueType::kNumeric, {}}}));
+  rel.AppendUnchecked(XTuple(
+      "o1", {{{Value::Dist({{"10.25", 0.5}, {"10.26", 0.5}}),
+               Value::Certain("7.1")},
+              1.0}}));
+  Result<XRelation> parsed = ParseXRelation(SerializeXRelation(rel));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->schema().attribute(0).type, ValueType::kNumeric);
+  EXPECT_EQ(parsed->xtuple(0).alternative(0).values[0].size(), 2u);
+}
+
+TEST(RelationFormatTest, ErrorsCarryLineNumbers) {
+  Result<XRelation> bad = ParseXRelation(
+      "relation R\n"
+      "schema a:string\n"
+      "tuple t1\n"
+      "alt bogus | x\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("line 4"), std::string::npos);
+}
+
+TEST(RelationFormatTest, RejectsStructuralErrors) {
+  // Missing header.
+  EXPECT_FALSE(ParseXRelation("schema a:string\n").ok());
+  // Missing schema.
+  EXPECT_FALSE(ParseXRelation("relation R\ntuple t\nalt 1 | x\n").ok());
+  // alt before tuple.
+  EXPECT_FALSE(
+      ParseXRelation("relation R\nschema a:string\nalt 1 | x\n").ok());
+  // Unknown type.
+  EXPECT_FALSE(ParseXRelation("relation R\nschema a:blob\n").ok());
+  // Unknown directive.
+  EXPECT_FALSE(
+      ParseXRelation("relation R\nschema a:string\nbogus line\n").ok());
+  // vocab for unknown attribute.
+  EXPECT_FALSE(
+      ParseXRelation("relation R\nschema a:string\nvocab b x, y\n").ok());
+  // Alternative arity mismatch surfaces through XTuple validation.
+  EXPECT_FALSE(ParseXRelation("relation R\nschema a:string, b:string\n"
+                              "tuple t\nalt 1 | x\n")
+                   .ok());
+  // Probability mass above 1.
+  EXPECT_FALSE(ParseXRelation("relation R\nschema a:string\n"
+                              "tuple t\nalt 0.8 | x\nalt 0.7 | y\n")
+                   .ok());
+}
+
+TEST(RelationFormatTest, EmptyRelationRoundTrips) {
+  XRelation rel("Empty", Schema::Strings({"a"}));
+  Result<XRelation> parsed = ParseXRelation(SerializeXRelation(rel));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), 0u);
+  EXPECT_EQ(parsed->name(), "Empty");
+}
+
+}  // namespace
+}  // namespace pdd

@@ -1,0 +1,198 @@
+// Unit tests for the threshold tuner (Section III-E feedback loop) and
+// the TF-IDF / SoftTFIDF comparators.
+
+#include <gtest/gtest.h>
+
+#include "core/paper_examples.h"
+#include "core/threshold_tuner.h"
+#include "datagen/person_generator.h"
+#include "sim/edit_distance.h"
+#include "sim/jaro.h"
+#include "sim/tfidf.h"
+
+namespace pdd {
+namespace {
+
+// --------------------------------------------------------------- IdfTable
+
+TEST(IdfTableTest, RareTokensWeighMore) {
+  IdfTable idf = IdfTable::Train(
+      {"john smith", "john miller", "john garcia", "zyx smith"});
+  EXPECT_GT(idf.Weight("zyx"), idf.Weight("john"));
+  EXPECT_GT(idf.Weight("garcia"), idf.Weight("john"));
+  EXPECT_GT(idf.size(), 3u);
+}
+
+TEST(IdfTableTest, UnseenTokensGetMaximalWeight) {
+  IdfTable idf = IdfTable::Train({"a b", "a c"});
+  EXPECT_GE(idf.Weight("unseen"), idf.Weight("b"));
+  EXPECT_GE(idf.Weight("b"), idf.Weight("a"));
+}
+
+TEST(IdfTableTest, TrainingIsCaseInsensitive) {
+  IdfTable idf = IdfTable::Train({"John", "JOHN", "john"});
+  EXPECT_DOUBLE_EQ(idf.Weight("john"), idf.Weight("john"));
+  EXPECT_LT(idf.Weight("john"), idf.Weight("other"));
+}
+
+// --------------------------------------------------------------- TF-IDF
+
+TEST(TfIdfComparatorTest, IdenticalAndDisjoint) {
+  IdfTable idf = IdfTable::Train({"john smith", "anna garcia"});
+  TfIdfComparator cmp(&idf);
+  EXPECT_NEAR(cmp.Compare("john smith", "john smith"), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(cmp.Compare("john smith", "anna garcia"), 0.0);
+  EXPECT_DOUBLE_EQ(cmp.Compare("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(cmp.Compare("john", ""), 0.0);
+}
+
+TEST(TfIdfComparatorTest, RareTokenOverlapScoresHigher) {
+  // Shared rare surname must beat shared ubiquitous given name.
+  std::vector<std::string> corpus;
+  for (int i = 0; i < 50; ++i) corpus.push_back("john doe" + std::to_string(i));
+  corpus.push_back("zyx garcia");
+  IdfTable idf = IdfTable::Train(corpus);
+  TfIdfComparator cmp(&idf);
+  double rare_overlap = cmp.Compare("zyx garcia", "zyx smithson");
+  double common_overlap = cmp.Compare("john garcia", "john smithson");
+  EXPECT_GT(rare_overlap, common_overlap);
+}
+
+TEST(TfIdfComparatorTest, SymmetricAndBounded) {
+  IdfTable idf = IdfTable::Train({"a b c", "b c d", "c d e"});
+  TfIdfComparator cmp(&idf);
+  for (const char* a : {"a b", "b c d", "x y"}) {
+    for (const char* b : {"a", "c d", "x y z"}) {
+      double ab = cmp.Compare(a, b);
+      EXPECT_GE(ab, 0.0);
+      EXPECT_LE(ab, 1.0);
+      EXPECT_NEAR(ab, cmp.Compare(b, a), 1e-12);
+    }
+  }
+}
+
+TEST(SoftTfIdfTest, ToleratesTokenTypos) {
+  IdfTable idf = IdfTable::Train({"john smith", "anna garcia"});
+  JaroWinklerComparator jw;
+  TfIdfComparator hard(&idf);
+  SoftTfIdfComparator soft(&idf, &jw, 0.85);
+  // "smith" vs "smithe": hard TF-IDF sees no overlap on that token.
+  double hard_score = hard.Compare("john smith", "john smithe");
+  double soft_score = soft.Compare("john smith", "john smithe");
+  EXPECT_GT(soft_score, hard_score);
+  EXPECT_LE(soft_score, 1.0);
+}
+
+TEST(SoftTfIdfTest, ThresholdGatesFuzzyMatches) {
+  IdfTable idf = IdfTable::Train({"abc def"});
+  NormalizedHammingComparator hamming;
+  SoftTfIdfComparator strict(&idf, &hamming, 0.99);
+  SoftTfIdfComparator loose(&idf, &hamming, 0.3);
+  EXPECT_LE(strict.Compare("abc", "abd"), loose.Compare("abc", "abd"));
+}
+
+// ---------------------------------------------------------------- tuner
+
+DetectionResult RunOnPersons(const GeneratedData& data) {
+  DetectorConfig config;
+  config.key = {{"name", 3}, {"job", 2}};
+  config.weights = {0.5, 0.25, 0.25};
+  config.final_thresholds = {0.5, 0.9};
+  Result<DuplicateDetector> detector =
+      DuplicateDetector::Make(config, PersonSchema());
+  return *detector->Run(data.relation);
+}
+
+TEST(ThresholdTunerTest, FindsBetterOrEqualThresholds) {
+  PersonGenOptions gen;
+  gen.num_entities = 60;
+  gen.duplicate_rate = 0.7;
+  gen.errors.char_error_rate = 0.03;
+  GeneratedData data = GeneratePersons(gen);
+  DetectionResult result = RunOnPersons(data);
+  EffectivenessMetrics fixed = Evaluate(result, data.gold);
+  TuneResult tuned = TuneThresholds(result, data.gold);
+  EXPECT_GE(tuned.best_metrics.f1, fixed.f1 - 1e-12);
+  EXPECT_FALSE(tuned.sweep.empty());
+}
+
+TEST(ThresholdTunerTest, BestPointIsOnTheSweep) {
+  PersonGenOptions gen;
+  gen.num_entities = 40;
+  GeneratedData data = GeneratePersons(gen);
+  DetectionResult result = RunOnPersons(data);
+  TuneResult tuned = TuneThresholds(result, data.gold);
+  double max_f1 = 0.0;
+  for (const ThresholdSweepPoint& p : tuned.sweep) {
+    max_f1 = std::max(max_f1, p.metrics.f1);
+  }
+  EXPECT_NEAR(tuned.best_metrics.f1, max_f1, 1e-12);
+}
+
+TEST(ThresholdTunerTest, TunedThresholdReproducesItsMetrics) {
+  // Re-running Evaluate with the tuned Tμ must reproduce the reported
+  // confusion (consistency between tuner math and Evaluate).
+  PersonGenOptions gen;
+  gen.num_entities = 50;
+  gen.duplicate_rate = 0.8;
+  GeneratedData data = GeneratePersons(gen);
+  DetectionResult result = RunOnPersons(data);
+  TuneResult tuned = TuneThresholds(result, data.gold);
+  // Reclassify the decisions at the tuned threshold.
+  DetectionResult reclassified = result;
+  for (PairDecisionRecord& rec : reclassified.decisions) {
+    rec.match_class = rec.similarity > tuned.best.t_mu
+                          ? MatchClass::kMatch
+                          : MatchClass::kUnmatch;
+  }
+  EffectivenessMetrics check = Evaluate(reclassified, data.gold);
+  EXPECT_NEAR(check.f1, tuned.best_metrics.f1, 1e-9);
+  EXPECT_NEAR(check.precision, tuned.best_metrics.precision, 1e-9);
+  EXPECT_NEAR(check.recall, tuned.best_metrics.recall, 1e-9);
+}
+
+TEST(ThresholdTunerTest, PossibleBandWidth) {
+  PersonGenOptions gen;
+  gen.num_entities = 30;
+  GeneratedData data = GeneratePersons(gen);
+  DetectionResult result = RunOnPersons(data);
+  TuneOptions options;
+  options.possible_band = 0.1;
+  TuneResult tuned = TuneThresholds(result, data.gold, options);
+  EXPECT_NEAR(tuned.best.t_mu - tuned.best.t_lambda, 0.1, 1e-9);
+  EXPECT_TRUE(tuned.best.Validate().ok());
+}
+
+TEST(ThresholdTunerTest, CandidateSubsamplingStillCoversEnds) {
+  PersonGenOptions gen;
+  gen.num_entities = 80;
+  gen.duplicate_rate = 0.6;
+  GeneratedData data = GeneratePersons(gen);
+  DetectionResult result = RunOnPersons(data);
+  TuneOptions options;
+  options.max_candidates = 8;
+  TuneResult small = TuneThresholds(result, data.gold, options);
+  TuneResult full = TuneThresholds(result, data.gold);
+  // Subsampled tuning cannot beat the full sweep, respects the candidate
+  // cap (+ empty prefix and forced final candidate), and still covers
+  // both extremes of the similarity range.
+  EXPECT_LE(small.best_metrics.f1, full.best_metrics.f1 + 1e-12);
+  EXPECT_LE(small.sweep.size(), options.max_candidates + 2);
+  ASSERT_GE(small.sweep.size(), 2u);
+  EXPECT_GE(small.sweep.front().t_mu, small.sweep.back().t_mu);
+}
+
+TEST(ThresholdTunerTest, EmptyDecisionsYieldZeroOrPerfect) {
+  DetectionResult empty;
+  empty.total_pairs = 10;
+  GoldStandard no_gold;
+  TuneResult tuned = TuneThresholds(empty, no_gold);
+  EXPECT_DOUBLE_EQ(tuned.best_metrics.f1, 1.0);  // nothing to find
+  GoldStandard gold;
+  gold.AddMatch("a", "b");
+  TuneResult missed = TuneThresholds(empty, gold);
+  EXPECT_DOUBLE_EQ(missed.best_metrics.recall, 0.0);
+}
+
+}  // namespace
+}  // namespace pdd

@@ -1,0 +1,140 @@
+// Unit tests for probabilistic attribute values (Section IV-A model).
+
+#include <gtest/gtest.h>
+
+#include "pdb/value.h"
+
+namespace pdd {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_TRUE(v.is_certain());
+  EXPECT_DOUBLE_EQ(v.null_probability(), 1.0);
+  EXPECT_DOUBLE_EQ(v.existence_probability(), 0.0);
+  EXPECT_EQ(v.ToString(), "⊥");
+}
+
+TEST(ValueTest, CertainValue) {
+  Value v = Value::Certain("Tim");
+  EXPECT_FALSE(v.is_null());
+  EXPECT_TRUE(v.is_certain());
+  EXPECT_DOUBLE_EQ(v.null_probability(), 0.0);
+  EXPECT_EQ(v.MostProbableText(), "Tim");
+  EXPECT_EQ(v.ToString(), "Tim");
+}
+
+TEST(ValueTest, DistributionWithImplicitNullMass) {
+  // t11.job: {machinist: 0.7, mechanic: 0.2} leaves 0.1 for ⊥.
+  Value v = Value::Dist({{"machinist", 0.7}, {"mechanic", 0.2}});
+  EXPECT_FALSE(v.is_certain());
+  EXPECT_NEAR(v.null_probability(), 0.1, 1e-12);
+  EXPECT_NEAR(v.existence_probability(), 0.9, 1e-12);
+  EXPECT_EQ(v.MostProbableText(), "machinist");
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(ValueTest, MakeValidatesProbabilityRange) {
+  EXPECT_FALSE(Value::Make({{"a", 0.0, false}}).ok());
+  EXPECT_FALSE(Value::Make({{"a", -0.1, false}}).ok());
+  EXPECT_FALSE(Value::Make({{"a", 1.2, false}}).ok());
+  EXPECT_TRUE(Value::Make({{"a", 1.0, false}}).ok());
+}
+
+TEST(ValueTest, MakeValidatesTotalMass) {
+  EXPECT_FALSE(Value::Make({{"a", 0.7, false}, {"b", 0.7, false}}).ok());
+  EXPECT_TRUE(Value::Make({{"a", 0.5, false}, {"b", 0.5, false}}).ok());
+}
+
+TEST(ValueTest, MakeRejectsDuplicateAlternatives) {
+  EXPECT_FALSE(Value::Make({{"a", 0.5, false}, {"a", 0.3, false}}).ok());
+  // Same text as pattern and literal is allowed (different semantics).
+  EXPECT_TRUE(Value::Make({{"mu", 0.5, false}, {"mu", 0.3, true}}).ok());
+}
+
+TEST(ValueTest, MostProbableTextPrefersNullWhenDominant) {
+  Value v = Value::Dist({{"a", 0.2}});  // ⊥ mass 0.8
+  EXPECT_EQ(v.MostProbableText(), "");
+}
+
+TEST(ValueTest, MostProbableTextTieBreaksTowardEarlier) {
+  Value v = Value::Dist({{"x", 0.5}, {"y", 0.5}});
+  EXPECT_EQ(v.MostProbableText(), "x");
+}
+
+TEST(ValueTest, PatternValue) {
+  Value v = Value::Pattern("mu", 0.3);
+  EXPECT_TRUE(v.has_pattern());
+  EXPECT_NEAR(v.null_probability(), 0.7, 1e-12);
+  EXPECT_EQ(v.ToString(), "{mu*: 0.3, ⊥: 0.7}");
+}
+
+TEST(ValueTest, PatternExpansionUniform) {
+  Value v = Value::Pattern("mu");  // prob 1.0
+  Value expanded = v.Expanded({"musician", "mule-driver", "baker"});
+  EXPECT_FALSE(expanded.has_pattern());
+  ASSERT_EQ(expanded.size(), 2u);
+  EXPECT_EQ(expanded.alternatives()[0].text, "musician");
+  EXPECT_NEAR(expanded.alternatives()[0].prob, 0.5, 1e-12);
+  EXPECT_NEAR(expanded.alternatives()[1].prob, 0.5, 1e-12);
+}
+
+TEST(ValueTest, PatternExpansionNoMatchFallsBackToLiteral) {
+  Value v = Value::Pattern("zz", 0.4);
+  Value expanded = v.Expanded({"musician", "baker"});
+  ASSERT_EQ(expanded.size(), 1u);
+  EXPECT_EQ(expanded.alternatives()[0].text, "zz");
+  EXPECT_NEAR(expanded.alternatives()[0].prob, 0.4, 1e-12);
+  EXPECT_FALSE(expanded.alternatives()[0].is_pattern);
+}
+
+TEST(ValueTest, PatternExpansionMergesWithLiterals) {
+  // {musician: 0.4, mu*: 0.6} over a vocab where mu* matches musician and
+  // musicologist: musician ends with 0.4 + 0.3.
+  Value v = Value::Unchecked({{"musician", 0.4, false}, {"mu", 0.6, true}});
+  Value expanded = v.Expanded({"musician", "musicologist"});
+  ASSERT_EQ(expanded.size(), 2u);
+  EXPECT_EQ(expanded.alternatives()[0].text, "musician");
+  EXPECT_NEAR(expanded.alternatives()[0].prob, 0.7, 1e-12);
+  EXPECT_EQ(expanded.alternatives()[1].text, "musicologist");
+  EXPECT_NEAR(expanded.alternatives()[1].prob, 0.3, 1e-12);
+}
+
+TEST(ValueTest, ExpandedPreservesTotalMass) {
+  Value v = Value::Unchecked({{"pilot", 0.2, false}, {"mu", 0.5, true}});
+  Value expanded = v.Expanded({"musician", "muleteer", "pilot"});
+  EXPECT_NEAR(expanded.existence_probability(), 0.7, 1e-12);
+  EXPECT_NEAR(expanded.null_probability(), 0.3, 1e-12);
+}
+
+TEST(ValueTest, ExpandedWithoutPatternsIsIdentity) {
+  Value v = Value::Dist({{"a", 0.5}, {"b", 0.5}});
+  EXPECT_EQ(v.Expanded({"a", "b", "c"}), v);
+}
+
+TEST(ValueTest, ToStringRendersDistribution) {
+  Value v = Value::Dist({{"John", 0.5}, {"Johan", 0.5}});
+  EXPECT_EQ(v.ToString(), "{John: 0.5, Johan: 0.5}");
+}
+
+TEST(ValueTest, ToStringShowsPartialNull) {
+  Value v = Value::Dist({{"a", 0.6}});
+  EXPECT_EQ(v.ToString(), "{a: 0.6, ⊥: 0.4}");
+}
+
+TEST(ValueTest, EqualityIsStructural) {
+  EXPECT_EQ(Value::Certain("x"), Value::Certain("x"));
+  EXPECT_FALSE(Value::Certain("x") == Value::Certain("y"));
+  EXPECT_FALSE(Value::Certain("x") == Value::Dist({{"x", 0.9}}));
+}
+
+TEST(ValueTest, UncheckedAllowsFullMassDistribution) {
+  Value v = Value::Unchecked(
+      {{"a", 0.3, false}, {"b", 0.3, false}, {"c", 0.4, false}});
+  EXPECT_NEAR(v.null_probability(), 0.0, 1e-12);
+  EXPECT_FALSE(v.is_certain());
+}
+
+}  // namespace
+}  // namespace pdd

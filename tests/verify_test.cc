@@ -1,0 +1,215 @@
+// Unit tests for verification metrics (Section III-E) and gold standards.
+
+#include <gtest/gtest.h>
+
+#include "verify/gold_io.h"
+#include "verify/gold_standard.h"
+#include "verify/metrics.h"
+#include "verify/similarity_histogram.h"
+
+namespace pdd {
+namespace {
+
+TEST(EffectivenessTest, PerfectClassifier) {
+  EffectivenessMetrics m =
+      ComputeEffectiveness({.true_positives = 10,
+                            .false_positives = 0,
+                            .false_negatives = 0,
+                            .true_negatives = 90});
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+  EXPECT_DOUBLE_EQ(m.false_positive_rate, 0.0);
+  EXPECT_DOUBLE_EQ(m.false_negative_rate, 0.0);
+  EXPECT_DOUBLE_EQ(m.accuracy, 1.0);
+}
+
+TEST(EffectivenessTest, MixedCounts) {
+  EffectivenessMetrics m =
+      ComputeEffectiveness({.true_positives = 6,
+                            .false_positives = 2,
+                            .false_negatives = 4,
+                            .true_negatives = 88});
+  EXPECT_NEAR(m.precision, 0.75, 1e-12);
+  EXPECT_NEAR(m.recall, 0.6, 1e-12);
+  EXPECT_NEAR(m.f1, 2.0 * 0.75 * 0.6 / 1.35, 1e-12);
+  EXPECT_NEAR(m.false_positive_rate, 2.0 / 90.0, 1e-12);
+  EXPECT_NEAR(m.false_negative_rate, 0.4, 1e-12);
+  EXPECT_NEAR(m.accuracy, 0.94, 1e-12);
+}
+
+TEST(EffectivenessTest, NothingPredictedNothingToFind) {
+  EffectivenessMetrics m = ComputeEffectiveness(
+      {.true_positives = 0, .false_positives = 0, .false_negatives = 0,
+       .true_negatives = 10});
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+}
+
+TEST(EffectivenessTest, NothingPredictedButMatchesExist) {
+  EffectivenessMetrics m = ComputeEffectiveness(
+      {.true_positives = 0, .false_positives = 0, .false_negatives = 5,
+       .true_negatives = 10});
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);
+  EXPECT_DOUBLE_EQ(m.recall, 0.0);
+  EXPECT_DOUBLE_EQ(m.f1, 0.0);
+  EXPECT_DOUBLE_EQ(m.false_negative_rate, 1.0);
+}
+
+TEST(EffectivenessTest, ToStringMentionsAllMetrics) {
+  EffectivenessMetrics m = ComputeEffectiveness(
+      {.true_positives = 1, .false_positives = 1, .false_negatives = 1,
+       .true_negatives = 1});
+  std::string s = m.ToString();
+  EXPECT_NE(s.find("P=0.5"), std::string::npos);
+  EXPECT_NE(s.find("R=0.5"), std::string::npos);
+  EXPECT_NE(s.find("F1=0.5"), std::string::npos);
+}
+
+TEST(ReductionMetricsTest, FullSearchSpace) {
+  ReductionMetrics m = ComputeReduction(100, 100, 10, 10);
+  EXPECT_DOUBLE_EQ(m.reduction_ratio, 0.0);
+  EXPECT_DOUBLE_EQ(m.pairs_completeness, 1.0);
+  EXPECT_NEAR(m.pairs_quality, 0.1, 1e-12);
+}
+
+TEST(ReductionMetricsTest, AggressiveReduction) {
+  ReductionMetrics m = ComputeReduction(10, 1000, 8, 10);
+  EXPECT_NEAR(m.reduction_ratio, 0.99, 1e-12);
+  EXPECT_NEAR(m.pairs_completeness, 0.8, 1e-12);
+  EXPECT_NEAR(m.pairs_quality, 0.8, 1e-12);
+}
+
+TEST(ReductionMetricsTest, DegenerateDenominators) {
+  ReductionMetrics no_gold = ComputeReduction(10, 100, 0, 0);
+  EXPECT_DOUBLE_EQ(no_gold.pairs_completeness, 1.0);
+  ReductionMetrics no_candidates = ComputeReduction(0, 100, 0, 5);
+  EXPECT_DOUBLE_EQ(no_candidates.pairs_quality, 0.0);
+  EXPECT_DOUBLE_EQ(no_candidates.reduction_ratio, 1.0);
+}
+
+TEST(GoldStandardTest, AddAndQuery) {
+  GoldStandard gold;
+  gold.AddMatch("a", "b");
+  EXPECT_TRUE(gold.IsMatch("a", "b"));
+  EXPECT_TRUE(gold.IsMatch("b", "a"));
+  EXPECT_FALSE(gold.IsMatch("a", "c"));
+  EXPECT_EQ(gold.size(), 1u);
+}
+
+TEST(GoldStandardTest, IdempotentAndSelfPairFree) {
+  GoldStandard gold;
+  gold.AddMatch("a", "b");
+  gold.AddMatch("b", "a");
+  gold.AddMatch("a", "a");
+  EXPECT_EQ(gold.size(), 1u);
+  EXPECT_FALSE(gold.IsMatch("a", "a"));
+}
+
+TEST(GoldStandardTest, PairsAreCanonical) {
+  GoldStandard gold;
+  gold.AddMatch("z", "a");
+  std::vector<IdPair> pairs = gold.Pairs();
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].first, "a");
+  EXPECT_EQ(pairs[0].second, "z");
+}
+
+TEST(GoldStandardTest, CountCovered) {
+  GoldStandard gold;
+  gold.AddMatch("a", "b");
+  gold.AddMatch("c", "d");
+  std::vector<IdPair> candidates = {MakeIdPair("b", "a"),
+                                    MakeIdPair("a", "c"),
+                                    MakeIdPair("d", "c")};
+  EXPECT_EQ(gold.CountCovered(candidates), 2u);
+}
+
+TEST(MakeIdPairTest, OrdersEndpoints) {
+  IdPair p = MakeIdPair("t43", "t31");
+  EXPECT_EQ(p.first, "t31");
+  EXPECT_EQ(p.second, "t43");
+}
+
+TEST(GoldIoTest, RoundTrip) {
+  GoldStandard gold;
+  gold.AddMatch("t31", "t41");
+  gold.AddMatch("b", "a");
+  std::string text = SerializeGoldStandard(gold);
+  Result<GoldStandard> parsed = ParseGoldStandard(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), 2u);
+  EXPECT_TRUE(parsed->IsMatch("t41", "t31"));
+  EXPECT_TRUE(parsed->IsMatch("a", "b"));
+}
+
+TEST(GoldIoTest, ParsesCommentsAndWhitespace) {
+  Result<GoldStandard> parsed = ParseGoldStandard(
+      "# header\n"
+      "\n"
+      "  a , b  \n"
+      "c,d\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), 2u);
+  EXPECT_TRUE(parsed->IsMatch("a", "b"));
+}
+
+TEST(GoldIoTest, RejectsMalformedLines) {
+  EXPECT_FALSE(ParseGoldStandard("a,b,c\n").ok());
+  EXPECT_FALSE(ParseGoldStandard("loner\n").ok());
+  EXPECT_FALSE(ParseGoldStandard("a,\n").ok());
+  Result<GoldStandard> bad = ParseGoldStandard("a,b\nbroken\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(GoldIoTest, EmptyInputIsEmptyGold) {
+  Result<GoldStandard> parsed = ParseGoldStandard("");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), 0u);
+}
+
+TEST(SimilarityHistogramTest, BucketsObservations) {
+  SimilarityHistogram hist(10);
+  hist.AddAll({0.05, 0.05, 0.95, 0.5});
+  EXPECT_EQ(hist.total(), 4u);
+  EXPECT_EQ(hist.bucket(0), 2u);  // [0.0, 0.1)
+  EXPECT_EQ(hist.bucket(5), 1u);  // [0.5, 0.6)
+  EXPECT_EQ(hist.bucket(9), 1u);  // [0.9, 1.0]
+}
+
+TEST(SimilarityHistogramTest, ClampsOutOfRange) {
+  SimilarityHistogram hist(4);
+  hist.Add(-1.0);
+  hist.Add(2.0);
+  EXPECT_EQ(hist.bucket(0), 1u);
+  EXPECT_EQ(hist.bucket(3), 1u);
+}
+
+TEST(SimilarityHistogramTest, BucketEdges) {
+  SimilarityHistogram hist(4);
+  EXPECT_DOUBLE_EQ(hist.BucketLow(0), 0.0);
+  EXPECT_DOUBLE_EQ(hist.BucketLow(2), 0.5);
+  EXPECT_DOUBLE_EQ(hist.BucketLow(4), 1.0);
+  // Exactly 1.0 lands in the last bucket, not past it.
+  hist.Add(1.0);
+  EXPECT_EQ(hist.bucket(3), 1u);
+}
+
+TEST(SimilarityHistogramTest, AsciiRendering) {
+  SimilarityHistogram hist(2);
+  hist.AddAll({0.1, 0.2, 0.9});
+  std::string s = hist.ToString(10);
+  EXPECT_NE(s.find("##########| 2"), std::string::npos);
+  EXPECT_NE(s.find("| 1"), std::string::npos);
+}
+
+TEST(SimilarityHistogramTest, EmptyHistogramRenders) {
+  SimilarityHistogram hist(3);
+  std::string s = hist.ToString();
+  EXPECT_EQ(hist.total(), 0u);
+  EXPECT_NE(s.find("| 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pdd

@@ -1,0 +1,278 @@
+// pddcli — command-line duplicate detection for probabilistic relations.
+//
+// Usage:
+//   pddcli detect  <relation.pxr> [options]     run detection, print report
+//   pddcli stats   <relation.pxr>               profile a relation
+//   pddcli explain <relation.pxr> <id1> <id2> [options]
+//                                               per-alternative breakdown
+//                                               of one pair's decision
+//   pddcli demo                                 run on the paper's R34
+//
+// Options for `detect`:
+//   --key attr:len[,attr:len...]   sorting/blocking key (default: first
+//                                  two attributes, prefix 3 and 2)
+//   --reduction NAME               full | snm_certain_keys |
+//                                  snm_sorting_alternatives |
+//                                  snm_uncertain_ranking |
+//                                  blocking_certain_keys |
+//                                  blocking_alternatives | canopy |
+//                                  snm_adaptive  (default: full)
+//   --window N                     SNM window (default 3)
+//   --t-lambda X --t-mu Y          thresholds (default 0.4 / 0.7)
+//   --derivation NAME              expected_similarity | matching_weight |
+//                                  expected_matching (default:
+//                                  expected_similarity)
+//   --prepare                      lowercase/trim/collapse before matching
+//   --csv                          emit per-pair CSV instead of the report
+//   --gold FILE                    gold pairs ("id1,id2" lines) — the
+//                                  report gains verification metrics
+//   --histogram                    append an ASCII histogram of the
+//                                  candidate similarities (threshold
+//                                  selection aid)
+//
+// Relations use the text format of pdb/text_format.h (.pxr files).
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/detector.h"
+#include "core/explain.h"
+#include "core/paper_examples.h"
+#include "core/report_writer.h"
+#include "pdb/statistics.h"
+#include "pdb/text_format.h"
+#include "prep/standardizer.h"
+#include "util/string_util.h"
+#include "verify/gold_io.h"
+#include "verify/similarity_histogram.h"
+
+namespace {
+
+using namespace pdd;
+
+int Fail(const std::string& message) {
+  std::cerr << "pddcli: " << message << "\n";
+  return 1;
+}
+
+Result<XRelation> LoadRelation(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return ParseXRelation(buffer.str());
+}
+
+Result<ReductionMethod> ParseReduction(const std::string& name) {
+  if (name == "full") return ReductionMethod::kFull;
+  if (name == "snm_multipass_worlds") {
+    return ReductionMethod::kSnmMultipassWorlds;
+  }
+  if (name == "snm_certain_keys") return ReductionMethod::kSnmCertainKeys;
+  if (name == "snm_sorting_alternatives") {
+    return ReductionMethod::kSnmSortingAlternatives;
+  }
+  if (name == "snm_uncertain_ranking") {
+    return ReductionMethod::kSnmUncertainRanking;
+  }
+  if (name == "blocking_certain_keys") {
+    return ReductionMethod::kBlockingCertainKeys;
+  }
+  if (name == "blocking_alternatives") {
+    return ReductionMethod::kBlockingAlternatives;
+  }
+  if (name == "blocking_multipass_worlds") {
+    return ReductionMethod::kBlockingMultipassWorlds;
+  }
+  if (name == "blocking_clustered") return ReductionMethod::kBlockingClustered;
+  if (name == "canopy") return ReductionMethod::kCanopy;
+  if (name == "snm_adaptive") return ReductionMethod::kSnmAdaptive;
+  if (name == "qgram_index") return ReductionMethod::kQGramIndex;
+  return Status::InvalidArgument("unknown reduction '" + name + "'");
+}
+
+Result<DerivationKind> ParseDerivation(const std::string& name) {
+  if (name == "expected_similarity") {
+    return DerivationKind::kExpectedSimilarity;
+  }
+  if (name == "matching_weight") return DerivationKind::kMatchingWeight;
+  if (name == "expected_matching") return DerivationKind::kExpectedMatching;
+  if (name == "max_similarity") return DerivationKind::kMaxSimilarity;
+  if (name == "min_similarity") return DerivationKind::kMinSimilarity;
+  if (name == "mode_similarity") return DerivationKind::kModeSimilarity;
+  return Status::InvalidArgument("unknown derivation '" + name + "'");
+}
+
+Result<std::vector<std::pair<std::string, size_t>>> ParseKeySpecArg(
+    const std::string& arg) {
+  std::vector<std::pair<std::string, size_t>> key;
+  for (const std::string& piece : Split(arg, ',')) {
+    std::vector<std::string> parts = Split(piece, ':');
+    if (parts.size() != 2) {
+      return Status::InvalidArgument("key component '" + piece +
+                                     "' is not attr:len");
+    }
+    double len = 0.0;
+    if (!ParseDouble(parts[1], &len) || len < 0) {
+      return Status::InvalidArgument("bad prefix length in '" + piece + "'");
+    }
+    key.emplace_back(std::string(Trim(parts[0])),
+                     static_cast<size_t>(len));
+  }
+  if (key.empty()) {
+    return Status::InvalidArgument("empty key spec");
+  }
+  return key;
+}
+
+int RunDetect(const XRelation& rel, int argc, char** argv, int first_arg) {
+  DetectorConfig config;
+  // Default key: first two attributes, prefixes 3 and 2.
+  config.key.clear();
+  config.key.emplace_back(rel.schema().attribute(0).name, 3);
+  if (rel.schema().arity() > 1) {
+    config.key.emplace_back(rel.schema().attribute(1).name, 2);
+  }
+  config.weights.assign(rel.schema().arity(),
+                        1.0 / static_cast<double>(rel.schema().arity()));
+  bool csv = false;
+  bool histogram = false;
+  std::optional<GoldStandard> gold;
+  for (int i = first_arg; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--key") {
+      const char* v = next();
+      if (v == nullptr) return Fail("--key needs a value");
+      Result<std::vector<std::pair<std::string, size_t>>> key =
+          ParseKeySpecArg(v);
+      if (!key.ok()) return Fail(key.status().ToString());
+      config.key = std::move(key).value();
+    } else if (arg == "--reduction") {
+      const char* v = next();
+      if (v == nullptr) return Fail("--reduction needs a value");
+      Result<ReductionMethod> method = ParseReduction(v);
+      if (!method.ok()) return Fail(method.status().ToString());
+      config.reduction = *method;
+    } else if (arg == "--window") {
+      const char* v = next();
+      double w = 0.0;
+      if (v == nullptr || !ParseDouble(v, &w)) {
+        return Fail("--window needs a number");
+      }
+      config.window = static_cast<size_t>(w);
+    } else if (arg == "--t-lambda") {
+      const char* v = next();
+      if (v == nullptr || !ParseDouble(v, &config.final_thresholds.t_lambda)) {
+        return Fail("--t-lambda needs a number");
+      }
+    } else if (arg == "--t-mu") {
+      const char* v = next();
+      if (v == nullptr || !ParseDouble(v, &config.final_thresholds.t_mu)) {
+        return Fail("--t-mu needs a number");
+      }
+    } else if (arg == "--derivation") {
+      const char* v = next();
+      if (v == nullptr) return Fail("--derivation needs a value");
+      Result<DerivationKind> kind = ParseDerivation(v);
+      if (!kind.ok()) return Fail(kind.status().ToString());
+      config.derivation = *kind;
+    } else if (arg == "--prepare") {
+      Standardizer standard;
+      standard.LowerCase().TrimWhitespace().CollapseWhitespace();
+      config.preparation =
+          DataPreparation::Uniform(standard, rel.schema().arity());
+    } else if (arg == "--csv") {
+      csv = true;
+    } else if (arg == "--histogram") {
+      histogram = true;
+    } else if (arg == "--gold") {
+      const char* v = next();
+      if (v == nullptr) return Fail("--gold needs a file");
+      std::ifstream in(v);
+      if (!in) return Fail(std::string("cannot open '") + v + "'");
+      std::stringstream buffer;
+      buffer << in.rdbuf();
+      Result<GoldStandard> parsed = ParseGoldStandard(buffer.str());
+      if (!parsed.ok()) return Fail(parsed.status().ToString());
+      gold = std::move(parsed).value();
+    } else {
+      return Fail("unknown option '" + arg + "'");
+    }
+  }
+  Result<DuplicateDetector> detector =
+      DuplicateDetector::Make(config, rel.schema());
+  if (!detector.ok()) return Fail(detector.status().ToString());
+  Result<DetectionResult> result = detector->Run(rel);
+  if (!result.ok()) return Fail(result.status().ToString());
+  const GoldStandard* gold_ptr = gold.has_value() ? &*gold : nullptr;
+  std::cout << (csv ? DecisionsToCsv(*result, gold_ptr)
+                    : DetectionReport(*result, gold_ptr));
+  if (histogram) {
+    SimilarityHistogram hist(20);
+    for (const PairDecisionRecord& rec : result->decisions) {
+      hist.Add(rec.similarity);
+    }
+    std::cout << "\ncandidate similarity distribution ("
+              << hist.total() << " pairs):\n"
+              << hist.ToString();
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return Fail("usage: pddcli <detect|stats|demo> [file] [options]");
+  }
+  std::string command = argv[1];
+  if (command == "demo") {
+    XRelation r34 = BuildR34();
+    std::cout << ComputeStatistics(r34).ToString() << "\n";
+    return RunDetect(r34, argc, argv, 2);
+  }
+  if (argc < 3) return Fail(command + " needs a relation file");
+  Result<XRelation> rel = LoadRelation(argv[2]);
+  if (!rel.ok()) return Fail(rel.status().ToString());
+  if (command == "stats") {
+    std::cout << "relation " << rel->name() << "\n"
+              << ComputeStatistics(*rel).ToString();
+    return 0;
+  }
+  if (command == "detect") {
+    return RunDetect(*rel, argc, argv, 3);
+  }
+  if (command == "explain") {
+    if (argc < 5) return Fail("explain needs <file> <id1> <id2>");
+    const XTuple* t1 = nullptr;
+    const XTuple* t2 = nullptr;
+    for (const XTuple& t : rel->xtuples()) {
+      if (t.id() == argv[3]) t1 = &t;
+      if (t.id() == argv[4]) t2 = &t;
+    }
+    if (t1 == nullptr || t2 == nullptr) {
+      return Fail("tuple id not found in relation");
+    }
+    DetectorConfig config;
+    config.key.clear();
+    config.key.emplace_back(rel->schema().attribute(0).name, 3);
+    if (rel->schema().arity() > 1) {
+      config.key.emplace_back(rel->schema().attribute(1).name, 2);
+    }
+    config.weights.assign(rel->schema().arity(),
+                          1.0 / static_cast<double>(rel->schema().arity()));
+    Result<DuplicateDetector> detector =
+        DuplicateDetector::Make(config, rel->schema());
+    if (!detector.ok()) return Fail(detector.status().ToString());
+    PairExplanation explanation = ExplainPair(*detector, *t1, *t2);
+    std::cout << explanation.ToString(rel->schema());
+    return 0;
+  }
+  return Fail("unknown command '" + command + "'");
+}
