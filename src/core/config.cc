@@ -74,6 +74,9 @@ Status DetectorConfig::Validate() const {
   if (combination == CombinationKind::kRules && rules_text.empty()) {
     return Status::InvalidArgument("rule combination needs rules_text");
   }
+  if (batch_size == 0) {
+    return Status::InvalidArgument("batch_size must be positive");
+  }
   return Status::OK();
 }
 

@@ -138,6 +138,12 @@ struct DetectorConfig {
   /// thresholds, e.g. {0.8, 1.2}.
   Thresholds final_thresholds{0.4, 0.7};
 
+  /// Stage executor tuning: candidates per batch handed to the stage
+  /// pipeline, and worker threads deciding batches (0 or 1 = serial on
+  /// the calling thread). Results are identical for any worker count.
+  size_t batch_size = 256;
+  size_t workers = 0;
+
   /// Basic sanity validation (window, thresholds, weight count).
   Status Validate() const;
 };

@@ -1,46 +1,6 @@
 #include "core/detector.h"
 
-#include "decision/rule_engine.h"
-#include "decision/rule_parser.h"
-#include "reduction/blocking.h"
-#include "reduction/pruning.h"
-#include "reduction/blocking_alternatives.h"
-#include "reduction/blocking_clustered.h"
-#include "reduction/full_pairs.h"
-#include "reduction/snm_certain_keys.h"
-#include "reduction/snm_multipass_worlds.h"
-#include "reduction/snm_sorting_alternatives.h"
-#include "reduction/snm_uncertain_ranking.h"
-#include "sim/registry.h"
-
 namespace pdd {
-
-namespace {
-
-std::vector<IdPair> FilterByClass(const DetectionResult& result,
-                                  MatchClass match_class) {
-  std::vector<IdPair> out;
-  for (const PairDecisionRecord& rec : result.decisions) {
-    if (rec.match_class == match_class) {
-      out.push_back(MakeIdPair(rec.id1, rec.id2));
-    }
-  }
-  return out;
-}
-
-}  // namespace
-
-std::vector<IdPair> DetectionResult::Matches() const {
-  return FilterByClass(*this, MatchClass::kMatch);
-}
-
-std::vector<IdPair> DetectionResult::PossibleMatches() const {
-  return FilterByClass(*this, MatchClass::kPossible);
-}
-
-std::vector<IdPair> DetectionResult::Unmatches() const {
-  return FilterByClass(*this, MatchClass::kUnmatch);
-}
 
 EffectivenessMetrics Evaluate(const DetectionResult& result,
                               const GoldStandard& gold,
@@ -86,246 +46,47 @@ ReductionMetrics EvaluateReduction(const DetectionResult& result,
 
 Result<DuplicateDetector> DuplicateDetector::Make(DetectorConfig config,
                                                   Schema schema) {
-  PDD_RETURN_IF_ERROR(config.Validate());
-  DuplicateDetector detector;
-  // Key spec.
-  PDD_ASSIGN_OR_RETURN(detector.key_spec_,
-                       KeySpec::FromNames(config.key, schema));
-  // Comparators: explicit names or per-type defaults.
-  std::vector<const Comparator*> comparators(schema.arity(), nullptr);
-  if (!config.comparators.empty() &&
-      config.comparators.size() != schema.arity()) {
-    return Status::InvalidArgument(
-        "comparator list must match schema arity or be empty");
-  }
-  if (!config.custom_comparators.empty() &&
-      config.custom_comparators.size() != schema.arity()) {
-    return Status::InvalidArgument(
-        "custom comparator list must match schema arity or be empty");
-  }
-  for (size_t i = 0; i < schema.arity(); ++i) {
-    if (!config.custom_comparators.empty() &&
-        config.custom_comparators[i] != nullptr) {
-      comparators[i] = config.custom_comparators[i];
-      continue;
-    }
-    std::string name;
-    if (!config.comparators.empty()) {
-      name = config.comparators[i];
-    } else {
-      name = schema.attribute(i).type == ValueType::kNumeric ? "numeric_rel"
-                                                             : "hamming";
-    }
-    PDD_ASSIGN_OR_RETURN(comparators[i], GetComparator(name));
-  }
-  PDD_ASSIGN_OR_RETURN(TupleMatcher matcher,
-                       TupleMatcher::Make(schema, comparators));
-  detector.matcher_ = std::make_unique<TupleMatcher>(std::move(matcher));
-  // Combination function.
-  switch (config.combination) {
-    case CombinationKind::kWeightedSum: {
-      std::vector<double> weights = config.weights;
-      if (weights.empty()) {
-        weights.assign(schema.arity(), 1.0 / static_cast<double>(
-                                                 schema.arity()));
-      }
-      if (weights.size() != schema.arity()) {
-        return Status::InvalidArgument(
-            "weight count must match schema arity");
-      }
-      PDD_ASSIGN_OR_RETURN(WeightedSumCombination sum,
-                           WeightedSumCombination::Make(std::move(weights)));
-      detector.combination_ =
-          std::make_unique<WeightedSumCombination>(std::move(sum));
-      break;
-    }
-    case CombinationKind::kFellegiSunter: {
-      PDD_ASSIGN_OR_RETURN(FellegiSunterModel fs,
-                           FellegiSunterModel::Make(config.fs_attributes,
-                                                    config.fs_interpolated));
-      detector.combination_ =
-          std::make_unique<FellegiSunterModel>(std::move(fs));
-      break;
-    }
-    case CombinationKind::kRules: {
-      PDD_ASSIGN_OR_RETURN(std::vector<IdentificationRule> rules,
-                           ParseRules(config.rules_text, schema));
-      PDD_ASSIGN_OR_RETURN(RuleEngine engine,
-                           RuleEngine::Make(std::move(rules), schema));
-      detector.combination_ =
-          std::make_unique<RuleCombination>(std::move(engine));
-      break;
-    }
-  }
-  // Derivation function.
-  switch (config.derivation) {
-    case DerivationKind::kExpectedSimilarity:
-      detector.derivation_ = std::make_unique<ExpectedSimilarityDerivation>();
-      break;
-    case DerivationKind::kMatchingWeight:
-      detector.derivation_ =
-          std::make_unique<MatchingWeightDerivation>(config.intermediate);
-      break;
-    case DerivationKind::kExpectedMatching:
-      detector.derivation_ = std::make_unique<ExpectedMatchingDerivation>(
-          config.intermediate, /*normalize=*/true);
-      break;
-    case DerivationKind::kMaxSimilarity:
-      detector.derivation_ = std::make_unique<MaxSimilarityDerivation>();
-      break;
-    case DerivationKind::kMinSimilarity:
-      detector.derivation_ = std::make_unique<MinSimilarityDerivation>();
-      break;
-    case DerivationKind::kModeSimilarity:
-      detector.derivation_ = std::make_unique<ModeSimilarityDerivation>();
-      break;
-  }
-  detector.model_ = std::make_unique<XTupleDecisionModel>(
-      detector.matcher_.get(), detector.combination_.get(),
-      detector.derivation_.get(), config.final_thresholds);
-  detector.schema_ = std::move(schema);
-  detector.config_ = std::move(config);
-  return detector;
+  PDD_ASSIGN_OR_RETURN(
+      std::shared_ptr<const DetectionPlan> plan,
+      DetectionPlan::Compile(std::move(config), std::move(schema)));
+  return DuplicateDetector(std::move(plan));
 }
 
-std::unique_ptr<PairGenerator> DuplicateDetector::MakePairGenerator() const {
-  std::unique_ptr<PairGenerator> inner = MakeReductionGenerator();
-  if (!config_.prune) return inner;
-  PruningOptions options;
-  options.threshold = config_.prune_threshold;
-  options.weights = config_.weights;
-  return std::make_unique<PruningFilter>(std::move(inner), options);
-}
-
-std::unique_ptr<PairGenerator> DuplicateDetector::MakeReductionGenerator()
-    const {
-  switch (config_.reduction) {
-    case ReductionMethod::kFull:
-      return std::make_unique<FullPairs>();
-    case ReductionMethod::kSnmMultipassWorlds: {
-      SnmMultipassOptions options;
-      options.window = config_.window;
-      options.selection = config_.world_selection;
-      options.value_strategy = config_.conflict_strategy;
-      return std::make_unique<SnmMultipassWorlds>(key_spec_, options);
-    }
-    case ReductionMethod::kSnmCertainKeys: {
-      SnmCertainKeyOptions options;
-      options.window = config_.window;
-      options.strategy = config_.conflict_strategy;
-      return std::make_unique<SnmCertainKeys>(key_spec_, options);
-    }
-    case ReductionMethod::kSnmSortingAlternatives: {
-      SnmAlternativesOptions options;
-      options.window = config_.window;
-      return std::make_unique<SnmSortingAlternatives>(key_spec_, options);
-    }
-    case ReductionMethod::kSnmUncertainRanking: {
-      SnmRankingOptions options;
-      options.window = config_.window;
-      options.method = config_.ranking_method;
-      return std::make_unique<SnmUncertainRanking>(key_spec_, options);
-    }
-    case ReductionMethod::kBlockingCertainKeys:
-      return std::make_unique<BlockingCertainKeys>(key_spec_,
-                                                   config_.conflict_strategy);
-    case ReductionMethod::kBlockingAlternatives:
-      return std::make_unique<BlockingAlternatives>(key_spec_);
-    case ReductionMethod::kBlockingMultipassWorlds:
-      return std::make_unique<BlockingMultipassWorlds>(
-          key_spec_, config_.world_selection);
-    case ReductionMethod::kBlockingClustered:
-      return std::make_unique<BlockingClustered>(key_spec_,
-                                                 config_.clustering);
-    case ReductionMethod::kCanopy:
-      return std::make_unique<CanopyReduction>(key_spec_, config_.canopy);
-    case ReductionMethod::kSnmAdaptive:
-      return std::make_unique<SnmAdaptive>(key_spec_, config_.adaptive);
-    case ReductionMethod::kQGramIndex:
-      return std::make_unique<QGramIndexReduction>(key_spec_,
-                                                   config_.qgram);
-  }
-  return std::make_unique<FullPairs>();
+StageExecutor DuplicateDetector::MakeExecutor() const {
+  StageExecutorOptions options;
+  options.batch_size = plan_->config().batch_size;
+  options.workers = plan_->config().workers;
+  return StageExecutor(plan_, options);
 }
 
 Result<DetectionResult> DuplicateDetector::Run(const XRelation& input) const {
-  if (!input.schema().CompatibleWith(schema_)) {
-    return Status::InvalidArgument("relation schema incompatible with "
-                                   "detector schema");
-  }
-  // Step III-A: data preparation, when configured.
-  XRelation prepared;
-  const XRelation* rel_ptr = &input;
-  if (config_.preparation.has_value()) {
-    prepared = config_.preparation->Prepare(input);
-    rel_ptr = &prepared;
-  }
-  const XRelation& rel = *rel_ptr;
-  std::unique_ptr<PairGenerator> generator = MakePairGenerator();
-  PDD_ASSIGN_OR_RETURN(std::vector<CandidatePair> candidates,
-                       generator->Generate(rel));
-  DetectionResult result;
-  result.candidate_count = candidates.size();
-  result.total_pairs = rel.size() * (rel.size() - 1) / 2;
-  result.decisions.reserve(candidates.size());
-  for (const CandidatePair& pair : candidates) {
-    const XTuple& t1 = rel.xtuple(pair.first);
-    const XTuple& t2 = rel.xtuple(pair.second);
-    XPairDecision decision = model_->Decide(t1, t2);
-    result.decisions.push_back({t1.id(), t2.id(), pair.first, pair.second,
-                                decision.similarity, decision.match_class});
-  }
-  return result;
+  PDD_ASSIGN_OR_RETURN(std::unique_ptr<CandidateStream> stream,
+                       MakeFullStream(*plan_, input));
+  return MakeExecutor().Execute(*stream);
 }
 
 Result<DetectionResult> DuplicateDetector::RunOnSources(
     const XRelation& a, const XRelation& b) const {
-  PDD_ASSIGN_OR_RETURN(XRelation merged,
-                       XRelation::Union(a, b, a.name() + "+" + b.name()));
-  return Run(merged);
+  PDD_ASSIGN_OR_RETURN(std::unique_ptr<CandidateStream> stream,
+                       MakeUnionStream(*plan_, a, b));
+  return MakeExecutor().Execute(*stream);
 }
 
 Result<DetectionResult> DuplicateDetector::RunIncremental(
     const XRelation& existing, const XRelation& additions) const {
-  PDD_ASSIGN_OR_RETURN(
-      XRelation merged,
-      XRelation::Union(existing, additions,
-                       existing.name() + "+" + additions.name()));
-  if (!merged.schema().CompatibleWith(schema_)) {
-    return Status::InvalidArgument("relation schema incompatible with "
-                                   "detector schema");
-  }
-  XRelation prepared;
-  const XRelation* rel_ptr = &merged;
-  if (config_.preparation.has_value()) {
-    prepared = config_.preparation->Prepare(merged);
-    rel_ptr = &prepared;
-  }
-  const XRelation& rel = *rel_ptr;
-  const size_t base_count = existing.size();
-  std::unique_ptr<PairGenerator> generator = MakePairGenerator();
-  PDD_ASSIGN_OR_RETURN(std::vector<CandidatePair> candidates,
-                       generator->Generate(rel));
-  DetectionResult result;
-  // Only pairs touching a new tuple are (re-)examined.
-  size_t new_count = additions.size();
-  result.total_pairs =
-      base_count * new_count + new_count * (new_count - 1) / 2;
-  for (const CandidatePair& pair : candidates) {
-    if (pair.second < base_count) continue;  // both tuples pre-existing
-    const XTuple& t1 = rel.xtuple(pair.first);
-    const XTuple& t2 = rel.xtuple(pair.second);
-    XPairDecision decision = model_->Decide(t1, t2);
-    result.decisions.push_back({t1.id(), t2.id(), pair.first, pair.second,
-                                decision.similarity, decision.match_class});
-  }
-  result.candidate_count = result.decisions.size();
-  return result;
+  PDD_ASSIGN_OR_RETURN(std::unique_ptr<CandidateStream> stream,
+                       MakeIncrementalStream(*plan_, existing, additions));
+  return MakeExecutor().Execute(*stream);
+}
+
+Result<DetectionResult> DuplicateDetector::RunStream(
+    CandidateStream& stream) const {
+  return MakeExecutor().Execute(stream);
 }
 
 double DuplicateDetector::PairSimilarity(const XTuple& t1,
                                          const XTuple& t2) const {
-  return model_->Similarity(t1, t2);
+  return plan_->model().Similarity(t1, t2);
 }
 
 }  // namespace pdd

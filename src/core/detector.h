@@ -1,8 +1,10 @@
-// DuplicateDetector: the end-to-end public API. Wires search space
-// reduction (Section V), attribute value matching (Section IV-A), the
-// combination function, the x-tuple derivation (Section IV-B) and the
-// final classification (Fig. 2) into one configurable pipeline, plus
-// verification against a gold standard (Section III-E).
+// DuplicateDetector: the end-to-end public API. Make() compiles the
+// configuration into a DetectionPlan (search space reduction Section V,
+// attribute value matching Section IV-A, the combination function, the
+// x-tuple derivation Section IV-B and the final classification Fig. 2);
+// the Run* entry points are thin adapters that build the scenario's
+// CandidateStream and hand it to the shared StageExecutor. Verification
+// against a gold standard (Section III-E) rides on the result.
 
 #ifndef PDD_CORE_DETECTOR_H_
 #define PDD_CORE_DETECTOR_H_
@@ -12,43 +14,15 @@
 #include <vector>
 
 #include "core/config.h"
-#include "derive/decision_based.h"
-#include "derive/similarity_based.h"
-#include "derive/xtuple_decision_model.h"
-#include "match/tuple_matcher.h"
 #include "pdb/xrelation.h"
-#include "reduction/pair_generator.h"
+#include "pipeline/candidate_stream.h"
+#include "pipeline/detection_plan.h"
+#include "pipeline/detection_result.h"
+#include "pipeline/stage_executor.h"
 #include "verify/gold_standard.h"
 #include "verify/metrics.h"
 
 namespace pdd {
-
-/// Decision record for one examined candidate pair.
-struct PairDecisionRecord {
-  std::string id1;
-  std::string id2;
-  size_t index1 = 0;
-  size_t index2 = 0;
-  /// The derived similarity sim(t1, t2).
-  double similarity = 0.0;
-  /// Final classification η(t1, t2).
-  MatchClass match_class = MatchClass::kUnmatch;
-};
-
-/// Result of one detection run.
-struct DetectionResult {
-  /// One record per candidate pair, in candidate order.
-  std::vector<PairDecisionRecord> decisions;
-  /// Candidate pairs examined (after reduction).
-  size_t candidate_count = 0;
-  /// All n(n-1)/2 pairs of the (unioned) input.
-  size_t total_pairs = 0;
-
-  /// Id pairs classified m / p / u.
-  std::vector<IdPair> Matches() const;
-  std::vector<IdPair> PossibleMatches() const;
-  std::vector<IdPair> Unmatches() const;
-};
 
 /// Effectiveness of a detection result against a gold standard. Pairs
 /// pruned by reduction count as declared non-matches; possible matches
@@ -63,11 +37,13 @@ ReductionMetrics EvaluateReduction(const DetectionResult& result,
                                    const GoldStandard& gold);
 
 /// The configurable end-to-end detector. Construct once per schema with
-/// Make(), then run on any x-relation with that schema.
+/// Make(), then run on any x-relation with that schema. Copies share
+/// the compiled plan; all Run* methods are const and thread-safe.
 class DuplicateDetector {
  public:
-  /// Validates the configuration against the schema and resolves
-  /// comparators, key spec, combination and derivation functions.
+  /// Compiles the configuration against the schema into a shared
+  /// DetectionPlan (resolved comparators, key spec, combination and
+  /// derivation functions).
   static Result<DuplicateDetector> Make(DetectorConfig config, Schema schema);
 
   /// Runs the pipeline on one x-relation.
@@ -85,37 +61,38 @@ class DuplicateDetector {
   Result<DetectionResult> RunIncremental(const XRelation& existing,
                                          const XRelation& additions) const;
 
+  /// Runs the shared executor on an externally built stream (the seam
+  /// custom scenarios — sharding, replay, filtered re-runs — plug into).
+  Result<DetectionResult> RunStream(CandidateStream& stream) const;
+
   /// Derived similarity of a single x-tuple pair under this
   /// configuration (bypasses reduction).
   double PairSimilarity(const XTuple& t1, const XTuple& t2) const;
 
-  const DetectorConfig& config() const { return config_; }
-  const Schema& schema() const { return schema_; }
+  const DetectorConfig& config() const { return plan_->config(); }
+  const Schema& schema() const { return plan_->schema(); }
+
+  /// The compiled plan (shared, immutable).
+  const DetectionPlan& plan() const { return *plan_; }
+  std::shared_ptr<const DetectionPlan> shared_plan() const { return plan_; }
 
   /// Resolved pipeline components (for explanations and diagnostics).
-  const TupleMatcher& matcher() const { return *matcher_; }
-  const CombinationFunction& combination() const { return *combination_; }
+  const TupleMatcher& matcher() const { return plan_->matcher(); }
+  const CombinationFunction& combination() const {
+    return plan_->combination();
+  }
   const DerivationFunction& derivation_function() const {
-    return *derivation_;
+    return plan_->derivation();
   }
 
  private:
-  DuplicateDetector() = default;
+  explicit DuplicateDetector(std::shared_ptr<const DetectionPlan> plan)
+      : plan_(std::move(plan)) {}
 
-  /// Builds the configured pair generator (stateless w.r.t. relations),
-  /// wrapped in the pruning filter when configured.
-  std::unique_ptr<PairGenerator> MakePairGenerator() const;
+  /// The executor configured by this detector's config.
+  StageExecutor MakeExecutor() const;
 
-  /// The bare reduction method without the pruning wrapper.
-  std::unique_ptr<PairGenerator> MakeReductionGenerator() const;
-
-  DetectorConfig config_;
-  Schema schema_;
-  KeySpec key_spec_;
-  std::unique_ptr<TupleMatcher> matcher_;
-  std::unique_ptr<CombinationFunction> combination_;
-  std::unique_ptr<DerivationFunction> derivation_;
-  std::unique_ptr<XTupleDecisionModel> model_;
+  std::shared_ptr<const DetectionPlan> plan_;
 };
 
 }  // namespace pdd

@@ -9,35 +9,27 @@ PairExplanation ExplainPair(const DuplicateDetector& detector,
   PairExplanation out;
   out.id1 = t1.id();
   out.id2 = t2.id();
-  const TupleMatcher& matcher = detector.matcher();
-  const CombinationFunction& phi = detector.combination();
-  const Thresholds& intermediate = detector.config().intermediate;
-  std::vector<double> p1 = t1.ConditionedProbabilities();
-  std::vector<double> p2 = t2.ConditionedProbabilities();
-  AlternativePairScores scores;
-  scores.rows = t1.size();
-  scores.cols = t2.size();
-  scores.p1 = p1;
-  scores.p2 = p2;
-  scores.sims.resize(t1.size() * t2.size());
-  for (size_t i = 0; i < t1.size(); ++i) {
-    for (size_t j = 0; j < t2.size(); ++j) {
+  // Walk the pair through the plan's stages one at a time, keeping the
+  // per-alternative intermediates the aggregate API discards.
+  const DetectionPlan& plan = detector.plan();
+  const Thresholds& intermediate = plan.config().intermediate;
+  ComparisonMatrix matrix = plan.RunMatchStage(t1, t2);
+  AlternativePairScores scores = plan.RunCombineStage(t1, t2, matrix);
+  for (size_t i = 0; i < scores.rows; ++i) {
+    for (size_t j = 0; j < scores.cols; ++j) {
       AlternativePairExplanation alt;
       alt.alternative1 = i;
       alt.alternative2 = j;
-      alt.weight = p1[i] * p2[j];
-      alt.comparison =
-          matcher.CompareAlternatives(t1.alternative(i), t2.alternative(j));
-      alt.phi = phi.Combine(alt.comparison);
+      alt.weight = scores.weight(i, j);
+      alt.comparison = matrix.at(i, j);
+      alt.phi = scores.sim(i, j);
       alt.eta = Classify(alt.phi, intermediate);
-      scores.sims[i * t2.size() + j] = alt.phi;
       out.alternatives.push_back(std::move(alt));
     }
   }
   out.mass = ComputeMatchingMass(scores, intermediate);
-  out.similarity = detector.derivation_function().Derive(scores);
-  out.match_class = Classify(out.similarity,
-                             detector.config().final_thresholds);
+  out.similarity = plan.RunDeriveStage(scores);
+  out.match_class = plan.RunClassifyStage(out.similarity);
   return out;
 }
 

@@ -44,10 +44,12 @@ UncertainDedupResult BuildUncertainResult(
 
   // Order candidate pairs by similarity (certain matches first) and
   // consume each base tuple at most once.
-  std::vector<const PairDecisionRecord*> pairs;
-  for (const PairDecisionRecord& rec : decisions.decisions) {
-    if (rec.match_class != MatchClass::kUnmatch) pairs.push_back(&rec);
-  }
+  std::vector<const PairDecisionRecord*> pairs =
+      decisions.RecordsOfClass(MatchClass::kMatch);
+  std::vector<const PairDecisionRecord*> possibles =
+      decisions.RecordsOfClass(MatchClass::kPossible);
+  pairs.reserve(pairs.size() + possibles.size());
+  pairs.insert(pairs.end(), possibles.begin(), possibles.end());
   std::stable_sort(pairs.begin(), pairs.end(),
                    [](const PairDecisionRecord* a,
                       const PairDecisionRecord* b) {

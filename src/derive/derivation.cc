@@ -5,17 +5,23 @@ namespace pdd {
 AlternativePairScores BuildAlternativePairScores(
     const XTuple& t1, const XTuple& t2, const TupleMatcher& matcher,
     const CombinationFunction& phi) {
+  return CombineComparisonMatrix(t1, t2, matcher.CompareXTuples(t1, t2),
+                                 phi);
+}
+
+AlternativePairScores CombineComparisonMatrix(const XTuple& t1,
+                                              const XTuple& t2,
+                                              const ComparisonMatrix& matrix,
+                                              const CombinationFunction& phi) {
   AlternativePairScores scores;
-  scores.rows = t1.size();
-  scores.cols = t2.size();
+  scores.rows = matrix.rows();
+  scores.cols = matrix.cols();
   scores.p1 = t1.ConditionedProbabilities();
   scores.p2 = t2.ConditionedProbabilities();
   scores.sims.resize(scores.rows * scores.cols);
   for (size_t i = 0; i < scores.rows; ++i) {
     for (size_t j = 0; j < scores.cols; ++j) {
-      ComparisonVector c =
-          matcher.CompareAlternatives(t1.alternative(i), t2.alternative(j));
-      scores.sims[i * scores.cols + j] = phi.Combine(c);
+      scores.sims[i * scores.cols + j] = phi.Combine(matrix.at(i, j));
     }
   }
   return scores;

@@ -41,6 +41,14 @@ AlternativePairScores BuildAlternativePairScores(
     const XTuple& t1, const XTuple& t2, const TupleMatcher& matcher,
     const CombinationFunction& phi);
 
+/// The φ half of Step 1 over a precomputed comparison matrix. The one
+/// live copy of the combine arithmetic, shared by
+/// BuildAlternativePairScores and the staged pipeline's combine stage.
+AlternativePairScores CombineComparisonMatrix(const XTuple& t1,
+                                              const XTuple& t2,
+                                              const ComparisonMatrix& matrix,
+                                              const CombinationFunction& phi);
+
 /// Interface of a derivation function ϑ (Step 2 of Fig. 6).
 class DerivationFunction {
  public:

@@ -19,7 +19,9 @@ struct LineageAtom {
   std::string tuple_id;
   size_t alternative = 0;
 
-  bool operator==(const LineageAtom& other) const = default;
+  bool operator==(const LineageAtom& other) const {
+    return tuple_id == other.tuple_id && alternative == other.alternative;
+  }
   std::string ToString() const;
 };
 

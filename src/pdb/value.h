@@ -37,7 +37,10 @@ struct Alternative {
   /// distribution over matching domain elements (Fig. 5, 'mu*').
   bool is_pattern = false;
 
-  bool operator==(const Alternative& other) const = default;
+  bool operator==(const Alternative& other) const {
+    return text == other.text && prob == other.prob &&
+           is_pattern == other.is_pattern;
+  }
 };
 
 /// A probabilistic attribute value: a distribution over alternatives plus
@@ -110,7 +113,9 @@ class Value {
   /// "⊥" (with probability shown when the ⊥ mass is partial).
   std::string ToString() const;
 
-  bool operator==(const Value& other) const = default;
+  bool operator==(const Value& other) const {
+    return alternatives_ == other.alternatives_;
+  }
 
  private:
   explicit Value(std::vector<Alternative> alternatives)

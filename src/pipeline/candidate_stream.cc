@@ -1,0 +1,107 @@
+#include "pipeline/candidate_stream.h"
+
+#include <algorithm>
+
+namespace pdd {
+
+namespace {
+
+/// The prepared relation and its materialized candidates, before any
+/// scenario-specific filtering.
+struct StreamParts {
+  /// Holds the union and/or prepared copy when one was built.
+  std::optional<XRelation> owned;
+  /// Valid when `owned` is empty; points at the caller's relation.
+  const XRelation* borrowed = nullptr;
+  std::vector<CandidatePair> candidates;
+};
+
+/// Shared head of every factory: schema check, preparation (Section
+/// III-A) when configured, candidate generation with the plan's
+/// reduction method.
+Result<StreamParts> BuildParts(const DetectionPlan& plan,
+                               std::optional<XRelation> owned,
+                               const XRelation* borrowed) {
+  StreamParts parts;
+  parts.owned = std::move(owned);
+  parts.borrowed = borrowed;
+  const XRelation& input =
+      parts.owned.has_value() ? *parts.owned : *parts.borrowed;
+  if (!input.schema().CompatibleWith(plan.schema())) {
+    return Status::InvalidArgument(
+        "relation schema incompatible with detector schema");
+  }
+  if (plan.config().preparation.has_value()) {
+    parts.owned = plan.config().preparation->Prepare(input);
+  }
+  const XRelation& rel =
+      parts.owned.has_value() ? *parts.owned : *parts.borrowed;
+  std::unique_ptr<PairGenerator> generator = plan.MakePairGenerator();
+  PDD_ASSIGN_OR_RETURN(parts.candidates, generator->Generate(rel));
+  return parts;
+}
+
+std::unique_ptr<CandidateStream> WrapParts(std::string name,
+                                           StreamParts parts,
+                                           size_t total_pairs) {
+  return std::make_unique<MaterializedCandidateStream>(
+      std::move(name), std::move(parts.owned), parts.borrowed,
+      std::move(parts.candidates), total_pairs);
+}
+
+}  // namespace
+
+size_t MaterializedCandidateStream::NextBatch(
+    size_t max_batch, std::vector<CandidatePair>* out) {
+  out->clear();
+  size_t count = std::min(max_batch, candidates_.size() - next_);
+  out->insert(out->end(), candidates_.begin() + next_,
+              candidates_.begin() + next_ + count);
+  next_ += count;
+  return count;
+}
+
+Result<std::unique_ptr<CandidateStream>> MakeFullStream(
+    const DetectionPlan& plan, const XRelation& rel) {
+  PDD_ASSIGN_OR_RETURN(StreamParts parts,
+                       BuildParts(plan, std::nullopt, &rel));
+  return WrapParts("full", std::move(parts),
+                   rel.size() * (rel.size() - 1) / 2);
+}
+
+Result<std::unique_ptr<CandidateStream>> MakeUnionStream(
+    const DetectionPlan& plan, const XRelation& a, const XRelation& b) {
+  PDD_ASSIGN_OR_RETURN(XRelation merged,
+                       XRelation::Union(a, b, a.name() + "+" + b.name()));
+  size_t total = merged.size() * (merged.size() - 1) / 2;
+  PDD_ASSIGN_OR_RETURN(StreamParts parts,
+                       BuildParts(plan, std::move(merged), nullptr));
+  return WrapParts("union", std::move(parts), total);
+}
+
+Result<std::unique_ptr<CandidateStream>> MakeIncrementalStream(
+    const DetectionPlan& plan, const XRelation& existing,
+    const XRelation& additions) {
+  PDD_ASSIGN_OR_RETURN(
+      XRelation merged,
+      XRelation::Union(existing, additions,
+                       existing.name() + "+" + additions.name()));
+  const size_t base_count = existing.size();
+  const size_t new_count = additions.size();
+  // Only pairs touching a new tuple are (re-)examined; intra-existing
+  // pairs were already decided in a previous run.
+  size_t total = base_count * new_count + new_count * (new_count - 1) / 2;
+  PDD_ASSIGN_OR_RETURN(StreamParts parts,
+                       BuildParts(plan, std::move(merged), nullptr));
+  // Candidates are canonicalized with first < second, so a pair crosses
+  // into the additions iff its second endpoint does.
+  parts.candidates.erase(
+      std::remove_if(parts.candidates.begin(), parts.candidates.end(),
+                     [base_count](const CandidatePair& pair) {
+                       return pair.second < base_count;
+                     }),
+      parts.candidates.end());
+  return WrapParts("incremental", std::move(parts), total);
+}
+
+}  // namespace pdd

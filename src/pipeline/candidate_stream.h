@@ -1,0 +1,115 @@
+// CandidateStream: one interface over the three candidate pair sources
+// of the detector — a full run on one relation, a cross-source union
+// (Section I's integration scenario) and an incremental run that only
+// examines pairs touching newly added tuples. A stream owns whatever
+// derived relation the scenario needs (the prepared copy, the union)
+// and yields candidates in a deterministic order in bounded batches,
+// so the StageExecutor can drain it serially or feed a thread pool
+// without knowing which scenario produced the pairs.
+
+#ifndef PDD_PIPELINE_CANDIDATE_STREAM_H_
+#define PDD_PIPELINE_CANDIDATE_STREAM_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pdb/xrelation.h"
+#include "pipeline/detection_plan.h"
+#include "reduction/pair_generator.h"
+#include "util/status.h"
+
+namespace pdd {
+
+class CandidateStream {
+ public:
+  virtual ~CandidateStream() = default;
+
+  /// The relation candidate indices refer to (after union/preparation).
+  virtual const XRelation& relation() const = 0;
+
+  /// Appends up to `max_batch` candidates to `*out` (which is cleared
+  /// first) and returns the number appended; 0 means exhausted. The
+  /// concatenation of all batches is the stream's deterministic
+  /// candidate order, independent of `max_batch`.
+  virtual size_t NextBatch(size_t max_batch,
+                           std::vector<CandidatePair>* out) = 0;
+
+  /// Rewinds the stream to its first candidate.
+  virtual void Reset() = 0;
+
+  /// Total candidates this stream yields.
+  virtual size_t candidate_count() const = 0;
+
+  /// The scenario's pair universe (the denominator of verification
+  /// metrics): n(n-1)/2 for full/union runs, only the addition-crossing
+  /// pairs for incremental runs.
+  virtual size_t total_pairs() const = 0;
+
+  /// Scenario name for reports ("full", "union", "incremental").
+  virtual std::string name() const = 0;
+};
+
+/// The shared implementation: a materialized candidate vector over a
+/// borrowed or owned relation.
+class MaterializedCandidateStream : public CandidateStream {
+ public:
+  /// Borrows `rel` (must outlive the stream) unless `owned` carries the
+  /// scenario's derived relation, in which case `rel` points into it.
+  MaterializedCandidateStream(std::string name,
+                              std::optional<XRelation> owned,
+                              const XRelation* rel,
+                              std::vector<CandidatePair> candidates,
+                              size_t total_pairs)
+      : name_(std::move(name)),
+        owned_(std::move(owned)),
+        rel_(owned_.has_value() ? &*owned_ : rel),
+        candidates_(std::move(candidates)),
+        total_pairs_(total_pairs) {}
+
+  // rel_ may point into owned_, so a defaulted copy/move would leave it
+  // dangling into the source object.
+  MaterializedCandidateStream(const MaterializedCandidateStream&) = delete;
+  MaterializedCandidateStream& operator=(const MaterializedCandidateStream&) =
+      delete;
+
+  const XRelation& relation() const override { return *rel_; }
+  size_t NextBatch(size_t max_batch,
+                   std::vector<CandidatePair>* out) override;
+  void Reset() override { next_ = 0; }
+  size_t candidate_count() const override { return candidates_.size(); }
+  size_t total_pairs() const override { return total_pairs_; }
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  std::optional<XRelation> owned_;
+  const XRelation* rel_;
+  std::vector<CandidatePair> candidates_;
+  size_t total_pairs_ = 0;
+  size_t next_ = 0;
+};
+
+/// Full run on one relation: applies the plan's preparation step, then
+/// the plan's reduction method. `rel` must outlive the stream unless
+/// preparation produced an owned copy.
+Result<std::unique_ptr<CandidateStream>> MakeFullStream(
+    const DetectionPlan& plan, const XRelation& rel);
+
+/// Cross-source union: R = a ∪ b (ids must be unique across sources),
+/// then behaves like the full stream over the owned union.
+Result<std::unique_ptr<CandidateStream>> MakeUnionStream(
+    const DetectionPlan& plan, const XRelation& a, const XRelation& b);
+
+/// Incremental run: candidates of existing ∪ additions restricted to
+/// pairs with at least one endpoint in `additions` (intra-existing
+/// pairs were already decided). total_pairs() covers only the
+/// incremental pair universe.
+Result<std::unique_ptr<CandidateStream>> MakeIncrementalStream(
+    const DetectionPlan& plan, const XRelation& existing,
+    const XRelation& additions);
+
+}  // namespace pdd
+
+#endif  // PDD_PIPELINE_CANDIDATE_STREAM_H_

@@ -1,0 +1,101 @@
+// DetectionPlan: the compiled, immutable form of one DetectorConfig
+// against one schema. Compilation resolves comparators, the key spec,
+// the combination function φ, the derivation function ϑ and the final
+// classifier once; every run then shares the plan. All methods are
+// const and safe to call from multiple threads concurrently, which is
+// what lets the StageExecutor fan candidate batches out to a pool.
+//
+// The plan also names the stage graph the executor walks per candidate
+// (Fig. 6): attribute value matching (Section IV-A) → combination φ →
+// derivation ϑ (Section IV-B) → final classification (Fig. 2). Each
+// stage is independently executable through the Run*Stage entry points
+// (explanations and diagnostics use them piecemeal).
+
+#ifndef PDD_PIPELINE_DETECTION_PLAN_H_
+#define PDD_PIPELINE_DETECTION_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "derive/xtuple_decision_model.h"
+#include "keys/key_spec.h"
+#include "match/tuple_matcher.h"
+#include "pdb/xrelation.h"
+#include "reduction/pair_generator.h"
+#include "util/status.h"
+
+namespace pdd {
+
+/// The per-candidate pipeline stages, in execution order.
+enum class PipelineStage {
+  kMatch = 0,     // comparison matrix of the alternative pairs (§IV-A)
+  kCombine = 1,   // φ on every comparison vector + conditioned probs
+  kDerive = 2,    // derivation function ϑ (§IV-B)
+  kClassify = 3,  // final threshold classification (Fig. 2)
+};
+
+/// Stable stage name for reports ("match", "combine", ...).
+const char* PipelineStageName(PipelineStage stage);
+
+class DetectionPlan {
+ public:
+  /// Validates the configuration against the schema and resolves all
+  /// pipeline components. The returned plan is immutable and shareable.
+  static Result<std::shared_ptr<const DetectionPlan>> Compile(
+      DetectorConfig config, Schema schema);
+
+  const DetectorConfig& config() const { return config_; }
+  const Schema& schema() const { return schema_; }
+  const KeySpec& key_spec() const { return key_spec_; }
+  const TupleMatcher& matcher() const { return *matcher_; }
+  const CombinationFunction& combination() const { return *combination_; }
+  const DerivationFunction& derivation() const { return *derivation_; }
+  const XTupleDecisionModel& model() const { return *model_; }
+
+  /// The stage graph in execution order.
+  const std::vector<PipelineStage>& stages() const { return stages_; }
+
+  /// Builds the configured pair generator (stateless w.r.t. relations),
+  /// wrapped in the pruning filter when configured.
+  std::unique_ptr<PairGenerator> MakePairGenerator() const;
+
+  // --- independently executable stage entry points ------------------
+
+  /// Stage kMatch: the k×l comparison matrix of an x-tuple pair.
+  ComparisonMatrix RunMatchStage(const XTuple& t1, const XTuple& t2) const;
+
+  /// Stage kCombine: φ over a comparison matrix plus the conditioned
+  /// alternative probabilities of the pair.
+  AlternativePairScores RunCombineStage(const XTuple& t1, const XTuple& t2,
+                                        const ComparisonMatrix& matrix) const;
+
+  /// Stage kDerive: sim(t1, t2) from the alternative pair scores.
+  double RunDeriveStage(const AlternativePairScores& scores) const;
+
+  /// Stage kClassify: η(t1, t2) from the derived similarity.
+  MatchClass RunClassifyStage(double similarity) const;
+
+  /// All four stages on one candidate pair.
+  XPairDecision DecidePair(const XTuple& t1, const XTuple& t2) const;
+
+ private:
+  DetectionPlan() = default;
+
+  /// The bare reduction method without the pruning wrapper.
+  std::unique_ptr<PairGenerator> MakeReductionGenerator() const;
+
+  DetectorConfig config_;
+  Schema schema_;
+  KeySpec key_spec_;
+  std::vector<PipelineStage> stages_;
+  std::unique_ptr<TupleMatcher> matcher_;
+  std::unique_ptr<CombinationFunction> combination_;
+  std::unique_ptr<DerivationFunction> derivation_;
+  std::unique_ptr<XTupleDecisionModel> model_;
+};
+
+}  // namespace pdd
+
+#endif  // PDD_PIPELINE_DETECTION_PLAN_H_

@@ -1,0 +1,57 @@
+#include "pipeline/detection_result.h"
+
+namespace pdd {
+
+namespace {
+
+// The one shared filtering walk: counts first so callers can reserve,
+// then emits through `emit(record)`.
+template <typename Emit>
+void ForEachOfClass(const std::vector<PairDecisionRecord>& decisions,
+                    MatchClass match_class, Emit emit) {
+  for (const PairDecisionRecord& rec : decisions) {
+    if (rec.match_class == match_class) emit(rec);
+  }
+}
+
+}  // namespace
+
+size_t DetectionResult::CountClass(MatchClass match_class) const {
+  size_t count = 0;
+  ForEachOfClass(decisions, match_class,
+                 [&](const PairDecisionRecord&) { ++count; });
+  return count;
+}
+
+std::vector<const PairDecisionRecord*> DetectionResult::RecordsOfClass(
+    MatchClass match_class) const {
+  std::vector<const PairDecisionRecord*> out;
+  out.reserve(CountClass(match_class));
+  ForEachOfClass(decisions, match_class,
+                 [&](const PairDecisionRecord& rec) { out.push_back(&rec); });
+  return out;
+}
+
+std::vector<IdPair> DetectionResult::IdPairsOfClass(
+    MatchClass match_class) const {
+  std::vector<IdPair> out;
+  out.reserve(CountClass(match_class));
+  ForEachOfClass(decisions, match_class, [&](const PairDecisionRecord& rec) {
+    out.push_back(MakeIdPair(rec.id1, rec.id2));
+  });
+  return out;
+}
+
+std::vector<IdPair> DetectionResult::Matches() const {
+  return IdPairsOfClass(MatchClass::kMatch);
+}
+
+std::vector<IdPair> DetectionResult::PossibleMatches() const {
+  return IdPairsOfClass(MatchClass::kPossible);
+}
+
+std::vector<IdPair> DetectionResult::Unmatches() const {
+  return IdPairsOfClass(MatchClass::kUnmatch);
+}
+
+}  // namespace pdd

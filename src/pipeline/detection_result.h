@@ -1,0 +1,58 @@
+// The output of one detection run: one decision record per examined
+// candidate pair, plus the counts verification metrics need. Produced by
+// the StageExecutor and consumed by core reports, verification and
+// result fusion.
+
+#ifndef PDD_PIPELINE_DETECTION_RESULT_H_
+#define PDD_PIPELINE_DETECTION_RESULT_H_
+
+#include <string>
+#include <vector>
+
+#include "decision/classifier.h"
+#include "verify/gold_standard.h"
+
+namespace pdd {
+
+/// Decision record for one examined candidate pair.
+struct PairDecisionRecord {
+  std::string id1;
+  std::string id2;
+  size_t index1 = 0;
+  size_t index2 = 0;
+  /// The derived similarity sim(t1, t2).
+  double similarity = 0.0;
+  /// Final classification η(t1, t2).
+  MatchClass match_class = MatchClass::kUnmatch;
+};
+
+/// Result of one detection run.
+struct DetectionResult {
+  /// One record per candidate pair, in candidate order.
+  std::vector<PairDecisionRecord> decisions;
+  /// Candidate pairs examined (after reduction).
+  size_t candidate_count = 0;
+  /// All pairs of the scenario (n(n-1)/2 for a full run; only the
+  /// addition-crossing pairs for an incremental run).
+  size_t total_pairs = 0;
+
+  /// Number of decisions classified `match_class`.
+  size_t CountClass(MatchClass match_class) const;
+
+  /// Pointers into `decisions` for the records classified `match_class`,
+  /// in candidate order. Invalidated when `decisions` mutates.
+  std::vector<const PairDecisionRecord*> RecordsOfClass(
+      MatchClass match_class) const;
+
+  /// Id pairs of the records classified `match_class`, in candidate order.
+  std::vector<IdPair> IdPairsOfClass(MatchClass match_class) const;
+
+  /// Id pairs classified m / p / u.
+  std::vector<IdPair> Matches() const;
+  std::vector<IdPair> PossibleMatches() const;
+  std::vector<IdPair> Unmatches() const;
+};
+
+}  // namespace pdd
+
+#endif  // PDD_PIPELINE_DETECTION_RESULT_H_

@@ -1,0 +1,92 @@
+#include "pipeline/stage_executor.h"
+
+#include <atomic>
+#include <thread>
+#include <utility>
+
+namespace pdd {
+
+StageExecutor::StageExecutor(std::shared_ptr<const DetectionPlan> plan,
+                             StageExecutorOptions options)
+    : plan_(std::move(plan)), options_(options) {}
+
+void StageExecutor::DecideBatch(const XRelation& rel,
+                                const std::vector<CandidatePair>& batch,
+                                std::vector<PairDecisionRecord>* out) const {
+  // Reserve only for a fresh buffer: calling reserve() per batch on the
+  // serial path's accumulating vector would pin capacity to the exact
+  // size and degrade appends to quadratic copying.
+  if (out->empty()) out->reserve(batch.size());
+  for (const CandidatePair& pair : batch) {
+    const XTuple& t1 = rel.xtuple(pair.first);
+    const XTuple& t2 = rel.xtuple(pair.second);
+    XPairDecision decision = plan_->DecidePair(t1, t2);
+    out->push_back({t1.id(), t2.id(), pair.first, pair.second,
+                    decision.similarity, decision.match_class});
+  }
+}
+
+Result<DetectionResult> StageExecutor::Execute(CandidateStream& stream) const {
+  if (plan_ == nullptr) {
+    return Status::InvalidArgument("stage executor has no plan");
+  }
+  if (options_.batch_size == 0) {
+    return Status::InvalidArgument("batch_size must be positive");
+  }
+  const XRelation& rel = stream.relation();
+  // Factory-built streams were checked against their own plan; a custom
+  // stream (RunStream seam) may carry any relation, so re-check here.
+  if (!rel.schema().CompatibleWith(plan_->schema())) {
+    return Status::InvalidArgument(
+        "stream relation schema incompatible with plan schema");
+  }
+  DetectionResult result;
+  result.total_pairs = stream.total_pairs();
+
+  if (options_.workers <= 1) {
+    result.decisions.reserve(stream.candidate_count());
+    std::vector<CandidatePair> batch;
+    while (stream.NextBatch(options_.batch_size, &batch) > 0) {
+      result.candidate_count += batch.size();
+      DecideBatch(rel, batch, &result.decisions);
+    }
+    return result;
+  }
+
+  // Parallel path: materialize the batches with their pull order, let
+  // workers claim batches through an atomic cursor into per-batch
+  // output slots, then concatenate in pull order. Output is identical
+  // to the serial path for any worker count.
+  std::vector<std::vector<CandidatePair>> batches;
+  std::vector<CandidatePair> batch;
+  while (stream.NextBatch(options_.batch_size, &batch) > 0) {
+    result.candidate_count += batch.size();
+    batches.push_back(std::move(batch));
+    batch = std::vector<CandidatePair>();
+  }
+  std::vector<std::vector<PairDecisionRecord>> slots(batches.size());
+  std::atomic<size_t> cursor{0};
+  auto worker = [&]() {
+    // Claimed slots are disjoint, so each worker appends into its own
+    // scratch buffer without synchronization.
+    for (size_t i = cursor.fetch_add(1); i < batches.size();
+         i = cursor.fetch_add(1)) {
+      DecideBatch(rel, batches[i], &slots[i]);
+    }
+  };
+  size_t pool_size = std::min(options_.workers, batches.size());
+  std::vector<std::thread> pool;
+  pool.reserve(pool_size);
+  for (size_t i = 0; i < pool_size; ++i) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+
+  result.decisions.reserve(result.candidate_count);
+  for (std::vector<PairDecisionRecord>& slot : slots) {
+    for (PairDecisionRecord& rec : slot) {
+      result.decisions.push_back(std::move(rec));
+    }
+  }
+  return result;
+}
+
+}  // namespace pdd

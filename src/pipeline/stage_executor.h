@@ -1,0 +1,55 @@
+// StageExecutor: drains a CandidateStream in fixed-size batches and
+// runs every candidate through the plan's stage graph (match → combine
+// → derive → classify), either serially or on an std::thread pool.
+// Batches are indexed as they are pulled and merged back in index
+// order, and every worker writes into its own preallocated slot, so
+// the result is byte-identical to serial execution for any worker
+// count — parallelism is purely a throughput knob.
+
+#ifndef PDD_PIPELINE_STAGE_EXECUTOR_H_
+#define PDD_PIPELINE_STAGE_EXECUTOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "pipeline/candidate_stream.h"
+#include "pipeline/detection_plan.h"
+#include "pipeline/detection_result.h"
+#include "util/status.h"
+
+namespace pdd {
+
+struct StageExecutorOptions {
+  /// Candidates per batch handed to the stage pipeline.
+  size_t batch_size = 256;
+  /// Worker threads; 0 or 1 executes serially on the calling thread.
+  size_t workers = 0;
+};
+
+class StageExecutor {
+ public:
+  /// The plan is shared (and must be non-null); options are validated
+  /// lazily by Execute.
+  StageExecutor(std::shared_ptr<const DetectionPlan> plan,
+                StageExecutorOptions options = {});
+
+  /// Drains `stream` and returns the detection result. The stream is
+  /// left exhausted (callers reuse one via CandidateStream::Reset).
+  Result<DetectionResult> Execute(CandidateStream& stream) const;
+
+  const StageExecutorOptions& options() const { return options_; }
+
+ private:
+  /// Runs the stage graph over one batch, appending to `*out` (the
+  /// per-worker scratch buffer).
+  void DecideBatch(const XRelation& rel,
+                   const std::vector<CandidatePair>& batch,
+                   std::vector<PairDecisionRecord>* out) const;
+
+  std::shared_ptr<const DetectionPlan> plan_;
+  StageExecutorOptions options_;
+};
+
+}  // namespace pdd
+
+#endif  // PDD_PIPELINE_STAGE_EXECUTOR_H_

@@ -19,7 +19,9 @@ struct CandidatePair {
   size_t first = 0;
   size_t second = 0;
 
-  bool operator==(const CandidatePair& other) const = default;
+  bool operator==(const CandidatePair& other) const {
+    return first == other.first && second == other.second;
+  }
   bool operator<(const CandidatePair& other) const {
     return first != other.first ? first < other.first
                                 : second < other.second;

@@ -23,6 +23,10 @@
 //                                  expected_matching (default:
 //                                  expected_similarity)
 //   --prepare                      lowercase/trim/collapse before matching
+//   --workers N                    decide candidate batches on N threads
+//                                  (default 0 = serial; results identical)
+//   --batch N                      candidates per executor batch
+//                                  (default 256)
 //   --csv                          emit per-pair CSV instead of the report
 //   --gold FILE                    gold pairs ("id1,id2" lines) — the
 //                                  report gains verification metrics
@@ -182,6 +186,20 @@ int RunDetect(const XRelation& rel, int argc, char** argv, int first_arg) {
       Result<DerivationKind> kind = ParseDerivation(v);
       if (!kind.ok()) return Fail(kind.status().ToString());
       config.derivation = *kind;
+    } else if (arg == "--workers") {
+      const char* v = next();
+      double n = 0.0;
+      if (v == nullptr || !ParseDouble(v, &n) || n < 0) {
+        return Fail("--workers needs a non-negative number");
+      }
+      config.workers = static_cast<size_t>(n);
+    } else if (arg == "--batch") {
+      const char* v = next();
+      double n = 0.0;
+      if (v == nullptr || !ParseDouble(v, &n) || n < 1) {
+        return Fail("--batch needs a positive number");
+      }
+      config.batch_size = static_cast<size_t>(n);
     } else if (arg == "--prepare") {
       Standardizer standard;
       standard.LowerCase().TrimWhitespace().CollapseWhitespace();
