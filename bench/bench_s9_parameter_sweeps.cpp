@@ -5,6 +5,11 @@
 //   * adaptive SNM key-similarity threshold: inverse direction (higher
 //     threshold = narrower windows)
 //
+// Every sweep point is a generated PlanSpec compiled through
+// DetectionPlan (the same declarative path `pddcli --plan` uses), so
+// each row carries the plan fingerprint that identifies it — the key a
+// result cache or a sweep coordinator would use to dedupe work.
+//
 // Expected shapes: PC monotonically non-decreasing in w and in canopy
 // looseness; candidates monotonically growing; adaptive SNM reaches
 // comparable PC with fewer candidates in clustered key regions.
@@ -13,10 +18,8 @@
 #include <iostream>
 
 #include "datagen/person_generator.h"
-#include "keys/key_spec.h"
-#include "reduction/canopy.h"
-#include "reduction/snm_adaptive.h"
-#include "reduction/snm_sorting_alternatives.h"
+#include "pipeline/detection_plan.h"
+#include "plan/plan_builder.h"
 #include "util/table_printer.h"
 #include "verify/metrics.h"
 
@@ -30,9 +33,30 @@ std::string Fmt(double v) {
   return buf;
 }
 
-ReductionMetrics Measure(const PairGenerator& method,
-                         const GeneratedData& data, size_t* candidates) {
-  Result<std::vector<CandidatePair>> pairs = method.Generate(data.relation);
+PlanBuilder BasePlan() {
+  PlanBuilder builder;
+  // Empty weights = uniform over the person schema's attributes.
+  builder.AddKey("name", 3).AddKey("job", 2).Weights({});
+  return builder;
+}
+
+/// Compiles the spec, generates its candidate pairs and measures
+/// reduction quality. Returns the plan fingerprint through `*fp`.
+ReductionMetrics Measure(const PlanSpec& spec, const GeneratedData& data,
+                         size_t* candidates, std::string* fp) {
+  Result<std::shared_ptr<const DetectionPlan>> plan =
+      DetectionPlan::Compile(spec, PersonSchema());
+  if (!plan.ok()) {
+    std::cerr << "plan compile failed: " << plan.status().ToString() << "\n";
+    std::exit(1);
+  }
+  *fp = FingerprintHex((*plan)->fingerprint());
+  Result<std::vector<CandidatePair>> pairs =
+      (*plan)->MakePairGenerator()->Generate(data.relation);
+  if (!pairs.ok()) {
+    std::cerr << "generate failed: " << pairs.status().ToString() << "\n";
+    std::exit(1);
+  }
   std::vector<IdPair> id_pairs;
   for (const CandidatePair& p : *pairs) {
     id_pairs.push_back(MakeIdPair(data.relation.xtuple(p.first).id(),
@@ -55,54 +79,62 @@ int main() {
   gen.uncertainty.value_uncertainty_prob = 0.4;
   gen.uncertainty.xtuple_alternative_prob = 0.3;
   GeneratedData data = GeneratePersons(gen);
-  KeySpec key = *KeySpec::FromNames({{"name", 3}, {"job", 2}},
-                                    PersonSchema());
   std::cout << "S9: parameter sweeps on " << data.relation.size()
-            << " records (" << data.gold.size() << " true pairs)\n\n";
+            << " records (" << data.gold.size()
+            << " true pairs), spec-driven\n\n";
 
   std::cout << "SNM (sorting alternatives) window sweep:\n";
-  TablePrinter window_sweep({"window", "candidates", "RR", "PC"});
+  TablePrinter window_sweep({"window", "candidates", "RR", "PC", "plan"});
   for (size_t w : {2u, 3u, 5u, 8u, 12u, 20u}) {
-    SnmAlternativesOptions options;
-    options.window = w;
-    SnmSortingAlternatives snm(key, options);
+    PlanSpec spec = BasePlan()
+                        .Reduction("snm_sorting_alternatives")
+                        .Set("reduction.window", w)
+                        .Build();
     size_t candidates = 0;
-    ReductionMetrics m = Measure(snm, data, &candidates);
+    std::string fp;
+    ReductionMetrics m = Measure(spec, data, &candidates, &fp);
     window_sweep.AddRow({std::to_string(w), std::to_string(candidates),
-                         Fmt(m.reduction_ratio), Fmt(m.pairs_completeness)});
+                         Fmt(m.reduction_ratio), Fmt(m.pairs_completeness),
+                         fp.substr(0, 8)});
   }
   window_sweep.Print(std::cout);
 
   std::cout << "\ncanopy loose-threshold sweep (tight = loose/2):\n";
-  TablePrinter canopy_sweep({"loose", "candidates", "RR", "PC"});
+  TablePrinter canopy_sweep({"loose", "candidates", "RR", "PC", "plan"});
   for (double loose : {0.2, 0.4, 0.6, 0.8, 0.95}) {
-    CanopyOptions options;
-    options.loose = loose;
-    options.tight = loose / 2;
-    CanopyReduction canopy(key, options);
+    PlanSpec spec = BasePlan()
+                        .Reduction("canopy")
+                        .Set("reduction.loose", loose)
+                        .Set("reduction.tight", loose / 2)
+                        .Build();
     size_t candidates = 0;
-    ReductionMetrics m = Measure(canopy, data, &candidates);
+    std::string fp;
+    ReductionMetrics m = Measure(spec, data, &candidates, &fp);
     canopy_sweep.AddRow({Fmt(loose), std::to_string(candidates),
-                         Fmt(m.reduction_ratio), Fmt(m.pairs_completeness)});
+                         Fmt(m.reduction_ratio), Fmt(m.pairs_completeness),
+                         fp.substr(0, 8)});
   }
   canopy_sweep.Print(std::cout);
 
   std::cout << "\nadaptive SNM key-similarity threshold sweep:\n";
-  TablePrinter adaptive_sweep({"threshold", "candidates", "RR", "PC"});
+  TablePrinter adaptive_sweep({"threshold", "candidates", "RR", "PC", "plan"});
   for (double threshold : {0.2, 0.4, 0.6, 0.8, 0.95}) {
-    SnmAdaptiveOptions options;
-    options.key_similarity_threshold = threshold;
-    options.max_window = 12;
-    SnmAdaptive snm(key, options);
+    PlanSpec spec = BasePlan()
+                        .Reduction("snm_adaptive")
+                        .Set("reduction.key_similarity", threshold)
+                        .Set("reduction.max_window", size_t{12})
+                        .Build();
     size_t candidates = 0;
-    ReductionMetrics m = Measure(snm, data, &candidates);
+    std::string fp;
+    ReductionMetrics m = Measure(spec, data, &candidates, &fp);
     adaptive_sweep.AddRow({Fmt(threshold), std::to_string(candidates),
                            Fmt(m.reduction_ratio),
-                           Fmt(m.pairs_completeness)});
+                           Fmt(m.pairs_completeness), fp.substr(0, 8)});
   }
   adaptive_sweep.Print(std::cout);
   std::cout << "\nreading: PC should rise with window size and canopy "
                "looseness and fall with the adaptive threshold; RR moves "
-               "inversely in each sweep.\n";
+               "inversely in each sweep. The plan column is the spec "
+               "fingerprint prefix identifying each sweep point.\n";
   return 0;
 }

@@ -1,5 +1,7 @@
 #include "core/config.h"
 
+#include "reduction/pruning.h"
+
 namespace pdd {
 
 const char* ReductionMethodName(ReductionMethod method) {
@@ -76,6 +78,30 @@ Status DetectorConfig::Validate() const {
   }
   if (batch_size == 0) {
     return Status::InvalidArgument("batch_size must be positive");
+  }
+  if (prune_threshold < 0.0 || prune_threshold > 1.0) {
+    return Status::InvalidArgument("prune_threshold must be in [0, 1]");
+  }
+  if (prune) {
+    // The length-bound filter is only sound for comparators normalized
+    // by max length (see reduction/pruning.h). Positions overridden by
+    // a custom comparator instance are the caller's responsibility;
+    // empty / "default" entries are checked against their per-type
+    // resolution at plan compile time, when the schema is known.
+    for (size_t i = 0; i < comparators.size(); ++i) {
+      if (i < custom_comparators.size() && custom_comparators[i] != nullptr) {
+        continue;
+      }
+      const std::string& name = comparators[i];
+      if (name.empty() || name == "default" ||
+          IsMaxLengthNormalizedComparator(name)) {
+        continue;
+      }
+      return Status::InvalidArgument(
+          "prune requires max-length-normalized comparators (hamming/"
+          "levenshtein/damerau/lcs/exact/exact_nocase/prefix); '" +
+          name + "' is not");
+    }
   }
   return Status::OK();
 }

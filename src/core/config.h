@@ -11,6 +11,7 @@
 #include "decision/fellegi_sunter.h"
 #include "fusion/conflict_resolution.h"
 #include "pdb/world_selection.h"
+#include "plan/plan_spec.h"
 #include "prep/standardizer.h"
 #include "reduction/blocking_clustered.h"
 #include "reduction/canopy.h"
@@ -144,8 +145,32 @@ struct DetectorConfig {
   size_t batch_size = 256;
   size_t workers = 0;
 
-  /// Basic sanity validation (window, thresholds, weight count).
+  /// Basic sanity validation (window, thresholds, weight count,
+  /// pruning soundness: `prune_threshold` must lie in [0, 1] and
+  /// `prune` requires every named comparator to be max-length-
+  /// normalized).
   Status Validate() const;
+
+  // --- declarative form (src/plan/) ---------------------------------
+  // DetectorConfig is a thin bidirectional translator over PlanSpec:
+  // the spec is the canonical, text-representable, fingerprintable
+  // form; this struct is its C++-native projection. Implemented in
+  // plan/translate.cc.
+
+  /// The declarative spec of this config. Prints only the parameters
+  /// the selected components read; pointer-valued fields (custom
+  /// comparators, token-map standardizers) appear as "custom" markers
+  /// that FromSpec refuses to resolve.
+  PlanSpec ToSpec() const;
+
+  /// Builds a config from a spec, applying the spec's assignments over
+  /// `base` (absent keys keep the base value; the no-base overload
+  /// starts from a default-constructed config). Component names resolve
+  /// through the ComponentRegistry; unknown names and unknown parameter
+  /// keys are InvalidArgument.
+  static Result<DetectorConfig> FromSpec(const PlanSpec& spec);
+  static Result<DetectorConfig> FromSpec(const PlanSpec& spec,
+                                         DetectorConfig base);
 };
 
 }  // namespace pdd

@@ -52,6 +52,13 @@ Result<DuplicateDetector> DuplicateDetector::Make(DetectorConfig config,
   return DuplicateDetector(std::move(plan));
 }
 
+Result<DuplicateDetector> DuplicateDetector::Make(const PlanSpec& spec,
+                                                  Schema schema) {
+  PDD_ASSIGN_OR_RETURN(std::shared_ptr<const DetectionPlan> plan,
+                       DetectionPlan::Compile(spec, std::move(schema)));
+  return DuplicateDetector(std::move(plan));
+}
+
 StageExecutor DuplicateDetector::MakeExecutor() const {
   StageExecutorOptions options;
   options.batch_size = plan_->config().batch_size;

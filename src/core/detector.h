@@ -46,6 +46,10 @@ class DuplicateDetector {
   /// derivation functions).
   static Result<DuplicateDetector> Make(DetectorConfig config, Schema schema);
 
+  /// Declarative form: compiles a PlanSpec (names resolved through the
+  /// ComponentRegistry) against the schema.
+  static Result<DuplicateDetector> Make(const PlanSpec& spec, Schema schema);
+
   /// Runs the pipeline on one x-relation.
   Result<DetectionResult> Run(const XRelation& rel) const;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "plan/plan_spec.h"
 #include "util/string_util.h"
 
 namespace pdd {
@@ -41,6 +42,10 @@ std::string DetectionReport(const DetectionResult& result,
                             const GoldStandard* gold,
                             size_t max_review_rows) {
   std::string out = "# Duplicate detection report\n\n";
+  if (result.plan_fingerprint != 0) {
+    out += "- plan fingerprint: " + FingerprintHex(result.plan_fingerprint) +
+           "\n";
+  }
   out += "- pairs examined: " + std::to_string(result.candidate_count) +
          " of " + std::to_string(result.total_pairs) + "\n";
   size_t matches = result.Matches().size();

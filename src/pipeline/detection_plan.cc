@@ -1,18 +1,8 @@
 #include "pipeline/detection_plan.h"
 
-#include "decision/rule_engine.h"
-#include "decision/rule_parser.h"
-#include "derive/decision_based.h"
-#include "derive/similarity_based.h"
-#include "reduction/blocking.h"
-#include "reduction/blocking_alternatives.h"
-#include "reduction/blocking_clustered.h"
+#include "plan/registry.h"
 #include "reduction/full_pairs.h"
 #include "reduction/pruning.h"
-#include "reduction/snm_certain_keys.h"
-#include "reduction/snm_multipass_worlds.h"
-#include "reduction/snm_sorting_alternatives.h"
-#include "reduction/snm_uncertain_ranking.h"
 #include "sim/registry.h"
 
 namespace pdd {
@@ -32,13 +22,21 @@ const char* PipelineStageName(PipelineStage stage) {
 }
 
 Result<std::shared_ptr<const DetectionPlan>> DetectionPlan::Compile(
+    const PlanSpec& spec, Schema schema) {
+  PDD_ASSIGN_OR_RETURN(DetectorConfig config, DetectorConfig::FromSpec(spec));
+  return Compile(std::move(config), std::move(schema));
+}
+
+Result<std::shared_ptr<const DetectionPlan>> DetectionPlan::Compile(
     DetectorConfig config, Schema schema) {
   PDD_RETURN_IF_ERROR(config.Validate());
+  const ComponentRegistry& registry = ComponentRegistry::Global();
   std::shared_ptr<DetectionPlan> plan(new DetectionPlan());
   // Key spec.
   PDD_ASSIGN_OR_RETURN(plan->key_spec_,
                        KeySpec::FromNames(config.key, schema));
-  // Comparators: explicit names or per-type defaults.
+  // Comparators: explicit names or per-type defaults (empty and
+  // "default" entries select by attribute type).
   std::vector<const Comparator*> comparators(schema.arity(), nullptr);
   if (!config.comparators.empty() &&
       config.comparators.size() != schema.arity()) {
@@ -59,78 +57,46 @@ Result<std::shared_ptr<const DetectionPlan>> DetectionPlan::Compile(
     std::string name;
     if (!config.comparators.empty()) {
       name = config.comparators[i];
-    } else {
+    }
+    if (name.empty() || name == "default") {
       name = schema.attribute(i).type == ValueType::kNumeric ? "numeric_rel"
                                                              : "hamming";
+    }
+    // Validate() already rejected named unsound comparators; with the
+    // schema in hand we can also catch per-type defaults (numeric_rel
+    // for numeric attributes) that would make the prune bound unsound.
+    if (config.prune && !IsMaxLengthNormalizedComparator(name)) {
+      return Status::InvalidArgument(
+          "prune requires max-length-normalized comparators; attribute '" +
+          schema.attribute(i).name + "' resolves to '" + name + "'");
     }
     PDD_ASSIGN_OR_RETURN(comparators[i], GetComparator(name));
   }
   PDD_ASSIGN_OR_RETURN(TupleMatcher matcher,
                        TupleMatcher::Make(schema, comparators));
   plan->matcher_ = std::make_unique<TupleMatcher>(std::move(matcher));
-  // Combination function.
-  switch (config.combination) {
-    case CombinationKind::kWeightedSum: {
-      std::vector<double> weights = config.weights;
-      if (weights.empty()) {
-        weights.assign(schema.arity(),
-                       1.0 / static_cast<double>(schema.arity()));
-      }
-      if (weights.size() != schema.arity()) {
-        return Status::InvalidArgument(
-            "weight count must match schema arity");
-      }
-      PDD_ASSIGN_OR_RETURN(WeightedSumCombination sum,
-                           WeightedSumCombination::Make(std::move(weights)));
-      plan->combination_ =
-          std::make_unique<WeightedSumCombination>(std::move(sum));
-      break;
-    }
-    case CombinationKind::kFellegiSunter: {
-      PDD_ASSIGN_OR_RETURN(FellegiSunterModel fs,
-                           FellegiSunterModel::Make(config.fs_attributes,
-                                                    config.fs_interpolated));
-      plan->combination_ = std::make_unique<FellegiSunterModel>(std::move(fs));
-      break;
-    }
-    case CombinationKind::kRules: {
-      PDD_ASSIGN_OR_RETURN(std::vector<IdentificationRule> rules,
-                           ParseRules(config.rules_text, schema));
-      PDD_ASSIGN_OR_RETURN(RuleEngine engine,
-                           RuleEngine::Make(std::move(rules), schema));
-      plan->combination_ =
-          std::make_unique<RuleCombination>(std::move(engine));
-      break;
-    }
-  }
-  // Derivation function.
-  switch (config.derivation) {
-    case DerivationKind::kExpectedSimilarity:
-      plan->derivation_ = std::make_unique<ExpectedSimilarityDerivation>();
-      break;
-    case DerivationKind::kMatchingWeight:
-      plan->derivation_ =
-          std::make_unique<MatchingWeightDerivation>(config.intermediate);
-      break;
-    case DerivationKind::kExpectedMatching:
-      plan->derivation_ = std::make_unique<ExpectedMatchingDerivation>(
-          config.intermediate, /*normalize=*/true);
-      break;
-    case DerivationKind::kMaxSimilarity:
-      plan->derivation_ = std::make_unique<MaxSimilarityDerivation>();
-      break;
-    case DerivationKind::kMinSimilarity:
-      plan->derivation_ = std::make_unique<MinSimilarityDerivation>();
-      break;
-    case DerivationKind::kModeSimilarity:
-      plan->derivation_ = std::make_unique<ModeSimilarityDerivation>();
-      break;
-  }
+  // Combination function φ, resolved by registry name.
+  PDD_ASSIGN_OR_RETURN(
+      const ComponentRegistry::CombinationEntry* combination,
+      registry.FindCombination(CombinationKindName(config.combination)));
+  PDD_ASSIGN_OR_RETURN(plan->combination_,
+                       combination->make(config, schema));
+  // Derivation function ϑ, resolved by registry name.
+  PDD_ASSIGN_OR_RETURN(
+      const ComponentRegistry::DerivationEntry* derivation,
+      registry.FindDerivation(DerivationKindName(config.derivation)));
+  plan->derivation_ = derivation->make(config);
+  // Reduction is resolved here too so a bad enum value fails at
+  // compile time rather than at the first run.
+  PDD_RETURN_IF_ERROR(
+      registry.FindReduction(ReductionMethodName(config.reduction)).status());
   plan->model_ = std::make_unique<XTupleDecisionModel>(
       plan->matcher_.get(), plan->combination_.get(),
       plan->derivation_.get(), config.final_thresholds);
   plan->stages_ = {PipelineStage::kMatch, PipelineStage::kCombine,
                    PipelineStage::kDerive, PipelineStage::kClassify};
+  plan->spec_ = config.ToSpec();
+  plan->fingerprint_ = plan->spec_.Fingerprint();
   plan->schema_ = std::move(schema);
   plan->config_ = std::move(config);
   return std::shared_ptr<const DetectionPlan>(std::move(plan));
@@ -146,52 +112,10 @@ std::unique_ptr<PairGenerator> DetectionPlan::MakePairGenerator() const {
 }
 
 std::unique_ptr<PairGenerator> DetectionPlan::MakeReductionGenerator() const {
-  switch (config_.reduction) {
-    case ReductionMethod::kFull:
-      return std::make_unique<FullPairs>();
-    case ReductionMethod::kSnmMultipassWorlds: {
-      SnmMultipassOptions options;
-      options.window = config_.window;
-      options.selection = config_.world_selection;
-      options.value_strategy = config_.conflict_strategy;
-      return std::make_unique<SnmMultipassWorlds>(key_spec_, options);
-    }
-    case ReductionMethod::kSnmCertainKeys: {
-      SnmCertainKeyOptions options;
-      options.window = config_.window;
-      options.strategy = config_.conflict_strategy;
-      return std::make_unique<SnmCertainKeys>(key_spec_, options);
-    }
-    case ReductionMethod::kSnmSortingAlternatives: {
-      SnmAlternativesOptions options;
-      options.window = config_.window;
-      return std::make_unique<SnmSortingAlternatives>(key_spec_, options);
-    }
-    case ReductionMethod::kSnmUncertainRanking: {
-      SnmRankingOptions options;
-      options.window = config_.window;
-      options.method = config_.ranking_method;
-      return std::make_unique<SnmUncertainRanking>(key_spec_, options);
-    }
-    case ReductionMethod::kBlockingCertainKeys:
-      return std::make_unique<BlockingCertainKeys>(key_spec_,
-                                                   config_.conflict_strategy);
-    case ReductionMethod::kBlockingAlternatives:
-      return std::make_unique<BlockingAlternatives>(key_spec_);
-    case ReductionMethod::kBlockingMultipassWorlds:
-      return std::make_unique<BlockingMultipassWorlds>(
-          key_spec_, config_.world_selection);
-    case ReductionMethod::kBlockingClustered:
-      return std::make_unique<BlockingClustered>(key_spec_,
-                                                 config_.clustering);
-    case ReductionMethod::kCanopy:
-      return std::make_unique<CanopyReduction>(key_spec_, config_.canopy);
-    case ReductionMethod::kSnmAdaptive:
-      return std::make_unique<SnmAdaptive>(key_spec_, config_.adaptive);
-    case ReductionMethod::kQGramIndex:
-      return std::make_unique<QGramIndexReduction>(key_spec_, config_.qgram);
-  }
-  return std::make_unique<FullPairs>();
+  auto entry = ComponentRegistry::Global().FindReduction(
+      ReductionMethodName(config_.reduction));
+  if (!entry.ok()) return std::make_unique<FullPairs>();
+  return (*entry)->make(config_, key_spec_);
 }
 
 ComparisonMatrix DetectionPlan::RunMatchStage(const XTuple& t1,

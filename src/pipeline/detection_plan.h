@@ -23,6 +23,7 @@
 #include "keys/key_spec.h"
 #include "match/tuple_matcher.h"
 #include "pdb/xrelation.h"
+#include "plan/plan_spec.h"
 #include "reduction/pair_generator.h"
 #include "util/status.h"
 
@@ -41,12 +42,27 @@ const char* PipelineStageName(PipelineStage stage);
 
 class DetectionPlan {
  public:
-  /// Validates the configuration against the schema and resolves all
-  /// pipeline components. The returned plan is immutable and shareable.
+  /// Primary path: compiles a declarative plan spec against the schema.
+  /// Component names resolve through the ComponentRegistry; the
+  /// resulting plan's fingerprint identifies the spec.
+  static Result<std::shared_ptr<const DetectionPlan>> Compile(
+      const PlanSpec& spec, Schema schema);
+
+  /// Compiles the C++-native configuration form. Equivalent to the spec
+  /// path (components resolve through the same registry); the plan's
+  /// spec()/fingerprint() are derived via DetectorConfig::ToSpec.
   static Result<std::shared_ptr<const DetectionPlan>> Compile(
       DetectorConfig config, Schema schema);
 
   const DetectorConfig& config() const { return config_; }
+
+  /// The canonical declarative form of this plan (what --print-plan
+  /// emits) and its stable 64-bit identity. Two plans with the same
+  /// fingerprint decide pairs identically (modulo custom comparator /
+  /// preparation instances, which fingerprint as opaque "custom"
+  /// markers).
+  const PlanSpec& spec() const { return spec_; }
+  uint64_t fingerprint() const { return fingerprint_; }
   const Schema& schema() const { return schema_; }
   const KeySpec& key_spec() const { return key_spec_; }
   const TupleMatcher& matcher() const { return *matcher_; }
@@ -87,6 +103,8 @@ class DetectionPlan {
   std::unique_ptr<PairGenerator> MakeReductionGenerator() const;
 
   DetectorConfig config_;
+  PlanSpec spec_;
+  uint64_t fingerprint_ = 0;
   Schema schema_;
   KeySpec key_spec_;
   std::vector<PipelineStage> stages_;

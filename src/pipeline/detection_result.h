@@ -6,6 +6,7 @@
 #ifndef PDD_PIPELINE_DETECTION_RESULT_H_
 #define PDD_PIPELINE_DETECTION_RESULT_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -35,6 +36,11 @@ struct DetectionResult {
   /// All pairs of the scenario (n(n-1)/2 for a full run; only the
   /// addition-crossing pairs for an incremental run).
   size_t total_pairs = 0;
+  /// Fingerprint of the plan that produced this result
+  /// (DetectionPlan::fingerprint(); 0 when unknown). Identifies which
+  /// declarative plan the decisions belong to — the cache/merge key for
+  /// repeated and incremental runs.
+  uint64_t plan_fingerprint = 0;
 
   /// Number of decisions classified `match_class`.
   size_t CountClass(MatchClass match_class) const;

@@ -42,6 +42,7 @@ Result<DetectionResult> StageExecutor::Execute(CandidateStream& stream) const {
   }
   DetectionResult result;
   result.total_pairs = stream.total_pairs();
+  result.plan_fingerprint = plan_->fingerprint();
 
   if (options_.workers <= 1) {
     result.decisions.reserve(stream.candidate_count());

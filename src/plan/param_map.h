@@ -1,0 +1,96 @@
+// ParamMap: the typed string→value parameter bag underlying PlanSpec.
+//
+// Values are stored as canonical strings (the plan text format is the
+// source of truth); typed getters parse on access and report malformed
+// values as InvalidArgument. Every getter marks its key as consumed, so
+// after a component has read its parameters the caller can reject
+// unknown keys with ExpectFullyConsumed() — a typo like
+// "reduction.windwo = 5" fails loudly instead of silently using the
+// default.
+
+#ifndef PDD_PLAN_PARAM_MAP_H_
+#define PDD_PLAN_PARAM_MAP_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace pdd {
+
+/// Keys are restricted to [A-Za-z0-9_.-]+ so the `key = value` text
+/// form always round-trips (no whitespace, '=' or '#' ambiguity).
+bool IsValidParamKey(std::string_view key);
+
+class ParamMap {
+ public:
+  // --- setters (canonical string formatting) ------------------------
+
+  /// Sets `key` to a verbatim string value (overwrites). `key` must
+  /// satisfy IsValidParamKey (asserted in debug builds; an invalid key
+  /// would break the ToText/Parse round trip).
+  void Set(std::string key, std::string value);
+  /// Sets `key` to FormatDouble(value) ("0.8", "1", "0.0125").
+  void SetDouble(std::string key, double value);
+  /// Sets `key` to the decimal form of `value`.
+  void SetSize(std::string key, size_t value);
+  /// Sets `key` to "true" / "false".
+  void SetBool(std::string key, bool value);
+
+  /// Removes `key`; returns whether it was present.
+  bool Erase(std::string_view key);
+
+  // --- defaulted, consuming getters ---------------------------------
+
+  bool Has(std::string_view key) const;
+
+  /// The value of `key`, or `default_value` when absent.
+  std::string GetString(std::string_view key,
+                        std::string default_value) const;
+  /// Parses `key` as a double; absent keys yield `default_value`,
+  /// malformed values InvalidArgument.
+  Result<double> GetDouble(std::string_view key, double default_value) const;
+  /// Parses `key` as a non-negative integer.
+  Result<size_t> GetSize(std::string_view key, size_t default_value) const;
+  /// Parses `key` as a boolean ("true"/"false"/"1"/"0"/"yes"/"no").
+  Result<bool> GetBool(std::string_view key, bool default_value) const;
+
+  // --- unknown-key rejection ----------------------------------------
+
+  /// Clears the consumed-key record (call before a fresh read pass).
+  void ResetConsumption() const;
+  /// Keys never touched by a getter since the last reset, sorted.
+  std::vector<std::string> UnconsumedKeys() const;
+  /// InvalidArgument listing the unconsumed keys, or OK when all keys
+  /// were read. `context` names the reader ("plan spec").
+  Status ExpectFullyConsumed(std::string_view context) const;
+
+  // --- inspection ---------------------------------------------------
+
+  /// All entries in canonical (lexicographic) key order.
+  const std::map<std::string, std::string, std::less<>>& entries() const {
+    return entries_;
+  }
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  bool operator==(const ParamMap& other) const {
+    return entries_ == other.entries_;
+  }
+  bool operator!=(const ParamMap& other) const { return !(*this == other); }
+
+ private:
+  /// Looks up `key` and marks it consumed; nullptr when absent.
+  const std::string* Find(std::string_view key) const;
+
+  std::map<std::string, std::string, std::less<>> entries_;
+  /// Keys read by getters — mutable because reading is logically const.
+  mutable std::set<std::string, std::less<>> consumed_;
+};
+
+}  // namespace pdd
+
+#endif  // PDD_PLAN_PARAM_MAP_H_

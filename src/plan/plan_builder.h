@@ -1,0 +1,74 @@
+// PlanBuilder: fluent C++ construction of PlanSpecs.
+//
+//   PlanSpec spec = PlanBuilder()
+//                       .AddKey("name", 3)
+//                       .AddKey("job", 2)
+//                       .Reduction("snm_certain_keys")
+//                       .Set("reduction.window", 4)
+//                       .Weights({0.8, 0.2})
+//                       .Thresholds(0.4, 0.7)
+//                       .Build();
+//
+// The builder only records what the caller sets; everything else keeps
+// its DetectorConfig default when the spec is compiled. Component names
+// are validated at compile time (DetectionPlan::Compile /
+// DetectorConfig::FromSpec), not at Build().
+
+#ifndef PDD_PLAN_PLAN_BUILDER_H_
+#define PDD_PLAN_PLAN_BUILDER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "plan/plan_spec.h"
+
+namespace pdd {
+
+class PlanBuilder {
+ public:
+  /// Replaces the key components.
+  PlanBuilder& Key(std::vector<std::pair<std::string, size_t>> key);
+  /// Appends one key component (attribute name, prefix length; 0 =
+  /// whole value).
+  PlanBuilder& AddKey(std::string attribute, size_t prefix);
+
+  /// Selects the reduction / combination φ / derivation ϑ by registry
+  /// name.
+  PlanBuilder& Reduction(std::string name);
+  PlanBuilder& Combination(std::string name);
+  PlanBuilder& Derivation(std::string name);
+
+  /// Weighted-sum combination weights.
+  PlanBuilder& Weights(const std::vector<double>& weights);
+  /// Final classification thresholds Tλ / Tμ.
+  PlanBuilder& Thresholds(double t_lambda, double t_mu);
+  /// Intermediate thresholds of the decision-based derivations.
+  PlanBuilder& IntermediateThresholds(double t_lambda, double t_mu);
+  /// Per-attribute comparator names ("default" = per-type default).
+  PlanBuilder& Comparators(const std::vector<std::string>& names);
+  /// Data preparation step description ("lower,trim,collapse").
+  PlanBuilder& Prepare(std::string description);
+  /// Enables length-bound pruning at `threshold`.
+  PlanBuilder& Prune(double threshold);
+
+  /// Raw parameter assignment for anything without a dedicated setter
+  /// ("reduction.window", "combination.interpolated", ...).
+  PlanBuilder& Set(std::string key, std::string value);
+  PlanBuilder& Set(std::string key, const char* value);
+  PlanBuilder& Set(std::string key, double value);
+  PlanBuilder& Set(std::string key, size_t value);
+  PlanBuilder& Set(std::string key, int value);
+  PlanBuilder& Set(std::string key, bool value);
+
+  /// The assembled spec.
+  PlanSpec Build() const;
+
+ private:
+  PlanSpec spec_;
+  std::vector<std::pair<std::string, size_t>> key_;
+};
+
+}  // namespace pdd
+
+#endif  // PDD_PLAN_PLAN_BUILDER_H_

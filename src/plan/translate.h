@@ -1,0 +1,28 @@
+// Helpers shared by the DetectorConfig ↔ PlanSpec translation (the
+// member functions DetectorConfig::ToSpec / DetectorConfig::FromSpec
+// are implemented in translate.cc).
+
+#ifndef PDD_PLAN_TRANSLATE_H_
+#define PDD_PLAN_TRANSLATE_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace pdd {
+
+/// Parses the plan-spec key form "attr:len[,attr:len...]" (prefix
+/// length 0 = whole value) into DetectorConfig::key components.
+Result<std::vector<std::pair<std::string, size_t>>> ParseKeyComponents(
+    std::string_view text);
+
+/// The inverse of ParseKeyComponents: "name:3,job:2".
+std::string FormatKeyComponents(
+    const std::vector<std::pair<std::string, size_t>>& key);
+
+}  // namespace pdd
+
+#endif  // PDD_PLAN_TRANSLATE_H_

@@ -44,6 +44,67 @@ Standardizer& Standardizer::MapTokens(
 
 namespace {
 
+/// The one kind ↔ name table both FromDescription and Description use
+/// (kMapTokens is deliberately absent: tables are not describable).
+struct StepName {
+  Standardizer::Kind kind;
+  const char* name;
+};
+
+constexpr StepName kStepNames[] = {
+    {Standardizer::Kind::kLowerCase, "lower"},
+    {Standardizer::Kind::kUpperCase, "upper"},
+    {Standardizer::Kind::kTrim, "trim"},
+    {Standardizer::Kind::kCollapseWhitespace, "collapse"},
+    {Standardizer::Kind::kStripPunctuation, "strip_punctuation"},
+    {Standardizer::Kind::kStripDigits, "strip_digits"},
+};
+
+}  // namespace
+
+Result<Standardizer> Standardizer::FromDescription(
+    std::string_view description) {
+  Standardizer standardizer;
+  for (const std::string& piece : Split(description, ',')) {
+    std::string_view step = Trim(piece);
+    bool found = false;
+    for (const StepName& entry : kStepNames) {
+      if (step == entry.name) {
+        standardizer.steps_.push_back({entry.kind, {}});
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::vector<std::string> known;
+      for (const StepName& entry : kStepNames) known.push_back(entry.name);
+      return Status::InvalidArgument("unknown standardizer step '" +
+                                     std::string(step) + "' (known: " +
+                                     Join(known, ", ") + ")");
+    }
+  }
+  return standardizer;
+}
+
+std::string Standardizer::Description() const {
+  std::vector<std::string> pieces;
+  pieces.reserve(steps_.size());
+  for (const Step& step : steps_) {
+    const char* name = nullptr;
+    for (const StepName& entry : kStepNames) {
+      if (step.kind == entry.kind) {
+        name = entry.name;
+        break;
+      }
+    }
+    if (name == nullptr) return "custom";  // kMapTokens
+    pieces.push_back(name);
+  }
+  return Join(pieces, ",");
+}
+
+namespace {
+
 std::string StripIf(std::string_view s, bool (*predicate)(unsigned char)) {
   std::string out;
   out.reserve(s.size());
@@ -121,12 +182,25 @@ DataPreparation DataPreparation::Uniform(Standardizer standardizer,
   return DataPreparation(std::move(per_attribute));
 }
 
+DataPreparation DataPreparation::UniformAll(Standardizer standardizer) {
+  DataPreparation preparation;
+  preparation.uniform_ = std::move(standardizer);
+  return preparation;
+}
+
 XTuple DataPreparation::PrepareXTuple(const XTuple& xtuple) const {
   std::vector<AltTuple> alternatives = xtuple.alternatives();
   for (AltTuple& alt : alternatives) {
-    for (size_t i = 0; i < alt.values.size() && i < per_attribute_.size();
-         ++i) {
-      alt.values[i] = per_attribute_[i].ApplyToValue(alt.values[i]);
+    for (size_t i = 0; i < alt.values.size(); ++i) {
+      const Standardizer* standardizer = nullptr;
+      if (uniform_.has_value()) {
+        standardizer = &*uniform_;
+      } else if (i < per_attribute_.size()) {
+        standardizer = &per_attribute_[i];
+      }
+      if (standardizer != nullptr) {
+        alt.values[i] = standardizer->ApplyToValue(alt.values[i]);
+      }
     }
   }
   return XTuple(xtuple.id(), std::move(alternatives));

@@ -11,11 +11,14 @@
 #define PDD_PREP_STANDARDIZER_H_
 
 #include <map>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "pdb/value.h"
 #include "pdb/xrelation.h"
+#include "util/status.h"
 
 namespace pdd {
 
@@ -37,6 +40,16 @@ class Standardizer {
   /// case-insensitive tables.
   Standardizer& MapTokens(std::map<std::string, std::string> table);
 
+  /// Parses a comma-separated step description ("lower,trim,collapse";
+  /// steps: lower, upper, trim, collapse, strip_punctuation,
+  /// strip_digits) — the plan-spec form of a standardizer. Token maps
+  /// are not describable and must be configured programmatically.
+  static Result<Standardizer> FromDescription(std::string_view description);
+
+  /// The inverse of FromDescription: "lower,trim,collapse". Pipelines
+  /// containing a token map return "custom" (not round-trippable).
+  std::string Description() const;
+
   /// Applies the pipeline to one text.
   std::string Apply(std::string_view text) const;
 
@@ -50,7 +63,9 @@ class Standardizer {
   /// Number of configured transforms.
   size_t size() const { return steps_.size(); }
 
- private:
+  /// The transform kinds (public so the description table in
+  /// standardizer.cc can name them; construction still goes through
+  /// the fluent methods).
   enum class Kind {
     kLowerCase,
     kUpperCase,
@@ -60,6 +75,8 @@ class Standardizer {
     kStripDigits,
     kMapTokens,
   };
+
+ private:
   struct Step {
     Kind kind;
     std::map<std::string, std::string> table;  // kMapTokens only
@@ -76,6 +93,10 @@ class DataPreparation {
   /// The same standardizer for every attribute of `arity`.
   static DataPreparation Uniform(Standardizer standardizer, size_t arity);
 
+  /// The same standardizer for every attribute of any schema (no arity
+  /// needed up front — the plan-spec `prepare = ...` form).
+  static DataPreparation UniformAll(Standardizer standardizer);
+
   /// Per-attribute standardizers (index-aligned with the schema).
   explicit DataPreparation(std::vector<Standardizer> per_attribute)
       : per_attribute_(std::move(per_attribute)) {}
@@ -91,8 +112,14 @@ class DataPreparation {
     return per_attribute_;
   }
 
+  /// The all-attribute standardizer (UniformAll), when configured.
+  const std::optional<Standardizer>& uniform() const { return uniform_; }
+
  private:
   std::vector<Standardizer> per_attribute_;
+  /// Applied to every attribute regardless of index when set;
+  /// `per_attribute_` is ignored in that case.
+  std::optional<Standardizer> uniform_;
 };
 
 }  // namespace pdd

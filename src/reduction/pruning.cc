@@ -4,6 +4,15 @@
 
 namespace pdd {
 
+bool IsMaxLengthNormalizedComparator(std::string_view name) {
+  // exact / exact_nocase / prefix are bounded too: they score 1 only
+  // for equal-length strings (bound 1) and prefix similarity is
+  // |lcp| / max ≤ min / max = LengthBound.
+  return name == "hamming" || name == "levenshtein" || name == "damerau" ||
+         name == "lcs" || name == "exact" || name == "exact_nocase" ||
+         name == "prefix";
+}
+
 double LengthBound(std::string_view a, std::string_view b) {
   size_t max_len = std::max(a.size(), b.size());
   if (max_len == 0) return 1.0;

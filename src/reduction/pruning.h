@@ -21,6 +21,11 @@
 
 namespace pdd {
 
+/// True iff LengthBound is a sound upper bound for the named registry
+/// comparator (hamming, levenshtein, damerau, lcs, exact,
+/// exact_nocase, prefix).
+bool IsMaxLengthNormalizedComparator(std::string_view name);
+
 /// Length-filter upper bound on the similarity of two certain texts
 /// under max-length-normalized comparators.
 double LengthBound(std::string_view a, std::string_view b);

@@ -9,18 +9,23 @@
 //   pddcli demo                                 run on the paper's R34
 //
 // Options for `detect`:
+//   --plan FILE                    load a declarative plan spec
+//                                  (`key = value` lines; see README
+//                                  "Plan files"); applied before any
+//                                  other option regardless of position
+//   --set key=value                override one plan parameter (may
+//                                  repeat; applied after all other
+//                                  options)
+//   --print-plan                   print the resolved plan in canonical
+//                                  spec form (with its fingerprint as a
+//                                  comment) and exit without running
 //   --key attr:len[,attr:len...]   sorting/blocking key (default: first
 //                                  two attributes, prefix 3 and 2)
-//   --reduction NAME               full | snm_certain_keys |
-//                                  snm_sorting_alternatives |
-//                                  snm_uncertain_ranking |
-//                                  blocking_certain_keys |
-//                                  blocking_alternatives | canopy |
-//                                  snm_adaptive  (default: full)
+//   --reduction NAME               any registered reduction (see
+//                                  --print-plan / README; default: full)
 //   --window N                     SNM window (default 3)
 //   --t-lambda X --t-mu Y          thresholds (default 0.4 / 0.7)
-//   --derivation NAME              expected_similarity | matching_weight |
-//                                  expected_matching (default:
+//   --derivation NAME              any registered derivation (default:
 //                                  expected_similarity)
 //   --prepare                      lowercase/trim/collapse before matching
 //   --workers N                    decide candidate batches on N threads
@@ -35,6 +40,9 @@
 //                                  selection aid)
 //
 // Relations use the text format of pdb/text_format.h (.pxr files).
+// `--print-plan` output is itself a valid plan file:
+//   pddcli detect r.pxr --reduction canopy --print-plan > plan.txt
+//   pddcli detect r.pxr --plan plan.txt
 
 #include <fstream>
 #include <iostream>
@@ -46,6 +54,9 @@
 #include "core/report_writer.h"
 #include "pdb/statistics.h"
 #include "pdb/text_format.h"
+#include "plan/plan_spec.h"
+#include "plan/registry.h"
+#include "plan/translate.h"
 #include "prep/standardizer.h"
 #include "util/string_util.h"
 #include "verify/gold_io.h"
@@ -60,76 +71,19 @@ int Fail(const std::string& message) {
   return 1;
 }
 
-Result<XRelation> LoadRelation(const std::string& path) {
+Result<std::string> ReadFile(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
     return Status::NotFound("cannot open '" + path + "'");
   }
   std::stringstream buffer;
   buffer << in.rdbuf();
-  return ParseXRelation(buffer.str());
+  return buffer.str();
 }
 
-Result<ReductionMethod> ParseReduction(const std::string& name) {
-  if (name == "full") return ReductionMethod::kFull;
-  if (name == "snm_multipass_worlds") {
-    return ReductionMethod::kSnmMultipassWorlds;
-  }
-  if (name == "snm_certain_keys") return ReductionMethod::kSnmCertainKeys;
-  if (name == "snm_sorting_alternatives") {
-    return ReductionMethod::kSnmSortingAlternatives;
-  }
-  if (name == "snm_uncertain_ranking") {
-    return ReductionMethod::kSnmUncertainRanking;
-  }
-  if (name == "blocking_certain_keys") {
-    return ReductionMethod::kBlockingCertainKeys;
-  }
-  if (name == "blocking_alternatives") {
-    return ReductionMethod::kBlockingAlternatives;
-  }
-  if (name == "blocking_multipass_worlds") {
-    return ReductionMethod::kBlockingMultipassWorlds;
-  }
-  if (name == "blocking_clustered") return ReductionMethod::kBlockingClustered;
-  if (name == "canopy") return ReductionMethod::kCanopy;
-  if (name == "snm_adaptive") return ReductionMethod::kSnmAdaptive;
-  if (name == "qgram_index") return ReductionMethod::kQGramIndex;
-  return Status::InvalidArgument("unknown reduction '" + name + "'");
-}
-
-Result<DerivationKind> ParseDerivation(const std::string& name) {
-  if (name == "expected_similarity") {
-    return DerivationKind::kExpectedSimilarity;
-  }
-  if (name == "matching_weight") return DerivationKind::kMatchingWeight;
-  if (name == "expected_matching") return DerivationKind::kExpectedMatching;
-  if (name == "max_similarity") return DerivationKind::kMaxSimilarity;
-  if (name == "min_similarity") return DerivationKind::kMinSimilarity;
-  if (name == "mode_similarity") return DerivationKind::kModeSimilarity;
-  return Status::InvalidArgument("unknown derivation '" + name + "'");
-}
-
-Result<std::vector<std::pair<std::string, size_t>>> ParseKeySpecArg(
-    const std::string& arg) {
-  std::vector<std::pair<std::string, size_t>> key;
-  for (const std::string& piece : Split(arg, ',')) {
-    std::vector<std::string> parts = Split(piece, ':');
-    if (parts.size() != 2) {
-      return Status::InvalidArgument("key component '" + piece +
-                                     "' is not attr:len");
-    }
-    double len = 0.0;
-    if (!ParseDouble(parts[1], &len) || len < 0) {
-      return Status::InvalidArgument("bad prefix length in '" + piece + "'");
-    }
-    key.emplace_back(std::string(Trim(parts[0])),
-                     static_cast<size_t>(len));
-  }
-  if (key.empty()) {
-    return Status::InvalidArgument("empty key spec");
-  }
-  return key;
+Result<XRelation> LoadRelation(const std::string& path) {
+  PDD_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  return ParseXRelation(text);
 }
 
 int RunDetect(const XRelation& rel, int argc, char** argv, int first_arg) {
@@ -142,27 +96,53 @@ int RunDetect(const XRelation& rel, int argc, char** argv, int first_arg) {
   }
   config.weights.assign(rel.schema().arity(),
                         1.0 / static_cast<double>(rel.schema().arity()));
+  // A plan file applies before any other option, wherever it appears.
+  for (int i = first_arg; i < argc; ++i) {
+    if (std::string(argv[i]) == "--plan") {
+      if (i + 1 >= argc) return Fail("--plan needs a file");
+      Result<std::string> text = ReadFile(argv[i + 1]);
+      if (!text.ok()) return Fail(text.status().ToString());
+      Result<PlanSpec> spec = PlanSpec::Parse(*text);
+      if (!spec.ok()) return Fail(spec.status().ToString());
+      Result<DetectorConfig> merged =
+          DetectorConfig::FromSpec(*spec, std::move(config));
+      if (!merged.ok()) return Fail(merged.status().ToString());
+      config = std::move(merged).value();
+    }
+  }
   bool csv = false;
   bool histogram = false;
+  bool print_plan = false;
+  PlanSpec overrides;
   std::optional<GoldStandard> gold;
   for (int i = first_arg; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
     };
-    if (arg == "--key") {
+    if (arg == "--plan") {
+      ++i;  // handled in the first pass
+    } else if (arg == "--set") {
+      const char* v = next();
+      if (v == nullptr) return Fail("--set needs key=value");
+      Status status = overrides.SetAssignment(v);
+      if (!status.ok()) return Fail(status.ToString());
+    } else if (arg == "--print-plan") {
+      print_plan = true;
+    } else if (arg == "--key") {
       const char* v = next();
       if (v == nullptr) return Fail("--key needs a value");
       Result<std::vector<std::pair<std::string, size_t>>> key =
-          ParseKeySpecArg(v);
+          ParseKeyComponents(v);
       if (!key.ok()) return Fail(key.status().ToString());
       config.key = std::move(key).value();
     } else if (arg == "--reduction") {
       const char* v = next();
       if (v == nullptr) return Fail("--reduction needs a value");
-      Result<ReductionMethod> method = ParseReduction(v);
+      Result<const ComponentRegistry::ReductionEntry*> method =
+          ComponentRegistry::Global().FindReduction(v);
       if (!method.ok()) return Fail(method.status().ToString());
-      config.reduction = *method;
+      config.reduction = (*method)->method;
     } else if (arg == "--window") {
       const char* v = next();
       double w = 0.0;
@@ -183,9 +163,10 @@ int RunDetect(const XRelation& rel, int argc, char** argv, int first_arg) {
     } else if (arg == "--derivation") {
       const char* v = next();
       if (v == nullptr) return Fail("--derivation needs a value");
-      Result<DerivationKind> kind = ParseDerivation(v);
+      Result<const ComponentRegistry::DerivationEntry*> kind =
+          ComponentRegistry::Global().FindDerivation(v);
       if (!kind.ok()) return Fail(kind.status().ToString());
-      config.derivation = *kind;
+      config.derivation = (*kind)->kind;
     } else if (arg == "--workers") {
       const char* v = next();
       double n = 0.0;
@@ -203,8 +184,7 @@ int RunDetect(const XRelation& rel, int argc, char** argv, int first_arg) {
     } else if (arg == "--prepare") {
       Standardizer standard;
       standard.LowerCase().TrimWhitespace().CollapseWhitespace();
-      config.preparation =
-          DataPreparation::Uniform(standard, rel.schema().arity());
+      config.preparation = DataPreparation::UniformAll(std::move(standard));
     } else if (arg == "--csv") {
       csv = true;
     } else if (arg == "--histogram") {
@@ -222,6 +202,20 @@ int RunDetect(const XRelation& rel, int argc, char** argv, int first_arg) {
     } else {
       return Fail("unknown option '" + arg + "'");
     }
+  }
+  // --set overrides apply last, on top of plan file and flags.
+  if (!overrides.params().empty()) {
+    Result<DetectorConfig> merged =
+        DetectorConfig::FromSpec(overrides, std::move(config));
+    if (!merged.ok()) return Fail(merged.status().ToString());
+    config = std::move(merged).value();
+  }
+  if (print_plan) {
+    PlanSpec spec = config.ToSpec();
+    std::cout << "# pddcli plan (fingerprint " +
+                     FingerprintHex(spec.Fingerprint()) + ")\n"
+              << spec.ToText();
+    return 0;
   }
   Result<DuplicateDetector> detector =
       DuplicateDetector::Make(config, rel.schema());
@@ -252,7 +246,13 @@ int main(int argc, char** argv) {
   std::string command = argv[1];
   if (command == "demo") {
     XRelation r34 = BuildR34();
-    std::cout << ComputeStatistics(r34).ToString() << "\n";
+    // Keep --print-plan output pipeable back into --plan: the plan
+    // must be the only stdout output.
+    bool print_plan = false;
+    for (int i = 2; i < argc; ++i) {
+      if (std::string(argv[i]) == "--print-plan") print_plan = true;
+    }
+    if (!print_plan) std::cout << ComputeStatistics(r34).ToString() << "\n";
     return RunDetect(r34, argc, argv, 2);
   }
   if (argc < 3) return Fail(command + " needs a relation file");
