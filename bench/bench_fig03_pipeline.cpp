@@ -6,6 +6,7 @@
 
 #include <chrono>
 #include <thread>
+#include <utility>
 
 #include "bench_util.h"
 #include "core/detector.h"
@@ -106,6 +107,36 @@ bool BenchStagedExecutor() {
   std::cout << serial.candidate_count << " candidate pairs per run, "
             << std::thread::hardware_concurrency()
             << " hardware thread(s) available\n";
+
+  // Executor instrumentation: where the serial run's time went, per
+  // pipeline stage (the profile perf work should target). A dedicated
+  // timed run — the throughput rows above stay clock-read-free.
+  StageExecutorOptions timed_options;
+  timed_options.stage_timings = true;
+  auto timed_stream = MakeFullStream(detector->plan(), data.relation);
+  if (!timed_stream.ok()) return false;
+  auto timed_result = StageExecutor(detector->shared_plan(), timed_options)
+                          .Execute(**timed_stream);
+  if (!timed_result.ok()) return false;
+  all_identical = all_identical && SameDecisions(serial, *timed_result);
+  const StageTimings& timings = timed_result->stage_timings;
+  double total = timings.TotalSeconds();
+  if (total > 0.0) {
+    std::cout << "\nper-stage wall time of the serial run:\n";
+    TablePrinter stage_table({"stage", "ms", "share"});
+    const std::pair<const char*, double> rows[] = {
+        {"match", timings.match_seconds},
+        {"combine", timings.combine_seconds},
+        {"derive", timings.derive_seconds},
+        {"classify", timings.classify_seconds},
+    };
+    for (const auto& [name, seconds] : rows) {
+      stage_table.AddRow({name, Fmt(seconds * 1000.0, 2),
+                          Fmt(100.0 * seconds / total, 1) + "%"});
+    }
+    stage_table.AddRow({"total", Fmt(total * 1000.0, 2), "100.0%"});
+    stage_table.Print(std::cout);
+  }
   return all_identical;
 }
 

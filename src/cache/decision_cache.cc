@@ -1,0 +1,295 @@
+#include "cache/decision_cache.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace pdd {
+
+namespace {
+
+/// Snapshot header; bump the version when the line format changes so a
+/// stale file fails loudly instead of silently loading garbage.
+constexpr char kSnapshotHeader[] = "# pddcache v1";
+
+/// splitmix64 finalizer: FNV output is well distributed in the low
+/// bits, but shard selection and unordered_map bucketing both mask,
+/// so run the key through an avalanche mix before use.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t KeyMix(const PairDecisionKey& key) {
+  return Mix(key.plan_fingerprint ^ Mix(key.pair_digest));
+}
+
+/// Snapshot field rendering: the shared 16-digit hex form.
+std::string Hex16(uint64_t v) { return HexU64(v); }
+
+bool ParseHex64(const std::string& text, uint64_t* out) {
+  if (text.empty() || text.size() > 16) return false;
+  uint64_t v = 0;
+  for (char c : text) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      return false;
+    }
+    v = (v << 4) | static_cast<uint64_t>(digit);
+  }
+  *out = v;
+  return true;
+}
+
+size_t RoundUpPowerOfTwo(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+std::string DecisionCacheStats::ToString() const {
+  std::ostringstream out;
+  out << hits << " hits / " << (hits + misses) << " lookups ("
+      << FormatDouble(HitRate() * 100.0, 1) << "% hit rate), " << inserts
+      << " inserts, " << evictions << " evictions, " << size
+      << " resident";
+  return out.str();
+}
+
+size_t ShardedDecisionCache::KeyHash::operator()(
+    const PairDecisionKey& key) const {
+  return static_cast<size_t>(KeyMix(key));
+}
+
+ShardedDecisionCache::ShardedDecisionCache(
+    ShardedDecisionCacheOptions options)
+    : options_(options) {
+  size_t shard_count = RoundUpPowerOfTwo(options_.shards == 0
+                                             ? 1
+                                             : options_.shards);
+  if (options_.capacity == 0) options_.capacity = 1;
+  // No more shards than capacity: every shard must hold >= 1 entry for
+  // the total bound to stay meaningful.
+  while (shard_count > 1 && shard_count > options_.capacity) {
+    shard_count >>= 1;
+  }
+  shard_mask_ = shard_count - 1;
+  per_shard_capacity_ = options_.capacity / shard_count;
+  if (per_shard_capacity_ == 0) per_shard_capacity_ = 1;
+  shards_.reserve(shard_count);
+  for (size_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ShardedDecisionCache::Shard& ShardedDecisionCache::ShardFor(
+    const PairDecisionKey& key) {
+  // High bits pick the shard; unordered_map consumes the full mix, so
+  // shard-mates still spread across buckets.
+  return *shards_[(KeyMix(key) >> 32) & shard_mask_];
+}
+
+std::optional<CachedPairDecision> ShardedDecisionCache::Lookup(
+    const PairDecisionKey& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return std::nullopt;
+  }
+  ++shard.hits;
+  // Move to the front of the recency list.
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->decision;
+}
+
+void ShardedDecisionCache::InsertInShard(Shard& shard,
+                                         const PairDecisionKey& key,
+                                         const CachedPairDecision& decision,
+                                         bool persisted) {
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->decision = decision;
+    it->second->persisted = persisted;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.push_front(Entry{key, decision, persisted});
+  shard.index.emplace(key, shard.lru.begin());
+  ++shard.inserts;
+  while (shard.lru.size() > per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+void ShardedDecisionCache::Insert(const PairDecisionKey& key,
+                                  const CachedPairDecision& decision) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  InsertInShard(shard, key, decision, /*persisted=*/false);
+}
+
+DecisionCacheStats ShardedDecisionCache::Stats() const {
+  DecisionCacheStats stats;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    stats.hits += shard->hits;
+    stats.misses += shard->misses;
+    stats.inserts += shard->inserts;
+    stats.evictions += shard->evictions;
+    stats.size += shard->lru.size();
+  }
+  return stats;
+}
+
+void ShardedDecisionCache::Clear() {
+  for (std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->lru.clear();
+    shard->index.clear();
+  }
+}
+
+size_t ShardedDecisionCache::size() const {
+  size_t total = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->lru.size();
+  }
+  return total;
+}
+
+Status ShardedDecisionCache::AppendSnapshot(const std::string& path) {
+  // Header only for a fresh (or empty) file; appends afterwards never
+  // touch existing bytes.
+  bool needs_header = true;
+  {
+    std::ifstream probe(path);
+    if (probe) {
+      std::string first;
+      if (std::getline(probe, first) && !first.empty()) needs_header = false;
+    }
+  }
+  // Serialize first, write once, and only mark entries persisted after
+  // the flush succeeded — a failed write (disk full) must leave them
+  // eligible for the next save, not silently lost from every future
+  // snapshot.
+  std::string buffer;
+  std::vector<PairDecisionKey> written;
+  for (std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    // Oldest first, so a replay ends with today's recency order.
+    for (auto it = shard->lru.rbegin(); it != shard->lru.rend(); ++it) {
+      if (it->persisted) continue;
+      uint64_t sim_bits = 0;
+      std::memcpy(&sim_bits, &it->decision.similarity, sizeof(sim_bits));
+      buffer += Hex16(it->key.plan_fingerprint);
+      buffer += ' ';
+      buffer += Hex16(it->key.pair_digest);
+      buffer += ' ';
+      buffer += Hex16(sim_bits);
+      buffer += ' ';
+      buffer += MatchClassCode(it->decision.match_class);
+      buffer += '\n';
+      written.push_back(it->key);
+    }
+  }
+  std::ofstream out(path, std::ios::app);
+  if (!out) {
+    return Status::InvalidArgument("cannot open cache file '" + path +
+                                   "' for append");
+  }
+  if (needs_header) out << kSnapshotHeader << "\n";
+  out << buffer;
+  out.flush();
+  if (!out) {
+    return Status::InvalidArgument("write to cache file '" + path +
+                                   "' failed");
+  }
+  // Marking an overwritten entry is still sound: decisions are a
+  // deterministic function of the key, so a concurrent Insert wrote
+  // the same value the file now holds. Evicted keys are simply gone.
+  for (const PairDecisionKey& key : written) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) it->second->persisted = true;
+  }
+  return Status::OK();
+}
+
+Status ShardedDecisionCache::LoadSnapshot(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cache file '" + path + "' not found");
+  }
+  std::string line;
+  size_t line_number = 0;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+    if (trimmed[0] == '#') {
+      if (line_number == 1 && trimmed != kSnapshotHeader) {
+        return Status::ParseError("'" + path +
+                                  "' is not a pddcache v1 file");
+      }
+      saw_header = true;
+      continue;
+    }
+    if (!saw_header && line_number == 1) {
+      return Status::ParseError("'" + path + "' is not a pddcache v1 file");
+    }
+    std::vector<std::string> fields = SplitWhitespace(trimmed);
+    PairDecisionKey key;
+    uint64_t sim_bits = 0;
+    if (fields.size() != 4 ||
+        !ParseHex64(fields[0], &key.plan_fingerprint) ||
+        !ParseHex64(fields[1], &key.pair_digest) ||
+        !ParseHex64(fields[2], &sim_bits) || fields[3].size() != 1) {
+      return Status::ParseError("'" + path + "' line " +
+                                std::to_string(line_number) +
+                                ": malformed cache entry");
+    }
+    CachedPairDecision decision;
+    std::memcpy(&decision.similarity, &sim_bits,
+                sizeof(decision.similarity));
+    switch (fields[3][0]) {
+      case 'm':
+        decision.match_class = MatchClass::kMatch;
+        break;
+      case 'p':
+        decision.match_class = MatchClass::kPossible;
+        break;
+      case 'u':
+        decision.match_class = MatchClass::kUnmatch;
+        break;
+      default:
+        return Status::ParseError("'" + path + "' line " +
+                                  std::to_string(line_number) +
+                                  ": unknown match class '" + fields[3] +
+                                  "'");
+    }
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    InsertInShard(shard, key, decision, /*persisted=*/true);
+  }
+  return Status::OK();
+}
+
+}  // namespace pdd

@@ -1,0 +1,187 @@
+// DecisionCache: memoization of per-pair detection decisions, the
+// ROADMAP's result-caching subsystem. Entries are keyed by
+// (plan decision fingerprint, pair content digest):
+//
+//   * the fingerprint (DetectionPlan::decision_fingerprint()) pins the
+//     decide-stage components — φ, ϑ, comparators, thresholds — so a
+//     plan change that alters decisions can never serve stale entries;
+//     plans that differ only in reduction/key parameters share it,
+//     which is what makes φ/ϑ/reduction sweeps cheap (cross-plan reuse);
+//   * the digest (cache/pair_digest.h) pins the pair's content, so
+//     preparation variants and id renames are handled by construction.
+//
+// ShardedDecisionCache is the concurrent in-memory implementation:
+// N lock-striped shards, each an independently-locked LRU map with a
+// per-shard capacity slice, sized for many executor workers hammering
+// lookups/inserts concurrently. Hit/miss/insert/evict counters are
+// kept per shard and aggregated by Stats().
+//
+// The optional disk snapshot (Append/LoadSnapshot) is an append-only
+// text file so repeated sweeps and CLI invocations warm-start across
+// processes: every save appends only the entries not yet persisted,
+// and a load replays the file in order. Similarities are serialized as
+// bit patterns, so a warm-started run stays bit-identical to a cold one.
+
+#ifndef PDD_CACHE_DECISION_CACHE_H_
+#define PDD_CACHE_DECISION_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "decision/classifier.h"
+#include "util/status.h"
+
+namespace pdd {
+
+/// Cache key: which decide-stage pipeline, which pair content.
+struct PairDecisionKey {
+  /// DetectionPlan::decision_fingerprint() — 0 means cache-ineligible
+  /// (custom comparator instances with no stable identity).
+  uint64_t plan_fingerprint = 0;
+  /// PairContentDigest of the (unordered) candidate pair.
+  uint64_t pair_digest = 0;
+
+  bool operator==(const PairDecisionKey& other) const {
+    return plan_fingerprint == other.plan_fingerprint &&
+           pair_digest == other.pair_digest;
+  }
+};
+
+/// The memoized outcome of one pair decision (XPairDecision's data,
+/// without pulling the derive layer into the cache's dependencies).
+struct CachedPairDecision {
+  double similarity = 0.0;
+  MatchClass match_class = MatchClass::kUnmatch;
+
+  bool operator==(const CachedPairDecision& other) const {
+    return similarity == other.similarity &&
+           match_class == other.match_class;
+  }
+};
+
+/// Lifetime counters of a cache instance (aggregated over shards).
+struct DecisionCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t inserts = 0;
+  uint64_t evictions = 0;
+  /// Entries currently resident.
+  size_t size = 0;
+
+  double HitRate() const {
+    uint64_t lookups = hits + misses;
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(lookups);
+  }
+  std::string ToString() const;
+};
+
+/// The memoization interface the StageExecutor consults. All methods
+/// must be safe to call from multiple threads concurrently.
+class DecisionCache {
+ public:
+  virtual ~DecisionCache() = default;
+
+  /// The entry for `key`, or nullopt on miss. Counts a hit or miss.
+  virtual std::optional<CachedPairDecision> Lookup(
+      const PairDecisionKey& key) = 0;
+
+  /// Inserts (or refreshes) `key`. Inserting an existing key updates
+  /// its value and recency without counting an eviction.
+  virtual void Insert(const PairDecisionKey& key,
+                      const CachedPairDecision& decision) = 0;
+
+  /// Aggregated lifetime counters.
+  virtual DecisionCacheStats Stats() const = 0;
+
+  /// Drops every entry (counters are kept).
+  virtual void Clear() = 0;
+};
+
+struct ShardedDecisionCacheOptions {
+  /// Total entry bound across all shards (each shard gets an equal
+  /// slice, at least 1). 0 is invalid.
+  size_t capacity = 1u << 20;
+  /// Lock stripes; rounded up to a power of two, at least 1. More
+  /// shards = less contention, slightly coarser LRU (per-shard, not
+  /// global).
+  size_t shards = 16;
+};
+
+/// Lock-striped LRU cache. Shard choice is a mix of the key hash, so
+/// both halves of the key spread entries evenly.
+class ShardedDecisionCache : public DecisionCache {
+ public:
+  explicit ShardedDecisionCache(ShardedDecisionCacheOptions options = {});
+
+  std::optional<CachedPairDecision> Lookup(
+      const PairDecisionKey& key) override;
+  void Insert(const PairDecisionKey& key,
+              const CachedPairDecision& decision) override;
+  DecisionCacheStats Stats() const override;
+  void Clear() override;
+
+  /// Entries currently resident (sums shard sizes).
+  size_t size() const;
+  const ShardedDecisionCacheOptions& options() const { return options_; }
+
+  // --- disk snapshot ------------------------------------------------
+
+  /// Appends every not-yet-persisted entry to `path` (creating the file
+  /// with a header if absent) and marks them persisted, so consecutive
+  /// saves never rewrite earlier lines: the file only ever grows.
+  Status AppendSnapshot(const std::string& path);
+
+  /// Replays a snapshot file into the cache (entries load as already
+  /// persisted; later lines win on duplicate keys). Missing files are
+  /// NotFound; callers treating a first run's absent file as an empty
+  /// cache should check for that code.
+  Status LoadSnapshot(const std::string& path);
+
+ private:
+  struct Entry {
+    PairDecisionKey key;
+    CachedPairDecision decision;
+    /// Already written to (or read from) a snapshot file.
+    bool persisted = false;
+  };
+  using LruList = std::list<Entry>;
+
+  struct KeyHash {
+    size_t operator()(const PairDecisionKey& key) const;
+  };
+
+  /// One lock stripe: independently locked LRU map. Padded so shard
+  /// mutexes don't share cache lines under contention.
+  struct alignas(64) Shard {
+    mutable std::mutex mutex;
+    LruList lru;  // front = most recent
+    std::unordered_map<PairDecisionKey, LruList::iterator, KeyHash> index;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t inserts = 0;
+    uint64_t evictions = 0;
+  };
+
+  Shard& ShardFor(const PairDecisionKey& key);
+  /// Insert/refresh under the shard lock; `persisted` tags loaded
+  /// entries so AppendSnapshot skips them.
+  void InsertInShard(Shard& shard, const PairDecisionKey& key,
+                     const CachedPairDecision& decision, bool persisted);
+
+  ShardedDecisionCacheOptions options_;
+  size_t shard_mask_ = 0;
+  size_t per_shard_capacity_ = 1;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace pdd
+
+#endif  // PDD_CACHE_DECISION_CACHE_H_

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/decision_cache.h"
 #include "core/config.h"
 #include "pdb/xrelation.h"
 #include "pipeline/candidate_stream.h"
@@ -80,6 +81,27 @@ class DuplicateDetector {
   const DetectionPlan& plan() const { return *plan_; }
   std::shared_ptr<const DetectionPlan> shared_plan() const { return plan_; }
 
+  /// Attaches a shared decision cache: every subsequent Run* consults
+  /// it before the stage graph and inserts on miss. The cache may be
+  /// shared across detectors (sweeps reuse decisions wherever the
+  /// decide-stage components agree — see
+  /// DetectionPlan::decision_fingerprint()), across threads, and —
+  /// via ShardedDecisionCache snapshots — across processes. Pass
+  /// nullptr to detach. Copies of the detector share the handle made
+  /// at copy time.
+  void set_cache(std::shared_ptr<DecisionCache> cache) {
+    cache_ = std::move(cache);
+  }
+  const std::shared_ptr<DecisionCache>& cache() const { return cache_; }
+
+  /// Opt into per-stage wall-time accumulation on subsequent Run*
+  /// results (DetectionResult::stage_timings; rendered by
+  /// ExecutionStatsReport). Off by default — the per-pair clock reads
+  /// cost throughput.
+  void set_collect_stage_timings(bool collect) {
+    collect_stage_timings_ = collect;
+  }
+
   /// Resolved pipeline components (for explanations and diagnostics).
   const TupleMatcher& matcher() const { return plan_->matcher(); }
   const CombinationFunction& combination() const {
@@ -97,6 +119,8 @@ class DuplicateDetector {
   StageExecutor MakeExecutor() const;
 
   std::shared_ptr<const DetectionPlan> plan_;
+  std::shared_ptr<DecisionCache> cache_;
+  bool collect_stage_timings_ = false;
 };
 
 }  // namespace pdd

@@ -1,5 +1,6 @@
 #include "core/explain.h"
 
+#include "plan/plan_spec.h"
 #include "util/string_util.h"
 
 namespace pdd {
@@ -9,6 +10,7 @@ PairExplanation ExplainPair(const DuplicateDetector& detector,
   PairExplanation out;
   out.id1 = t1.id();
   out.id2 = t2.id();
+  out.plan_fingerprint = detector.plan().fingerprint();
   // Walk the pair through the plan's stages one at a time, keeping the
   // per-alternative intermediates the aggregate API discards.
   const DetectionPlan& plan = detector.plan();
@@ -34,7 +36,11 @@ PairExplanation ExplainPair(const DuplicateDetector& detector,
 }
 
 std::string PairExplanation::ToString(const Schema& schema) const {
-  std::string out = "pair (" + id1 + ", " + id2 + ")\n";
+  std::string out = "pair (" + id1 + ", " + id2 + ")";
+  if (plan_fingerprint != 0) {
+    out += " under plan " + FingerprintHex(plan_fingerprint);
+  }
+  out += "\n";
   for (const AlternativePairExplanation& alt : alternatives) {
     out += "  alt (" + std::to_string(alt.alternative1 + 1) + "," +
            std::to_string(alt.alternative2 + 1) + ") weight " +

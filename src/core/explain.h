@@ -35,6 +35,9 @@ struct AlternativePairExplanation {
 struct PairExplanation {
   std::string id1;
   std::string id2;
+  /// Fingerprint of the plan the explanation was produced under
+  /// (0 == unknown; ExplainPair always stamps a real one).
+  uint64_t plan_fingerprint = 0;
   std::vector<AlternativePairExplanation> alternatives;
   /// Eq. 8/9 masses under the intermediate thresholds.
   MatchingMass mass;

@@ -1,6 +1,7 @@
 #include "core/report_writer.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "plan/plan_spec.h"
 #include "util/string_util.h"
@@ -34,6 +35,39 @@ std::string DecisionsToCsv(const DetectionResult& result,
       out += gold->IsMatch(rec.id1, rec.id2) ? ",match" : ",non-match";
     }
     out += "\n";
+  }
+  return out;
+}
+
+std::string ExecutionStatsReport(const DetectionResult& result) {
+  std::string out = "# Execution statistics\n\n";
+  const StageTimings& t = result.stage_timings;
+  double total = t.TotalSeconds();
+  out += "## Stage timings\n\n";
+  if (total <= 0.0) {
+    out += "(not collected)\n";
+  } else {
+    out += "| stage | seconds | share |\n|---|---|---|\n";
+    const std::pair<const char*, double> rows[] = {
+        {"match", t.match_seconds},
+        {"combine", t.combine_seconds},
+        {"derive", t.derive_seconds},
+        {"classify", t.classify_seconds},
+        {"cache lookup", t.cache_lookup_seconds},
+    };
+    for (const auto& [name, seconds] : rows) {
+      out += std::string("| ") + name + " | " + FormatDouble(seconds, 6) +
+             " | " + FormatDouble(100.0 * seconds / total, 1) + "% |\n";
+    }
+    out += "| total | " + FormatDouble(total, 6) + " | 100.0% |\n";
+  }
+  if (result.cache_stats.has_value()) {
+    const CacheRunStats& c = *result.cache_stats;
+    out += "\n## Decision cache\n\n";
+    out += "- cache: " + std::to_string(c.hits) + " hits / " +
+           std::to_string(c.lookups) + " lookups (" +
+           FormatDouble(c.HitRate() * 100.0, 1) + "% hit rate), " +
+           std::to_string(c.inserts) + " inserts\n";
   }
   return out;
 }

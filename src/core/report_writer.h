@@ -20,10 +20,19 @@ std::string DecisionsToCsv(const DetectionResult& result,
 
 /// Markdown report: run statistics, M/P/U counts, effectiveness and
 /// reduction metrics when a gold standard is supplied, and the top
-/// possible matches for clerical review.
+/// possible matches for clerical review. Deliberately excludes wall
+/// times and cache counters (see ExecutionStatsReport) so reports of
+/// identical runs stay byte-identical.
 std::string DetectionReport(const DetectionResult& result,
                             const GoldStandard* gold = nullptr,
                             size_t max_review_rows = 10);
+
+/// Markdown rendering of a run's execution statistics: the executor's
+/// per-stage wall-time breakdown (match/combine/derive/classify +
+/// cache lookup) and, when a cache was attached, the run's hit/miss/
+/// insert counts. Kept separate from DetectionReport because these
+/// numbers vary between otherwise identical runs.
+std::string ExecutionStatsReport(const DetectionResult& result);
 
 }  // namespace pdd
 

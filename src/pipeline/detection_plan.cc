@@ -7,6 +7,39 @@
 
 namespace pdd {
 
+namespace {
+
+/// True for spec keys that cannot change what DecidePair returns for a
+/// given pair content: reduction/key/prune only choose WHICH pairs are
+/// examined, preparation rewrites the content itself (captured by the
+/// pair digest), and executor tuning is a pure throughput knob. Keys
+/// added by future components default to decision-relevant, which is
+/// the safe direction (fewer cross-plan cache hits, never stale ones).
+bool IsDecisionIrrelevantKey(const std::string& key) {
+  static const char* kPrefixes[] = {"key", "reduction", "prepare", "prune",
+                                    "executor"};
+  for (const char* prefix : kPrefixes) {
+    size_t len = std::char_traits<char>::length(prefix);
+    if (key.compare(0, len, prefix) == 0 &&
+        (key.size() == len || key[len] == '.')) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// The decide-stage subset of a plan spec, fingerprinted as the plan
+/// half of the decision-cache key.
+uint64_t DecisionFingerprint(const PlanSpec& spec) {
+  PlanSpec subset;
+  for (const auto& [key, value] : spec.params().entries()) {
+    if (!IsDecisionIrrelevantKey(key)) subset.params().Set(key, value);
+  }
+  return subset.Fingerprint();
+}
+
+}  // namespace
+
 const char* PipelineStageName(PipelineStage stage) {
   switch (stage) {
     case PipelineStage::kMatch:
@@ -97,6 +130,15 @@ Result<std::shared_ptr<const DetectionPlan>> DetectionPlan::Compile(
                    PipelineStage::kDerive, PipelineStage::kClassify};
   plan->spec_ = config.ToSpec();
   plan->fingerprint_ = plan->spec_.Fingerprint();
+  // Custom comparator instances decide pairs through code the spec
+  // cannot name; 0 marks the plan cache-ineligible so the executor
+  // never memoizes (or serves) decisions it cannot key soundly.
+  bool has_custom_comparator = false;
+  for (const Comparator* comparator : config.custom_comparators) {
+    has_custom_comparator = has_custom_comparator || comparator != nullptr;
+  }
+  plan->decision_fingerprint_ =
+      has_custom_comparator ? 0 : DecisionFingerprint(plan->spec_);
   plan->schema_ = std::move(schema);
   plan->config_ = std::move(config);
   return std::shared_ptr<const DetectionPlan>(std::move(plan));

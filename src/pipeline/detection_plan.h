@@ -63,6 +63,17 @@ class DetectionPlan {
   /// markers).
   const PlanSpec& spec() const { return spec_; }
   uint64_t fingerprint() const { return fingerprint_; }
+
+  /// Fingerprint of only the decide-stage components (φ, ϑ,
+  /// comparators, classification thresholds) — the plan half of the
+  /// decision-cache key. Plans that differ solely in reduction, key,
+  /// preparation, pruning or executor tuning share it: those knobs
+  /// never change what DecidePair returns for a given pair content
+  /// (preparation changes the content itself, which the pair digest
+  /// captures), so sweep points can reuse each other's cached
+  /// decisions. 0 when the plan is cache-ineligible (custom comparator
+  /// instances have no stable identity to fingerprint).
+  uint64_t decision_fingerprint() const { return decision_fingerprint_; }
   const Schema& schema() const { return schema_; }
   const KeySpec& key_spec() const { return key_spec_; }
   const TupleMatcher& matcher() const { return *matcher_; }
@@ -105,6 +116,7 @@ class DetectionPlan {
   DetectorConfig config_;
   PlanSpec spec_;
   uint64_t fingerprint_ = 0;
+  uint64_t decision_fingerprint_ = 0;
   Schema schema_;
   KeySpec key_spec_;
   std::vector<PipelineStage> stages_;

@@ -7,6 +7,7 @@
 #define PDD_PIPELINE_DETECTION_RESULT_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -14,6 +15,54 @@
 #include "verify/gold_standard.h"
 
 namespace pdd {
+
+/// Accumulated wall time per pipeline stage over one run. With a
+/// thread pool the per-worker accumulations are summed, so the numbers
+/// are CPU-time-like: they compare stages against each other (which
+/// stage is hottest), not against the run's elapsed wall clock.
+struct StageTimings {
+  double match_seconds = 0.0;
+  double combine_seconds = 0.0;
+  double derive_seconds = 0.0;
+  double classify_seconds = 0.0;
+  /// Digest computation + cache lookup on the memoized path.
+  double cache_lookup_seconds = 0.0;
+
+  double TotalSeconds() const {
+    return match_seconds + combine_seconds + derive_seconds +
+           classify_seconds + cache_lookup_seconds;
+  }
+  StageTimings& operator+=(const StageTimings& other) {
+    match_seconds += other.match_seconds;
+    combine_seconds += other.combine_seconds;
+    derive_seconds += other.derive_seconds;
+    classify_seconds += other.classify_seconds;
+    cache_lookup_seconds += other.cache_lookup_seconds;
+    return *this;
+  }
+};
+
+/// Decision-cache activity of one run (run-local, unlike the cache's
+/// own lifetime DecisionCacheStats).
+struct CacheRunStats {
+  size_t lookups = 0;
+  size_t hits = 0;
+  size_t misses = 0;
+  size_t inserts = 0;
+
+  double HitRate() const {
+    return lookups == 0
+               ? 0.0
+               : static_cast<double>(hits) / static_cast<double>(lookups);
+  }
+  CacheRunStats& operator+=(const CacheRunStats& other) {
+    lookups += other.lookups;
+    hits += other.hits;
+    misses += other.misses;
+    inserts += other.inserts;
+    return *this;
+  }
+};
 
 /// Decision record for one examined candidate pair.
 struct PairDecisionRecord {
@@ -37,10 +86,19 @@ struct DetectionResult {
   /// addition-crossing pairs for an incremental run).
   size_t total_pairs = 0;
   /// Fingerprint of the plan that produced this result
-  /// (DetectionPlan::fingerprint(); 0 when unknown). Identifies which
-  /// declarative plan the decisions belong to — the cache/merge key for
-  /// repeated and incremental runs.
+  /// (DetectionPlan::fingerprint()). 0 means unknown — a result that
+  /// was hand-assembled rather than produced by the executor; every
+  /// executor entry path (Run/RunOnSources/RunIncremental/RunStream)
+  /// stamps a real, non-zero fingerprint. Identifies which declarative
+  /// plan the decisions belong to — the merge key for repeated and
+  /// incremental runs.
   uint64_t plan_fingerprint = 0;
+  /// Accumulated per-stage wall times (executor instrumentation; all
+  /// zero when the executor ran with stage_timings off).
+  StageTimings stage_timings;
+  /// Decision-cache activity of this run; nullopt when the run had no
+  /// cache attached.
+  std::optional<CacheRunStats> cache_stats;
 
   /// Number of decisions classified `match_class`.
   size_t CountClass(MatchClass match_class) const;

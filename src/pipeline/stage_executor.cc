@@ -1,26 +1,124 @@
 #include "pipeline/stage_executor.h"
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 #include <utility>
 
+#include "cache/pair_digest.h"
+
 namespace pdd {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+inline double Elapsed(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// The accumulator a stage's wall time belongs to.
+inline double* TimingSlot(StageTimings* timings, PipelineStage stage) {
+  switch (stage) {
+    case PipelineStage::kMatch:
+      return &timings->match_seconds;
+    case PipelineStage::kCombine:
+      return &timings->combine_seconds;
+    case PipelineStage::kDerive:
+      return &timings->derive_seconds;
+    case PipelineStage::kClassify:
+      return &timings->classify_seconds;
+  }
+  return &timings->classify_seconds;
+}
+
+/// Lazily memoized TupleContentDigest. 0 doubles as the "unset"
+/// sentinel: a genuine zero digest just recomputes (correct, merely
+/// unmemoized).
+inline uint64_t MemoizedDigest(const XRelation& rel, size_t index,
+                               std::atomic<uint64_t>* slot) {
+  uint64_t digest = slot->load(std::memory_order_relaxed);
+  if (digest == 0) {
+    digest = TupleContentDigest(rel.xtuple(index));
+    slot->store(digest, std::memory_order_relaxed);
+  }
+  return digest;
+}
+
+}  // namespace
 
 StageExecutor::StageExecutor(std::shared_ptr<const DetectionPlan> plan,
                              StageExecutorOptions options)
-    : plan_(std::move(plan)), options_(options) {}
+    : plan_(std::move(plan)), options_(std::move(options)) {}
 
 void StageExecutor::DecideBatch(const XRelation& rel,
                                 const std::vector<CandidatePair>& batch,
-                                std::vector<PairDecisionRecord>* out) const {
+                                TupleDigestMemo* digest_memo,
+                                std::vector<PairDecisionRecord>* out,
+                                BatchCounters* counters) const {
   // Reserve only for a fresh buffer: calling reserve() per batch on the
   // serial path's accumulating vector would pin capacity to the exact
   // size and degrade appends to quadratic copying.
   if (out->empty()) out->reserve(batch.size());
+  const bool timed = options_.stage_timings;
+  const bool use_cache = digest_memo != nullptr;
+  DecisionCache* cache = options_.cache.get();
+  PairDecisionKey key;
+  key.plan_fingerprint = plan_->decision_fingerprint();
   for (const CandidatePair& pair : batch) {
     const XTuple& t1 = rel.xtuple(pair.first);
     const XTuple& t2 = rel.xtuple(pair.second);
-    XPairDecision decision = plan_->DecidePair(t1, t2);
+    if (use_cache) {
+      // The clock reads themselves are gated on `timed`: an untimed
+      // warm run's per-pair cost stays digest + lookup, nothing else.
+      Clock::time_point start;
+      if (timed) start = Clock::now();
+      key.pair_digest = CombineTupleDigests(
+          MemoizedDigest(rel, pair.first, &(*digest_memo)[pair.first]),
+          MemoizedDigest(rel, pair.second, &(*digest_memo)[pair.second]));
+      std::optional<CachedPairDecision> cached = cache->Lookup(key);
+      if (timed) counters->timings.cache_lookup_seconds += Elapsed(start);
+      ++counters->cache.lookups;
+      if (cached.has_value()) {
+        ++counters->cache.hits;
+        out->push_back({t1.id(), t2.id(), pair.first, pair.second,
+                        cached->similarity, cached->match_class});
+        continue;
+      }
+      ++counters->cache.misses;
+    }
+    XPairDecision decision;
+    if (timed) {
+      // DecidePair's walk over the compiled stage graph, with a clock
+      // read around each stage (same order, same arithmetic, same
+      // results — plan_->stages() stays the single source of truth).
+      ComparisonMatrix matrix;
+      AlternativePairScores scores;
+      for (PipelineStage stage : plan_->stages()) {
+        Clock::time_point start = Clock::now();
+        switch (stage) {
+          case PipelineStage::kMatch:
+            matrix = plan_->RunMatchStage(t1, t2);
+            break;
+          case PipelineStage::kCombine:
+            scores = plan_->RunCombineStage(t1, t2, matrix);
+            break;
+          case PipelineStage::kDerive:
+            decision.similarity = plan_->RunDeriveStage(scores);
+            break;
+          case PipelineStage::kClassify:
+            decision.match_class = plan_->RunClassifyStage(decision.similarity);
+            break;
+        }
+        *TimingSlot(&counters->timings, stage) += Elapsed(start);
+      }
+    } else {
+      decision = plan_->DecidePair(t1, t2);
+    }
+    if (use_cache) {
+      cache->Insert(key, {decision.similarity, decision.match_class});
+      ++counters->cache.inserts;
+    }
     out->push_back({t1.id(), t2.id(), pair.first, pair.second,
                     decision.similarity, decision.match_class});
   }
@@ -43,14 +141,28 @@ Result<DetectionResult> StageExecutor::Execute(CandidateStream& stream) const {
   DetectionResult result;
   result.total_pairs = stream.total_pairs();
   result.plan_fingerprint = plan_->fingerprint();
+  // A cache-ineligible plan (custom comparators: decision fingerprint
+  // 0) runs uncached rather than risking cross-instance collisions.
+  const bool use_cache =
+      options_.cache != nullptr && plan_->decision_fingerprint() != 0;
+  if (options_.cache != nullptr) result.cache_stats = CacheRunStats{};
+  // Per-tuple digest memo for the run: filled lazily as candidates
+  // touch tuples (a sparse incremental stream over a large base never
+  // digests the untouched base), then reused by every later pair, so
+  // the hit path never re-hashes tuple content.
+  TupleDigestMemo digest_memo(use_cache ? rel.size() : 0);
+  TupleDigestMemo* digests = use_cache ? &digest_memo : nullptr;
 
   if (options_.workers <= 1) {
     result.decisions.reserve(stream.candidate_count());
+    BatchCounters counters;
     std::vector<CandidatePair> batch;
     while (stream.NextBatch(options_.batch_size, &batch) > 0) {
       result.candidate_count += batch.size();
-      DecideBatch(rel, batch, &result.decisions);
+      DecideBatch(rel, batch, digests, &result.decisions, &counters);
     }
+    result.stage_timings = counters.timings;
+    if (result.cache_stats.has_value()) *result.cache_stats = counters.cache;
     return result;
   }
 
@@ -66,13 +178,14 @@ Result<DetectionResult> StageExecutor::Execute(CandidateStream& stream) const {
     batch = std::vector<CandidatePair>();
   }
   std::vector<std::vector<PairDecisionRecord>> slots(batches.size());
+  std::vector<BatchCounters> slot_counters(batches.size());
   std::atomic<size_t> cursor{0};
   auto worker = [&]() {
     // Claimed slots are disjoint, so each worker appends into its own
     // scratch buffer without synchronization.
     for (size_t i = cursor.fetch_add(1); i < batches.size();
          i = cursor.fetch_add(1)) {
-      DecideBatch(rel, batches[i], &slots[i]);
+      DecideBatch(rel, batches[i], digests, &slots[i], &slot_counters[i]);
     }
   };
   size_t pool_size = std::min(options_.workers, batches.size());
@@ -86,6 +199,10 @@ Result<DetectionResult> StageExecutor::Execute(CandidateStream& stream) const {
     for (PairDecisionRecord& rec : slot) {
       result.decisions.push_back(std::move(rec));
     }
+  }
+  for (const BatchCounters& counters : slot_counters) {
+    result.stage_timings += counters.timings;
+    if (result.cache_stats.has_value()) *result.cache_stats += counters.cache;
   }
   return result;
 }

@@ -5,13 +5,25 @@
 // order, and every worker writes into its own preallocated slot, so
 // the result is byte-identical to serial execution for any worker
 // count — parallelism is purely a throughput knob.
+//
+// With a DecisionCache attached, each pair is first looked up by
+// (plan decision fingerprint, pair content digest); hits skip the
+// stage graph entirely and misses insert the freshly decided outcome,
+// so repeated, incremental and swept runs only pay for pairs no
+// equivalent plan has decided before. Cached values are the bit
+// patterns the stages produced, so cached ≡ uncached ≡ serial ≡
+// parallel output. Per-stage wall times (plus the cache-lookup path)
+// are accumulated into DetectionResult::stage_timings unless
+// stage_timings is disabled.
 
 #ifndef PDD_PIPELINE_STAGE_EXECUTOR_H_
 #define PDD_PIPELINE_STAGE_EXECUTOR_H_
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
+#include "cache/decision_cache.h"
 #include "pipeline/candidate_stream.h"
 #include "pipeline/detection_plan.h"
 #include "pipeline/detection_result.h"
@@ -24,6 +36,16 @@ struct StageExecutorOptions {
   size_t batch_size = 256;
   /// Worker threads; 0 or 1 executes serially on the calling thread.
   size_t workers = 0;
+  /// Accumulate per-stage wall times into the result. Off by default:
+  /// the clock reads cost real time in the innermost decide loop
+  /// (~20% on cheap-comparator workloads). Enabled by consumers that
+  /// render the breakdown (`pddcli --cache-stats`, bench_fig03's stage
+  /// table, ExecutionStatsReport users).
+  bool stage_timings = false;
+  /// Decision memoization store shared across runs/plans/threads;
+  /// null runs uncached. Ignored (with stats reporting zero lookups)
+  /// when the plan is cache-ineligible (decision_fingerprint() == 0).
+  std::shared_ptr<DecisionCache> cache;
 };
 
 class StageExecutor {
@@ -40,11 +62,28 @@ class StageExecutor {
   const StageExecutorOptions& options() const { return options_; }
 
  private:
+  /// Per-batch accumulators merged into the result after the drain.
+  struct BatchCounters {
+    StageTimings timings;
+    CacheRunStats cache;
+  };
+
+  /// Lazily memoized per-tuple content digests for one run, sized to
+  /// the stream's relation. 0 = not yet computed; entries fill in as
+  /// candidate pairs touch their tuples, so sparse runs (incremental
+  /// streams over large bases) only digest what they examine. Benign
+  /// write races: the digest is a pure function of content, every
+  /// writer stores the same value.
+  using TupleDigestMemo = std::vector<std::atomic<uint64_t>>;
+
   /// Runs the stage graph over one batch, appending to `*out` (the
-  /// per-worker scratch buffer).
+  /// per-worker scratch buffer). `digest_memo` is non-null exactly
+  /// when the cache is consulted.
   void DecideBatch(const XRelation& rel,
                    const std::vector<CandidatePair>& batch,
-                   std::vector<PairDecisionRecord>* out) const;
+                   TupleDigestMemo* digest_memo,
+                   std::vector<PairDecisionRecord>* out,
+                   BatchCounters* counters) const;
 
   std::shared_ptr<const DetectionPlan> plan_;
   StageExecutorOptions options_;

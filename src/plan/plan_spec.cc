@@ -133,13 +133,7 @@ uint64_t PlanSpec::Fingerprint() const {
 }
 
 std::string FingerprintHex(uint64_t fingerprint) {
-  static const char kDigits[] = "0123456789abcdef";
-  std::string out(16, '0');
-  for (int i = 15; i >= 0; --i) {
-    out[i] = kDigits[fingerprint & 0xf];
-    fingerprint >>= 4;
-  }
-  return out;
+  return HexU64(fingerprint);
 }
 
 }  // namespace pdd

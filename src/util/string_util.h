@@ -3,6 +3,7 @@
 #ifndef PDD_UTIL_STRING_UTIL_H_
 #define PDD_UTIL_STRING_UTIL_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -45,6 +46,10 @@ std::string FormatDouble(double v, int digits = 6);
 
 /// Parses a double; returns false on malformed input.
 bool ParseDouble(std::string_view s, double* out);
+
+/// Fixed-width (16 digit) lower-case hex form of a 64-bit value —
+/// the rendering plan fingerprints and cache snapshots share.
+std::string HexU64(uint64_t v);
 
 /// The multiset of character q-grams of `s`, padded with `pad` (use '\0' to
 /// disable padding). q must be >= 1.

@@ -32,6 +32,18 @@
 //                                  (default 0 = serial; results identical)
 //   --batch N                      candidates per executor batch
 //                                  (default 256)
+//   --cache-capacity N             enable the in-memory decision cache
+//                                  bounded to N entries (LRU; default
+//                                  capacity 1048576 when another cache
+//                                  flag enables caching)
+//   --cache-file PATH              warm-start from PATH when it exists
+//                                  and append this run's new decisions
+//                                  to it afterwards (append-only; the
+//                                  report stays byte-identical between
+//                                  warm and cold runs)
+//   --cache-stats                  print the execution statistics
+//                                  (per-stage wall times, cache hits)
+//                                  to stderr after the run
 //   --csv                          emit per-pair CSV instead of the report
 //   --gold FILE                    gold pairs ("id1,id2" lines) — the
 //                                  report gains verification metrics
@@ -48,6 +60,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "cache/decision_cache.h"
 #include "core/detector.h"
 #include "core/explain.h"
 #include "core/paper_examples.h"
@@ -113,6 +126,9 @@ int RunDetect(const XRelation& rel, int argc, char** argv, int first_arg) {
   bool csv = false;
   bool histogram = false;
   bool print_plan = false;
+  bool cache_stats = false;
+  size_t cache_capacity = 0;  // 0 = not set; default applied below
+  std::string cache_file;
   PlanSpec overrides;
   std::optional<GoldStandard> gold;
   for (int i = first_arg; i < argc; ++i) {
@@ -181,6 +197,19 @@ int RunDetect(const XRelation& rel, int argc, char** argv, int first_arg) {
         return Fail("--batch needs a positive number");
       }
       config.batch_size = static_cast<size_t>(n);
+    } else if (arg == "--cache-capacity") {
+      const char* v = next();
+      double n = 0.0;
+      if (v == nullptr || !ParseDouble(v, &n) || n < 1) {
+        return Fail("--cache-capacity needs a positive number");
+      }
+      cache_capacity = static_cast<size_t>(n);
+    } else if (arg == "--cache-file") {
+      const char* v = next();
+      if (v == nullptr) return Fail("--cache-file needs a path");
+      cache_file = v;
+    } else if (arg == "--cache-stats") {
+      cache_stats = true;
     } else if (arg == "--prepare") {
       Standardizer standard;
       standard.LowerCase().TrimWhitespace().CollapseWhitespace();
@@ -220,8 +249,36 @@ int RunDetect(const XRelation& rel, int argc, char** argv, int first_arg) {
   Result<DuplicateDetector> detector =
       DuplicateDetector::Make(config, rel.schema());
   if (!detector.ok()) return Fail(detector.status().ToString());
+  // Any cache flag enables the decision cache; --cache-file also
+  // warm-starts from earlier invocations.
+  std::shared_ptr<ShardedDecisionCache> cache;
+  if (cache_capacity > 0 || !cache_file.empty() || cache_stats) {
+    ShardedDecisionCacheOptions cache_options;
+    if (cache_capacity > 0) cache_options.capacity = cache_capacity;
+    cache = std::make_shared<ShardedDecisionCache>(cache_options);
+    if (!cache_file.empty()) {
+      Status loaded = cache->LoadSnapshot(cache_file);
+      // A missing file is a cold first run, not an error.
+      if (!loaded.ok() && loaded.code() != StatusCode::kNotFound) {
+        return Fail(loaded.ToString());
+      }
+    }
+    detector->set_cache(cache);
+  }
+  // The stats report renders the per-stage breakdown, so collect it.
+  if (cache_stats) detector->set_collect_stage_timings(true);
   Result<DetectionResult> result = detector->Run(rel);
   if (!result.ok()) return Fail(result.status().ToString());
+  if (cache != nullptr && !cache_file.empty()) {
+    Status saved = cache->AppendSnapshot(cache_file);
+    if (!saved.ok()) return Fail(saved.ToString());
+  }
+  if (cache_stats) {
+    // Stderr, so the stdout report stays byte-identical across warm
+    // and cold runs (and stays pipeable).
+    std::cerr << ExecutionStatsReport(*result) << "- cache lifetime: "
+              << cache->Stats().ToString() << "\n";
+  }
   const GoldStandard* gold_ptr = gold.has_value() ? &*gold : nullptr;
   std::cout << (csv ? DecisionsToCsv(*result, gold_ptr)
                     : DetectionReport(*result, gold_ptr));
