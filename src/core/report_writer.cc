@@ -69,6 +69,12 @@ std::string ExecutionStatsReport(const DetectionResult& result) {
            FormatDouble(c.HitRate() * 100.0, 1) + "% hit rate), " +
            std::to_string(c.inserts) + " inserts\n";
   }
+  out += "\n## Candidate stream\n\n";
+  out += "- stream: " + std::to_string(result.candidate_count) +
+         " candidates in " + std::to_string(result.stream_stats.batches) +
+         " batches, live high-water " +
+         std::to_string(result.stream_stats.live_candidate_high_water) +
+         " candidates\n";
   return out;
 }
 

@@ -1,52 +1,30 @@
 #include "pipeline/candidate_stream.h"
 
 #include <algorithm>
+#include <utility>
+
+#include "util/checked_math.h"
 
 namespace pdd {
 
 namespace {
 
-/// The prepared relation and its materialized candidates, before any
-/// scenario-specific filtering.
-struct StreamParts {
-  /// Holds the union and/or prepared copy when one was built.
-  std::optional<XRelation> owned;
-  /// Valid when `owned` is empty; points at the caller's relation.
-  const XRelation* borrowed = nullptr;
-  std::vector<CandidatePair> candidates;
-};
-
-/// Shared head of every factory: schema check, preparation (Section
-/// III-A) when configured, candidate generation with the plan's
-/// reduction method.
-Result<StreamParts> BuildParts(const DetectionPlan& plan,
-                               std::optional<XRelation> owned,
-                               const XRelation* borrowed) {
-  StreamParts parts;
-  parts.owned = std::move(owned);
-  parts.borrowed = borrowed;
-  const XRelation& input =
-      parts.owned.has_value() ? *parts.owned : *parts.borrowed;
+/// Shared head of every factory: schema check and preparation (Section
+/// III-A) when configured, producing the relation the generator runs
+/// over. On return `owned` holds the union and/or prepared copy when
+/// one was built; otherwise the caller's `borrowed` relation is used.
+Result<std::optional<XRelation>> PrepareRelation(const DetectionPlan& plan,
+                                                 std::optional<XRelation> owned,
+                                                 const XRelation* borrowed) {
+  const XRelation& input = owned.has_value() ? *owned : *borrowed;
   if (!input.schema().CompatibleWith(plan.schema())) {
     return Status::InvalidArgument(
         "relation schema incompatible with detector schema");
   }
   if (plan.config().preparation.has_value()) {
-    parts.owned = plan.config().preparation->Prepare(input);
+    owned = plan.config().preparation->Prepare(input);
   }
-  const XRelation& rel =
-      parts.owned.has_value() ? *parts.owned : *parts.borrowed;
-  std::unique_ptr<PairGenerator> generator = plan.MakePairGenerator();
-  PDD_ASSIGN_OR_RETURN(parts.candidates, generator->Generate(rel));
-  return parts;
-}
-
-std::unique_ptr<CandidateStream> WrapParts(std::string name,
-                                           StreamParts parts,
-                                           size_t total_pairs) {
-  return std::make_unique<MaterializedCandidateStream>(
-      std::move(name), std::move(parts.owned), parts.borrowed,
-      std::move(parts.candidates), total_pairs);
+  return owned;
 }
 
 }  // namespace
@@ -61,22 +39,88 @@ size_t MaterializedCandidateStream::NextBatch(
   return count;
 }
 
+GeneratorCandidateStream::GeneratorCandidateStream(
+    std::string name, std::optional<XRelation> owned,
+    const XRelation* borrowed, std::unique_ptr<PairGenerator> generator,
+    size_t total_pairs, size_t min_second)
+    : name_(std::move(name)),
+      owned_(std::move(owned)),
+      rel_(owned_.has_value() ? &*owned_ : borrowed),
+      generator_(std::move(generator)),
+      total_pairs_(total_pairs),
+      min_second_(min_second) {}
+
+Status GeneratorCandidateStream::Open() {
+  PDD_ASSIGN_OR_RETURN(std::unique_ptr<PairBatchSource> source,
+                       generator_->Stream(*rel_));
+  if (min_second_ > 0) {
+    // Candidates are canonicalized with first < second, so a pair
+    // crosses into the additions iff its second endpoint does.
+    size_t min_second = min_second_;
+    source = std::make_unique<FilteringPairSource>(
+        std::move(source), [min_second](const CandidatePair& pair) {
+          return pair.second >= min_second;
+        });
+  }
+  source_ = std::move(source);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<CandidateStream>> GeneratorCandidateStream::Make(
+    std::string name, std::optional<XRelation> owned,
+    const XRelation* borrowed, std::unique_ptr<PairGenerator> generator,
+    size_t total_pairs, size_t min_second) {
+  std::unique_ptr<GeneratorCandidateStream> stream(
+      new GeneratorCandidateStream(std::move(name), std::move(owned),
+                                   borrowed, std::move(generator),
+                                   total_pairs, min_second));
+  PDD_RETURN_IF_ERROR(stream->Open());
+  return std::unique_ptr<CandidateStream>(std::move(stream));
+}
+
+size_t GeneratorCandidateStream::NextBatch(size_t max_batch,
+                                           std::vector<CandidatePair>* out) {
+  if (source_ == nullptr) {
+    out->clear();
+    return 0;
+  }
+  return source_->NextBatch(max_batch, out);
+}
+
+void GeneratorCandidateStream::Reset() {
+  // Make() opened the identical source once successfully, so a re-open
+  // failure is a generator bug; fail closed (exhausted stream) rather
+  // than serving a half-open source.
+  if (!Open().ok()) source_ = nullptr;
+}
+
+std::optional<size_t> GeneratorCandidateStream::candidate_count_hint() const {
+  if (source_ == nullptr) return std::nullopt;
+  return source_->exact_count_hint();
+}
+
+size_t GeneratorCandidateStream::buffered_candidates() const {
+  return source_ == nullptr ? 0 : source_->buffered_candidates();
+}
+
 Result<std::unique_ptr<CandidateStream>> MakeFullStream(
     const DetectionPlan& plan, const XRelation& rel) {
-  PDD_ASSIGN_OR_RETURN(StreamParts parts,
-                       BuildParts(plan, std::nullopt, &rel));
-  return WrapParts("full", std::move(parts),
-                   rel.size() * (rel.size() - 1) / 2);
+  PDD_ASSIGN_OR_RETURN(std::optional<XRelation> owned,
+                       PrepareRelation(plan, std::nullopt, &rel));
+  return GeneratorCandidateStream::Make("full", std::move(owned), &rel,
+                                        plan.MakePairGenerator(),
+                                        TriangularPairCount(rel.size()));
 }
 
 Result<std::unique_ptr<CandidateStream>> MakeUnionStream(
     const DetectionPlan& plan, const XRelation& a, const XRelation& b) {
   PDD_ASSIGN_OR_RETURN(XRelation merged,
                        XRelation::Union(a, b, a.name() + "+" + b.name()));
-  size_t total = merged.size() * (merged.size() - 1) / 2;
-  PDD_ASSIGN_OR_RETURN(StreamParts parts,
-                       BuildParts(plan, std::move(merged), nullptr));
-  return WrapParts("union", std::move(parts), total);
+  size_t total = TriangularPairCount(merged.size());
+  PDD_ASSIGN_OR_RETURN(std::optional<XRelation> owned,
+                       PrepareRelation(plan, std::move(merged), nullptr));
+  return GeneratorCandidateStream::Make("union", std::move(owned), nullptr,
+                                        plan.MakePairGenerator(), total);
 }
 
 Result<std::unique_ptr<CandidateStream>> MakeIncrementalStream(
@@ -90,18 +134,13 @@ Result<std::unique_ptr<CandidateStream>> MakeIncrementalStream(
   const size_t new_count = additions.size();
   // Only pairs touching a new tuple are (re-)examined; intra-existing
   // pairs were already decided in a previous run.
-  size_t total = base_count * new_count + new_count * (new_count - 1) / 2;
-  PDD_ASSIGN_OR_RETURN(StreamParts parts,
-                       BuildParts(plan, std::move(merged), nullptr));
-  // Candidates are canonicalized with first < second, so a pair crosses
-  // into the additions iff its second endpoint does.
-  parts.candidates.erase(
-      std::remove_if(parts.candidates.begin(), parts.candidates.end(),
-                     [base_count](const CandidatePair& pair) {
-                       return pair.second < base_count;
-                     }),
-      parts.candidates.end());
-  return WrapParts("incremental", std::move(parts), total);
+  size_t total = SaturatingAdd(SaturatingMul(base_count, new_count),
+                               TriangularPairCount(new_count));
+  PDD_ASSIGN_OR_RETURN(std::optional<XRelation> owned,
+                       PrepareRelation(plan, std::move(merged), nullptr));
+  return GeneratorCandidateStream::Make("incremental", std::move(owned),
+                                        nullptr, plan.MakePairGenerator(),
+                                        total, /*min_second=*/base_count);
 }
 
 }  // namespace pdd

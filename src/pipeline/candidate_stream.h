@@ -6,6 +6,17 @@
 // and yields candidates in a deterministic order in bounded batches,
 // so the StageExecutor can drain it serially or feed a thread pool
 // without knowing which scenario produced the pairs.
+//
+// Since the streaming refactor the default streams PULL from the
+// reduction method's PairBatchSource instead of swallowing a
+// materialized vector: a native-streaming reduction (full pairs, the
+// SNM family, the blocking family) keeps only O(window)/O(block) live
+// candidate pairs end to end, while adapter-backed reductions keep the
+// legacy materialized cost behind the same interface. The batch-order
+// contract is unchanged: the concatenation of all batches is the
+// reduction's canonical candidate order, independent of batch size, so
+// serial, pooled, cached and uncached runs stay bit-identical with the
+// materialized path.
 
 #ifndef PDD_PIPELINE_CANDIDATE_STREAM_H_
 #define PDD_PIPELINE_CANDIDATE_STREAM_H_
@@ -36,11 +47,24 @@ class CandidateStream {
   virtual size_t NextBatch(size_t max_batch,
                            std::vector<CandidatePair>* out) = 0;
 
-  /// Rewinds the stream to its first candidate.
+  /// Rewinds the stream to its first candidate. Pull-based streams
+  /// re-open their underlying source, so a drained stream replays the
+  /// identical candidate sequence (cache-warm re-runs depend on this).
   virtual void Reset() = 0;
 
-  /// Total candidates this stream yields.
-  virtual size_t candidate_count() const = 0;
+  /// Exact candidate count when known without draining (materialized
+  /// streams); nullopt for pull-based streams, whose count is only
+  /// known once drained. A reservation hint, never control flow.
+  virtual std::optional<size_t> candidate_count_hint() const {
+    return std::nullopt;
+  }
+
+  /// Candidate pairs currently materialized inside the stream (the
+  /// caller's batch vector excluded). A materialized stream reports its
+  /// full vector — the O(candidates) buffer the streaming path deletes;
+  /// pull-based streams report the source's small live buffer. Feeds
+  /// the executor's live-candidate high-water accounting.
+  virtual size_t buffered_candidates() const { return 0; }
 
   /// The scenario's pair universe (the denominator of verification
   /// metrics): n(n-1)/2 for full/union runs, only the addition-crossing
@@ -51,8 +75,10 @@ class CandidateStream {
   virtual std::string name() const = 0;
 };
 
-/// The shared implementation: a materialized candidate vector over a
-/// borrowed or owned relation.
+/// A materialized candidate vector over a borrowed or owned relation.
+/// No longer on the default path (the factories below stream); kept for
+/// custom RunStream seams and as the contrast case benchmarks measure
+/// the streaming path against.
 class MaterializedCandidateStream : public CandidateStream {
  public:
   /// Borrows `rel` (must outlive the stream) unless `owned` carries the
@@ -78,9 +104,15 @@ class MaterializedCandidateStream : public CandidateStream {
   size_t NextBatch(size_t max_batch,
                    std::vector<CandidatePair>* out) override;
   void Reset() override { next_ = 0; }
-  size_t candidate_count() const override { return candidates_.size(); }
+  std::optional<size_t> candidate_count_hint() const override {
+    return candidates_.size();
+  }
+  size_t buffered_candidates() const override { return candidates_.size(); }
   size_t total_pairs() const override { return total_pairs_; }
   std::string name() const override { return name_; }
+
+  /// Total candidates this stream serves (known because materialized).
+  size_t candidate_count() const { return candidates_.size(); }
 
  private:
   std::string name_;
@@ -91,9 +123,65 @@ class MaterializedCandidateStream : public CandidateStream {
   size_t next_ = 0;
 };
 
+/// The default stream: owns the scenario's relation (and/or borrows the
+/// caller's), owns the plan's pair generator, and pulls batches from
+/// the generator's PairBatchSource. An incremental scenario additionally
+/// restricts to crossing pairs (second endpoint in the additions) as
+/// the batches flow past — no scenario ever re-materializes.
+class GeneratorCandidateStream : public CandidateStream {
+ public:
+  /// Builds the stream and opens the source once (errors surface here,
+  /// not from NextBatch). `borrowed` must outlive the stream unless
+  /// `owned` carries the relation. `min_second` > 0 keeps only pairs
+  /// whose second endpoint is >= it (the incremental crossing filter).
+  static Result<std::unique_ptr<CandidateStream>> Make(
+      std::string name, std::optional<XRelation> owned,
+      const XRelation* borrowed, std::unique_ptr<PairGenerator> generator,
+      size_t total_pairs, size_t min_second = 0);
+
+  GeneratorCandidateStream(const GeneratorCandidateStream&) = delete;
+  GeneratorCandidateStream& operator=(const GeneratorCandidateStream&) =
+      delete;
+
+  const XRelation& relation() const override { return *rel_; }
+  size_t NextBatch(size_t max_batch,
+                   std::vector<CandidatePair>* out) override;
+  /// Re-opens the underlying source, replaying the identical sequence.
+  void Reset() override;
+  /// Forwards the source's exact count when it knows one (adapter-backed
+  /// reductions), preserving the serial path's decisions reserve.
+  std::optional<size_t> candidate_count_hint() const override;
+  size_t buffered_candidates() const override;
+  size_t total_pairs() const override { return total_pairs_; }
+  std::string name() const override { return name_; }
+
+  /// Whether the owning generator streams natively (bounded memory)
+  /// rather than through the materializing adapter.
+  bool native_streaming() const { return generator_->native_streaming(); }
+
+ private:
+  GeneratorCandidateStream(std::string name, std::optional<XRelation> owned,
+                           const XRelation* borrowed,
+                           std::unique_ptr<PairGenerator> generator,
+                           size_t total_pairs, size_t min_second);
+
+  /// (Re-)opens source_ from the generator.
+  Status Open();
+
+  std::string name_;
+  std::optional<XRelation> owned_;
+  const XRelation* rel_;
+  std::unique_ptr<PairGenerator> generator_;
+  size_t total_pairs_ = 0;
+  size_t min_second_ = 0;
+  // Last member: the source borrows rel_ and generator_, so it must be
+  // destroyed first.
+  std::unique_ptr<PairBatchSource> source_;
+};
+
 /// Full run on one relation: applies the plan's preparation step, then
-/// the plan's reduction method. `rel` must outlive the stream unless
-/// preparation produced an owned copy.
+/// streams the plan's reduction method. `rel` must outlive the stream
+/// unless preparation produced an owned copy.
 Result<std::unique_ptr<CandidateStream>> MakeFullStream(
     const DetectionPlan& plan, const XRelation& rel);
 

@@ -64,6 +64,22 @@ struct CacheRunStats {
   }
 };
 
+/// Candidate-stream accounting of one run (drain-loop
+/// instrumentation). Rendered by ExecutionStatsReport and `pddcli
+/// --stream-candidates`, never by the detection report itself, because
+/// the pooled high-water depends on worker timing while reports must
+/// stay byte-identical across worker counts.
+struct StreamRunStats {
+  /// Batches the executor pulled from the stream.
+  size_t batches = 0;
+  /// Peak candidate pairs simultaneously live: the stream's internal
+  /// buffers plus all in-flight batches. A materialized stream peaks at
+  /// its full candidate count — the O(candidates) buffer the streaming
+  /// path deletes; native-streaming reductions peak at
+  /// O(window/block + workers · batch).
+  size_t live_candidate_high_water = 0;
+};
+
 /// Decision record for one examined candidate pair.
 struct PairDecisionRecord {
   std::string id1;
@@ -99,6 +115,9 @@ struct DetectionResult {
   /// Decision-cache activity of this run; nullopt when the run had no
   /// cache attached.
   std::optional<CacheRunStats> cache_stats;
+  /// Candidate-stream drain accounting (always collected; the counters
+  /// are two integers per batch).
+  StreamRunStats stream_stats;
 
   /// Number of decisions classified `match_class`.
   size_t CountClass(MatchClass match_class) const;

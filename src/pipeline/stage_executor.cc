@@ -1,7 +1,10 @@
 #include "pipeline/stage_executor.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <deque>
+#include <mutex>
 #include <thread>
 #include <utility>
 
@@ -154,11 +157,17 @@ Result<DetectionResult> StageExecutor::Execute(CandidateStream& stream) const {
   TupleDigestMemo* digests = use_cache ? &digest_memo : nullptr;
 
   if (options_.workers <= 1) {
-    result.decisions.reserve(stream.candidate_count());
+    if (std::optional<size_t> hint = stream.candidate_count_hint()) {
+      result.decisions.reserve(*hint);
+    }
     BatchCounters counters;
     std::vector<CandidatePair> batch;
     while (stream.NextBatch(options_.batch_size, &batch) > 0) {
       result.candidate_count += batch.size();
+      ++result.stream_stats.batches;
+      result.stream_stats.live_candidate_high_water =
+          std::max(result.stream_stats.live_candidate_high_water,
+                   batch.size() + stream.buffered_candidates());
       DecideBatch(rel, batch, digests, &result.decisions, &counters);
     }
     result.stage_timings = counters.timings;
@@ -166,41 +175,64 @@ Result<DetectionResult> StageExecutor::Execute(CandidateStream& stream) const {
     return result;
   }
 
-  // Parallel path: materialize the batches with their pull order, let
-  // workers claim batches through an atomic cursor into per-batch
-  // output slots, then concatenate in pull order. Output is identical
-  // to the serial path for any worker count.
-  std::vector<std::vector<CandidatePair>> batches;
-  std::vector<CandidatePair> batch;
-  while (stream.NextBatch(options_.batch_size, &batch) > 0) {
-    result.candidate_count += batch.size();
-    batches.push_back(std::move(batch));
-    batch = std::vector<CandidatePair>();
-  }
-  std::vector<std::vector<PairDecisionRecord>> slots(batches.size());
-  std::vector<BatchCounters> slot_counters(batches.size());
-  std::atomic<size_t> cursor{0};
+  // Parallel path: workers pull batches straight off the stream under a
+  // mutex (pulls are serialized, so batch k's content is independent of
+  // which worker claims it or when), decide into per-batch output slots
+  // and concatenate in pull order — identical to the serial path for
+  // any worker count, while never holding more than the in-flight
+  // batches of candidates (the old path materialized every batch
+  // up-front, resurrecting the O(candidates) buffer streaming deletes).
+  struct Drain {
+    std::mutex mu;
+    bool exhausted = false;
+    // Deques: slot references handed to workers stay valid as later
+    // pulls append (a vector would invalidate them on growth).
+    std::deque<std::vector<PairDecisionRecord>> slots;
+    std::deque<BatchCounters> counters;
+    size_t in_flight_candidates = 0;
+  } drain;
   auto worker = [&]() {
-    // Claimed slots are disjoint, so each worker appends into its own
-    // scratch buffer without synchronization.
-    for (size_t i = cursor.fetch_add(1); i < batches.size();
-         i = cursor.fetch_add(1)) {
-      DecideBatch(rel, batches[i], digests, &slots[i], &slot_counters[i]);
+    std::vector<CandidatePair> batch;
+    while (true) {
+      std::vector<PairDecisionRecord>* slot;
+      BatchCounters* slot_counters;
+      {
+        std::lock_guard<std::mutex> lock(drain.mu);
+        if (drain.exhausted) return;
+        if (stream.NextBatch(options_.batch_size, &batch) == 0) {
+          drain.exhausted = true;
+          return;
+        }
+        result.candidate_count += batch.size();
+        ++result.stream_stats.batches;
+        drain.in_flight_candidates += batch.size();
+        result.stream_stats.live_candidate_high_water =
+            std::max(result.stream_stats.live_candidate_high_water,
+                     drain.in_flight_candidates + stream.buffered_candidates());
+        drain.slots.emplace_back();
+        drain.counters.emplace_back();
+        slot = &drain.slots.back();
+        slot_counters = &drain.counters.back();
+      }
+      DecideBatch(rel, batch, digests, slot, slot_counters);
+      {
+        std::lock_guard<std::mutex> lock(drain.mu);
+        drain.in_flight_candidates -= batch.size();
+      }
     }
   };
-  size_t pool_size = std::min(options_.workers, batches.size());
   std::vector<std::thread> pool;
-  pool.reserve(pool_size);
-  for (size_t i = 0; i < pool_size; ++i) pool.emplace_back(worker);
+  pool.reserve(options_.workers);
+  for (size_t i = 0; i < options_.workers; ++i) pool.emplace_back(worker);
   for (std::thread& t : pool) t.join();
 
   result.decisions.reserve(result.candidate_count);
-  for (std::vector<PairDecisionRecord>& slot : slots) {
+  for (std::vector<PairDecisionRecord>& slot : drain.slots) {
     for (PairDecisionRecord& rec : slot) {
       result.decisions.push_back(std::move(rec));
     }
   }
-  for (const BatchCounters& counters : slot_counters) {
+  for (const BatchCounters& counters : drain.counters) {
     result.stage_timings += counters.timings;
     if (result.cache_stats.has_value()) *result.cache_stats += counters.cache;
   }

@@ -1,10 +1,15 @@
 // StageExecutor: drains a CandidateStream in fixed-size batches and
 // runs every candidate through the plan's stage graph (match → combine
 // → derive → classify), either serially or on an std::thread pool.
-// Batches are indexed as they are pulled and merged back in index
-// order, and every worker writes into its own preallocated slot, so
-// the result is byte-identical to serial execution for any worker
-// count — parallelism is purely a throughput knob.
+// Batches are indexed as they are pulled (workers pull under a mutex,
+// so batch contents are pull-order-determined regardless of worker
+// timing) and merged back in index order, with every worker writing
+// into its own slot, so the result is byte-identical to serial
+// execution for any worker count — parallelism is purely a throughput
+// knob. The drain is streaming on both paths: live candidates are
+// bounded by the in-flight batches plus whatever the stream itself
+// buffers (nothing for native-streaming reductions), and the drain
+// accounting lands in DetectionResult::stream_stats.
 //
 // With a DecisionCache attached, each pair is first looked up by
 // (plan decision fingerprint, pair content digest); hits skip the

@@ -555,37 +555,39 @@ std::unique_ptr<DerivationFunction> MakeModeSimilarity(const DetectorConfig&) {
 }  // namespace
 
 ComponentRegistry::ComponentRegistry() {
-  auto reduction = [this](ReductionMethod method,
+  // `streams` mirrors the generator's native_streaming() override; the
+  // streaming test suite asserts the two stay in sync per entry.
+  auto reduction = [this](ReductionMethod method, bool streams,
                           Status (*configure)(const ParamMap&,
                                               DetectorConfig*),
                           void (*print)(const DetectorConfig&, ParamMap*),
                           std::unique_ptr<PairGenerator> (*make)(
                               const DetectorConfig&, const KeySpec&)) {
-    reductions_[ReductionMethodName(method)] = {method, configure, print,
-                                                make};
+    reductions_[ReductionMethodName(method)] = {method, streams, configure,
+                                                print, make};
   };
-  reduction(ReductionMethod::kFull, NoParams, PrintNothing, MakeFull);
-  reduction(ReductionMethod::kSnmMultipassWorlds, ConfigureSnmMultipass,
+  reduction(ReductionMethod::kFull, true, NoParams, PrintNothing, MakeFull);
+  reduction(ReductionMethod::kSnmMultipassWorlds, true, ConfigureSnmMultipass,
             PrintSnmMultipass, MakeSnmMultipass);
-  reduction(ReductionMethod::kSnmCertainKeys, ConfigureSnmCertain,
+  reduction(ReductionMethod::kSnmCertainKeys, true, ConfigureSnmCertain,
             PrintSnmCertain, MakeSnmCertain);
-  reduction(ReductionMethod::kSnmSortingAlternatives, ConfigureWindow,
+  reduction(ReductionMethod::kSnmSortingAlternatives, true, ConfigureWindow,
             PrintWindow, MakeSnmAlternatives);
-  reduction(ReductionMethod::kSnmUncertainRanking, ConfigureSnmRanking,
+  reduction(ReductionMethod::kSnmUncertainRanking, true, ConfigureSnmRanking,
             PrintSnmRanking, MakeSnmRanking);
-  reduction(ReductionMethod::kBlockingCertainKeys, ConfigureConflict,
+  reduction(ReductionMethod::kBlockingCertainKeys, true, ConfigureConflict,
             PrintConflict, MakeBlockingCertain);
-  reduction(ReductionMethod::kBlockingAlternatives, NoParams, PrintNothing,
-            MakeBlockingAlternatives);
-  reduction(ReductionMethod::kBlockingMultipassWorlds, ConfigureWorlds,
+  reduction(ReductionMethod::kBlockingAlternatives, true, NoParams,
+            PrintNothing, MakeBlockingAlternatives);
+  reduction(ReductionMethod::kBlockingMultipassWorlds, true, ConfigureWorlds,
             PrintWorlds, MakeBlockingMultipass);
-  reduction(ReductionMethod::kBlockingClustered, ConfigureClustered,
+  reduction(ReductionMethod::kBlockingClustered, true, ConfigureClustered,
             PrintClustered, MakeBlockingClustered);
-  reduction(ReductionMethod::kCanopy, ConfigureCanopy, PrintCanopy,
+  reduction(ReductionMethod::kCanopy, false, ConfigureCanopy, PrintCanopy,
             MakeCanopy);
-  reduction(ReductionMethod::kSnmAdaptive, ConfigureAdaptive, PrintAdaptive,
-            MakeSnmAdaptive);
-  reduction(ReductionMethod::kQGramIndex, ConfigureQGram, PrintQGram,
+  reduction(ReductionMethod::kSnmAdaptive, true, ConfigureAdaptive,
+            PrintAdaptive, MakeSnmAdaptive);
+  reduction(ReductionMethod::kQGramIndex, false, ConfigureQGram, PrintQGram,
             MakeQGram);
 
   combinations_[CombinationKindName(CombinationKind::kWeightedSum)] = {

@@ -1,6 +1,33 @@
 #include "reduction/blocking.h"
 
+#include <iterator>
+
 namespace pdd {
+
+BlockPairSource::BlockPairSource(std::vector<std::vector<size_t>> blocks,
+                                 size_t tuple_count)
+    : PerFirstPairSource(tuple_count),
+      blocks_(std::move(blocks)),
+      memberships_(tuple_count) {
+  for (size_t b = 0; b < blocks_.size(); ++b) {
+    for (size_t member : blocks_[b]) memberships_[member].push_back(b);
+  }
+}
+
+void BlockPairSource::AppendPartners(size_t first, std::vector<size_t>* out) {
+  for (size_t b : memberships_[first]) {
+    for (size_t u : blocks_[b]) {
+      if (u != first) out->push_back(u);
+    }
+  }
+}
+
+std::vector<std::vector<size_t>> BlockGroups(const BlockMap& blocks) {
+  std::vector<std::vector<size_t>> groups;
+  groups.reserve(blocks.size());
+  for (const auto& [key, members] : blocks) groups.push_back(members);
+  return groups;
+}
 
 std::vector<CandidatePair> PairsFromBlocks(const BlockMap& blocks) {
   std::vector<CandidatePair> pairs;
@@ -31,6 +58,12 @@ Result<std::vector<CandidatePair>> BlockingCertainKeys::Generate(
   return PairsFromBlocks(Blocks(rel));
 }
 
+Result<std::unique_ptr<PairBatchSource>> BlockingCertainKeys::Stream(
+    const XRelation& rel) const {
+  return std::unique_ptr<PairBatchSource>(std::make_unique<BlockPairSource>(
+      BlockGroups(Blocks(rel)), rel.size()));
+}
+
 Result<std::vector<CandidatePair>> BlockingMultipassWorlds::Generate(
     const XRelation& rel) const {
   std::vector<World> worlds = SelectWorlds(rel, selection_);
@@ -50,6 +83,29 @@ Result<std::vector<CandidatePair>> BlockingMultipassWorlds::Generate(
   }
   SortAndDedupPairs(&all);
   return all;
+}
+
+Result<std::unique_ptr<PairBatchSource>> BlockingMultipassWorlds::Stream(
+    const XRelation& rel) const {
+  std::vector<World> worlds = SelectWorlds(rel, selection_);
+  if (worlds.empty()) {
+    return Status::FailedPrecondition(
+        "no all-present world exists for relation '" + rel.name() + "'");
+  }
+  KeyBuilder builder(spec_, &rel.schema());
+  std::vector<std::vector<size_t>> groups;
+  for (const World& world : worlds) {
+    BlockMap blocks;
+    for (const auto& [tuple, key] : builder.KeysForWorld(world, rel)) {
+      blocks[key].push_back(tuple);
+    }
+    std::vector<std::vector<size_t>> world_groups = BlockGroups(blocks);
+    groups.insert(groups.end(),
+                  std::make_move_iterator(world_groups.begin()),
+                  std::make_move_iterator(world_groups.end()));
+  }
+  return std::unique_ptr<PairBatchSource>(
+      std::make_unique<BlockPairSource>(std::move(groups), rel.size()));
 }
 
 }  // namespace pdd

@@ -22,6 +22,29 @@ using BlockMap = std::map<std::string, std::vector<size_t>>;
 /// performs), deduplicated.
 std::vector<CandidatePair> PairsFromBlocks(const BlockMap& blocks);
 
+/// The streaming source every blocking adaptation shares: within-block
+/// pairs of a block partition (tuples may belong to several blocks —
+/// one per pass/world/alternative), emitted per ascending first index
+/// with per-first dedup. Memory is the partition itself, O(total
+/// memberships), never the O(Σ blocksize²) pair set.
+class BlockPairSource : public PerFirstPairSource {
+ public:
+  /// `blocks` are tuple-index groups; `tuple_count` bounds the indices.
+  BlockPairSource(std::vector<std::vector<size_t>> blocks,
+                  size_t tuple_count);
+
+ protected:
+  void AppendPartners(size_t first, std::vector<size_t>* out) override;
+
+ private:
+  std::vector<std::vector<size_t>> blocks_;
+  /// Per tuple: the blocks containing it.
+  std::vector<std::vector<size_t>> memberships_;
+};
+
+/// Flattens a BlockMap into the block groups BlockPairSource takes.
+std::vector<std::vector<size_t>> BlockGroups(const BlockMap& blocks);
+
 /// Certain-key blocking: one block key per tuple via conflict resolution.
 class BlockingCertainKeys : public PairGenerator {
  public:
@@ -32,6 +55,11 @@ class BlockingCertainKeys : public PairGenerator {
 
   Result<std::vector<CandidatePair>> Generate(
       const XRelation& rel) const override;
+  /// Native streaming over the block partition (per-block dedup, live
+  /// candidates bounded by one tuple's block).
+  Result<std::unique_ptr<PairBatchSource>> Stream(
+      const XRelation& rel) const override;
+  bool native_streaming() const override { return true; }
   std::string name() const override { return "blocking_certain_keys"; }
 
   /// The block partition (exposed for inspection and tests).
@@ -53,6 +81,11 @@ class BlockingMultipassWorlds : public PairGenerator {
 
   Result<std::vector<CandidatePair>> Generate(
       const XRelation& rel) const override;
+  /// Native streaming: every world's blocks join one partition; the
+  /// per-first dedup replaces the materialized union.
+  Result<std::unique_ptr<PairBatchSource>> Stream(
+      const XRelation& rel) const override;
+  bool native_streaming() const override { return true; }
   std::string name() const override { return "blocking_multipass_worlds"; }
 
  private:

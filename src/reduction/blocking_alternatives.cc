@@ -40,4 +40,10 @@ Result<std::vector<CandidatePair>> BlockingAlternatives::Generate(
   return pairs;
 }
 
+Result<std::unique_ptr<PairBatchSource>> BlockingAlternatives::Stream(
+    const XRelation& rel) const {
+  return std::unique_ptr<PairBatchSource>(std::make_unique<BlockPairSource>(
+      BlockGroups(Blocks(rel)), rel.size()));
+}
+
 }  // namespace pdd

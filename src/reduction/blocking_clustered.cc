@@ -1,5 +1,7 @@
 #include "reduction/blocking_clustered.h"
 
+#include "reduction/blocking.h"
+
 namespace pdd {
 
 std::vector<std::vector<size_t>> BlockingClustered::Clusters(
@@ -38,6 +40,12 @@ Result<std::vector<CandidatePair>> BlockingClustered::Generate(
   }
   SortAndDedupPairs(&pairs);
   return pairs;
+}
+
+Result<std::unique_ptr<PairBatchSource>> BlockingClustered::Stream(
+    const XRelation& rel) const {
+  return std::unique_ptr<PairBatchSource>(std::make_unique<BlockPairSource>(
+      Clusters(rel), rel.size()));
 }
 
 }  // namespace pdd

@@ -38,6 +38,11 @@ class BlockingClustered : public PairGenerator {
 
   Result<std::vector<CandidatePair>> Generate(
       const XRelation& rel) const override;
+  /// Native streaming: the clusters are the block partition; live
+  /// candidates are bounded by one tuple's cluster.
+  Result<std::unique_ptr<PairBatchSource>> Stream(
+      const XRelation& rel) const override;
+  bool native_streaming() const override { return true; }
   std::string name() const override { return "blocking_clustered"; }
 
   /// The clusters as tuple-index blocks.

@@ -8,11 +8,16 @@
 
 namespace pdd {
 
-/// Generates all n(n-1)/2 pairs.
+/// Generates all n(n-1)/2 pairs. Streams natively by index arithmetic
+/// alone — no buffer at all, which is what makes full runs on large
+/// relations feasible through the streaming executor path.
 class FullPairs : public PairGenerator {
  public:
   Result<std::vector<CandidatePair>> Generate(
       const XRelation& rel) const override;
+  Result<std::unique_ptr<PairBatchSource>> Stream(
+      const XRelation& rel) const override;
+  bool native_streaming() const override { return true; }
   std::string name() const override { return "full"; }
 };
 

@@ -1,14 +1,17 @@
 // Search space reduction interface (Section V): a PairGenerator maps an
 // x-relation to the set of candidate tuple pairs the decision model will
-// examine.
+// examine — either materialized at once (Generate) or pulled in bounded
+// batches (Stream).
 
 #ifndef PDD_REDUCTION_PAIR_GENERATOR_H_
 #define PDD_REDUCTION_PAIR_GENERATOR_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "pdb/xrelation.h"
+#include "reduction/pair_batch_source.h"
 #include "util/status.h"
 
 namespace pdd {
@@ -47,6 +50,20 @@ class PairGenerator {
   /// Candidate pairs for `rel`, sorted and deduplicated.
   virtual Result<std::vector<CandidatePair>> Generate(
       const XRelation& rel) const = 0;
+
+  /// Streaming candidate production: a pull source whose concatenated
+  /// batches equal Generate(rel) exactly (order, dedup, count). The
+  /// returned source may reference `rel` and the generator; both must
+  /// outlive it. The default adapter materializes Generate() behind the
+  /// interface; native overrides (full pairs, the SNM family, the
+  /// blocking family) keep only O(window) / O(block) candidate pairs
+  /// live. Re-streaming a candidate sequence = calling Stream() again.
+  virtual Result<std::unique_ptr<PairBatchSource>> Stream(
+      const XRelation& rel) const;
+
+  /// True when Stream() is a native bounded-memory implementation
+  /// rather than the materializing adapter.
+  virtual bool native_streaming() const { return false; }
 
   /// Stable method name for reports.
   virtual std::string name() const = 0;

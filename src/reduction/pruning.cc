@@ -77,4 +77,18 @@ Result<std::vector<CandidatePair>> PruningFilter::Generate(
   return kept;
 }
 
+Result<std::unique_ptr<PairBatchSource>> PruningFilter::Stream(
+    const XRelation& rel) const {
+  PDD_ASSIGN_OR_RETURN(std::unique_ptr<PairBatchSource> inner,
+                       inner_->Stream(rel));
+  // The filter borrows `rel` and this filter; the caller keeps both
+  // alive for the source's lifetime (the Stream() contract).
+  return std::unique_ptr<PairBatchSource>(
+      std::make_unique<FilteringPairSource>(
+          std::move(inner), [this, &rel](const CandidatePair& pair) {
+            return PairBound(rel.xtuple(pair.first),
+                             rel.xtuple(pair.second)) >= options_.threshold;
+          }));
+}
+
 }  // namespace pdd

@@ -56,6 +56,13 @@ class PruningFilter : public PairGenerator {
 
   Result<std::vector<CandidatePair>> Generate(
       const XRelation& rel) const override;
+  /// Streams the inner source through the bound filter pair-by-pair, so
+  /// pruning keeps whatever memory bound the inner generator has.
+  Result<std::unique_ptr<PairBatchSource>> Stream(
+      const XRelation& rel) const override;
+  bool native_streaming() const override {
+    return inner_->native_streaming();
+  }
   std::string name() const override {
     return "pruned(" + inner_->name() + ")";
   }

@@ -4,23 +4,83 @@
 
 namespace pdd {
 
+namespace {
+
+const Comparator& KeyComparator(const SnmAdaptiveOptions& options) {
+  static const NormalizedHammingComparator kDefaultComparator;
+  return options.comparator != nullptr ? *options.comparator
+                                       : kDefaultComparator;
+}
+
+std::vector<KeyedEntry> BuildSortedEntries(const KeySpec& spec,
+                                           const SnmAdaptiveOptions& options,
+                                           const XRelation& rel) {
+  KeyBuilder builder(spec, &rel.schema());
+  std::vector<KeyedEntry> entries;
+  entries.reserve(rel.size());
+  for (size_t i = 0; i < rel.size(); ++i) {
+    entries.push_back({builder.CertainKey(rel.xtuple(i), options.strategy),
+                       i});
+  }
+  SortEntries(&entries);
+  return entries;
+}
+
+/// Streams the adaptive window pair set per ascending tuple index. A
+/// pair (positions p < q) exists iff q - p < max_window and every
+/// adjacent key link in between is similar, so each tuple's partners
+/// are reachable from its position by walking outward until the first
+/// broken link — computable from the precomputed link bits alone.
+class ChainWindowSource : public PerFirstPairSource {
+ public:
+  ChainWindowSource(std::vector<KeyedEntry> entries, std::vector<char> link_ok,
+                    size_t max_window)
+      : PerFirstPairSource(entries.size()),
+        entries_(std::move(entries)),
+        link_ok_(std::move(link_ok)),
+        max_window_(max_window),
+        position_(entries_.size(), 0) {
+    for (size_t pos = 0; pos < entries_.size(); ++pos) {
+      position_[entries_[pos].tuple] = pos;
+    }
+  }
+
+ protected:
+  void AppendPartners(size_t first, std::vector<size_t>* out) override {
+    size_t p = position_[first];
+    // link_ok_[l] covers the link between positions l and l+1; walking
+    // back from p, step `back` crosses link p-back, walking forward
+    // step `fwd` crosses link p+fwd-1. Breaking a link stops the walk,
+    // exactly like the materialized pass's inner-loop break.
+    for (size_t back = 1; back < max_window_ && back <= p; ++back) {
+      if (!link_ok_[p - back]) break;
+      size_t u = entries_[p - back].tuple;
+      if (u != first) out->push_back(u);
+    }
+    for (size_t fwd = 1; fwd < max_window_ && p + fwd < entries_.size();
+         ++fwd) {
+      if (!link_ok_[p + fwd - 1]) break;
+      size_t u = entries_[p + fwd].tuple;
+      if (u != first) out->push_back(u);
+    }
+  }
+
+ private:
+  std::vector<KeyedEntry> entries_;
+  std::vector<char> link_ok_;
+  size_t max_window_;
+  std::vector<size_t> position_;  // tuple index -> sorted position
+};
+
+}  // namespace
+
 Result<std::vector<CandidatePair>> SnmAdaptive::Generate(
     const XRelation& rel) const {
   if (options_.max_window < 2) {
     return Status::InvalidArgument("adaptive SNM max_window must be >= 2");
   }
-  static const NormalizedHammingComparator kDefaultComparator;
-  const Comparator& cmp = options_.comparator != nullptr
-                              ? *options_.comparator
-                              : kDefaultComparator;
-  KeyBuilder builder(spec_, &rel.schema());
-  std::vector<KeyedEntry> entries;
-  entries.reserve(rel.size());
-  for (size_t i = 0; i < rel.size(); ++i) {
-    entries.push_back({builder.CertainKey(rel.xtuple(i), options_.strategy),
-                       i});
-  }
-  SortEntries(&entries);
+  const Comparator& cmp = KeyComparator(options_);
+  std::vector<KeyedEntry> entries = BuildSortedEntries(spec_, options_, rel);
   // Every entry pairs backwards while the chain of adjacent keys stays
   // similar, up to max_window - 1 predecessors.
   std::vector<CandidatePair> pairs;
@@ -40,6 +100,22 @@ Result<std::vector<CandidatePair>> SnmAdaptive::Generate(
   }
   SortAndDedupPairs(&pairs);
   return pairs;
+}
+
+Result<std::unique_ptr<PairBatchSource>> SnmAdaptive::Stream(
+    const XRelation& rel) const {
+  if (options_.max_window < 2) {
+    return Status::InvalidArgument("adaptive SNM max_window must be >= 2");
+  }
+  const Comparator& cmp = KeyComparator(options_);
+  std::vector<KeyedEntry> entries = BuildSortedEntries(spec_, options_, rel);
+  std::vector<char> link_ok(entries.empty() ? 0 : entries.size() - 1, 0);
+  for (size_t l = 0; l + 1 < entries.size(); ++l) {
+    link_ok[l] = cmp.Compare(entries[l].key, entries[l + 1].key) >=
+                 options_.key_similarity_threshold;
+  }
+  return std::unique_ptr<PairBatchSource>(std::make_unique<ChainWindowSource>(
+      std::move(entries), std::move(link_ok), options_.max_window));
 }
 
 }  // namespace pdd

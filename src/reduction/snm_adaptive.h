@@ -37,6 +37,13 @@ class SnmAdaptive : public PairGenerator {
 
   Result<std::vector<CandidatePair>> Generate(
       const XRelation& rel) const override;
+  /// Native streaming: the adjacent-link similarities are precomputed
+  /// once (O(n) comparator calls, same calls the materialized pass
+  /// makes), then each tuple's partners are the entries reachable over
+  /// unbroken similar links within max_window — O(max_window) live.
+  Result<std::unique_ptr<PairBatchSource>> Stream(
+      const XRelation& rel) const override;
+  bool native_streaming() const override { return true; }
   std::string name() const override { return "snm_adaptive"; }
 
  private:

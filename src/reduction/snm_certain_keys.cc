@@ -27,4 +27,16 @@ Result<std::vector<CandidatePair>> SnmCertainKeys::Generate(
   return pairs;
 }
 
+Result<std::unique_ptr<PairBatchSource>> SnmCertainKeys::Stream(
+    const XRelation& rel) const {
+  if (options_.window < 2) {
+    return Status::InvalidArgument("SNM window must be at least 2");
+  }
+  std::vector<std::vector<KeyedEntry>> passes;
+  passes.push_back(SortedEntries(rel));
+  return std::unique_ptr<PairBatchSource>(
+      std::make_unique<WindowPairSource>(WindowedEntryIndex(
+          std::move(passes), options_.window, rel.size())));
+}
+
 }  // namespace pdd

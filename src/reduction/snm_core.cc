@@ -21,6 +21,33 @@ void DropAdjacentSameTuple(std::vector<KeyedEntry>* entries) {
   *entries = std::move(kept);
 }
 
+WindowedEntryIndex::WindowedEntryIndex(
+    std::vector<std::vector<KeyedEntry>> passes, size_t window,
+    size_t tuple_count)
+    : passes_(std::move(passes)), positions_(tuple_count), window_(window) {
+  for (size_t pass = 0; pass < passes_.size(); ++pass) {
+    for (size_t pos = 0; pos < passes_[pass].size(); ++pos) {
+      positions_[passes_[pass][pos].tuple].emplace_back(pass, pos);
+    }
+  }
+}
+
+void WindowedEntryIndex::AppendWindowPartners(size_t first,
+                                              std::vector<size_t>* out) const {
+  if (window_ < 2) return;
+  const size_t reach = window_ - 1;
+  for (const auto& [pass, pos] : positions_[first]) {
+    const std::vector<KeyedEntry>& entries = passes_[pass];
+    size_t lo = pos >= reach ? pos - reach : 0;
+    size_t hi = std::min(pos + reach, entries.empty() ? 0 : entries.size() - 1);
+    for (size_t q = lo; q <= hi; ++q) {
+      if (q == pos) continue;
+      size_t u = entries[q].tuple;
+      if (u != first) out->push_back(u);
+    }
+  }
+}
+
 std::vector<CandidatePair> WindowPairs(const std::vector<KeyedEntry>& sorted,
                                        size_t window,
                                        MatchingMatrix* executed) {

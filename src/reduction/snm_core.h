@@ -38,6 +38,52 @@ std::vector<CandidatePair> WindowPairs(const std::vector<KeyedEntry>& sorted,
                                        size_t window,
                                        MatchingMatrix* executed);
 
+/// Shared index behind the SNM family's native streaming sources: one
+/// or more sorted entry lists ("passes" — one per selected world for
+/// the multi-pass method, one total otherwise) plus the inverse map
+/// from tuple index to its entry positions. The window pair set is
+/// local — an entry only ever pairs with entries at most `window - 1`
+/// positions away in its own pass — so one tuple's partners are
+/// computable in O(passes · entries-per-tuple · window) without
+/// materializing any pass's pair set. Memory is O(total entries), i.e.
+/// what the materialized path builds anyway minus the pair vector.
+class WindowedEntryIndex {
+ public:
+  /// Entry lists must already be sorted (SortEntries) and post-processed
+  /// (e.g. DropAdjacentSameTuple) exactly as the materialized method
+  /// does, so the streamed pair set matches Generate() per pass.
+  WindowedEntryIndex(std::vector<std::vector<KeyedEntry>> passes,
+                     size_t window, size_t tuple_count);
+
+  size_t tuple_count() const { return positions_.size(); }
+
+  /// Appends every tuple sharing a window with `first` in any pass
+  /// (unsorted, duplicates allowed, `first` itself excluded).
+  void AppendWindowPartners(size_t first, std::vector<size_t>* out) const;
+
+ private:
+  std::vector<std::vector<KeyedEntry>> passes_;
+  /// Per tuple: its (pass, position) entries.
+  std::vector<std::vector<std::pair<size_t, size_t>>> positions_;
+  size_t window_;
+};
+
+/// A PerFirstPairSource over a WindowedEntryIndex — the one streaming
+/// source the whole fixed-window SNM family shares.
+class WindowPairSource : public PerFirstPairSource {
+ public:
+  explicit WindowPairSource(WindowedEntryIndex index)
+      : PerFirstPairSource(index.tuple_count()), index_(std::move(index)) {}
+
+ protected:
+  void AppendPartners(size_t first, std::vector<size_t>* out) override {
+    index_.AppendWindowPartners(first, out);
+  }
+
+ private:
+  WindowedEntryIndex index_;
+};
+
 }  // namespace pdd
 
 #endif  // PDD_REDUCTION_SNM_CORE_H_

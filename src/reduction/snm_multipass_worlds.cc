@@ -34,4 +34,24 @@ Result<std::vector<CandidatePair>> SnmMultipassWorlds::Generate(
   return all;
 }
 
+Result<std::unique_ptr<PairBatchSource>> SnmMultipassWorlds::Stream(
+    const XRelation& rel) const {
+  if (options_.window < 2) {
+    return Status::InvalidArgument("SNM window must be at least 2");
+  }
+  std::vector<World> worlds = SelectWorlds(rel, options_.selection);
+  if (worlds.empty()) {
+    return Status::FailedPrecondition(
+        "no all-present world exists for relation '" + rel.name() + "'");
+  }
+  std::vector<std::vector<KeyedEntry>> passes;
+  passes.reserve(worlds.size());
+  for (const World& world : worlds) {
+    passes.push_back(SortedEntriesForWorld(world, rel));
+  }
+  return std::unique_ptr<PairBatchSource>(
+      std::make_unique<WindowPairSource>(WindowedEntryIndex(
+          std::move(passes), options_.window, rel.size())));
+}
+
 }  // namespace pdd

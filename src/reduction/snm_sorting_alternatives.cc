@@ -35,4 +35,19 @@ Result<std::vector<CandidatePair>> SnmSortingAlternatives::Generate(
   return pairs;
 }
 
+Result<std::unique_ptr<PairBatchSource>> SnmSortingAlternatives::Stream(
+    const XRelation& rel) const {
+  if (options_.window < 2) {
+    return Status::InvalidArgument("SNM window must be at least 2");
+  }
+  // The matching-matrix suppression of the materialized path only
+  // removes repeats; the per-first dedup of the streaming source yields
+  // the same set over the same surviving entries.
+  std::vector<std::vector<KeyedEntry>> passes;
+  passes.push_back(SurvivingEntries(rel));
+  return std::unique_ptr<PairBatchSource>(
+      std::make_unique<WindowPairSource>(WindowedEntryIndex(
+          std::move(passes), options_.window, rel.size())));
+}
+
 }  // namespace pdd

@@ -45,4 +45,21 @@ Result<std::vector<CandidatePair>> SnmUncertainRanking::Generate(
   return pairs;
 }
 
+Result<std::unique_ptr<PairBatchSource>> SnmUncertainRanking::Stream(
+    const XRelation& rel) const {
+  if (options_.window < 2) {
+    return Status::InvalidArgument("SNM window must be at least 2");
+  }
+  // The ranked order is already the sorted pass; the keys themselves are
+  // irrelevant once positions are fixed.
+  std::vector<KeyedEntry> pass;
+  pass.reserve(rel.size());
+  for (size_t tuple : RankedOrder(rel)) pass.push_back({std::string(), tuple});
+  std::vector<std::vector<KeyedEntry>> passes;
+  passes.push_back(std::move(pass));
+  return std::unique_ptr<PairBatchSource>(
+      std::make_unique<WindowPairSource>(WindowedEntryIndex(
+          std::move(passes), options_.window, rel.size())));
+}
+
 }  // namespace pdd

@@ -39,6 +39,11 @@ class SnmUncertainRanking : public PairGenerator {
 
   Result<std::vector<CandidatePair>> Generate(
       const XRelation& rel) const override;
+  /// Native streaming: the window slides over the ranked order, which
+  /// is a single entry pass of the shared windowed index.
+  Result<std::unique_ptr<PairBatchSource>> Stream(
+      const XRelation& rel) const override;
+  bool native_streaming() const override { return true; }
   std::string name() const override { return "snm_uncertain_ranking"; }
 
   /// The ranked tuple order (exposed for Fig. 13).

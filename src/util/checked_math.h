@@ -1,0 +1,41 @@
+// Overflow-guarded size arithmetic for pair-universe accounting. The
+// candidate universe of a full run is n(n-1)/2, which wraps size_t for
+// n past ~6.1e9 on 64-bit (and already past ~92k on 32-bit size_t);
+// streams report that universe as a denominator, so the counters must
+// saturate instead of wrapping to a small lie.
+
+#ifndef PDD_UTIL_CHECKED_MATH_H_
+#define PDD_UTIL_CHECKED_MATH_H_
+
+#include <cstddef>
+#include <limits>
+
+namespace pdd {
+
+/// a * b, saturating at size_t max instead of wrapping.
+inline size_t SaturatingMul(size_t a, size_t b) {
+  if (a == 0 || b == 0) return 0;
+  constexpr size_t kMax = std::numeric_limits<size_t>::max();
+  if (a > kMax / b) return kMax;
+  return a * b;
+}
+
+/// a + b, saturating at size_t max instead of wrapping.
+inline size_t SaturatingAdd(size_t a, size_t b) {
+  constexpr size_t kMax = std::numeric_limits<size_t>::max();
+  if (a > kMax - b) return kMax;
+  return a + b;
+}
+
+/// The triangular pair count n(n-1)/2 (the unreduced pair universe of n
+/// tuples), saturating. Divides the even factor first so the
+/// intermediate product is the smallest possible.
+inline size_t TriangularPairCount(size_t n) {
+  if (n < 2) return 0;
+  return (n % 2 == 0) ? SaturatingMul(n / 2, n - 1)
+                      : SaturatingMul(n, (n - 1) / 2);
+}
+
+}  // namespace pdd
+
+#endif  // PDD_UTIL_CHECKED_MATH_H_

@@ -44,6 +44,13 @@
 //   --cache-stats                  print the execution statistics
 //                                  (per-stage wall times, cache hits)
 //                                  to stderr after the run
+//   --stream-candidates            print the candidate streaming
+//                                  diagnostics to stderr after the run:
+//                                  whether the plan's reduction streams
+//                                  natively (bounded live pairs) or
+//                                  through the materializing adapter,
+//                                  batches pulled, and the live-candidate
+//                                  high-water mark of the drain
 //   --csv                          emit per-pair CSV instead of the report
 //   --gold FILE                    gold pairs ("id1,id2" lines) — the
 //                                  report gains verification metrics
@@ -127,6 +134,7 @@ int RunDetect(const XRelation& rel, int argc, char** argv, int first_arg) {
   bool histogram = false;
   bool print_plan = false;
   bool cache_stats = false;
+  bool stream_candidates = false;
   size_t cache_capacity = 0;  // 0 = not set; default applied below
   std::string cache_file;
   PlanSpec overrides;
@@ -210,6 +218,8 @@ int RunDetect(const XRelation& rel, int argc, char** argv, int first_arg) {
       cache_file = v;
     } else if (arg == "--cache-stats") {
       cache_stats = true;
+    } else if (arg == "--stream-candidates") {
+      stream_candidates = true;
     } else if (arg == "--prepare") {
       Standardizer standard;
       standard.LowerCase().TrimWhitespace().CollapseWhitespace();
@@ -278,6 +288,21 @@ int RunDetect(const XRelation& rel, int argc, char** argv, int first_arg) {
     // and cold runs (and stays pipeable).
     std::cerr << ExecutionStatsReport(*result) << "- cache lifetime: "
               << cache->Stats().ToString() << "\n";
+  }
+  if (stream_candidates) {
+    // Stderr for the same reason: the streamed and materialized paths
+    // must keep stdout byte-identical.
+    std::unique_ptr<PairGenerator> generator =
+        detector->plan().MakePairGenerator();
+    std::cerr << "candidate stream: reduction " << generator->name()
+              << (generator->native_streaming()
+                      ? " (native streaming)"
+                      : " (materializing adapter)")
+              << ", " << result->candidate_count << " candidates in "
+              << result->stream_stats.batches
+              << " batches, live high-water "
+              << result->stream_stats.live_candidate_high_water
+              << " candidates\n";
   }
   const GoldStandard* gold_ptr = gold.has_value() ? &*gold : nullptr;
   std::cout << (csv ? DecisionsToCsv(*result, gold_ptr)
