@@ -85,11 +85,17 @@ ShardedDecisionCache::ShardedDecisionCache(
     shard_count >>= 1;
   }
   shard_mask_ = shard_count - 1;
-  per_shard_capacity_ = options_.capacity / shard_count;
-  if (per_shard_capacity_ == 0) per_shard_capacity_ = 1;
+  // Exact division: base entries everywhere, the remainder spread one
+  // entry each over the first shards. Per-shard bounds sum to the
+  // configured capacity exactly — rounding every shard up "to at least
+  // 1" would silently inflate the total (capacity 8 over 16 stripes
+  // used to admit 16 resident entries).
+  const size_t base = options_.capacity / shard_count;
+  const size_t remainder = options_.capacity % shard_count;
   shards_.reserve(shard_count);
   for (size_t i = 0; i < shard_count; ++i) {
     shards_.push_back(std::make_unique<Shard>());
+    shards_.back()->capacity = base + (i < remainder ? 1 : 0);
   }
 }
 
@@ -129,7 +135,7 @@ void ShardedDecisionCache::InsertInShard(Shard& shard,
   shard.lru.push_front(Entry{key, decision, persisted});
   shard.index.emplace(key, shard.lru.begin());
   ++shard.inserts;
-  while (shard.lru.size() > per_shard_capacity_) {
+  while (shard.lru.size() > shard.capacity) {
     shard.index.erase(shard.lru.back().key);
     shard.lru.pop_back();
     ++shard.evictions;
@@ -169,6 +175,14 @@ size_t ShardedDecisionCache::size() const {
   for (const std::unique_ptr<Shard>& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mutex);
     total += shard->lru.size();
+  }
+  return total;
+}
+
+size_t ShardedDecisionCache::TotalCapacity() const {
+  size_t total = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    total += shard->capacity;
   }
   return total;
 }

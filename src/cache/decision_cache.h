@@ -106,8 +106,12 @@ class DecisionCache {
 };
 
 struct ShardedDecisionCacheOptions {
-  /// Total entry bound across all shards (each shard gets an equal
-  /// slice, at least 1). 0 is invalid.
+  /// Total entry bound across all shards. Divided exactly: every shard
+  /// gets capacity/shards entries and the remainder is distributed one
+  /// entry each to the first shards, so the per-shard bounds always sum
+  /// to the configured capacity (never more — a truncating division
+  /// must not be patched up to "at least 1 per shard", which would
+  /// inflate the total past the bound). 0 is treated as 1.
   size_t capacity = 1u << 20;
   /// Lock stripes; rounded up to a power of two, at least 1. More
   /// shards = less contention, slightly coarser LRU (per-shard, not
@@ -128,8 +132,12 @@ class ShardedDecisionCache : public DecisionCache {
   DecisionCacheStats Stats() const override;
   void Clear() override;
 
-  /// Entries currently resident (sums shard sizes).
+  /// Entries currently resident (sums shard sizes). Always <=
+  /// TotalCapacity().
   size_t size() const;
+  /// Sum of the per-shard entry bounds — exactly the configured
+  /// capacity (after its 0 → 1 normalization), for any shard count.
+  size_t TotalCapacity() const;
   const ShardedDecisionCacheOptions& options() const { return options_; }
 
   // --- disk snapshot ------------------------------------------------
@@ -164,6 +172,9 @@ class ShardedDecisionCache : public DecisionCache {
     mutable std::mutex mutex;
     LruList lru;  // front = most recent
     std::unordered_map<PairDecisionKey, LruList::iterator, KeyHash> index;
+    /// This shard's entry bound (capacity/shards, +1 for the shards
+    /// absorbing the remainder).
+    size_t capacity = 1;
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t inserts = 0;
@@ -178,7 +189,6 @@ class ShardedDecisionCache : public DecisionCache {
 
   ShardedDecisionCacheOptions options_;
   size_t shard_mask_ = 0;
-  size_t per_shard_capacity_ = 1;
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

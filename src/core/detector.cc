@@ -69,22 +69,32 @@ StageExecutor DuplicateDetector::MakeExecutor() const {
 }
 
 Result<DetectionResult> DuplicateDetector::Run(const XRelation& input) const {
+  ShardOptions shards = shard_options();
   PDD_ASSIGN_OR_RETURN(std::unique_ptr<CandidateStream> stream,
-                       MakeFullStream(*plan_, input));
+                       shards.count > 1
+                           ? MakeShardedFullStream(*plan_, input, shards)
+                           : MakeFullStream(*plan_, input));
   return MakeExecutor().Execute(*stream);
 }
 
 Result<DetectionResult> DuplicateDetector::RunOnSources(
     const XRelation& a, const XRelation& b) const {
+  ShardOptions shards = shard_options();
   PDD_ASSIGN_OR_RETURN(std::unique_ptr<CandidateStream> stream,
-                       MakeUnionStream(*plan_, a, b));
+                       shards.count > 1
+                           ? MakeShardedUnionStream(*plan_, a, b, shards)
+                           : MakeUnionStream(*plan_, a, b));
   return MakeExecutor().Execute(*stream);
 }
 
 Result<DetectionResult> DuplicateDetector::RunIncremental(
     const XRelation& existing, const XRelation& additions) const {
-  PDD_ASSIGN_OR_RETURN(std::unique_ptr<CandidateStream> stream,
-                       MakeIncrementalStream(*plan_, existing, additions));
+  ShardOptions shards = shard_options();
+  PDD_ASSIGN_OR_RETURN(
+      std::unique_ptr<CandidateStream> stream,
+      shards.count > 1
+          ? MakeShardedIncrementalStream(*plan_, existing, additions, shards)
+          : MakeIncrementalStream(*plan_, existing, additions));
   return MakeExecutor().Execute(*stream);
 }
 

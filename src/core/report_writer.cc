@@ -75,6 +75,15 @@ std::string ExecutionStatsReport(const DetectionResult& result) {
          " batches, live high-water " +
          std::to_string(result.stream_stats.live_candidate_high_water) +
          " candidates\n";
+  // Per-shard drain accounting of a sharded run: each shard's
+  // high-water is the live bound a node hosting it must provision for
+  // (the top-level high-water above is their sum).
+  for (size_t i = 0; i < result.stream_stats.per_shard.size(); ++i) {
+    const StreamRunStats& shard = result.stream_stats.per_shard[i];
+    out += "- shard " + std::to_string(i) + ": " +
+           std::to_string(shard.batches) + " batches, live high-water " +
+           std::to_string(shard.live_candidate_high_water) + " candidates\n";
+  }
   return out;
 }
 

@@ -7,15 +7,9 @@
 
 namespace pdd {
 
-namespace {
-
-/// Shared head of every factory: schema check and preparation (Section
-/// III-A) when configured, producing the relation the generator runs
-/// over. On return `owned` holds the union and/or prepared copy when
-/// one was built; otherwise the caller's `borrowed` relation is used.
-Result<std::optional<XRelation>> PrepareRelation(const DetectionPlan& plan,
-                                                 std::optional<XRelation> owned,
-                                                 const XRelation* borrowed) {
+Result<std::optional<XRelation>> PrepareStreamRelation(
+    const DetectionPlan& plan, std::optional<XRelation> owned,
+    const XRelation* borrowed) {
   const XRelation& input = owned.has_value() ? *owned : *borrowed;
   if (!input.schema().CompatibleWith(plan.schema())) {
     return Status::InvalidArgument(
@@ -26,8 +20,6 @@ Result<std::optional<XRelation>> PrepareRelation(const DetectionPlan& plan,
   }
   return owned;
 }
-
-}  // namespace
 
 size_t MaterializedCandidateStream::NextBatch(
     size_t max_batch, std::vector<CandidatePair>* out) {
@@ -106,7 +98,7 @@ size_t GeneratorCandidateStream::buffered_candidates() const {
 Result<std::unique_ptr<CandidateStream>> MakeFullStream(
     const DetectionPlan& plan, const XRelation& rel) {
   PDD_ASSIGN_OR_RETURN(std::optional<XRelation> owned,
-                       PrepareRelation(plan, std::nullopt, &rel));
+                       PrepareStreamRelation(plan, std::nullopt, &rel));
   return GeneratorCandidateStream::Make("full", std::move(owned), &rel,
                                         plan.MakePairGenerator(),
                                         TriangularPairCount(rel.size()));
@@ -118,7 +110,7 @@ Result<std::unique_ptr<CandidateStream>> MakeUnionStream(
                        XRelation::Union(a, b, a.name() + "+" + b.name()));
   size_t total = TriangularPairCount(merged.size());
   PDD_ASSIGN_OR_RETURN(std::optional<XRelation> owned,
-                       PrepareRelation(plan, std::move(merged), nullptr));
+                       PrepareStreamRelation(plan, std::move(merged), nullptr));
   return GeneratorCandidateStream::Make("union", std::move(owned), nullptr,
                                         plan.MakePairGenerator(), total);
 }
@@ -137,7 +129,7 @@ Result<std::unique_ptr<CandidateStream>> MakeIncrementalStream(
   size_t total = SaturatingAdd(SaturatingMul(base_count, new_count),
                                TriangularPairCount(new_count));
   PDD_ASSIGN_OR_RETURN(std::optional<XRelation> owned,
-                       PrepareRelation(plan, std::move(merged), nullptr));
+                       PrepareStreamRelation(plan, std::move(merged), nullptr));
   return GeneratorCandidateStream::Make("incremental", std::move(owned),
                                         nullptr, plan.MakePairGenerator(),
                                         total, /*min_second=*/base_count);

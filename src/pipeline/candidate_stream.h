@@ -179,6 +179,16 @@ class GeneratorCandidateStream : public CandidateStream {
   std::unique_ptr<PairBatchSource> source_;
 };
 
+/// Shared head of the stream factories: checks the relation's schema
+/// against the plan and applies the configured preparation step
+/// (Section III-A). On return `owned` holds the union and/or prepared
+/// copy when one was built; otherwise the caller's `borrowed` relation
+/// is the one to use. Exposed for the sharded factories
+/// (pipeline/sharded_stream.h), which share this head.
+Result<std::optional<XRelation>> PrepareStreamRelation(
+    const DetectionPlan& plan, std::optional<XRelation> owned,
+    const XRelation* borrowed);
+
 /// Full run on one relation: applies the plan's preparation step, then
 /// streams the plan's reduction method. `rel` must outlive the stream
 /// unless preparation produced an owned copy.

@@ -17,7 +17,7 @@ namespace {
 /// the safe direction (fewer cross-plan cache hits, never stale ones).
 bool IsDecisionIrrelevantKey(const std::string& key) {
   static const char* kPrefixes[] = {"key", "reduction", "prepare", "prune",
-                                    "executor"};
+                                    "executor", "shard"};
   for (const char* prefix : kPrefixes) {
     size_t len = std::char_traits<char>::length(prefix);
     if (key.compare(0, len, prefix) == 0 &&

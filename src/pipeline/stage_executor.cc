@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "cache/pair_digest.h"
+#include "pipeline/sharded_stream.h"
 
 namespace pdd {
 
@@ -156,6 +157,13 @@ Result<DetectionResult> StageExecutor::Execute(CandidateStream& stream) const {
   TupleDigestMemo digest_memo(use_cache ? rel.size() : 0);
   TupleDigestMemo* digests = use_cache ? &digest_memo : nullptr;
 
+  // Sharded streams drain shard-by-shard: per-shard worker sets and
+  // accounting, deterministic merge of the per-shard decisions.
+  if (auto* sharded = dynamic_cast<ShardedCandidateStream*>(&stream);
+      sharded != nullptr && sharded->shard_count() > 1) {
+    return ExecuteSharded(*sharded, digests, std::move(result));
+  }
+
   if (options_.workers <= 1) {
     if (std::optional<size_t> hint = stream.candidate_count_hint()) {
       result.decisions.reserve(*hint);
@@ -235,6 +243,137 @@ Result<DetectionResult> StageExecutor::Execute(CandidateStream& stream) const {
   for (const BatchCounters& counters : drain.counters) {
     result.stage_timings += counters.timings;
     if (result.cache_stats.has_value()) *result.cache_stats += counters.cache;
+  }
+  return result;
+}
+
+Result<DetectionResult> StageExecutor::ExecuteSharded(
+    ShardedCandidateStream& stream, TupleDigestMemo* digests,
+    DetectionResult result) const {
+  const XRelation& rel = stream.relation();
+  const size_t shard_count = stream.shard_count();
+  // Per-shard drain state: each shard is an independent pull loop with
+  // its own mutex, so shard workers never contend with each other. The
+  // decision cache handle (options_.cache, consulted inside
+  // DecideBatch) is the one shared structure — exactly the cross-shard
+  // sharing a ShardedDecisionCache's lock striping is built for.
+  struct ShardDrain {
+    std::mutex mu;
+    bool exhausted = false;
+    std::deque<std::vector<PairDecisionRecord>> slots;
+    std::deque<BatchCounters> counters;
+    size_t candidate_count = 0;
+    size_t batches = 0;
+    size_t in_flight_candidates = 0;
+    size_t high_water = 0;
+  };
+  std::vector<ShardDrain> drains(shard_count);
+  auto drain_shard = [&](size_t shard) {
+    ShardDrain& drain = drains[shard];
+    std::vector<CandidatePair> batch;
+    while (true) {
+      std::vector<PairDecisionRecord>* slot;
+      BatchCounters* slot_counters;
+      {
+        std::lock_guard<std::mutex> lock(drain.mu);
+        if (drain.exhausted) return;
+        if (stream.ShardNextBatch(shard, options_.batch_size, &batch) == 0) {
+          drain.exhausted = true;
+          return;
+        }
+        drain.candidate_count += batch.size();
+        ++drain.batches;
+        drain.in_flight_candidates += batch.size();
+        drain.high_water =
+            std::max(drain.high_water,
+                     drain.in_flight_candidates +
+                         stream.ShardBufferedCandidates(shard));
+        drain.slots.emplace_back();
+        drain.counters.emplace_back();
+        slot = &drain.slots.back();
+        slot_counters = &drain.counters.back();
+      }
+      DecideBatch(rel, batch, digests, slot, slot_counters);
+      {
+        std::lock_guard<std::mutex> lock(drain.mu);
+        drain.in_flight_candidates -= batch.size();
+      }
+    }
+  };
+  if (options_.workers <= 1) {
+    // Serial: shards drain one after another in shard order (on the
+    // calling thread), which already produces per-shard record runs.
+    for (size_t shard = 0; shard < shard_count; ++shard) drain_shard(shard);
+  } else {
+    // Exactly options_.workers threads — the configured bound is a
+    // resource cap and must hold regardless of the shard count. With
+    // workers >= shards, thread t joins shard t % shards' worker set
+    // (sets differ in size by at most one); with fewer workers than
+    // shards, thread t drains shards t, t+workers, ... to completion,
+    // one after another. Workers of one shard serialize on that
+    // shard's mutex only; the output is identical either way.
+    const size_t threads = options_.workers;
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (size_t t = 0; t < threads; ++t) {
+      pool.emplace_back([&, t]() {
+        if (threads >= shard_count) {
+          drain_shard(t % shard_count);
+        } else {
+          for (size_t shard = t; shard < shard_count; shard += threads) {
+            drain_shard(shard);
+          }
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+  }
+
+  // Flatten each shard's slots into its own (canonically ordered) run,
+  // then k-way merge the runs by ascending (first, second) — stable
+  // tie-break by shard index — reconstructing the order the unsharded
+  // drain would have produced.
+  result.stream_stats.per_shard.resize(shard_count);
+  std::vector<std::vector<PairDecisionRecord>> runs(shard_count);
+  for (size_t shard = 0; shard < shard_count; ++shard) {
+    ShardDrain& drain = drains[shard];
+    result.candidate_count += drain.candidate_count;
+    result.stream_stats.batches += drain.batches;
+    result.stream_stats.live_candidate_high_water += drain.high_water;
+    result.stream_stats.per_shard[shard].batches = drain.batches;
+    result.stream_stats.per_shard[shard].live_candidate_high_water =
+        drain.high_water;
+    std::vector<PairDecisionRecord>& run = runs[shard];
+    run.reserve(drain.candidate_count);
+    for (std::vector<PairDecisionRecord>& slot : drain.slots) {
+      for (PairDecisionRecord& rec : slot) run.push_back(std::move(rec));
+    }
+    for (const BatchCounters& counters : drain.counters) {
+      result.stage_timings += counters.timings;
+      if (result.cache_stats.has_value()) {
+        *result.cache_stats += counters.cache;
+      }
+    }
+  }
+  result.decisions.reserve(result.candidate_count);
+  std::vector<size_t> cursor(shard_count, 0);
+  while (true) {
+    size_t best = shard_count;
+    for (size_t shard = 0; shard < shard_count; ++shard) {
+      if (cursor[shard] >= runs[shard].size()) continue;
+      if (best == shard_count) {
+        best = shard;
+        continue;
+      }
+      const PairDecisionRecord& a = runs[shard][cursor[shard]];
+      const PairDecisionRecord& b = runs[best][cursor[best]];
+      if (a.index1 != b.index1 ? a.index1 < b.index1
+                               : a.index2 < b.index2) {
+        best = shard;
+      }
+    }
+    if (best == shard_count) break;
+    result.decisions.push_back(std::move(runs[best][cursor[best]++]));
   }
   return result;
 }

@@ -53,6 +53,8 @@ struct StageExecutorOptions {
   std::shared_ptr<DecisionCache> cache;
 };
 
+class ShardedCandidateStream;
+
 class StageExecutor {
  public:
   /// The plan is shared (and must be non-null); options are validated
@@ -62,6 +64,16 @@ class StageExecutor {
 
   /// Drains `stream` and returns the detection result. The stream is
   /// left exhausted (callers reuse one via CandidateStream::Reset).
+  /// A ShardedCandidateStream with more than one shard takes the
+  /// shard-aware drain: exactly `workers` threads split into per-shard
+  /// worker sets (a thread covers several shards sequentially when
+  /// workers < shards) pulling under per-shard mutexes, the one
+  /// attached DecisionCache handle shared by every shard worker,
+  /// per-shard accounting in
+  /// DetectionResult::stream_stats.per_shard, and the per-shard
+  /// decision records merged deterministically (ascending
+  /// (first, second), stable shard tie-break) — byte-identical to the
+  /// unsharded drain of the same plan and scenario.
   Result<DetectionResult> Execute(CandidateStream& stream) const;
 
   const StageExecutorOptions& options() const { return options_; }
@@ -89,6 +101,11 @@ class StageExecutor {
                    TupleDigestMemo* digest_memo,
                    std::vector<PairDecisionRecord>* out,
                    BatchCounters* counters) const;
+
+  /// The shard-aware drain (see Execute). `digest_memo` as above.
+  Result<DetectionResult> ExecuteSharded(ShardedCandidateStream& stream,
+                                         TupleDigestMemo* digest_memo,
+                                         DetectionResult result) const;
 
   std::shared_ptr<const DetectionPlan> plan_;
   StageExecutorOptions options_;

@@ -1,0 +1,121 @@
+#include "reduction/shard_partitioner.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "util/checked_math.h"
+
+namespace pdd {
+
+const char* ShardStrategyName(ShardStrategy strategy) {
+  switch (strategy) {
+    case ShardStrategy::kAuto:
+      return "auto";
+    case ShardStrategy::kIndexRange:
+      return "index_range";
+    case ShardStrategy::kKeyRange:
+      return "key_range";
+    case ShardStrategy::kBlockSubset:
+      return "block_subset";
+  }
+  return "unknown";
+}
+
+namespace {
+
+ShardAssignment EmptyAssignment(ShardStrategy strategy, size_t tuple_count,
+                                uint32_t shard_count) {
+  ShardAssignment assignment;
+  assignment.strategy = strategy;
+  assignment.shard_count = shard_count == 0 ? 1 : shard_count;
+  assignment.owner.assign(tuple_count, 0);
+  return assignment;
+}
+
+}  // namespace
+
+ShardAssignment AssignIndexRanges(size_t tuple_count, uint32_t shard_count) {
+  ShardAssignment assignment =
+      EmptyAssignment(ShardStrategy::kIndexRange, tuple_count, shard_count);
+  if (assignment.shard_count <= 1 || tuple_count == 0) return assignment;
+  // Walk the indices accumulating triangular weight; advance to the
+  // next shard when the running total crosses the shard's fair share.
+  const double total =
+      static_cast<double>(TriangularPairCount(tuple_count));
+  const double per_shard = total / assignment.shard_count;
+  double accumulated = 0.0;
+  uint32_t shard = 0;
+  for (size_t f = 0; f < tuple_count; ++f) {
+    if (shard + 1 < assignment.shard_count &&
+        accumulated >= per_shard * (shard + 1)) {
+      ++shard;
+    }
+    assignment.owner[f] = shard;
+    accumulated += static_cast<double>(tuple_count - 1 - f);
+  }
+  return assignment;
+}
+
+ShardAssignment AssignKeyRanges(const std::vector<std::string>& keys,
+                                uint32_t shard_count) {
+  ShardAssignment assignment =
+      EmptyAssignment(ShardStrategy::kKeyRange, keys.size(), shard_count);
+  if (assignment.shard_count <= 1 || keys.empty()) return assignment;
+  std::vector<size_t> order(keys.size());
+  std::iota(order.begin(), order.end(), 0);
+  // Stable sort by key = the SNM entry order (insertion order breaks
+  // ties), so shard boundaries land between the same neighbors the
+  // window pass sees.
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return keys[a] < keys[b];
+  });
+  const size_t n = order.size();
+  for (size_t pos = 0; pos < n; ++pos) {
+    // Equal-sized contiguous runs of the sorted order.
+    uint32_t shard = static_cast<uint32_t>(
+        (pos * assignment.shard_count) / n);
+    assignment.owner[order[pos]] = shard;
+  }
+  return assignment;
+}
+
+ShardAssignment AssignBlockSubsets(const std::vector<std::string>& keys,
+                                   uint32_t shard_count) {
+  ShardAssignment assignment =
+      EmptyAssignment(ShardStrategy::kBlockSubset, keys.size(), shard_count);
+  if (assignment.shard_count <= 1 || keys.empty()) return assignment;
+  // Group tuples into blocks by key (ordered map: deterministic).
+  std::map<std::string, std::vector<size_t>> blocks;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    blocks[keys[i]].push_back(i);
+  }
+  // Largest pair weight first (ties by key), onto the least-loaded
+  // shard (ties by shard index): the classic LPT packing, fully
+  // deterministic.
+  std::vector<std::pair<const std::string*, const std::vector<size_t>*>>
+      ordered;
+  ordered.reserve(blocks.size());
+  for (const auto& [key, members] : blocks) {
+    ordered.emplace_back(&key, &members);
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second->size() != b.second->size()) {
+                return a.second->size() > b.second->size();
+              }
+              return *a.first < *b.first;
+            });
+  std::vector<size_t> load(assignment.shard_count, 0);
+  for (const auto& [key, members] : ordered) {
+    uint32_t target = 0;
+    for (uint32_t s = 1; s < assignment.shard_count; ++s) {
+      if (load[s] < load[target]) target = s;
+    }
+    load[target] += TriangularPairCount(members->size());
+    for (size_t tuple : *members) assignment.owner[tuple] = target;
+  }
+  return assignment;
+}
+
+}  // namespace pdd

@@ -1,0 +1,79 @@
+// Shard partitioning of the candidate pair universe (the enabling layer
+// for the multi-node backend): a ShardAssignment maps every tuple index
+// to the one shard that OWNS it, and a shard's candidate set is exactly
+// the canonical pairs whose first (smaller) index it owns. Because
+// ownership is a pure function of the pair's first endpoint,
+//
+//   * the shard candidate sets partition the unsharded candidate set
+//     (every pair has exactly one owner — no pair is lost or doubled),
+//   * each shard's stream is a subsequence of the canonical sorted pair
+//     order (filtering preserves order), so a k-way merge by ascending
+//     (first, second) with a stable shard tie-break reconstructs the
+//     unsharded stream bit for bit, and
+//   * a native bounded-memory source can skip non-owned first indices
+//     wholesale — it never buffers a partner set the shard won't emit.
+//
+// The assignment strategies load-balance, they never affect
+// correctness: index_range splits the index space weighted by the
+// full-pairs triangle, key_range splits the sort-key order into
+// contiguous runs (the SNM family's natural axis — window partners sit
+// next to each other in key order), block_subset packs whole blocks of
+// equal-keyed tuples onto shards (the blocking family's natural unit).
+
+#ifndef PDD_REDUCTION_SHARD_PARTITIONER_H_
+#define PDD_REDUCTION_SHARD_PARTITIONER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pdd {
+
+/// How tuple indices are distributed over shards.
+enum class ShardStrategy {
+  /// Resolve per reduction family: full/adapter → index_range, SNM
+  /// family → key_range, blocking family → block_subset.
+  kAuto = 0,
+  kIndexRange = 1,
+  kKeyRange = 2,
+  kBlockSubset = 3,
+};
+
+/// Stable strategy name ("auto", "index_range", ...).
+const char* ShardStrategyName(ShardStrategy strategy);
+
+/// Tuple-index → owning-shard map. Shared (immutable) across the shard
+/// sources of one stream.
+struct ShardAssignment {
+  ShardStrategy strategy = ShardStrategy::kIndexRange;
+  uint32_t shard_count = 1;
+  /// owner[tuple] = the shard owning every candidate pair whose first
+  /// endpoint is `tuple`.
+  std::vector<uint32_t> owner;
+
+  bool Owns(size_t tuple, uint32_t shard) const {
+    return tuple < owner.size() && owner[tuple] == shard;
+  }
+};
+
+/// Contiguous index ranges weighted by the full-pairs triangle: tuple f
+/// fronts n-1-f pairs, so early ranges are shorter. Balanced for the
+/// full reduction; a sane default for adapter-backed reductions.
+ShardAssignment AssignIndexRanges(size_t tuple_count, uint32_t shard_count);
+
+/// Contiguous runs of the key-sorted tuple order, balanced by tuple
+/// count. `keys[i]` is tuple i's sort key; ties break by tuple index
+/// (the SNM stable-sort rule), so the split is deterministic.
+ShardAssignment AssignKeyRanges(const std::vector<std::string>& keys,
+                                uint32_t shard_count);
+
+/// Whole blocks (groups of equal-keyed tuples) packed greedily onto the
+/// least-loaded shard by within-block pair weight, largest block first
+/// (ties by key, then shard index — deterministic).
+ShardAssignment AssignBlockSubsets(const std::vector<std::string>& keys,
+                                   uint32_t shard_count);
+
+}  // namespace pdd
+
+#endif  // PDD_REDUCTION_SHARD_PARTITIONER_H_

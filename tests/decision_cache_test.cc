@@ -174,6 +174,39 @@ TEST(ShardedDecisionCacheTest, ReinsertRefreshesWithoutEviction) {
   EXPECT_EQ(hit->match_class, MatchClass::kMatch);
 }
 
+// Regression: capacity must divide over the stripes EXACTLY. The old
+// division rounded every stripe up to at least one entry, so capacity 8
+// over 16 stripes admitted 16 residents; and plain truncation loses the
+// remainder (capacity 10 over 8 stripes bounded only 8). The per-shard
+// bounds must always sum to the configured capacity, and the resident
+// total must never exceed it.
+TEST(ShardedDecisionCacheTest, CapacityDividesOverShardsExactly) {
+  struct Case {
+    size_t capacity;
+    size_t shards;
+  };
+  const Case cases[] = {{8, 16}, {10, 8}, {3, 16}, {1, 4},
+                        {7, 2},  {100, 16}, {4096, 16}};
+  for (const Case& c : cases) {
+    ShardedDecisionCacheOptions options;
+    options.capacity = c.capacity;
+    options.shards = c.shards;
+    ShardedDecisionCache cache(options);
+    // The per-shard bounds sum to the capacity exactly — never more
+    // (silent inflation), never less (lost remainder).
+    EXPECT_EQ(cache.TotalCapacity(), c.capacity)
+        << "capacity " << c.capacity << " over " << c.shards << " shards";
+    // Hammer with far more distinct keys than capacity: whatever the
+    // hash spread, the resident total must respect the bound.
+    for (uint64_t i = 0; i < 64 * c.capacity + 100; ++i) {
+      cache.Insert(Key(9, i + 1), {0.5, MatchClass::kPossible});
+    }
+    EXPECT_LE(cache.size(), c.capacity)
+        << "capacity " << c.capacity << " over " << c.shards << " shards";
+    EXPECT_EQ(cache.Stats().size, cache.size());
+  }
+}
+
 TEST(ShardedDecisionCacheTest, SamePairDifferentPlanFingerprints) {
   ShardedDecisionCache cache;
   cache.Insert(Key(1, 42), {0.5, MatchClass::kPossible});

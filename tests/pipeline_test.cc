@@ -23,10 +23,16 @@ DetectorConfig PersonConfig() {
   config.final_thresholds = {0.4, 0.7};
   // CMake registers a second ctest pass of this binary with
   // PDD_BATCH_SIZE=2 so every Run() path crosses batch boundaries
-  // constantly (streaming refill edges, incremental filter re-pulls).
+  // constantly (streaming refill edges, incremental filter re-pulls),
+  // and a third with PDD_SHARDS=3 so every Run() drains through the
+  // sharded stream's per-shard sources and deterministic merge.
   if (const char* batch = std::getenv("PDD_BATCH_SIZE")) {
     int parsed = std::atoi(batch);
     if (parsed > 0) config.batch_size = static_cast<size_t>(parsed);
+  }
+  if (const char* shards = std::getenv("PDD_SHARDS")) {
+    int parsed = std::atoi(shards);
+    if (parsed > 0) config.shard_count = static_cast<size_t>(parsed);
   }
   return config;
 }

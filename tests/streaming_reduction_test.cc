@@ -192,6 +192,72 @@ TEST(StreamingReductionTest, NativeStreamingBoundsLiveCandidates) {
   EXPECT_GT(result->stream_stats.batches, 1u);
 }
 
+// Regression (stats carry-over seam): a partially-drained stream that
+// is Reset and re-executed must report exactly one drain's stream
+// accounting — batches and the live-candidate high-water must not
+// carry over across re-opens (ExecutionStatsReport would double-count).
+TEST(StreamingReductionTest, ResetMidDrainDoesNotCarryDrainAccounting) {
+  GeneratedData data = StreamTestPersons(50);
+  DetectorConfig config = ReductionConfig(ReductionMethod::kSnmCertainKeys);
+  config.batch_size = 16;
+  Result<DuplicateDetector> detector =
+      DuplicateDetector::Make(config, PersonSchema());
+  ASSERT_TRUE(detector.ok());
+  Result<std::unique_ptr<CandidateStream>> stream =
+      MakeFullStream(detector->plan(), data.relation);
+  ASSERT_TRUE(stream.ok());
+  // Reference: a clean full drain.
+  Result<DetectionResult> reference = detector->RunStream(**stream);
+  ASSERT_TRUE(reference.ok());
+  ASSERT_GT(reference->stream_stats.batches, 1u);
+  // Partially drain after a Reset, Reset again mid-drain, re-execute:
+  // the accounting must equal the clean drain's, not accumulate.
+  (*stream)->Reset();
+  std::vector<CandidatePair> batch;
+  ASSERT_GT((*stream)->NextBatch(8, &batch), 0u);
+  ASSERT_GT((*stream)->NextBatch(8, &batch), 0u);
+  (*stream)->Reset();
+  Result<DetectionResult> second = detector->RunStream(**stream);
+  ASSERT_TRUE(second.ok());
+  ExpectIdentical(*reference, *second);
+  EXPECT_EQ(second->stream_stats.batches, reference->stream_stats.batches);
+  EXPECT_EQ(second->stream_stats.live_candidate_high_water,
+            reference->stream_stats.live_candidate_high_water);
+}
+
+// The candidate-count hint is a reservation aid only: a pull-based
+// native stream reports none, and the executor must run it exactly like
+// a hinted one (no reserve(0) capacity pinning, no behavioral fork).
+TEST(StreamingReductionTest, NativeStreamsAreHintlessAndStillExact) {
+  GeneratedData data = StreamTestPersons(40);
+  DetectorConfig config = ReductionConfig(ReductionMethod::kSnmCertainKeys);
+  Result<DuplicateDetector> detector =
+      DuplicateDetector::Make(config, PersonSchema());
+  ASSERT_TRUE(detector.ok());
+  Result<std::unique_ptr<CandidateStream>> stream =
+      MakeFullStream(detector->plan(), data.relation);
+  ASSERT_TRUE(stream.ok());
+  // Native streaming: count unknown before the drain.
+  EXPECT_FALSE((*stream)->candidate_count_hint().has_value());
+  Result<DetectionResult> hintless = detector->RunStream(**stream);
+  ASSERT_TRUE(hintless.ok());
+  ASSERT_GT(hintless->decisions.size(), 0u);
+  // Same candidates through the (hinted) materialized stream: the
+  // decisions and their order must not depend on the hint.
+  std::unique_ptr<PairGenerator> generator =
+      detector->plan().MakePairGenerator();
+  Result<std::vector<CandidatePair>> candidates =
+      generator->Generate(data.relation);
+  ASSERT_TRUE(candidates.ok());
+  MaterializedCandidateStream materialized(
+      "full", std::nullopt, &data.relation, std::move(*candidates),
+      TriangularPairCount(data.relation.size()));
+  ASSERT_TRUE(materialized.candidate_count_hint().has_value());
+  Result<DetectionResult> hinted = detector->RunStream(materialized);
+  ASSERT_TRUE(hinted.ok());
+  ExpectIdentical(*hinted, *hintless);
+}
+
 TEST(CheckedMathTest, SaturatesInsteadOfWrapping) {
   constexpr size_t kMax = std::numeric_limits<size_t>::max();
   EXPECT_EQ(TriangularPairCount(0), 0u);

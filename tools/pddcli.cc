@@ -32,6 +32,16 @@
 //                                  (default 0 = serial; results identical)
 //   --batch N                      candidates per executor batch
 //                                  (default 256)
+//   --shards N                     partition the candidate stream into N
+//                                  shards drained by per-shard worker
+//                                  sets and merged deterministically
+//                                  (default 1 = unsharded; the report is
+//                                  byte-identical for any shard count —
+//                                  a runtime placement knob like
+//                                  --workers, it never changes the plan
+//                                  fingerprint; plans can instead bake
+//                                  sharding in via `shard.count` /
+//                                  `shard.strategy` spec keys)
 //   --cache-capacity N             enable the in-memory decision cache
 //                                  bounded to N entries (LRU; default
 //                                  capacity 1048576 when another cache
@@ -136,6 +146,7 @@ int RunDetect(const XRelation& rel, int argc, char** argv, int first_arg) {
   bool cache_stats = false;
   bool stream_candidates = false;
   size_t cache_capacity = 0;  // 0 = not set; default applied below
+  size_t shard_override = 0;  // 0 = not set; plan's sharding applies
   std::string cache_file;
   PlanSpec overrides;
   std::optional<GoldStandard> gold;
@@ -205,6 +216,13 @@ int RunDetect(const XRelation& rel, int argc, char** argv, int first_arg) {
         return Fail("--batch needs a positive number");
       }
       config.batch_size = static_cast<size_t>(n);
+    } else if (arg == "--shards") {
+      const char* v = next();
+      double n = 0.0;
+      if (v == nullptr || !ParseDouble(v, &n) || n < 1) {
+        return Fail("--shards needs a positive number");
+      }
+      shard_override = static_cast<size_t>(n);
     } else if (arg == "--cache-capacity") {
       const char* v = next();
       double n = 0.0;
@@ -259,6 +277,11 @@ int RunDetect(const XRelation& rel, int argc, char** argv, int first_arg) {
   Result<DuplicateDetector> detector =
       DuplicateDetector::Make(config, rel.schema());
   if (!detector.ok()) return Fail(detector.status().ToString());
+  if (shard_override > 0) {
+    // A run-level placement knob: the plan (and the report it prints)
+    // stays byte-identical to the unsharded run.
+    detector->set_shard_options({shard_override, ShardStrategy::kAuto});
+  }
   // Any cache flag enables the decision cache; --cache-file also
   // warm-starts from earlier invocations.
   std::shared_ptr<ShardedDecisionCache> cache;
@@ -303,6 +326,12 @@ int RunDetect(const XRelation& rel, int argc, char** argv, int first_arg) {
               << " batches, live high-water "
               << result->stream_stats.live_candidate_high_water
               << " candidates\n";
+    for (size_t i = 0; i < result->stream_stats.per_shard.size(); ++i) {
+      const StreamRunStats& shard = result->stream_stats.per_shard[i];
+      std::cerr << "  shard " << i << ": " << shard.batches
+                << " batches, live high-water "
+                << shard.live_candidate_high_water << " candidates\n";
+    }
   }
   const GoldStandard* gold_ptr = gold.has_value() ? &*gold : nullptr;
   std::cout << (csv ? DecisionsToCsv(*result, gold_ptr)
