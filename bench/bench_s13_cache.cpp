@@ -175,5 +175,19 @@ int main() {
   std::cout << "shared cache: " << sweep_cache->Stats().ToString() << "\n";
   ok = ok && sweep_rates[1] > sweep_rates[0];
 
+  pdd_bench::BenchJsonWriter json("s13");
+  json.Set("bench", "s13_decision_cache");
+  json.Set("records", static_cast<double>(data.relation.size()));
+  json.Set("candidate_pairs", static_cast<double>(uncached.candidate_count));
+  json.Set("uncached_pairs_per_sec", baseline_rate);
+  json.Set("miss_pairs_per_sec", miss_rate);
+  json.Set("hit_pairs_per_sec", hit_rate_pairs);
+  json.Set("warm_hit_rate", warm_hit_share);
+  json.Set("hit_vs_miss_speedup", speedup);
+  json.Set("sweep_cold_pairs_per_sec", sweep_rates[0]);
+  json.Set("sweep_warm_pairs_per_sec", sweep_rates[1]);
+  json.Set("decisions_identical", identical);
+  json.Write();
+
   return Verdict(ok);
 }

@@ -114,6 +114,9 @@ int main() {
       {"reduction", "candidates", "HW streamed", "HW materialized",
        "HW/candidates", "report=="});
   bool ok = true;
+  pdd_bench::BenchJsonWriter json("s14");
+  json.Set("bench", "s14_streaming");
+  json.Set("records", static_cast<double>(data.relation.size()));
   for (const Case& c : cases) {
     auto detector = DuplicateDetector::Make(
         BenchConfig(c.method, c.window ? c.window : 3, c.key_prefix),
@@ -144,6 +147,13 @@ int main() {
                                  1) +
                       "%",
                   reports_equal ? "yes" : "NO"});
+    const std::string prefix = c.label;
+    json.Set(prefix + ".candidates", static_cast<double>(candidates));
+    json.Set(prefix + ".streamed_high_water",
+             static_cast<double>(hw_streamed));
+    json.Set(prefix + ".materialized_high_water",
+             static_cast<double>(hw_materialized));
+    json.Set(prefix + ".reports_identical", reports_equal);
     // Gate 1: byte-identical reports.
     ok = ok && reports_equal;
     // Gate 2: streamed high-water < 10% of materialized candidates.
@@ -165,5 +175,6 @@ int main() {
   std::cout << "high-water = peak live candidate pairs (stream buffers + "
                "in-flight batches); the materialized path pins the full "
                "candidate vector for the whole drain.\n";
+  json.Write();
   return pdd_bench::Verdict(ok);
 }

@@ -86,6 +86,8 @@ int main() {
                            "HW unsharded", "HW max shard", "share",
                            "report=="});
   bool ok = true;
+  pdd_bench::BenchJsonWriter json("s15");
+  json.Set("bench", "s15_sharding");
   for (const Case& c : cases) {
     auto detector = DuplicateDetector::Make(
         BenchConfig(c.method, c.window, c.key_prefix), PersonSchema());
@@ -144,6 +146,15 @@ int main() {
                           1) +
                "%",
            reports_equal ? "yes" : "NO"});
+      const std::string prefix =
+          std::string(c.label) + ".x" + std::to_string(shards);
+      json.Set(prefix + ".candidates",
+               static_cast<double>(sharded->candidate_count));
+      json.Set(prefix + ".unsharded_high_water",
+               static_cast<double>(hw_unsharded));
+      json.Set(prefix + ".max_shard_high_water",
+               static_cast<double>(hw_max_shard));
+      json.Set(prefix + ".reports_identical", reports_equal);
       // Gate 1: the merged report is the unsharded report, byte for
       // byte.
       ok = ok && reports_equal;
@@ -170,5 +181,6 @@ int main() {
   std::cout << "high-water = peak live candidate pairs of the drain (one "
                "huge batch, so it equals the candidate residency); 'share' "
                "= largest shard's residency vs the unsharded drain.\n";
+  json.Write();
   return pdd_bench::Verdict(ok);
 }

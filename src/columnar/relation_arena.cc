@@ -1,0 +1,90 @@
+#include "columnar/relation_arena.h"
+
+#include <limits>
+
+#include "cache/pair_digest.h"
+#include "sim/columnar_kernels.h"
+
+namespace pdd {
+
+namespace {
+
+// FNV-1a 64-bit, the repo-wide digest idiom (cache/pair_digest.cc,
+// PlanSpec::Fingerprint).
+constexpr uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t FnvText(std::string_view s) {
+  uint64_t h = kFnvOffset;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::shared_ptr<const RelationArena> RelationArena::Build(
+    const XRelation& rel) {
+  constexpr size_t kMax = std::numeric_limits<uint32_t>::max();
+  const Schema& schema = rel.schema();
+  std::shared_ptr<RelationArena> arena(new RelationArena());
+  const size_t arity = schema.arity();
+  arena->arity_ = arity;
+  const size_t tuples = rel.size();
+  arena->tuple_row_begin_.reserve(tuples);
+  arena->tuple_row_end_.reserve(tuples);
+  arena->tuple_digest_.reserve(tuples);
+  arena->row_cond_prob_.reserve(rel.TotalAlternatives());
+  Value expanded;  // reused across values to avoid reallocation churn
+  for (size_t t = 0; t < tuples; ++t) {
+    const XTuple& tuple = rel.xtuple(t);
+    arena->tuple_row_begin_.push_back(
+        static_cast<uint32_t>(arena->row_cond_prob_.size()));
+    // The cache key hashes the ORIGINAL (prepared but unexpanded)
+    // content — exactly what the lazily-memoized executor path hashed.
+    arena->tuple_digest_.push_back(TupleContentDigest(tuple));
+    const std::vector<double> cond = tuple.ConditionedProbabilities();
+    for (size_t i = 0; i < tuple.size(); ++i) {
+      arena->row_cond_prob_.push_back(cond[i]);
+      const AltTuple& alt_tuple = tuple.alternative(i);
+      for (size_t attr = 0; attr < arity; ++attr) {
+        const Value& raw = alt_tuple.values[attr];
+        const Value* value = &raw;
+        if (raw.has_pattern()) {
+          // Same expansion TupleMatcher::MatchAttribute performs per
+          // pair, hoisted to build time: alternative order, merged
+          // masses and ⊥ mass are identical.
+          expanded = raw.Expanded(schema.attribute(attr).vocabulary);
+          value = &expanded;
+        }
+        arena->value_alt_begin_.push_back(
+            static_cast<uint32_t>(arena->alt_offset_.size()));
+        for (const Alternative& da : value->alternatives()) {
+          if (arena->bytes_.size() + da.text.size() > kMax ||
+              arena->alt_offset_.size() >= kMax) {
+            return nullptr;
+          }
+          arena->alt_offset_.push_back(
+              static_cast<uint32_t>(arena->bytes_.size()));
+          arena->alt_length_.push_back(
+              static_cast<uint32_t>(da.text.size()));
+          arena->bytes_.append(da.text);
+          arena->alt_prob_.push_back(da.prob);
+          arena->alt_sig_.push_back(QGram2Signature(da.text));
+          arena->alt_digest_.push_back(FnvText(da.text));
+        }
+        arena->value_alt_end_.push_back(
+            static_cast<uint32_t>(arena->alt_offset_.size()));
+        arena->value_null_prob_.push_back(value->null_probability());
+      }
+    }
+    if (arena->row_cond_prob_.size() > kMax) return nullptr;
+    arena->tuple_row_end_.push_back(
+        static_cast<uint32_t>(arena->row_cond_prob_.size()));
+  }
+  return arena;
+}
+
+}  // namespace pdd

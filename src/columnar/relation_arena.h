@@ -1,0 +1,120 @@
+// RelationArena: a prepared x-relation flattened into contiguous
+// structure-of-arrays columns, built once per run and shared read-only
+// by the executor, the sharded stream and the decision cache's digest
+// path. The arena is the data layout the columnar match kernels
+// (sim/columnar_kernels.h) batch over: no per-pair allocation, no
+// pointer chasing through XTuple/Value object graphs in the hot loop.
+//
+// Layout (all indices are dense, uint32):
+//
+//   bytes            ┌──────────────────────────────────────────────┐
+//   (one string      │ "Tim" "John" "Johan" "mueller" "miller" ...  │
+//    arena)          └──────────────────────────────────────────────┘
+//                       ▲ per value-alternative k:
+//   alt columns         offset(k), length(k)  — span into `bytes`
+//                       prob(k)               — alternative probability
+//                       sig(k)                — QGram2Signature(text)
+//                       digest(k)             — FNV-1a(text)
+//
+//   value columns      per value v = row · arity + attr:
+//                       alt_begin(v), alt_end(v) — range of alt columns
+//                       null_prob(v)             — ⊥ mass of the value
+//
+//   row columns        per alternative tuple r (rows flattened across
+//                       x-tuples): cond_prob(r) = p(t_i)/p(t)
+//
+//   tuple columns      per x-tuple t:
+//                       row_begin(t), row_end(t) — range of row columns
+//                       digest(t) — TupleContentDigest of the original
+//                                   (unexpanded) x-tuple, i.e. exactly
+//                                   the cache/pair_digest.h value
+//
+// Pattern values ('mu*') are expanded against the attribute vocabulary
+// at build time — the same expansion TupleMatcher::MatchAttribute does
+// per pair — so kernels only ever see literal alternatives and the
+// per-pair expansion cost disappears from the hot path.
+//
+// Build() returns nullptr when any column index would overflow uint32
+// (relations beyond ~4G alternative bytes); callers fall back to the
+// scalar per-pair path in that case.
+
+#ifndef PDD_COLUMNAR_RELATION_ARENA_H_
+#define PDD_COLUMNAR_RELATION_ARENA_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pdb/xrelation.h"
+
+namespace pdd {
+
+class RelationArena {
+ public:
+  /// Flattens `rel` (schema taken from the relation). Returns nullptr
+  /// on uint32 column overflow — never fails otherwise.
+  static std::shared_ptr<const RelationArena> Build(const XRelation& rel);
+
+  // --- shape --------------------------------------------------------
+  size_t tuple_count() const { return tuple_row_begin_.size(); }
+  size_t arity() const { return arity_; }
+  size_t row_count() const { return row_cond_prob_.size(); }
+  size_t alternative_count() const { return alt_offset_.size(); }
+  size_t byte_count() const { return bytes_.size(); }
+
+  // --- per x-tuple t ------------------------------------------------
+  uint32_t tuple_row_begin(size_t t) const { return tuple_row_begin_[t]; }
+  uint32_t tuple_row_end(size_t t) const { return tuple_row_end_[t]; }
+  /// TupleContentDigest of the original x-tuple — the executor's cache
+  /// key half, precomputed here instead of lazily memoized per run.
+  uint64_t tuple_digest(size_t t) const { return tuple_digest_[t]; }
+
+  // --- per row (alternative tuple) r --------------------------------
+  /// Conditioned probability p(t_i)/p(t) of the row's alternative.
+  double row_cond_prob(size_t r) const { return row_cond_prob_[r]; }
+  const double* row_cond_prob_data() const { return row_cond_prob_.data(); }
+
+  // --- per value v = r * arity + attr -------------------------------
+  size_t value_index(size_t r, size_t attr) const {
+    return r * arity_ + attr;
+  }
+  uint32_t value_alt_begin(size_t v) const { return value_alt_begin_[v]; }
+  uint32_t value_alt_end(size_t v) const { return value_alt_end_[v]; }
+  double value_null_prob(size_t v) const { return value_null_prob_[v]; }
+
+  // --- per value-alternative k --------------------------------------
+  std::string_view alt_text(size_t k) const {
+    return std::string_view(bytes_.data() + alt_offset_[k], alt_length_[k]);
+  }
+  double alt_prob(size_t k) const { return alt_prob_[k]; }
+  /// Padded-2-gram bitset signature of the alternative text (zero AND
+  /// proves empty gram intersection — see sim/columnar_kernels.h).
+  uint64_t alt_sig(size_t k) const { return alt_sig_[k]; }
+  /// FNV-1a digest of the alternative text; unequal digests prove
+  /// unequal texts (equality pre-screens without a byte compare).
+  uint64_t alt_digest(size_t k) const { return alt_digest_[k]; }
+
+ private:
+  RelationArena() = default;
+
+  size_t arity_ = 0;
+  std::string bytes_;
+  std::vector<uint32_t> alt_offset_;
+  std::vector<uint32_t> alt_length_;
+  std::vector<double> alt_prob_;
+  std::vector<uint64_t> alt_sig_;
+  std::vector<uint64_t> alt_digest_;
+  std::vector<uint32_t> value_alt_begin_;
+  std::vector<uint32_t> value_alt_end_;
+  std::vector<double> value_null_prob_;
+  std::vector<double> row_cond_prob_;
+  std::vector<uint32_t> tuple_row_begin_;
+  std::vector<uint32_t> tuple_row_end_;
+  std::vector<uint64_t> tuple_digest_;
+};
+
+}  // namespace pdd
+
+#endif  // PDD_COLUMNAR_RELATION_ARENA_H_

@@ -41,6 +41,11 @@ std::string DecisionsToCsv(const DetectionResult& result,
 
 std::string ExecutionStatsReport(const DetectionResult& result) {
   std::string out = "# Execution statistics\n\n";
+  // Which match implementation ran — execution detail only; the
+  // detection report never mentions it (columnar ≡ scalar bit for bit).
+  if (!result.match_kernel.empty()) {
+    out += "- match kernel: " + result.match_kernel + "\n\n";
+  }
   const StageTimings& t = result.stage_timings;
   double total = t.TotalSeconds();
   out += "## Stage timings\n\n";

@@ -7,6 +7,12 @@
 
 namespace pdd {
 
+void AttachArenaIfColumnar(const DetectionPlan& plan,
+                           CandidateStream* stream) {
+  if (!plan.use_columnar_kernels()) return;
+  stream->set_arena(RelationArena::Build(stream->relation()));
+}
+
 Result<std::optional<XRelation>> PrepareStreamRelation(
     const DetectionPlan& plan, std::optional<XRelation> owned,
     const XRelation* borrowed) {
@@ -99,9 +105,13 @@ Result<std::unique_ptr<CandidateStream>> MakeFullStream(
     const DetectionPlan& plan, const XRelation& rel) {
   PDD_ASSIGN_OR_RETURN(std::optional<XRelation> owned,
                        PrepareStreamRelation(plan, std::nullopt, &rel));
-  return GeneratorCandidateStream::Make("full", std::move(owned), &rel,
-                                        plan.MakePairGenerator(),
-                                        TriangularPairCount(rel.size()));
+  PDD_ASSIGN_OR_RETURN(
+      std::unique_ptr<CandidateStream> stream,
+      GeneratorCandidateStream::Make("full", std::move(owned), &rel,
+                                     plan.MakePairGenerator(),
+                                     TriangularPairCount(rel.size())));
+  AttachArenaIfColumnar(plan, stream.get());
+  return stream;
 }
 
 Result<std::unique_ptr<CandidateStream>> MakeUnionStream(
@@ -111,8 +121,12 @@ Result<std::unique_ptr<CandidateStream>> MakeUnionStream(
   size_t total = TriangularPairCount(merged.size());
   PDD_ASSIGN_OR_RETURN(std::optional<XRelation> owned,
                        PrepareStreamRelation(plan, std::move(merged), nullptr));
-  return GeneratorCandidateStream::Make("union", std::move(owned), nullptr,
-                                        plan.MakePairGenerator(), total);
+  PDD_ASSIGN_OR_RETURN(
+      std::unique_ptr<CandidateStream> stream,
+      GeneratorCandidateStream::Make("union", std::move(owned), nullptr,
+                                     plan.MakePairGenerator(), total));
+  AttachArenaIfColumnar(plan, stream.get());
+  return stream;
 }
 
 Result<std::unique_ptr<CandidateStream>> MakeIncrementalStream(
@@ -130,9 +144,13 @@ Result<std::unique_ptr<CandidateStream>> MakeIncrementalStream(
                                TriangularPairCount(new_count));
   PDD_ASSIGN_OR_RETURN(std::optional<XRelation> owned,
                        PrepareStreamRelation(plan, std::move(merged), nullptr));
-  return GeneratorCandidateStream::Make("incremental", std::move(owned),
-                                        nullptr, plan.MakePairGenerator(),
-                                        total, /*min_second=*/base_count);
+  PDD_ASSIGN_OR_RETURN(
+      std::unique_ptr<CandidateStream> stream,
+      GeneratorCandidateStream::Make("incremental", std::move(owned), nullptr,
+                                     plan.MakePairGenerator(), total,
+                                     /*min_second=*/base_count));
+  AttachArenaIfColumnar(plan, stream.get());
+  return stream;
 }
 
 }  // namespace pdd

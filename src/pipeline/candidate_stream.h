@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "columnar/relation_arena.h"
 #include "pdb/xrelation.h"
 #include "pipeline/detection_plan.h"
 #include "reduction/pair_generator.h"
@@ -36,6 +37,19 @@ namespace pdd {
 class CandidateStream {
  public:
   virtual ~CandidateStream() = default;
+
+  /// The columnar arena over relation(), when one is attached — the
+  /// factories attach one (via AttachArenaIfColumnar) exactly when the
+  /// plan decides through the columnar kernels, built once per stream
+  /// and shared by every executor worker and shard. Null otherwise
+  /// (scalar plans, custom streams, arena overflow), in which case the
+  /// executor takes the per-pair scalar path.
+  const std::shared_ptr<const RelationArena>& arena() const { return arena_; }
+
+  /// Attaches (or clears) the arena; it must describe relation().
+  void set_arena(std::shared_ptr<const RelationArena> arena) {
+    arena_ = std::move(arena);
+  }
 
   /// The relation candidate indices refer to (after union/preparation).
   virtual const XRelation& relation() const = 0;
@@ -73,7 +87,17 @@ class CandidateStream {
 
   /// Scenario name for reports ("full", "union", "incremental").
   virtual std::string name() const = 0;
+
+ private:
+  std::shared_ptr<const RelationArena> arena_;
 };
+
+/// Builds and attaches the RelationArena for the stream's (final,
+/// post-preparation/union) relation when the plan takes the columnar
+/// kernel path; no-op for scalar plans. Arena overflow (uint32 column
+/// limits) leaves the stream arena-less — a silent scalar fallback,
+/// never an error.
+void AttachArenaIfColumnar(const DetectionPlan& plan, CandidateStream* stream);
 
 /// A materialized candidate vector over a borrowed or owned relation.
 /// No longer on the default path (the factories below stream); kept for

@@ -25,6 +25,7 @@
 #include "pdb/xrelation.h"
 #include "plan/plan_spec.h"
 #include "reduction/pair_generator.h"
+#include "sim/columnar_kernels.h"
 #include "util/status.h"
 
 namespace pdd {
@@ -84,6 +85,26 @@ class DetectionPlan {
   /// The stage graph in execution order.
   const std::vector<PipelineStage>& stages() const { return stages_; }
 
+  /// True when this plan decides pairs through the columnar kernel
+  /// path (match.kernel resolved at compile time: kAuto selects it iff
+  /// every resolved comparator has a kernel and no custom comparator
+  /// instance is installed; kColumnar on an ineligible plan fails
+  /// compilation). Both paths are bit-identical — this is purely the
+  /// throughput choice the executor honours when an arena is attached.
+  bool use_columnar_kernels() const { return use_columnar_kernels_; }
+
+  /// One kernel per schema attribute; empty unless
+  /// use_columnar_kernels().
+  const std::vector<ColumnarKernelFn>& columnar_kernels() const {
+    return columnar_kernels_;
+  }
+
+  /// The resolved match-kernel choice ("columnar" or "scalar") for
+  /// execution-statistics reporting.
+  const char* match_kernel_name() const {
+    return use_columnar_kernels_ ? "columnar" : "scalar";
+  }
+
   /// Builds the configured pair generator (stateless w.r.t. relations),
   /// wrapped in the pruning filter when configured.
   std::unique_ptr<PairGenerator> MakePairGenerator() const;
@@ -120,6 +141,8 @@ class DetectionPlan {
   Schema schema_;
   KeySpec key_spec_;
   std::vector<PipelineStage> stages_;
+  bool use_columnar_kernels_ = false;
+  std::vector<ColumnarKernelFn> columnar_kernels_;
   std::unique_ptr<TupleMatcher> matcher_;
   std::unique_ptr<CombinationFunction> combination_;
   std::unique_ptr<DerivationFunction> derivation_;

@@ -126,6 +126,12 @@ struct DetectionResult {
   /// Candidate-stream drain accounting (always collected; the counters
   /// are two integers per batch).
   StreamRunStats stream_stats;
+  /// Which match-stage implementation the executor ran: "columnar"
+  /// (batched kernels over the stream's RelationArena) or "scalar"
+  /// (per-pair TupleMatcher). Rendered by ExecutionStatsReport only —
+  /// both paths are bit-identical, so the detection report never
+  /// mentions it. Empty for hand-assembled results.
+  std::string match_kernel;
 
   /// Number of decisions classified `match_class`.
   size_t CountClass(MatchClass match_class) const;

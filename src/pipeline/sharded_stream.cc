@@ -257,6 +257,8 @@ Result<std::unique_ptr<CandidateStream>> MakeShardedFullStream(
       ShardedCandidateStream::Make("full", std::move(owned), &rel, plan,
                                    TriangularPairCount(rel.size()),
                                    /*min_second=*/0, options));
+  // One arena serves every shard: shards index the same relation.
+  AttachArenaIfColumnar(plan, stream.get());
   return std::unique_ptr<CandidateStream>(std::move(stream));
 }
 
@@ -272,6 +274,7 @@ Result<std::unique_ptr<CandidateStream>> MakeShardedUnionStream(
       std::unique_ptr<ShardedCandidateStream> stream,
       ShardedCandidateStream::Make("union", std::move(owned), nullptr, plan,
                                    total, /*min_second=*/0, options));
+  AttachArenaIfColumnar(plan, stream.get());
   return std::unique_ptr<CandidateStream>(std::move(stream));
 }
 
@@ -293,6 +296,7 @@ Result<std::unique_ptr<CandidateStream>> MakeShardedIncrementalStream(
       ShardedCandidateStream::Make("incremental", std::move(owned), nullptr,
                                    plan, total, /*min_second=*/base_count,
                                    options));
+  AttachArenaIfColumnar(plan, stream.get());
   return std::unique_ptr<CandidateStream>(std::move(stream));
 }
 

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "cache/pair_digest.h"
+#include "match/columnar_matcher.h"
 #include "pipeline/sharded_stream.h"
 
 namespace pdd {
@@ -58,6 +59,7 @@ StageExecutor::StageExecutor(std::shared_ptr<const DetectionPlan> plan,
 void StageExecutor::DecideBatch(const XRelation& rel,
                                 const std::vector<CandidatePair>& batch,
                                 TupleDigestMemo* digest_memo,
+                                ColumnarMatcher* matcher,
                                 std::vector<PairDecisionRecord>* out,
                                 BatchCounters* counters) const {
   // Reserve only for a fresh buffer: calling reserve() per batch on the
@@ -77,9 +79,16 @@ void StageExecutor::DecideBatch(const XRelation& rel,
       // warm run's per-pair cost stays digest + lookup, nothing else.
       Clock::time_point start;
       if (timed) start = Clock::now();
-      key.pair_digest = CombineTupleDigests(
-          MemoizedDigest(rel, pair.first, &(*digest_memo)[pair.first]),
-          MemoizedDigest(rel, pair.second, &(*digest_memo)[pair.second]));
+      // Columnar runs read the arena's precomputed tuple digests (the
+      // PR-3 lazy memo moved to build time); scalar runs keep the memo.
+      key.pair_digest =
+          matcher != nullptr
+              ? CombineTupleDigests(matcher->arena().tuple_digest(pair.first),
+                                    matcher->arena().tuple_digest(pair.second))
+              : CombineTupleDigests(
+                    MemoizedDigest(rel, pair.first, &(*digest_memo)[pair.first]),
+                    MemoizedDigest(rel, pair.second,
+                                   &(*digest_memo)[pair.second]));
       std::optional<CachedPairDecision> cached = cache->Lookup(key);
       if (timed) counters->timings.cache_lookup_seconds += Elapsed(start);
       ++counters->cache.lookups;
@@ -92,7 +101,11 @@ void StageExecutor::DecideBatch(const XRelation& rel,
       ++counters->cache.misses;
     }
     XPairDecision decision;
-    if (timed) {
+    if (matcher != nullptr) {
+      decision = timed ? matcher->DecideTimed(pair.first, pair.second,
+                                              &counters->timings)
+                       : matcher->Decide(pair.first, pair.second);
+    } else if (timed) {
       // DecidePair's walk over the compiled stage graph, with a clock
       // read around each stage (same order, same arithmetic, same
       // results — plan_->stages() stays the single source of truth).
@@ -154,6 +167,17 @@ Result<DetectionResult> StageExecutor::Execute(CandidateStream& stream) const {
   // touch tuples (a sparse incremental stream over a large base never
   // digests the untouched base), then reused by every later pair, so
   // the hit path never re-hashes tuple content.
+  // Columnar kernel path: the plan resolved it at compile time and the
+  // stream factory attached an arena over its relation. A custom
+  // stream without an arena (or an arena for a different relation, or
+  // an overflowed build) falls back to the scalar path — same results.
+  const RelationArena* arena = stream.arena().get();
+  const bool columnar = plan_->use_columnar_kernels() && arena != nullptr &&
+                        arena->tuple_count() == rel.size();
+  result.match_kernel = columnar ? "columnar" : "scalar";
+  // The memo stays the "cache attached" signal on both paths; columnar
+  // batches never read it (they take the arena's precomputed digests),
+  // so its slots stay untouched zeros there.
   TupleDigestMemo digest_memo(use_cache ? rel.size() : 0);
   TupleDigestMemo* digests = use_cache ? &digest_memo : nullptr;
 
@@ -161,13 +185,16 @@ Result<DetectionResult> StageExecutor::Execute(CandidateStream& stream) const {
   // accounting, deterministic merge of the per-shard decisions.
   if (auto* sharded = dynamic_cast<ShardedCandidateStream*>(&stream);
       sharded != nullptr && sharded->shard_count() > 1) {
-    return ExecuteSharded(*sharded, digests, std::move(result));
+    return ExecuteSharded(*sharded, digests, columnar ? arena : nullptr,
+                          std::move(result));
   }
 
   if (options_.workers <= 1) {
     if (std::optional<size_t> hint = stream.candidate_count_hint()) {
       result.decisions.reserve(*hint);
     }
+    std::optional<ColumnarMatcher> matcher;
+    if (columnar) matcher.emplace(*plan_, *arena);
     BatchCounters counters;
     std::vector<CandidatePair> batch;
     while (stream.NextBatch(options_.batch_size, &batch) > 0) {
@@ -176,7 +203,9 @@ Result<DetectionResult> StageExecutor::Execute(CandidateStream& stream) const {
       result.stream_stats.live_candidate_high_water =
           std::max(result.stream_stats.live_candidate_high_water,
                    batch.size() + stream.buffered_candidates());
-      DecideBatch(rel, batch, digests, &result.decisions, &counters);
+      DecideBatch(rel, batch, digests,
+                  matcher.has_value() ? &*matcher : nullptr,
+                  &result.decisions, &counters);
     }
     result.stage_timings = counters.timings;
     if (result.cache_stats.has_value()) *result.cache_stats = counters.cache;
@@ -200,6 +229,9 @@ Result<DetectionResult> StageExecutor::Execute(CandidateStream& stream) const {
     size_t in_flight_candidates = 0;
   } drain;
   auto worker = [&]() {
+    // Per-worker matcher: its scratch buffers are thread-private state.
+    std::optional<ColumnarMatcher> matcher;
+    if (columnar) matcher.emplace(*plan_, *arena);
     std::vector<CandidatePair> batch;
     while (true) {
       std::vector<PairDecisionRecord>* slot;
@@ -222,7 +254,9 @@ Result<DetectionResult> StageExecutor::Execute(CandidateStream& stream) const {
         slot = &drain.slots.back();
         slot_counters = &drain.counters.back();
       }
-      DecideBatch(rel, batch, digests, slot, slot_counters);
+      DecideBatch(rel, batch, digests,
+                  matcher.has_value() ? &*matcher : nullptr, slot,
+                  slot_counters);
       {
         std::lock_guard<std::mutex> lock(drain.mu);
         drain.in_flight_candidates -= batch.size();
@@ -249,7 +283,7 @@ Result<DetectionResult> StageExecutor::Execute(CandidateStream& stream) const {
 
 Result<DetectionResult> StageExecutor::ExecuteSharded(
     ShardedCandidateStream& stream, TupleDigestMemo* digests,
-    DetectionResult result) const {
+    const RelationArena* arena, DetectionResult result) const {
   const XRelation& rel = stream.relation();
   const size_t shard_count = stream.shard_count();
   // Per-shard drain state: each shard is an independent pull loop with
@@ -270,6 +304,10 @@ Result<DetectionResult> StageExecutor::ExecuteSharded(
   std::vector<ShardDrain> drains(shard_count);
   auto drain_shard = [&](size_t shard) {
     ShardDrain& drain = drains[shard];
+    // One matcher per drain call: shard workers of the same shard run
+    // on different threads, and matcher scratch must stay thread-local.
+    std::optional<ColumnarMatcher> matcher;
+    if (arena != nullptr) matcher.emplace(*plan_, *arena);
     std::vector<CandidatePair> batch;
     while (true) {
       std::vector<PairDecisionRecord>* slot;
@@ -293,7 +331,9 @@ Result<DetectionResult> StageExecutor::ExecuteSharded(
         slot = &drain.slots.back();
         slot_counters = &drain.counters.back();
       }
-      DecideBatch(rel, batch, digests, slot, slot_counters);
+      DecideBatch(rel, batch, digests,
+                  matcher.has_value() ? &*matcher : nullptr, slot,
+                  slot_counters);
       {
         std::lock_guard<std::mutex> lock(drain.mu);
         drain.in_flight_candidates -= batch.size();

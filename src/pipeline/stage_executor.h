@@ -53,6 +53,7 @@ struct StageExecutorOptions {
   std::shared_ptr<DecisionCache> cache;
 };
 
+class ColumnarMatcher;
 class ShardedCandidateStream;
 
 class StageExecutor {
@@ -95,16 +96,22 @@ class StageExecutor {
 
   /// Runs the stage graph over one batch, appending to `*out` (the
   /// per-worker scratch buffer). `digest_memo` is non-null exactly
-  /// when the cache is consulted.
+  /// when the cache is consulted on the scalar path. `matcher`, when
+  /// non-null, is this worker's columnar matcher: pairs decide through
+  /// the batched kernels and cache keys use the arena's precomputed
+  /// tuple digests instead of the lazy memo (digest_memo is then null).
   void DecideBatch(const XRelation& rel,
                    const std::vector<CandidatePair>& batch,
-                   TupleDigestMemo* digest_memo,
+                   TupleDigestMemo* digest_memo, ColumnarMatcher* matcher,
                    std::vector<PairDecisionRecord>* out,
                    BatchCounters* counters) const;
 
-  /// The shard-aware drain (see Execute). `digest_memo` as above.
+  /// The shard-aware drain (see Execute). `digest_memo` as above;
+  /// `arena` non-null selects the columnar path (one matcher per
+  /// drain_shard call, all over the shared arena).
   Result<DetectionResult> ExecuteSharded(ShardedCandidateStream& stream,
                                          TupleDigestMemo* digest_memo,
+                                         const RelationArena* arena,
                                          DetectionResult result) const;
 
   std::shared_ptr<const DetectionPlan> plan_;

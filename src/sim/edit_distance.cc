@@ -14,10 +14,12 @@ size_t GeneralizedHammingDistance(std::string_view a, std::string_view b) {
   return dist;
 }
 
-size_t LevenshteinDistance(std::string_view a, std::string_view b) {
+size_t LevenshteinDistance(std::string_view a, std::string_view b,
+                           SimScratch& scratch) {
   if (a.size() < b.size()) std::swap(a, b);
   // b is the shorter string; one rolling row of |b|+1 entries.
-  std::vector<size_t> row(b.size() + 1);
+  std::vector<size_t>& row = scratch.row0;
+  row.resize(b.size() + 1);
   for (size_t j = 0; j <= b.size(); ++j) row[j] = j;
   for (size_t i = 1; i <= a.size(); ++i) {
     size_t diag = row[0];
@@ -32,12 +34,62 @@ size_t LevenshteinDistance(std::string_view a, std::string_view b) {
   return row[b.size()];
 }
 
-size_t DamerauLevenshteinDistance(std::string_view a, std::string_view b) {
+size_t LevenshteinDistance(std::string_view a, std::string_view b) {
+  return LevenshteinDistance(a, b, ThreadLocalSimScratch());
+}
+
+size_t BandedLevenshteinDistance(std::string_view a, std::string_view b,
+                                 SimScratch& scratch) {
+  if (a.size() < b.size()) std::swap(a, b);
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (m == 0) return n;
+  const size_t diff = n - m;
+  // Sentinel larger than any reachable distance, safe to +1 without
+  // wrapping.
+  const size_t kInf = n + m + 1;
+  std::vector<size_t>& row = scratch.row0;
+  // Band half-width: cells with |i - j| > band are cut. Any edit path
+  // needs at least `diff` edits, so start there and double until the
+  // band certifies its own result (Ukkonen): a banded distance <= band
+  // cannot have been improved by a path leaving the band, because such
+  // a path costs more than `band` on its own.
+  size_t band = std::max<size_t>(diff, 1);
+  while (true) {
+    band = std::min(band, n);
+    row.assign(m + 1, kInf);
+    for (size_t j = 0; j <= std::min(band, m); ++j) row[j] = j;
+    for (size_t i = 1; i <= n; ++i) {
+      const size_t lo = i > band ? i - band : 1;
+      const size_t hi = std::min(m, i + band);
+      size_t diag = row[lo - 1];
+      if (lo > 1) row[lo - 1] = kInf;  // left neighbour is out of band
+      else row[0] = i;
+      for (size_t j = lo; j <= hi; ++j) {
+        size_t next_diag = row[j];
+        size_t cost = a[i - 1] == b[j - 1] ? 0 : 1;
+        row[j] = std::min({row[j] + 1, row[j - 1] + 1, diag + cost});
+        diag = next_diag;
+      }
+      if (hi < m) row[hi + 1] = kInf;  // stale value from the last pass
+    }
+    if (row[m] <= band || band >= n) return row[m];
+    band *= 2;
+  }
+}
+
+size_t DamerauLevenshteinDistance(std::string_view a, std::string_view b,
+                                  SimScratch& scratch) {
   const size_t n = a.size();
   const size_t m = b.size();
   // Three rolling rows (current, previous, before-previous) for the
   // optimal-string-alignment recurrence.
-  std::vector<size_t> prev2(m + 1), prev(m + 1), cur(m + 1);
+  std::vector<size_t>& prev2 = scratch.row0;
+  std::vector<size_t>& prev = scratch.row1;
+  std::vector<size_t>& cur = scratch.row2;
+  prev2.assign(m + 1, 0);
+  prev.resize(m + 1);
+  cur.resize(m + 1);
   for (size_t j = 0; j <= m; ++j) prev[j] = j;
   for (size_t i = 1; i <= n; ++i) {
     cur[0] = i;
@@ -54,9 +106,17 @@ size_t DamerauLevenshteinDistance(std::string_view a, std::string_view b) {
   return prev[m];
 }
 
-size_t LongestCommonSubsequence(std::string_view a, std::string_view b) {
+size_t DamerauLevenshteinDistance(std::string_view a, std::string_view b) {
+  return DamerauLevenshteinDistance(a, b, ThreadLocalSimScratch());
+}
+
+size_t LongestCommonSubsequence(std::string_view a, std::string_view b,
+                                SimScratch& scratch) {
   if (a.size() < b.size()) std::swap(a, b);
-  std::vector<size_t> prev(b.size() + 1, 0), cur(b.size() + 1, 0);
+  std::vector<size_t>& prev = scratch.row0;
+  std::vector<size_t>& cur = scratch.row1;
+  prev.assign(b.size() + 1, 0);
+  cur.assign(b.size() + 1, 0);
   for (size_t i = 1; i <= a.size(); ++i) {
     for (size_t j = 1; j <= b.size(); ++j) {
       cur[j] = a[i - 1] == b[j - 1] ? prev[j - 1] + 1
@@ -65,6 +125,10 @@ size_t LongestCommonSubsequence(std::string_view a, std::string_view b) {
     std::swap(prev, cur);
   }
   return prev[b.size()];
+}
+
+size_t LongestCommonSubsequence(std::string_view a, std::string_view b) {
+  return LongestCommonSubsequence(a, b, ThreadLocalSimScratch());
 }
 
 namespace {

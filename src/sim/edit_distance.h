@@ -8,6 +8,7 @@
 #include <cstddef>
 
 #include "sim/comparator.h"
+#include "sim/sim_scratch.h"
 
 namespace pdd {
 
@@ -15,15 +16,31 @@ namespace pdd {
 /// shorter string count as mismatches.
 size_t GeneralizedHammingDistance(std::string_view a, std::string_view b);
 
-/// Levenshtein (edit) distance.
+/// Levenshtein (edit) distance. The scratch overload reuses the
+/// caller's DP rows; the two-argument form borrows the thread-local
+/// scratch, so neither allocates after warmup.
 size_t LevenshteinDistance(std::string_view a, std::string_view b);
+size_t LevenshteinDistance(std::string_view a, std::string_view b,
+                           SimScratch& scratch);
+
+/// Exact Levenshtein distance via Ukkonen band doubling: the DP is
+/// restricted to a diagonal band that starts at the length difference
+/// and doubles until the result certifies itself (distance <= band).
+/// Same integer as LevenshteinDistance, asymptotically O(d·min(n,m))
+/// for similar strings instead of O(n·m).
+size_t BandedLevenshteinDistance(std::string_view a, std::string_view b,
+                                 SimScratch& scratch);
 
 /// Damerau-Levenshtein distance, optimal-string-alignment variant
 /// (adjacent transposition counts as one edit).
 size_t DamerauLevenshteinDistance(std::string_view a, std::string_view b);
+size_t DamerauLevenshteinDistance(std::string_view a, std::string_view b,
+                                  SimScratch& scratch);
 
 /// Length of the longest common subsequence.
 size_t LongestCommonSubsequence(std::string_view a, std::string_view b);
+size_t LongestCommonSubsequence(std::string_view a, std::string_view b,
+                                SimScratch& scratch);
 
 /// Normalized Hamming similarity: matching positions / max length.
 /// Reproduces the paper's values: sim(Tim,Kim)=2/3,

@@ -5,22 +5,26 @@
 
 namespace pdd {
 
-double JaroSimilarity(std::string_view a, std::string_view b) {
+double JaroSimilarity(std::string_view a, std::string_view b,
+                      SimScratch& scratch) {
   if (a.empty() && b.empty()) return 1.0;
   if (a.empty() || b.empty()) return 0.0;
   size_t match_window =
       std::max(a.size(), b.size()) / 2 == 0
           ? 0
           : std::max(a.size(), b.size()) / 2 - 1;
-  std::vector<bool> a_matched(a.size(), false), b_matched(b.size(), false);
+  std::vector<unsigned char>& a_matched = scratch.flags_a;
+  std::vector<unsigned char>& b_matched = scratch.flags_b;
+  a_matched.assign(a.size(), 0);
+  b_matched.assign(b.size(), 0);
   size_t matches = 0;
   for (size_t i = 0; i < a.size(); ++i) {
     size_t lo = i > match_window ? i - match_window : 0;
     size_t hi = std::min(b.size(), i + match_window + 1);
     for (size_t j = lo; j < hi; ++j) {
       if (!b_matched[j] && a[i] == b[j]) {
-        a_matched[i] = true;
-        b_matched[j] = true;
+        a_matched[i] = 1;
+        b_matched[j] = 1;
         ++matches;
         break;
       }
@@ -43,13 +47,22 @@ double JaroSimilarity(std::string_view a, std::string_view b) {
          3.0;
 }
 
+double JaroSimilarity(std::string_view a, std::string_view b) {
+  return JaroSimilarity(a, b, ThreadLocalSimScratch());
+}
+
 double JaroWinklerSimilarity(std::string_view a, std::string_view b,
-                             double prefix_scale) {
-  double jaro = JaroSimilarity(a, b);
+                             double prefix_scale, SimScratch& scratch) {
+  double jaro = JaroSimilarity(a, b, scratch);
   size_t prefix = 0;
   size_t limit = std::min({a.size(), b.size(), static_cast<size_t>(4)});
   while (prefix < limit && a[prefix] == b[prefix]) ++prefix;
   return jaro + static_cast<double>(prefix) * prefix_scale * (1.0 - jaro);
+}
+
+double JaroWinklerSimilarity(std::string_view a, std::string_view b,
+                             double prefix_scale) {
+  return JaroWinklerSimilarity(a, b, prefix_scale, ThreadLocalSimScratch());
 }
 
 }  // namespace pdd

@@ -5,16 +5,23 @@
 #define PDD_SIM_JARO_H_
 
 #include "sim/comparator.h"
+#include "sim/sim_scratch.h"
 
 namespace pdd {
 
-/// Jaro similarity.
+/// Jaro similarity. The scratch overload reuses the caller's match-flag
+/// buffers; the two-argument form borrows the thread-local scratch, so
+/// neither allocates after warmup.
 double JaroSimilarity(std::string_view a, std::string_view b);
+double JaroSimilarity(std::string_view a, std::string_view b,
+                      SimScratch& scratch);
 
 /// Jaro-Winkler similarity with prefix scale `p` (default 0.1) over at
 /// most the first four characters.
 double JaroWinklerSimilarity(std::string_view a, std::string_view b,
                              double prefix_scale = 0.1);
+double JaroWinklerSimilarity(std::string_view a, std::string_view b,
+                             double prefix_scale, SimScratch& scratch);
 
 /// Jaro similarity comparator.
 class JaroComparator : public Comparator {

@@ -1,0 +1,10 @@
+#include "sim/sim_scratch.h"
+
+namespace pdd {
+
+SimScratch& ThreadLocalSimScratch() {
+  static thread_local SimScratch scratch;
+  return scratch;
+}
+
+}  // namespace pdd

@@ -1,0 +1,49 @@
+// Reusable per-worker scratch for the similarity hot path. The
+// edit-distance family and Jaro used to allocate their DP rows / match
+// flags on every Compare() call — millions of times per run. All
+// scratch-hungry comparators now borrow these buffers instead: the
+// vectors only ever grow (assign() never shrinks capacity), so after
+// the first few calls a worker's compare loop runs allocation-free.
+//
+// One SimScratch per thread of execution: the registry comparators
+// reach the thread-local instance below, while the columnar kernel
+// path (match/columnar_matcher.h) owns one per matcher so its lifetime
+// is explicit. The buffers carry no state between calls — every user
+// assign()s before reading — so sharing one instance across different
+// comparators is safe.
+
+#ifndef PDD_SIM_SIM_SCRATCH_H_
+#define PDD_SIM_SIM_SCRATCH_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pdd {
+
+struct SimScratch {
+  /// Rolling DP rows (Levenshtein: row0; Damerau/OSA: row0-row2;
+  /// LCS: row0, row1; banded kernels reuse the same rows).
+  std::vector<size_t> row0;
+  std::vector<size_t> row1;
+  std::vector<size_t> row2;
+  /// Jaro matched-character flags (0/1 per position).
+  std::vector<unsigned char> flags_a;
+  std::vector<unsigned char> flags_b;
+  /// Token / q-gram views for the columnar token kernels. Gram views
+  /// point into pad_a / pad_b (the padded copies).
+  std::vector<std::string_view> items_a;
+  std::vector<std::string_view> items_b;
+  std::string pad_a;
+  std::string pad_b;
+};
+
+/// The calling thread's scratch instance (static storage; never freed
+/// until thread exit). Registry comparators route through this, so
+/// plain Comparator::Compare calls are allocation-free after warmup.
+SimScratch& ThreadLocalSimScratch();
+
+}  // namespace pdd
+
+#endif  // PDD_SIM_SIM_SCRATCH_H_

@@ -1,0 +1,397 @@
+// Tests for the columnar match path: RelationArena round-trips the
+// prepared relation field for field, every columnar kernel is
+// bit-identical to its registry comparator, and end-to-end detection
+// with `match.kernel` forced either way produces byte-identical
+// reports across batch sizes, worker counts, caching and sharding.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/decision_cache.h"
+#include "cache/pair_digest.h"
+#include "columnar/relation_arena.h"
+#include "core/detector.h"
+#include "core/paper_examples.h"
+#include "core/report_writer.h"
+#include "datagen/person_generator.h"
+#include "pipeline/candidate_stream.h"
+#include "pipeline/detection_plan.h"
+#include "pipeline/stage_executor.h"
+#include "plan/plan_builder.h"
+#include "sim/columnar_kernels.h"
+#include "sim/registry.h"
+#include "sim/sim_scratch.h"
+
+namespace pdd {
+namespace {
+
+GeneratedData UncertainPersons(size_t entities = 60) {
+  PersonGenOptions gen;
+  gen.num_entities = entities;
+  gen.duplicate_rate = 0.6;
+  gen.uncertainty.value_uncertainty_prob = 0.4;
+  gen.uncertainty.xtuple_alternative_prob = 0.3;
+  gen.uncertainty.null_mass_prob = 0.2;
+  gen.seed = 60606;
+  return GeneratePersons(gen);
+}
+
+DetectorConfig PersonConfig() {
+  DetectorConfig config;
+  config.key = {{"name", 3}, {"job", 2}};
+  config.weights = {0.5, 0.3, 0.2};
+  return config;
+}
+
+// --- arena round-trip ---------------------------------------------------
+
+TEST(RelationArenaTest, RoundTripsPreparedRelation) {
+  GeneratedData data = UncertainPersons();
+  const XRelation& rel = data.relation;
+  const Schema& schema = rel.schema();
+  std::shared_ptr<const RelationArena> arena = RelationArena::Build(rel);
+  ASSERT_NE(arena, nullptr);
+
+  EXPECT_EQ(arena->tuple_count(), rel.size());
+  EXPECT_EQ(arena->arity(), schema.arity());
+  EXPECT_EQ(arena->row_count(), rel.TotalAlternatives());
+
+  for (size_t t = 0; t < rel.size(); ++t) {
+    const XTuple& tuple = rel.xtuple(t);
+    const size_t row_begin = arena->tuple_row_begin(t);
+    const size_t row_end = arena->tuple_row_end(t);
+    ASSERT_EQ(row_end - row_begin, tuple.size());
+    EXPECT_EQ(arena->tuple_digest(t), TupleContentDigest(tuple));
+
+    const std::vector<double> cond = tuple.ConditionedProbabilities();
+    for (size_t i = 0; i < tuple.size(); ++i) {
+      const size_t row = row_begin + i;
+      EXPECT_EQ(arena->row_cond_prob(row), cond[i]);
+      for (size_t attr = 0; attr < schema.arity(); ++attr) {
+        const Value& value = tuple.alternative(i).values[attr];
+        ASSERT_FALSE(value.has_pattern());  // persons carry no patterns
+        const size_t v = arena->value_index(row, attr);
+        const size_t alt_begin = arena->value_alt_begin(v);
+        const size_t alt_end = arena->value_alt_end(v);
+        ASSERT_EQ(alt_end - alt_begin, value.alternatives().size());
+        EXPECT_EQ(arena->value_null_prob(v), value.null_probability());
+        for (size_t a = 0; a < value.alternatives().size(); ++a) {
+          const Alternative& alt = value.alternatives()[a];
+          const size_t k = alt_begin + a;
+          EXPECT_EQ(arena->alt_text(k), alt.text);
+          EXPECT_EQ(arena->alt_prob(k), alt.prob);
+          EXPECT_EQ(arena->alt_sig(k), QGram2Signature(alt.text));
+        }
+      }
+    }
+  }
+}
+
+TEST(RelationArenaTest, ExpandsPatternsLikeTheMatcher) {
+  // R3/R4 carry Fig. 5's 'mu*' pattern on the job attribute; the arena
+  // must store exactly what Value::Expanded produces, in its order.
+  XRelation rel = BuildR34();
+  const Schema& schema = rel.schema();
+  std::shared_ptr<const RelationArena> arena = RelationArena::Build(rel);
+  ASSERT_NE(arena, nullptr);
+
+  size_t patterns_seen = 0;
+  for (size_t t = 0; t < rel.size(); ++t) {
+    const XTuple& tuple = rel.xtuple(t);
+    for (size_t i = 0; i < tuple.size(); ++i) {
+      const size_t row = arena->tuple_row_begin(t) + i;
+      for (size_t attr = 0; attr < schema.arity(); ++attr) {
+        const Value& raw = tuple.alternative(i).values[attr];
+        if (!raw.has_pattern()) continue;
+        ++patterns_seen;
+        Value expanded = raw.Expanded(schema.attribute(attr).vocabulary);
+        const size_t v = arena->value_index(row, attr);
+        ASSERT_EQ(arena->value_alt_end(v) - arena->value_alt_begin(v),
+                  expanded.alternatives().size());
+        EXPECT_EQ(arena->value_null_prob(v), expanded.null_probability());
+        for (size_t a = 0; a < expanded.alternatives().size(); ++a) {
+          const size_t k = arena->value_alt_begin(v) + a;
+          EXPECT_EQ(arena->alt_text(k), expanded.alternatives()[a].text);
+          EXPECT_EQ(arena->alt_prob(k), expanded.alternatives()[a].prob);
+        }
+      }
+    }
+  }
+  EXPECT_GT(patterns_seen, 0u);
+}
+
+// --- kernel ≡ comparator ------------------------------------------------
+
+TEST(ColumnarKernelTest, KernelsBitIdenticalToRegistryComparators) {
+  // Edge-heavy corpus: empties, equal strings, disjoint alphabets,
+  // prefixes, transpositions, numerics (valid and not), long strings.
+  const std::vector<std::string> corpus = {
+      "",       "a",        "ab",          "abc",       "abd",
+      "abcd",   "dcba",     "xyz",         "kitten",    "sitting",
+      "martha", "marhta",   "dixon",       "dicksonx",  "jones",
+      "johnson", "3.14",    "2.71",        "-12",       "0",
+      "1000",   "not_a_number",
+      "mississippi",        "misspellings",
+      "the quick brown fox jumps over the lazy dog",
+      "the quick brown fox jumped over a lazy dog"};
+  SimScratch scratch;
+  for (const std::string& name : ColumnarKernelNames()) {
+    ColumnarKernelFn kernel = FindColumnarKernel(name);
+    ASSERT_NE(kernel, nullptr) << name;
+    Result<const Comparator*> cmp = GetComparator(name);
+    ASSERT_TRUE(cmp.ok()) << name;
+    for (const std::string& a : corpus) {
+      for (const std::string& b : corpus) {
+        const double expected = (*cmp)->Compare(a, b);
+        const double actual =
+            kernel(a, b, QGram2Signature(a), QGram2Signature(b), scratch);
+        // EXPECT_EQ, not NEAR: the contract is bit-identity.
+        EXPECT_EQ(actual, expected)
+            << name << "(\"" << a << "\", \"" << b << "\")";
+      }
+    }
+  }
+}
+
+TEST(ColumnarKernelTest, CapabilityFlagMatchesKernelTable) {
+  for (const std::string& name : ComparatorNames()) {
+    EXPECT_EQ(ComparatorHasColumnarKernel(name),
+              FindColumnarKernel(name) != nullptr)
+        << name;
+  }
+  // Trained/phonetic comparators stay scalar-only by design.
+  EXPECT_FALSE(ComparatorHasColumnarKernel("monge_elkan"));
+  EXPECT_FALSE(ComparatorHasColumnarKernel("soundex"));
+  EXPECT_TRUE(ComparatorHasColumnarKernel("hamming"));
+  EXPECT_TRUE(ComparatorHasColumnarKernel("levenshtein"));
+  EXPECT_TRUE(ComparatorHasColumnarKernel("jaro_winkler"));
+}
+
+// --- plan compilation ---------------------------------------------------
+
+TEST(ColumnarPlanTest, SpecKeySelectsKernel) {
+  PlanSpec base = PlanBuilder()
+                      .AddKey("name", 3)
+                      .AddKey("job", 2)
+                      .Weights({0.5, 0.3, 0.2})
+                      .Build();
+  auto auto_plan = DetectionPlan::Compile(base, PersonSchema());
+  ASSERT_TRUE(auto_plan.ok());
+  // Default comparators all have kernels, so auto resolves columnar.
+  EXPECT_TRUE((*auto_plan)->use_columnar_kernels());
+  EXPECT_STREQ((*auto_plan)->match_kernel_name(), "columnar");
+
+  PlanSpec scalar_spec = base;
+  ASSERT_TRUE(scalar_spec.SetAssignment("match.kernel=scalar").ok());
+  auto scalar_plan = DetectionPlan::Compile(scalar_spec, PersonSchema());
+  ASSERT_TRUE(scalar_plan.ok());
+  EXPECT_FALSE((*scalar_plan)->use_columnar_kernels());
+  EXPECT_STREQ((*scalar_plan)->match_kernel_name(), "scalar");
+
+  // The kernel is a throughput knob, not plan identity: same
+  // fingerprints, so cache entries and reports are shared.
+  EXPECT_EQ((*auto_plan)->fingerprint(), (*scalar_plan)->fingerprint());
+  EXPECT_EQ((*auto_plan)->decision_fingerprint(),
+            (*scalar_plan)->decision_fingerprint());
+}
+
+TEST(ColumnarPlanTest, ForcedColumnarWithoutKernelFails) {
+  PlanSpec spec = PlanBuilder()
+                      .AddKey("name", 3)
+                      .AddKey("job", 2)
+                      .Weights({0.5, 0.3, 0.2})
+                      .Comparators({"monge_elkan", "hamming", "hamming"})
+                      .Set("match.kernel", "columnar")
+                      .Build();
+  auto plan = DetectionPlan::Compile(spec, PersonSchema());
+  EXPECT_FALSE(plan.ok());
+
+  // auto quietly falls back to scalar for the same mix.
+  PlanSpec auto_spec = PlanBuilder()
+                           .AddKey("name", 3)
+                           .AddKey("job", 2)
+                           .Weights({0.5, 0.3, 0.2})
+                           .Comparators({"monge_elkan", "hamming", "hamming"})
+                           .Build();
+  auto auto_plan = DetectionPlan::Compile(auto_spec, PersonSchema());
+  ASSERT_TRUE(auto_plan.ok());
+  EXPECT_FALSE((*auto_plan)->use_columnar_kernels());
+}
+
+TEST(ColumnarPlanTest, UnknownKernelNameFails) {
+  PlanSpec spec = PlanBuilder()
+                      .AddKey("name", 3)
+                      .Weights({})
+                      .Set("match.kernel", "vectorized")
+                      .Build();
+  EXPECT_FALSE(DetectionPlan::Compile(spec, PersonSchema()).ok());
+}
+
+// --- end-to-end identity ------------------------------------------------
+
+TEST(ColumnarEndToEndTest, ByteIdenticalAcrossBatchSizesAndWorkers) {
+  GeneratedData data = UncertainPersons(80);
+
+  DetectorConfig config = PersonConfig();
+  config.match_kernel = MatchKernel::kScalar;
+  auto scalar_det = DuplicateDetector::Make(config, PersonSchema());
+  ASSERT_TRUE(scalar_det.ok());
+  auto scalar_run = scalar_det->Run(data.relation);
+  ASSERT_TRUE(scalar_run.ok());
+  EXPECT_EQ(scalar_run->match_kernel, "scalar");
+  const std::string baseline = DetectionReport(*scalar_run, &data.gold);
+  ASSERT_GT(scalar_run->candidate_count, 0u);
+
+  for (size_t batch : {size_t{1}, size_t{7}, size_t{4096}}) {
+    for (size_t workers : {size_t{0}, size_t{2}}) {
+      DetectorConfig columnar = PersonConfig();
+      columnar.match_kernel = MatchKernel::kColumnar;
+      columnar.batch_size = batch;
+      columnar.workers = workers;
+      auto det = DuplicateDetector::Make(columnar, PersonSchema());
+      ASSERT_TRUE(det.ok());
+      auto run = det->Run(data.relation);
+      ASSERT_TRUE(run.ok()) << "batch " << batch << " workers " << workers;
+      EXPECT_EQ(run->match_kernel, "columnar");
+      EXPECT_EQ(DetectionReport(*run, &data.gold), baseline)
+          << "batch " << batch << " workers " << workers;
+    }
+  }
+}
+
+TEST(ColumnarEndToEndTest, ByteIdenticalOnShardedDrain) {
+  GeneratedData data = UncertainPersons(80);
+  DetectorConfig config = PersonConfig();
+  config.shard_count = 3;
+  config.match_kernel = MatchKernel::kScalar;
+  auto scalar_det = DuplicateDetector::Make(config, PersonSchema());
+  ASSERT_TRUE(scalar_det.ok());
+  auto scalar_run = scalar_det->Run(data.relation);
+  ASSERT_TRUE(scalar_run.ok());
+
+  config.match_kernel = MatchKernel::kColumnar;
+  auto columnar_det = DuplicateDetector::Make(config, PersonSchema());
+  ASSERT_TRUE(columnar_det.ok());
+  auto columnar_run = columnar_det->Run(data.relation);
+  ASSERT_TRUE(columnar_run.ok());
+  EXPECT_EQ(columnar_run->match_kernel, "columnar");
+  EXPECT_EQ(DetectionReport(*columnar_run, &data.gold),
+            DetectionReport(*scalar_run, &data.gold));
+}
+
+TEST(ColumnarEndToEndTest, ByteIdenticalThroughDecisionCache) {
+  GeneratedData data = UncertainPersons(50);
+  PlanSpec base = PlanBuilder()
+                      .AddKey("name", 3)
+                      .AddKey("job", 2)
+                      .Weights({0.5, 0.3, 0.2})
+                      .Comparators(
+                          {"levenshtein", "levenshtein", "levenshtein"})
+                      .Build();
+  PlanSpec scalar_spec = base;
+  ASSERT_TRUE(scalar_spec.SetAssignment("match.kernel=scalar").ok());
+  auto scalar_plan = DetectionPlan::Compile(scalar_spec, PersonSchema());
+  auto columnar_plan = DetectionPlan::Compile(base, PersonSchema());
+  ASSERT_TRUE(scalar_plan.ok());
+  ASSERT_TRUE(columnar_plan.ok());
+  ASSERT_TRUE((*columnar_plan)->use_columnar_kernels());
+
+  auto run = [&](const std::shared_ptr<const DetectionPlan>& plan,
+                 const std::shared_ptr<DecisionCache>& cache) {
+    StageExecutorOptions options;
+    options.cache = cache;
+    auto stream = MakeFullStream(*plan, data.relation);
+    EXPECT_TRUE(stream.ok());
+    auto result = StageExecutor(plan, options).Execute(**stream);
+    EXPECT_TRUE(result.ok());
+    return std::move(*result);
+  };
+
+  DetectionResult uncached = run(*scalar_plan, nullptr);
+  const std::string baseline = DetectionReport(uncached, &data.gold);
+
+  // Columnar cold fill, then a warm pass that must hit on every pair;
+  // then a scalar run through the SAME cache (same decision
+  // fingerprint, same digests — the kernel choice shares entries).
+  auto cache = std::make_shared<ShardedDecisionCache>();
+  DetectionResult cold = run(*columnar_plan, cache);
+  EXPECT_EQ(DetectionReport(cold, &data.gold), baseline);
+  ASSERT_TRUE(cold.cache_stats.has_value());
+  EXPECT_EQ(cold.cache_stats->hits, 0u);
+  DetectionResult warm = run(*columnar_plan, cache);
+  EXPECT_EQ(DetectionReport(warm, &data.gold), baseline);
+  ASSERT_TRUE(warm.cache_stats.has_value());
+  EXPECT_EQ(warm.cache_stats->hits, warm.cache_stats->lookups);
+  DetectionResult scalar_warm = run(*scalar_plan, cache);
+  EXPECT_EQ(DetectionReport(scalar_warm, &data.gold), baseline);
+  ASSERT_TRUE(scalar_warm.cache_stats.has_value());
+  EXPECT_EQ(scalar_warm.cache_stats->hits, scalar_warm.cache_stats->lookups);
+}
+
+TEST(ColumnarEndToEndTest, StatsReportNamesTheKernel) {
+  GeneratedData data = UncertainPersons(30);
+  DetectorConfig config = PersonConfig();
+  config.match_kernel = MatchKernel::kColumnar;
+  auto columnar_det = DuplicateDetector::Make(config, PersonSchema());
+  ASSERT_TRUE(columnar_det.ok());
+  auto columnar_run = columnar_det->Run(data.relation);
+  ASSERT_TRUE(columnar_run.ok());
+  EXPECT_NE(ExecutionStatsReport(*columnar_run)
+                .find("match kernel: columnar"),
+            std::string::npos);
+
+  config.match_kernel = MatchKernel::kScalar;
+  auto scalar_det = DuplicateDetector::Make(config, PersonSchema());
+  ASSERT_TRUE(scalar_det.ok());
+  auto scalar_run = scalar_det->Run(data.relation);
+  ASSERT_TRUE(scalar_run.ok());
+  EXPECT_NE(
+      ExecutionStatsReport(*scalar_run).find("match kernel: scalar"),
+      std::string::npos);
+}
+
+// --- scratch reuse regression -------------------------------------------
+
+TEST(SimScratchTest, CompareLoopIsAllocationFreeAfterWarmup) {
+  // The hot-path fix this PR rides on: registry comparators borrow the
+  // thread-local scratch instead of allocating DP rows per call. After
+  // touching the largest strings once, further calls with smaller or
+  // equal inputs must not grow any buffer's capacity.
+  const std::vector<std::string> corpus = {
+      "mississippi", "misspellings", "kitten", "sitting", "", "a",
+      "the quick brown fox jumps over the lazy dog"};
+  const std::vector<std::string> names = {"levenshtein", "damerau", "lcs",
+                                          "jaro", "jaro_winkler"};
+  // Warmup: every comparator sees the full corpus once.
+  for (const std::string& name : names) {
+    const Comparator* cmp = *GetComparator(name);
+    for (const std::string& a : corpus) {
+      for (const std::string& b : corpus) cmp->Compare(a, b);
+    }
+  }
+  SimScratch& scratch = ThreadLocalSimScratch();
+  const size_t cap_row0 = scratch.row0.capacity();
+  const size_t cap_row1 = scratch.row1.capacity();
+  const size_t cap_row2 = scratch.row2.capacity();
+  const size_t cap_flags_a = scratch.flags_a.capacity();
+  const size_t cap_flags_b = scratch.flags_b.capacity();
+  for (int rep = 0; rep < 100; ++rep) {
+    for (const std::string& name : names) {
+      const Comparator* cmp = *GetComparator(name);
+      for (const std::string& a : corpus) {
+        for (const std::string& b : corpus) cmp->Compare(a, b);
+      }
+    }
+  }
+  EXPECT_EQ(scratch.row0.capacity(), cap_row0);
+  EXPECT_EQ(scratch.row1.capacity(), cap_row1);
+  EXPECT_EQ(scratch.row2.capacity(), cap_row2);
+  EXPECT_EQ(scratch.flags_a.capacity(), cap_flags_a);
+  EXPECT_EQ(scratch.flags_b.capacity(), cap_flags_b);
+}
+
+}  // namespace
+}  // namespace pdd

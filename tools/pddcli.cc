@@ -32,6 +32,13 @@
 //                                  (default 0 = serial; results identical)
 //   --batch N                      candidates per executor batch
 //                                  (default 256)
+//   --kernel auto|scalar|columnar  match-stage implementation (default
+//                                  auto = columnar when every selected
+//                                  comparator has a kernel; results are
+//                                  bit-identical either way — a pure
+//                                  throughput knob like --workers; the
+//                                  resolved kernel shows under
+//                                  --cache-stats)
 //   --shards N                     partition the candidate stream into N
 //                                  shards drained by per-shard worker
 //                                  sets and merged deterministically
@@ -216,6 +223,12 @@ int RunDetect(const XRelation& rel, int argc, char** argv, int first_arg) {
         return Fail("--batch needs a positive number");
       }
       config.batch_size = static_cast<size_t>(n);
+    } else if (arg == "--kernel") {
+      const char* v = next();
+      if (v == nullptr) return Fail("--kernel needs auto, scalar or columnar");
+      Result<MatchKernel> kernel = MatchKernelFromName(v);
+      if (!kernel.ok()) return Fail(kernel.status().ToString());
+      config.match_kernel = *kernel;
     } else if (arg == "--shards") {
       const char* v = next();
       double n = 0.0;
