@@ -47,7 +47,8 @@ TuneResult TuneThresholds(const DetectionResult& result,
     double stride = static_cast<double>(prefix_ends.size()) /
                     static_cast<double>(options.max_candidates);
     for (size_t k = 0; k < options.max_candidates; ++k) {
-      sampled.push_back(prefix_ends[static_cast<size_t>(k * stride)]);
+      sampled.push_back(
+          prefix_ends[static_cast<size_t>(static_cast<double>(k) * stride)]);
     }
     if (sampled.back() != prefix_ends.back()) {
       sampled.push_back(prefix_ends.back());

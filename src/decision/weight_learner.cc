@@ -32,9 +32,11 @@ std::pair<std::vector<double>, Thresholds> LearnedWeights::ToCombination()
   }
   Thresholds t;
   if (total <= 0.0) {
-    return {std::vector<double>(weights.size(),
-                                weights.empty() ? 0.0
-                                                : 1.0 / weights.size()),
+    return {std::vector<double>(
+                weights.size(),
+                weights.empty()
+                    ? 0.0
+                    : 1.0 / static_cast<double>(weights.size())),
             t};
   }
   for (double& w : clipped) w /= total;

@@ -7,15 +7,13 @@
 
 namespace pdd {
 
-namespace {
-
-/// True for spec keys that cannot change what DecidePair returns for a
-/// given pair content: reduction/key/prune only choose WHICH pairs are
-/// examined, preparation rewrites the content itself (captured by the
-/// pair digest), and executor tuning is a pure throughput knob. Keys
-/// added by future components default to decision-relevant, which is
-/// the safe direction (fewer cross-plan cache hits, never stale ones).
-bool IsDecisionIrrelevantKey(const std::string& key) {
+/// Reduction/key/prune only choose WHICH pairs are examined,
+/// preparation rewrites the content itself (captured by the pair
+/// digest), and executor/shard tuning is a pure throughput/placement
+/// knob. Keys added by future components default to decision-relevant,
+/// which is the safe direction (fewer cross-plan cache hits, never
+/// stale ones).
+bool IsDecisionIrrelevantSpecKey(const std::string& key) {
   static const char* kPrefixes[] = {"key", "reduction", "prepare", "prune",
                                     "executor", "shard"};
   for (const char* prefix : kPrefixes) {
@@ -28,12 +26,14 @@ bool IsDecisionIrrelevantKey(const std::string& key) {
   return false;
 }
 
+namespace {
+
 /// The decide-stage subset of a plan spec, fingerprinted as the plan
 /// half of the decision-cache key.
 uint64_t DecisionFingerprint(const PlanSpec& spec) {
   PlanSpec subset;
   for (const auto& [key, value] : spec.params().entries()) {
-    if (!IsDecisionIrrelevantKey(key)) subset.params().Set(key, value);
+    if (!IsDecisionIrrelevantSpecKey(key)) subset.params().Set(key, value);
   }
   return subset.Fingerprint();
 }

@@ -41,6 +41,14 @@ enum class PipelineStage {
 /// Stable stage name for reports ("match", "combine", ...).
 const char* PipelineStageName(PipelineStage stage);
 
+/// True for spec keys that cannot change what DecidePair returns for a
+/// given pair content (key/reduction/prepare/prune choose WHICH pairs
+/// are examined; executor/shard tuning is pure throughput/placement).
+/// These keys are excluded from decision_fingerprint(), so the
+/// decision cache carries across them. Exposed for diagnostics
+/// (`pddcli lint-plan`) and the spec-closure lint.
+bool IsDecisionIrrelevantSpecKey(const std::string& key);
+
 class DetectionPlan {
  public:
   /// Primary path: compiles a declarative plan spec against the schema.

@@ -24,15 +24,22 @@ DetectorConfig PersonConfig() {
   // CMake registers a second ctest pass of this binary with
   // PDD_BATCH_SIZE=2 so every Run() path crosses batch boundaries
   // constantly (streaming refill edges, incremental filter re-pulls),
-  // and a third with PDD_SHARDS=3 so every Run() drains through the
-  // sharded stream's per-shard sources and deterministic merge.
+  // a third with PDD_SHARDS=3 so every Run() drains through the
+  // sharded stream's per-shard sources and deterministic merge, and a
+  // fourth with PDD_WORKERS=4 so every Run() decides on a thread pool
+  // (the TSan CI job leans on this one: the pooled drain is the main
+  // data-race surface).
   if (const char* batch = std::getenv("PDD_BATCH_SIZE")) {
-    int parsed = std::atoi(batch);
+    long parsed = std::strtol(batch, nullptr, 10);
     if (parsed > 0) config.batch_size = static_cast<size_t>(parsed);
   }
   if (const char* shards = std::getenv("PDD_SHARDS")) {
-    int parsed = std::atoi(shards);
+    long parsed = std::strtol(shards, nullptr, 10);
     if (parsed > 0) config.shard_count = static_cast<size_t>(parsed);
+  }
+  if (const char* workers = std::getenv("PDD_WORKERS")) {
+    long parsed = std::strtol(workers, nullptr, 10);
+    if (parsed > 0) config.workers = static_cast<size_t>(parsed);
   }
   return config;
 }
@@ -141,8 +148,9 @@ TEST(StageExecutorTest, RejectsZeroBatchSize) {
   Result<std::unique_ptr<CandidateStream>> stream =
       MakeFullStream(detector->plan(), data.relation);
   ASSERT_TRUE(stream.ok());
-  StageExecutor executor(detector->shared_plan(), {/*batch_size=*/0,
-                                                   /*workers=*/0});
+  StageExecutorOptions zero_batch;
+  zero_batch.batch_size = 0;
+  StageExecutor executor(detector->shared_plan(), zero_batch);
   EXPECT_FALSE(executor.Execute(**stream).ok());
 }
 
@@ -183,7 +191,9 @@ TEST(CandidateStreamTest, ResetReopensThePullSource) {
   Result<std::unique_ptr<CandidateStream>> stream =
       MakeFullStream(detector->plan(), data.relation);
   ASSERT_TRUE(stream.ok());
-  StageExecutor executor(detector->shared_plan(), {/*batch_size=*/32});
+  StageExecutorOptions batch32;
+  batch32.batch_size = 32;
+  StageExecutor executor(detector->shared_plan(), batch32);
   Result<DetectionResult> first = executor.Execute(**stream);
   ASSERT_TRUE(first.ok());
   EXPECT_GT(first->decisions.size(), 0u);

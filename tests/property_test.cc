@@ -379,8 +379,8 @@ TEST_P(SeededPropertyTest, GeneratedRelationsAlwaysValidate) {
 INSTANTIATE_TEST_SUITE_P(Seeds, SeededPropertyTest,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
                                            89),
-                         [](const ::testing::TestParamInfo<uint64_t>& info) {
-                           return "seed" + std::to_string(info.param);
+                         [](const ::testing::TestParamInfo<uint64_t>& param_info) {
+                           return "seed" + std::to_string(param_info.param);
                          });
 
 }  // namespace

@@ -146,7 +146,8 @@ TEST(WeightLearnerTest, SeparatesSyntheticClasses) {
     bool predicted = model->Predict(lv.comparison) > 0.5;
     if (predicted == lv.is_match) ++correct;
   }
-  EXPECT_GT(static_cast<double>(correct) / data.size(), 0.9);
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(data.size()),
+            0.9);
 }
 
 TEST(WeightLearnerTest, FirstAttributeDominates) {
@@ -196,7 +197,8 @@ TEST(WeightLearnerTest, LearnedCombinationClassifiesWell) {
         Classify(phi.Combine(lv.comparison), thresholds) == MatchClass::kMatch;
     if (predicted == lv.is_match) ++correct;
   }
-  EXPECT_GT(static_cast<double>(correct) / data.size(), 0.85);
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(data.size()),
+            0.85);
 }
 
 TEST(WeightLearnerTest, LogLikelihoodImprovesOverTraining) {

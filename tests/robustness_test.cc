@@ -190,8 +190,8 @@ TEST_P(FuzzSeedTest, EveryReductionMethodHandlesUniformKeys) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeedTest,
                          ::testing::Values(101, 202, 303, 404, 505),
-                         [](const ::testing::TestParamInfo<uint64_t>& info) {
-                           return "seed" + std::to_string(info.param);
+                         [](const ::testing::TestParamInfo<uint64_t>& param_info) {
+                           return "seed" + std::to_string(param_info.param);
                          });
 
 }  // namespace

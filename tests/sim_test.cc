@@ -312,8 +312,8 @@ INSTANTIATE_TEST_SUITE_P(
                       "levenshtein", "damerau", "lcs", "jaro", "jaro_winkler",
                       "qgram2", "qgram3", "jaccard", "dice", "cosine",
                       "monge_elkan", "soundex", "numeric", "numeric_rel"),
-    [](const ::testing::TestParamInfo<std::string>& info) {
-      return info.param;
+    [](const ::testing::TestParamInfo<std::string>& param_info) {
+      return param_info.param;
     });
 
 }  // namespace

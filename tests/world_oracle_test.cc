@@ -189,8 +189,8 @@ TEST_P(WorldOracleTest, DetectorSimilarityEqualsWorldExpectation) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, WorldOracleTest,
                          ::testing::Values(2, 4, 6, 8, 10, 12),
-                         [](const ::testing::TestParamInfo<uint64_t>& info) {
-                           return "seed" + std::to_string(info.param);
+                         [](const ::testing::TestParamInfo<uint64_t>& param_info) {
+                           return "seed" + std::to_string(param_info.param);
                          });
 
 }  // namespace

@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Regression-gate bench metrics against committed baselines.
+
+The benches emit machine-readable ``BENCH_*.json`` sidecars (pairs/sec,
+stage timings, cache hit rates, stream high-water marks). CI archives
+them per run; this script closes the loop by diffing the current run's
+sidecars against the baselines committed in ``bench/baselines/`` and
+failing on throughput regressions beyond a tolerance.
+
+Metric classes (selected by key name):
+
+* throughput  -- keys ending in ``_per_sec`` or containing ``speedup``:
+  timing-derived and therefore machine- and run-dependent (a cache
+  hit-vs-miss speedup swings 2x between quiet runs), so the default
+  tolerance is generous (fail only when the current value drops more
+  than ``--throughput-tolerance`` below baseline). The benches
+  themselves gate the hard ratio floors (columnar >= scalar, hit >= 5x
+  miss) in-process where both sides share one run's conditions.
+* ratio       -- keys containing ``hit_rate``: count-derived and
+  deterministic (a warm run's hit rate is exactly 1.0), so the tighter
+  ``--ratio-tolerance`` applies.
+* invariant   -- boolean keys containing ``identical``: must stay true
+  (the benches also gate these themselves; this catches a silently
+  skipped bench).
+
+Everything else (record counts, seconds, high-water marks) is
+informational: counts are exact-gated inside the benches and wall
+times are too noisy to gate here.
+
+Usage:
+  tools/bench_compare.py [--run-dir DIR] [--baselines DIR]
+                         [--throughput-tolerance F] [--ratio-tolerance F]
+                         [--update]
+
+``--update`` rewrites the baselines from the current run (commit the
+result when a deliberate perf change moves the floor).
+
+Exit status: 0 clean, 1 regression, 2 usage/IO error.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def classify(key, value):
+    """Metric class for a sidecar entry, or None if informational."""
+    if isinstance(value, bool):
+        return "invariant" if "identical" in key else None
+    if not isinstance(value, (int, float)):
+        return None
+    if key.endswith("_per_sec") or "speedup" in key:
+        return "throughput"
+    if "hit_rate" in key:
+        return "ratio"
+    return None
+
+
+def load(path):
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"bench_compare: cannot read {path}: {error}", file=sys.stderr)
+        sys.exit(2)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="diff BENCH_*.json against committed baselines")
+    parser.add_argument("--run-dir", default=".",
+                        help="directory holding this run's BENCH_*.json")
+    parser.add_argument("--baselines", default=None,
+                        help="baseline directory (default: "
+                             "<script>/../bench/baselines)")
+    parser.add_argument("--throughput-tolerance", type=float, default=0.60,
+                        help="allowed fractional drop for *_per_sec metrics "
+                             "(default 0.60: fail below 40%% of baseline; "
+                             "absolute throughput varies across runners)")
+    parser.add_argument("--ratio-tolerance", type=float, default=0.25,
+                        help="allowed fractional drop for deterministic "
+                             "hit-rate metrics (default 0.25)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite baselines from the current run")
+    args = parser.parse_args()
+
+    run_dir = pathlib.Path(args.run_dir)
+    baseline_dir = (pathlib.Path(args.baselines) if args.baselines else
+                    pathlib.Path(__file__).resolve().parent.parent /
+                    "bench" / "baselines")
+
+    run_files = sorted(run_dir.glob("BENCH_*.json"))
+    if not run_files:
+        print(f"bench_compare: no BENCH_*.json under {run_dir}",
+              file=sys.stderr)
+        return 2
+
+    if args.update:
+        baseline_dir.mkdir(parents=True, exist_ok=True)
+        for run_file in run_files:
+            target = baseline_dir / run_file.name
+            target.write_text(json.dumps(load(run_file), indent=2) + "\n")
+            print(f"bench_compare: baseline updated: {target}")
+        return 0
+
+    tolerances = {"throughput": args.throughput_tolerance,
+                  "ratio": args.ratio_tolerance}
+    regressions = []
+    compared = 0
+    for run_file in run_files:
+        baseline_file = baseline_dir / run_file.name
+        if not baseline_file.exists():
+            print(f"bench_compare: no baseline for {run_file.name} "
+                  f"(run with --update to create one); skipping")
+            continue
+        current = load(run_file)
+        baseline = load(baseline_file)
+        for key, base_value in sorted(baseline.items()):
+            metric_class = classify(key, base_value)
+            if metric_class is None or key not in current:
+                continue
+            value = current[key]
+            compared += 1
+            name = f"{run_file.name}:{key}"
+            if metric_class == "invariant":
+                if value is not True:
+                    regressions.append(f"{name}: expected true, got {value}")
+                continue
+            floor = base_value * (1.0 - tolerances[metric_class])
+            delta = ((value - base_value) / base_value * 100.0
+                     if base_value else 0.0)
+            marker = "REGRESSION" if value < floor else "ok"
+            print(f"  {marker:>10}  {name}: {value:.6g} vs baseline "
+                  f"{base_value:.6g} ({delta:+.1f}%)")
+            if value < floor:
+                regressions.append(
+                    f"{name}: {value:.6g} fell below {floor:.6g} "
+                    f"({delta:+.1f}% vs baseline, tolerance "
+                    f"{tolerances[metric_class]:.0%})")
+
+    print(f"bench_compare: {compared} metrics compared against "
+          f"{baseline_dir}")
+    if regressions:
+        print("bench_compare: REGRESSIONS:", file=sys.stderr)
+        for regression in regressions:
+            print(f"  {regression}", file=sys.stderr)
+        return 1
+    if compared == 0:
+        print("bench_compare: nothing compared — missing baselines?",
+              file=sys.stderr)
+        return 2
+    print("bench_compare: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

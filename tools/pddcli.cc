@@ -6,6 +6,18 @@
 //   pddcli explain <relation.pxr> <id1> <id2> [options]
 //                                               per-alternative breakdown
 //                                               of one pair's decision
+//   pddcli lint-plan <plan-file>                validate a plan spec
+//                                               offline: unknown keys /
+//                                               components / values fail
+//                                               with the parser's
+//                                               diagnostics, and every
+//                                               accepted key is
+//                                               classified (fingerprint-
+//                                               relevant, fingerprint-
+//                                               irrelevant throughput
+//                                               knob, decision-relevant
+//                                               for the cache key);
+//                                               also spelled --lint-plan
 //   pddcli demo                                 run on the paper's R34
 //
 // Options for `detect`:
@@ -84,8 +96,10 @@
 #include <iostream>
 #include <sstream>
 
+#include "analysis/spec_closure.h"
 #include "cache/decision_cache.h"
 #include "core/detector.h"
+#include "pipeline/detection_plan.h"
 #include "core/explain.h"
 #include "core/paper_examples.h"
 #include "core/report_writer.h"
@@ -361,6 +375,55 @@ int RunDetect(const XRelation& rel, int argc, char** argv, int first_arg) {
   return 0;
 }
 
+int RunLintPlan(const std::string& path) {
+  Result<std::string> text = ReadFile(path);
+  if (!text.ok()) return Fail(text.status().ToString());
+  Result<PlanSpec> spec = PlanSpec::Parse(*text);
+  if (!spec.ok()) {
+    return Fail("lint-plan: " + spec.status().ToString());
+  }
+  // FromSpec is the authoritative validator: unknown keys, unresolvable
+  // component names (with nearest-match suggestions) and malformed
+  // values all fail here.
+  Result<DetectorConfig> config = DetectorConfig::FromSpec(*spec);
+  if (!config.ok()) {
+    return Fail("lint-plan: " + config.status().ToString());
+  }
+  Status valid = config->Validate();
+  if (!valid.ok()) {
+    return Fail("lint-plan: " + valid.ToString());
+  }
+  PlanSpec resolved = config->ToSpec();
+  PlanSpec decision_subset;
+  for (const auto& [key, value] : resolved.params().entries()) {
+    if (!IsDecisionIrrelevantSpecKey(key)) {
+      decision_subset.params().Set(key, value);
+    }
+  }
+  std::cout << "plan lint: " << path << ": " << spec->params().size()
+            << " keys, fingerprint " << FingerprintHex(resolved.Fingerprint())
+            << ", decision fingerprint "
+            << FingerprintHex(decision_subset.Fingerprint()) << "\n";
+  // Per-key classification of what the author actually wrote (the
+  // resolved spec adds defaulted keys; those are not interesting here).
+  for (const auto& [key, value] : spec->params().entries()) {
+    std::cout << "  " << key;
+    if (FingerprintIrrelevantSpecKeys().count(key) > 0) {
+      std::cout << ": fingerprint-irrelevant (throughput/placement knob; "
+                   "never changes the report or the plan identity)";
+    } else if (IsDecisionIrrelevantSpecKey(key)) {
+      std::cout << ": fingerprint-relevant, decision-irrelevant (decision "
+                   "cache entries carry across its values)";
+    } else {
+      std::cout << ": decision-relevant (changing it structurally "
+                   "invalidates cached decisions)";
+    }
+    std::cout << "\n";
+  }
+  std::cout << "plan lint: OK\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -368,6 +431,10 @@ int main(int argc, char** argv) {
     return Fail("usage: pddcli <detect|stats|demo> [file] [options]");
   }
   std::string command = argv[1];
+  if (command == "lint-plan" || command == "--lint-plan") {
+    if (argc < 3) return Fail("lint-plan needs a plan file");
+    return RunLintPlan(argv[2]);
+  }
   if (command == "demo") {
     XRelation r34 = BuildR34();
     // Keep --print-plan output pipeable back into --plan: the plan

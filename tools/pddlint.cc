@@ -1,0 +1,110 @@
+// pddlint — static determinism/correctness linter for the pdd tree.
+//
+// Usage:
+//   pddlint [options]
+//
+// Options:
+//   --root DIR        repository root to lint (default: the root this
+//                     binary was compiled from, else the current
+//                     directory)
+//   --allowlist FILE  audited-site allowlist (default:
+//                     ROOT/tools/pddlint_allowlist.txt when present)
+//   --no-spec-closure skip the registry/spec closure check (source
+//                     rules only)
+//   --list-rules      print the rules and exit
+//
+// Output is compiler-style `file:line: [rule] message` per finding;
+// exit status is nonzero when any finding survives the allowlist. CI
+// runs this on every commit, next to the build.
+
+#include <filesystem>
+#include <iostream>
+
+#include "analysis/lint.h"
+#include "analysis/spec_closure.h"
+
+int main(int argc, char** argv) {
+  using namespace pdd;
+  std::string root;
+  std::string allowlist_path;
+  bool spec_closure = true;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::cerr << "pddlint: --root needs a directory\n";
+        return 2;
+      }
+      root = argv[++i];
+    } else if (arg == "--allowlist") {
+      if (i + 1 >= argc) {
+        std::cerr << "pddlint: --allowlist needs a file\n";
+        return 2;
+      }
+      allowlist_path = argv[++i];
+    } else if (arg == "--no-spec-closure") {
+      spec_closure = false;
+    } else if (arg == "--list-rules") {
+      for (const LintRuleInfo& rule : LintRules()) {
+        std::cout << rule.name << "\n    " << rule.summary << "\n";
+      }
+      return 0;
+    } else {
+      std::cerr << "pddlint: unknown option '" << arg << "'\n";
+      return 2;
+    }
+  }
+  if (root.empty()) {
+    root = DefaultSourceRoot();
+    if (root.empty() || !std::filesystem::exists(root)) root = ".";
+  }
+
+  LintOptions options;
+  if (allowlist_path.empty()) {
+    std::filesystem::path candidate =
+        std::filesystem::path(root) / "tools" / "pddlint_allowlist.txt";
+    if (std::filesystem::exists(candidate)) {
+      allowlist_path = candidate.string();
+    }
+  }
+  if (!allowlist_path.empty()) {
+    Status loaded = LoadLintAllowlist(allowlist_path, &options);
+    if (!loaded.ok()) {
+      std::cerr << "pddlint: " << loaded.ToString() << "\n";
+      return 2;
+    }
+  }
+
+  Result<std::vector<LintFinding>> findings = LintTree(root, options);
+  if (!findings.ok()) {
+    std::cerr << "pddlint: " << findings.status().ToString() << "\n";
+    return 2;
+  }
+  size_t total = findings->size();
+  for (const LintFinding& finding : *findings) {
+    std::cout << finding.ToString() << "\n";
+  }
+
+  if (spec_closure) {
+    Result<SpecClosureReport> closure = CheckSpecClosure(root);
+    if (!closure.ok()) {
+      std::cerr << "pddlint: " << closure.status().ToString() << "\n";
+      return 2;
+    }
+    total += closure->findings.size();
+    for (const LintFinding& finding : closure->findings) {
+      std::cout << finding.ToString() << "\n";
+    }
+    std::cerr << "pddlint: spec closure over " << closure->read_keys.size()
+              << " read keys / " << closure->printed_keys.size()
+              << " printed keys\n";
+  }
+
+  if (total > 0) {
+    std::cerr << "pddlint: " << total << " finding"
+              << (total == 1 ? "" : "s") << "\n";
+    return 1;
+  }
+  std::cerr << "pddlint: clean\n";
+  return 0;
+}
