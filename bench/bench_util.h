@@ -3,13 +3,14 @@
 #ifndef PDD_BENCH_BENCH_UTIL_H_
 #define PDD_BENCH_BENCH_UTIL_H_
 
-#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <utility>
-#include <vector>
+
+#include "obs/export.h"
+#include "obs/run_telemetry.h"
 
 namespace pdd_bench {
 
@@ -34,10 +35,14 @@ inline int Verdict(bool ok) {
   return ok ? 0 : 1;
 }
 
-/// Machine-readable metrics sidecar for a bench run: a flat JSON
-/// object written to `BENCH_<name>.json` in the working directory, so
-/// CI can archive throughput numbers next to the human-readable table
-/// output. Keys keep insertion order; values are numbers or strings.
+/// Machine-readable metrics sidecar for a bench run, written to
+/// `BENCH_<name>.json` in the working directory so CI can archive
+/// numbers next to the human-readable table output. The sidecar is a
+/// pdd.telemetry.v1 document (the same schema `pddcli --metrics`
+/// writes): Set() with a double lands in the telemetry's gauges,
+/// strings and bools land in its info section, and export iterates in
+/// sorted key order. tools/bench_compare.py flattens both sections
+/// back into the flat key space the regression gate classifies on.
 ///
 ///   BenchJsonWriter json("fig03");
 ///   json.Set("scalar_pairs_per_sec", scalar_rate);
@@ -45,28 +50,26 @@ inline int Verdict(bool ok) {
 ///   json.Write();   // -> BENCH_fig03.json
 class BenchJsonWriter {
  public:
-  explicit BenchJsonWriter(std::string name) : name_(std::move(name)) {}
-
-  void Set(const std::string& key, double value) {
-    char buf[64];
-    if (std::isfinite(value)) {
-      std::snprintf(buf, sizeof(buf), "%.10g", value);
-    } else {
-      // JSON has no inf/nan literal; null keeps the file parseable.
-      std::snprintf(buf, sizeof(buf), "null");
-    }
-    fields_.emplace_back(key, buf);
+  explicit BenchJsonWriter(std::string name) : name_(std::move(name)) {
+    telemetry_.root.name = "bench." + name_;
   }
 
+  void Set(const std::string& key, double value) {
+    telemetry_.metrics.SetGauge(key, value);
+  }
   void Set(const std::string& key, const std::string& value) {
-    fields_.emplace_back(key, Quote(value));
+    telemetry_.metrics.SetInfo(key, value);
   }
   void Set(const std::string& key, const char* value) {
     Set(key, std::string(value));
   }
   void Set(const std::string& key, bool value) {
-    fields_.emplace_back(key, value ? "true" : "false");
+    telemetry_.metrics.SetInfo(key, value ? "true" : "false");
   }
+
+  /// The underlying telemetry, for benches that fold in a run's full
+  /// registry (histograms, counters) rather than scalar summaries.
+  pdd::RunTelemetry& telemetry() { return telemetry_; }
 
   /// Writes `BENCH_<name>.json` and echoes the path; returns false
   /// (without aborting the bench) if the file can't be opened.
@@ -77,40 +80,14 @@ class BenchJsonWriter {
       std::cout << "(could not write " << path << ")\n";
       return false;
     }
-    out << "{\n";
-    for (size_t i = 0; i < fields_.size(); ++i) {
-      out << "  " << Quote(fields_[i].first) << ": " << fields_[i].second
-          << (i + 1 < fields_.size() ? "," : "") << "\n";
-    }
-    out << "}\n";
+    out << pdd::TelemetryToJson(telemetry_);
     std::cout << "metrics: " << path << "\n";
     return true;
   }
 
  private:
-  static std::string Quote(const std::string& s) {
-    std::string out = "\"";
-    for (char c : s) {
-      switch (c) {
-        case '"': out += "\\\""; break;
-        case '\\': out += "\\\\"; break;
-        case '\n': out += "\\n"; break;
-        case '\t': out += "\\t"; break;
-        default:
-          if (static_cast<unsigned char>(c) < 0x20) {
-            char buf[8];
-            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-            out += buf;
-          } else {
-            out += c;
-          }
-      }
-    }
-    return out + "\"";
-  }
-
   std::string name_;
-  std::vector<std::pair<std::string, std::string>> fields_;
+  pdd::RunTelemetry telemetry_;
 };
 
 }  // namespace pdd_bench

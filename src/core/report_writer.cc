@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/export.h"
+#include "obs/run_telemetry.h"
 #include "plan/plan_spec.h"
 #include "util/string_util.h"
 
@@ -40,56 +42,13 @@ std::string DecisionsToCsv(const DetectionResult& result,
 }
 
 std::string ExecutionStatsReport(const DetectionResult& result) {
-  std::string out = "# Execution statistics\n\n";
-  // Which match implementation ran — execution detail only; the
-  // detection report never mentions it (columnar ≡ scalar bit for bit).
-  if (!result.match_kernel.empty()) {
-    out += "- match kernel: " + result.match_kernel + "\n\n";
+  // One rendering path for every consumer: the report is a projection
+  // of the run's telemetry registry (executor-attached when present;
+  // hand-assembled results go through the TelemetryFromResult bridge).
+  if (result.telemetry != nullptr) {
+    return RenderExecutionStats(*result.telemetry);
   }
-  const StageTimings& t = result.stage_timings;
-  double total = t.TotalSeconds();
-  out += "## Stage timings\n\n";
-  if (total <= 0.0) {
-    out += "(not collected)\n";
-  } else {
-    out += "| stage | seconds | share |\n|---|---|---|\n";
-    const std::pair<const char*, double> rows[] = {
-        {"match", t.match_seconds},
-        {"combine", t.combine_seconds},
-        {"derive", t.derive_seconds},
-        {"classify", t.classify_seconds},
-        {"cache lookup", t.cache_lookup_seconds},
-    };
-    for (const auto& [name, seconds] : rows) {
-      out += std::string("| ") + name + " | " + FormatDouble(seconds, 6) +
-             " | " + FormatDouble(100.0 * seconds / total, 1) + "% |\n";
-    }
-    out += "| total | " + FormatDouble(total, 6) + " | 100.0% |\n";
-  }
-  if (result.cache_stats.has_value()) {
-    const CacheRunStats& c = *result.cache_stats;
-    out += "\n## Decision cache\n\n";
-    out += "- cache: " + std::to_string(c.hits) + " hits / " +
-           std::to_string(c.lookups) + " lookups (" +
-           FormatDouble(c.HitRate() * 100.0, 1) + "% hit rate), " +
-           std::to_string(c.inserts) + " inserts\n";
-  }
-  out += "\n## Candidate stream\n\n";
-  out += "- stream: " + std::to_string(result.candidate_count) +
-         " candidates in " + std::to_string(result.stream_stats.batches) +
-         " batches, live high-water " +
-         std::to_string(result.stream_stats.live_candidate_high_water) +
-         " candidates\n";
-  // Per-shard drain accounting of a sharded run: each shard's
-  // high-water is the live bound a node hosting it must provision for
-  // (the top-level high-water above is their sum).
-  for (size_t i = 0; i < result.stream_stats.per_shard.size(); ++i) {
-    const StreamRunStats& shard = result.stream_stats.per_shard[i];
-    out += "- shard " + std::to_string(i) + ": " +
-           std::to_string(shard.batches) + " batches, live high-water " +
-           std::to_string(shard.live_candidate_high_water) + " candidates\n";
-  }
-  return out;
+  return RenderExecutionStats(TelemetryFromResult(result));
 }
 
 std::string DetectionReport(const DetectionResult& result,

@@ -1,0 +1,382 @@
+#include "obs/export.h"
+
+#include <array>
+
+#include "cache/decision_cache.h"
+#include "obs/json.h"
+#include "pipeline/detection_result.h"
+#include "util/string_util.h"
+
+namespace pdd {
+
+namespace {
+
+/// Uniform filter over metric names: the full export keeps everything,
+/// the identity export keeps only the identity namespace.
+using NameFilter = bool (*)(std::string_view);
+
+bool KeepAll(std::string_view) { return true; }
+
+void AppendHistogramJson(const std::string& indent, const LogHistogram& h,
+                         std::string* out) {
+  *out += "{\n";
+  const std::string inner = indent + "  ";
+  *out += inner + "\"count\": " + std::to_string(h.count()) + ",\n";
+  *out += inner + "\"max\": " + std::to_string(h.max()) + ",\n";
+  *out += inner + "\"min\": " + std::to_string(h.min()) + ",\n";
+  *out += inner + "\"p50\": " + std::to_string(h.Quantile(0.50)) + ",\n";
+  *out += inner + "\"p95\": " + std::to_string(h.Quantile(0.95)) + ",\n";
+  *out += inner + "\"p99\": " + std::to_string(h.Quantile(0.99)) + ",\n";
+  *out += inner + "\"sum\": " + std::to_string(h.sum()) + ",\n";
+  *out += inner + "\"buckets\": [";
+  bool first = true;
+  for (size_t i = 0; i < LogHistogram::kBucketCount; ++i) {
+    if (h.buckets()[i] == 0) continue;
+    if (!first) *out += ", ";
+    first = false;
+    *out += "[" + std::to_string(LogHistogram::BucketUpperBound(i)) + ", " +
+            std::to_string(h.buckets()[i]) + "]";
+  }
+  *out += "]\n" + indent + "}";
+}
+
+void AppendSpanJson(const std::string& indent, const TelemetrySpan& span,
+                    std::string* out) {
+  *out += "{\n";
+  const std::string inner = indent + "  ";
+  *out += inner + "\"name\": " + JsonQuote(span.name) + ",\n";
+  *out += inner + "\"seconds\": " + JsonNumber(span.seconds) + ",\n";
+  *out += inner + "\"counts\": {";
+  bool first = true;
+  for (const auto& [name, value] : span.counts) {
+    *out += first ? "\n" : ",\n";
+    first = false;
+    *out += inner + "  " + JsonQuote(name) + ": " + std::to_string(value);
+  }
+  *out += first ? "},\n" : "\n" + inner + "},\n";
+  *out += inner + "\"children\": [";
+  first = true;
+  for (const TelemetrySpan& child : span.children) {
+    *out += first ? "\n" : ",\n";
+    first = false;
+    *out += inner + "  ";
+    AppendSpanJson(inner + "  ", child, out);
+  }
+  *out += first ? "]\n" : "\n" + inner + "]\n";
+  *out += indent + "}";
+}
+
+std::string ToJsonFiltered(const RunTelemetry& telemetry, NameFilter keep,
+                           bool include_spans) {
+  const MetricsRegistry& m = telemetry.metrics;
+  std::string out = "{\n";
+  out += "  \"schema\": " +
+         JsonQuote(RunTelemetry::kSchemaVersion) + ",\n";
+
+  out += "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : m.counters()) {
+    if (!keep(name)) continue;
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    " + JsonQuote(name) + ": " + std::to_string(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : m.gauges()) {
+    if (!keep(name)) continue;
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    " + JsonQuote(name) + ": " + JsonNumber(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : m.histograms()) {
+    if (!keep(name)) continue;
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    " + JsonQuote(name) + ": ";
+    AppendHistogramJson("    ", histogram, &out);
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"info\": {";
+  first = true;
+  for (const auto& [name, value] : m.infos()) {
+    if (!keep(name)) continue;
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    " + JsonQuote(name) + ": " + JsonQuote(value);
+  }
+  out += first ? "}" : "\n  }";
+
+  if (include_spans) {
+    out += ",\n  \"spans\": [\n    ";
+    AppendSpanJson("    ", telemetry.root, &out);
+    out += "\n  ]\n";
+  } else {
+    out += "\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string PrometheusName(std::string_view name) {
+  std::string out = "pdd_";
+  for (char c : name) {
+    bool alnum = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                 (c >= '0' && c <= '9');
+    out += alnum ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string TelemetryToJson(const RunTelemetry& telemetry) {
+  return ToJsonFiltered(telemetry, KeepAll, /*include_spans=*/true);
+}
+
+std::string IdentityMetricsJson(const RunTelemetry& telemetry) {
+  return ToJsonFiltered(telemetry, IsIdentityMetricName,
+                        /*include_spans=*/false);
+}
+
+std::string TelemetryToPrometheus(const RunTelemetry& telemetry) {
+  const MetricsRegistry& m = telemetry.metrics;
+  std::string out = "# " + std::string(RunTelemetry::kSchemaVersion) + "\n";
+  for (const auto& [name, value] : m.counters()) {
+    std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : m.gauges()) {
+    std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " " + JsonNumber(value) + "\n";
+  }
+  for (const auto& [name, histogram] : m.histograms()) {
+    std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < LogHistogram::kBucketCount; ++i) {
+      if (histogram.buckets()[i] == 0) continue;
+      cumulative += histogram.buckets()[i];
+      out += prom + "_bucket{le=\"" +
+             std::to_string(LogHistogram::BucketUpperBound(i)) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += prom + "_bucket{le=\"+Inf\"} " + std::to_string(histogram.count()) +
+           "\n";
+    out += prom + "_sum " + std::to_string(histogram.sum()) + "\n";
+    out += prom + "_count " + std::to_string(histogram.count()) + "\n";
+  }
+  for (const auto& [name, value] : m.infos()) {
+    out += "pdd_info{name=\"" + name + "\",value=\"" + value + "\"} 1\n";
+  }
+  return out;
+}
+
+namespace {
+
+Result<TelemetrySpan> SpanFromJson(const JsonValue& value) {
+  if (!value.IsObject()) {
+    return Status::InvalidArgument("telemetry: span is not an object");
+  }
+  TelemetrySpan span;
+  if (const JsonValue* name = value.Find("name"); name != nullptr) {
+    span.name = name->string_value;
+  }
+  if (const JsonValue* seconds = value.Find("seconds"); seconds != nullptr) {
+    span.seconds = seconds->ToDouble();
+  }
+  if (const JsonValue* counts = value.Find("counts");
+      counts != nullptr && counts->IsObject()) {
+    for (const auto& [count_name, count] : counts->members) {
+      span.counts[count_name] = count.ToUint64();
+    }
+  }
+  if (const JsonValue* children = value.Find("children");
+      children != nullptr && children->IsArray()) {
+    for (const JsonValue& child : children->elements) {
+      PDD_ASSIGN_OR_RETURN(TelemetrySpan parsed, SpanFromJson(child));
+      span.children.push_back(std::move(parsed));
+    }
+  }
+  return span;
+}
+
+Result<LogHistogram> HistogramFromJson(const JsonValue& value) {
+  if (!value.IsObject()) {
+    return Status::InvalidArgument("telemetry: histogram is not an object");
+  }
+  std::array<uint64_t, LogHistogram::kBucketCount> buckets{};
+  if (const JsonValue* pairs = value.Find("buckets");
+      pairs != nullptr && pairs->IsArray()) {
+    for (const JsonValue& pair : pairs->elements) {
+      if (!pair.IsArray() || pair.elements.size() != 2) {
+        return Status::InvalidArgument("telemetry: malformed bucket pair");
+      }
+      uint64_t upper = pair.elements[0].ToUint64();
+      buckets[LogHistogram::BucketIndex(upper)] +=
+          pair.elements[1].ToUint64();
+    }
+  }
+  uint64_t sum = 0;
+  uint64_t min = 0;
+  uint64_t max = 0;
+  if (const JsonValue* v = value.Find("sum"); v != nullptr) {
+    sum = v->ToUint64();
+  }
+  if (const JsonValue* v = value.Find("min"); v != nullptr) {
+    min = v->ToUint64();
+  }
+  if (const JsonValue* v = value.Find("max"); v != nullptr) {
+    max = v->ToUint64();
+  }
+  return LogHistogram::FromState(buckets, sum, min, max);
+}
+
+}  // namespace
+
+Result<RunTelemetry> ParseRunTelemetryJson(std::string_view json) {
+  PDD_ASSIGN_OR_RETURN(JsonValue doc, ParseJson(json));
+  if (!doc.IsObject()) {
+    return Status::InvalidArgument("telemetry: document is not an object");
+  }
+  const JsonValue* schema = doc.Find("schema");
+  if (schema == nullptr || !schema->IsString() ||
+      schema->string_value != RunTelemetry::kSchemaVersion) {
+    return Status::InvalidArgument(
+        "telemetry: missing or unsupported schema version (want " +
+        std::string(RunTelemetry::kSchemaVersion) + ")");
+  }
+  RunTelemetry telemetry;
+  if (const JsonValue* counters = doc.Find("counters");
+      counters != nullptr && counters->IsObject()) {
+    for (const auto& [name, value] : counters->members) {
+      telemetry.metrics.SetCounter(name, value.ToUint64());
+    }
+  }
+  if (const JsonValue* gauges = doc.Find("gauges");
+      gauges != nullptr && gauges->IsObject()) {
+    for (const auto& [name, value] : gauges->members) {
+      telemetry.metrics.SetGauge(name, value.ToDouble());
+    }
+  }
+  if (const JsonValue* histograms = doc.Find("histograms");
+      histograms != nullptr && histograms->IsObject()) {
+    for (const auto& [name, value] : histograms->members) {
+      PDD_ASSIGN_OR_RETURN(LogHistogram histogram, HistogramFromJson(value));
+      *telemetry.metrics.MutableHistogram(name) = histogram;
+    }
+  }
+  if (const JsonValue* infos = doc.Find("info");
+      infos != nullptr && infos->IsObject()) {
+    for (const auto& [name, value] : infos->members) {
+      telemetry.metrics.SetInfo(name, value.string_value);
+    }
+  }
+  if (const JsonValue* spans = doc.Find("spans");
+      spans != nullptr && spans->IsArray() && !spans->elements.empty()) {
+    PDD_ASSIGN_OR_RETURN(telemetry.root, SpanFromJson(spans->elements[0]));
+  }
+  return telemetry;
+}
+
+std::string RenderExecutionStats(const RunTelemetry& telemetry) {
+  const MetricsRegistry& m = telemetry.metrics;
+  std::string out = "# Execution statistics\n\n";
+  // Which match implementation ran — execution detail only; the
+  // detection report never mentions it (columnar ≡ scalar bit for bit).
+  if (std::string kernel = m.info(kInfoMatchKernel); !kernel.empty()) {
+    out += "- match kernel: " + kernel + "\n\n";
+  }
+  const StageTimings timings = StageTimingsView(telemetry);
+  double total = timings.TotalSeconds();
+  out += "## Stage timings\n\n";
+  if (total > 0.0) {
+    out += "| stage | seconds | share |\n|---|---|---|\n";
+    const std::pair<const char*, double> rows[] = {
+        {"match", timings.match_seconds},
+        {"combine", timings.combine_seconds},
+        {"derive", timings.derive_seconds},
+        {"classify", timings.classify_seconds},
+        {"cache lookup", timings.cache_lookup_seconds},
+    };
+    for (const auto& [name, seconds] : rows) {
+      out += std::string("| ") + name + " | " + FormatDouble(seconds, 6) +
+             " | " + FormatDouble(100.0 * seconds / total, 1) + "% |\n";
+    }
+    out += "| total | " + FormatDouble(total, 6) + " | 100.0% |\n";
+  } else if (m.info(kInfoTimings) == "collected") {
+    // Collected but every stage stayed below clock resolution: a real
+    // (tiny) run, not a disabled one.
+    out += "(all stages below clock resolution)\n";
+  } else {
+    // Timing collection was off: 0.000000-second rows would read as
+    // "instant stages", so say what actually happened.
+    out += "(disabled)\n";
+  }
+  if (std::optional<CacheRunStats> cache = CacheRunStatsView(telemetry)) {
+    out += "\n## Decision cache\n\n";
+    out += "- cache: " + std::to_string(cache->hits) + " hits / " +
+           std::to_string(cache->lookups) + " lookups (" +
+           FormatDouble(cache->HitRate() * 100.0, 1) + "% hit rate), " +
+           std::to_string(cache->inserts) + " inserts\n";
+    if (m.counters().count("exec.cache.lifetime.hits") > 0) {
+      DecisionCacheStats lifetime;
+      lifetime.hits = m.counter("exec.cache.lifetime.hits");
+      lifetime.misses = m.counter("exec.cache.lifetime.misses");
+      lifetime.inserts = m.counter("exec.cache.lifetime.inserts");
+      lifetime.evictions = m.counter("exec.cache.lifetime.evictions");
+      lifetime.size = m.counter("exec.cache.lifetime.size");
+      out += "- cache lifetime: " + lifetime.ToString() + "\n";
+    }
+  }
+  const StreamRunStats stream = StreamRunStatsView(telemetry);
+  out += "\n## Candidate stream\n\n";
+  out += "- stream: " + std::to_string(m.counter(kMetricCandidatePairs)) +
+         " candidates in " + std::to_string(stream.batches) +
+         " batches, live high-water " +
+         std::to_string(stream.live_candidate_high_water) + " candidates\n";
+  // Per-shard drain accounting of a sharded run: each shard's
+  // high-water is the live bound a node hosting it must provision for
+  // (the top-level high-water above is their sum).
+  for (size_t i = 0; i < stream.per_shard.size(); ++i) {
+    const StreamRunStats& shard = stream.per_shard[i];
+    out += "- shard " + std::to_string(i) + ": " +
+           std::to_string(shard.batches) + " batches, live high-water " +
+           std::to_string(shard.live_candidate_high_water) + " candidates\n";
+  }
+  return out;
+}
+
+std::string RenderStreamDiagnostics(const RunTelemetry& telemetry) {
+  const MetricsRegistry& m = telemetry.metrics;
+  const StreamRunStats stream = StreamRunStatsView(telemetry);
+  std::string out = "candidate stream:";
+  if (std::string reduction = m.info("exec.reduction"); !reduction.empty()) {
+    out += " reduction " + reduction;
+    out += m.info("exec.streaming") == "native" ? " (native streaming)"
+                                                : " (materializing adapter)";
+    out += ",";
+  }
+  out += " " + std::to_string(m.counter(kMetricCandidatePairs)) +
+         " candidates in " + std::to_string(stream.batches) +
+         " batches, live high-water " +
+         std::to_string(stream.live_candidate_high_water) + " candidates\n";
+  for (size_t i = 0; i < stream.per_shard.size(); ++i) {
+    const StreamRunStats& shard = stream.per_shard[i];
+    out += "  shard " + std::to_string(i) + ": " +
+           std::to_string(shard.batches) + " batches, live high-water " +
+           std::to_string(shard.live_candidate_high_water) + " candidates\n";
+  }
+  return out;
+}
+
+}  // namespace pdd

@@ -1,0 +1,67 @@
+// Telemetry exporters: every machine- and human-readable rendering of
+// a RunTelemetry lives here, so there is exactly one code path per
+// format and all of them iterate the registry's sorted maps — no
+// export ever observes unordered iteration (pddlint's rule holds with
+// zero allowlist entries).
+//
+//   TelemetryToJson         schema-versioned JSON sidecar (sorted
+//                           keys; superseded bench_util.h's ad-hoc
+//                           BenchJsonWriter format — bench sidecars
+//                           and `pddcli --metrics` emit this schema)
+//   IdentityMetricsJson     the identity subset only (no time.*/
+//                           exec.*, no spans): the byte-comparable
+//                           form the determinism gates diff
+//   TelemetryToPrometheus   Prometheus text exposition
+//   ParseRunTelemetryJson   reads TelemetryToJson output back
+//                           (round-trip tests, sidecar tooling)
+//   RenderExecutionStats    the Markdown execution-statistics report
+//                           (ExecutionStatsReport renders through it)
+//   RenderStreamDiagnostics the `--stream-candidates` stderr block
+
+#ifndef PDD_OBS_EXPORT_H_
+#define PDD_OBS_EXPORT_H_
+
+#include <string>
+#include <string_view>
+
+#include "obs/run_telemetry.h"
+#include "util/status.h"
+
+namespace pdd {
+
+/// Schema-versioned JSON export: `schema`, `counters`, `gauges`,
+/// `histograms` (count/sum/min/max, bucket-resolution p50/p95/p99 and
+/// the non-empty [upper_bound, count] buckets), `info` and the nested
+/// `spans` tree. Every object level is emitted in sorted key order;
+/// spans keep their (deterministic) insertion order.
+std::string TelemetryToJson(const RunTelemetry& telemetry);
+
+/// The identity-namespace subset of TelemetryToJson (drops every
+/// time.* / exec.* metric and all spans). Byte-identical across
+/// serial/pooled/sharded/cached runs of the same plan + input.
+std::string IdentityMetricsJson(const RunTelemetry& telemetry);
+
+/// Prometheus text exposition: counters, gauges, cumulative histogram
+/// buckets (+Inf included) with _sum/_count, and infos as
+/// `pdd_info{name=...,value=...} 1` series. Metric names are
+/// dot→underscore sanitized and prefixed `pdd_`.
+std::string TelemetryToPrometheus(const RunTelemetry& telemetry);
+
+/// Parses TelemetryToJson output back into a RunTelemetry. Rejects
+/// unknown schema versions.
+Result<RunTelemetry> ParseRunTelemetryJson(std::string_view json);
+
+/// The Markdown execution-statistics report: match kernel, stage
+/// timing table ("(disabled)" when the run collected no timings),
+/// decision-cache run and lifetime counters, candidate-stream drain
+/// accounting with per-shard lines.
+std::string RenderExecutionStats(const RunTelemetry& telemetry);
+
+/// The candidate-streaming stderr diagnostics (reduction name, native
+/// vs adapter, batches, live high-water, per-shard lines). Reads the
+/// exec.reduction / exec.streaming infos when present.
+std::string RenderStreamDiagnostics(const RunTelemetry& telemetry);
+
+}  // namespace pdd
+
+#endif  // PDD_OBS_EXPORT_H_

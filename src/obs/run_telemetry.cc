@@ -1,0 +1,170 @@
+#include "obs/run_telemetry.h"
+
+#include <cmath>
+
+#include "cache/decision_cache.h"
+#include "pipeline/detection_result.h"
+#include "plan/plan_spec.h"
+
+namespace pdd {
+
+TelemetrySpan* TelemetrySpan::AddChild(std::string child_name) {
+  children.emplace_back(std::move(child_name));
+  return &children.back();
+}
+
+const TelemetrySpan* TelemetrySpan::FindChild(
+    std::string_view child_name) const {
+  for (const TelemetrySpan& child : children) {
+    if (child.name == child_name) return &child;
+  }
+  return nullptr;
+}
+
+TelemetrySpan* TelemetrySpan::FindChild(std::string_view child_name) {
+  for (TelemetrySpan& child : children) {
+    if (child.name == child_name) return &child;
+  }
+  return nullptr;
+}
+
+const TelemetrySpan* TelemetrySpan::Find(std::string_view path) const {
+  const TelemetrySpan* at = this;
+  while (!path.empty() && at != nullptr) {
+    size_t sep = path.find('/');
+    std::string_view head =
+        sep == std::string_view::npos ? path : path.substr(0, sep);
+    path = sep == std::string_view::npos ? std::string_view()
+                                         : path.substr(sep + 1);
+    at = at->FindChild(head);
+  }
+  return at;
+}
+
+namespace {
+
+/// Similarity in deterministic integer micro-units. Similarities are
+/// bit-identical across run shapes, so the rounded micro value is too.
+uint64_t SimilarityMicros(double similarity) {
+  if (!(similarity > 0.0)) return 0;
+  return static_cast<uint64_t>(std::llround(similarity * 1e6));
+}
+
+}  // namespace
+
+RunTelemetry TelemetryFromResult(const DetectionResult& result) {
+  RunTelemetry telemetry;
+  MetricsRegistry& m = telemetry.metrics;
+
+  // Identity metrics: pure functions of the (deterministic) decisions.
+  m.SetCounter(kMetricCandidatePairs, result.candidate_count);
+  m.SetCounter(kMetricTotalPairs, result.total_pairs);
+  m.SetCounter(kMetricDecisions, result.decisions.size());
+  m.SetCounter(kMetricMatches, result.CountClass(MatchClass::kMatch));
+  m.SetCounter(kMetricPossibles, result.CountClass(MatchClass::kPossible));
+  m.SetCounter(kMetricUnmatches, result.CountClass(MatchClass::kUnmatch));
+  LogHistogram* similarity = m.MutableHistogram(kMetricSimilarityMicros);
+  for (const PairDecisionRecord& rec : result.decisions) {
+    similarity->Record(SimilarityMicros(rec.similarity));
+  }
+  if (result.plan_fingerprint != 0) {
+    m.SetInfo(kInfoPlanFingerprint, FingerprintHex(result.plan_fingerprint));
+  }
+
+  // Execution-shape metrics.
+  m.SetCounter(kMetricStreamBatches, result.stream_stats.batches);
+  m.SetCounter(kMetricStreamHighWater,
+               result.stream_stats.live_candidate_high_water);
+  m.SetCounter(kMetricStreamShards, result.stream_stats.per_shard.size());
+  if (result.cache_stats.has_value()) {
+    m.SetCounter(kMetricCacheAttached, 1);
+    m.SetCounter(kMetricCacheLookups, result.cache_stats->lookups);
+    m.SetCounter(kMetricCacheHits, result.cache_stats->hits);
+    m.SetCounter(kMetricCacheMisses, result.cache_stats->misses);
+    m.SetCounter(kMetricCacheInserts, result.cache_stats->inserts);
+  }
+  if (!result.match_kernel.empty()) {
+    m.SetInfo(kInfoMatchKernel, result.match_kernel);
+  }
+  m.SetInfo(kInfoTimings,
+            result.stage_timings_collected ? "collected" : "disabled");
+
+  // Timing metrics + stage spans, only for runs that collected them.
+  TelemetrySpan* drain = telemetry.root.AddChild("drain");
+  if (result.stage_timings_collected) {
+    const StageTimings& t = result.stage_timings;
+    m.SetGauge(kGaugeMatchSeconds, t.match_seconds);
+    m.SetGauge(kGaugeCombineSeconds, t.combine_seconds);
+    m.SetGauge(kGaugeDeriveSeconds, t.derive_seconds);
+    m.SetGauge(kGaugeClassifySeconds, t.classify_seconds);
+    m.SetGauge(kGaugeCacheLookupSeconds, t.cache_lookup_seconds);
+    drain->AddChild("stage.match")->seconds = t.match_seconds;
+    drain->AddChild("stage.combine")->seconds = t.combine_seconds;
+    drain->AddChild("stage.derive")->seconds = t.derive_seconds;
+    drain->AddChild("stage.classify")->seconds = t.classify_seconds;
+    drain->AddChild("stage.cache_lookup")->seconds = t.cache_lookup_seconds;
+  }
+
+  // Per-shard child spans of a sharded drain.
+  for (size_t i = 0; i < result.stream_stats.per_shard.size(); ++i) {
+    const StreamRunStats& shard = result.stream_stats.per_shard[i];
+    TelemetrySpan* span = drain->AddChild("shard." + std::to_string(i));
+    span->counts["batches"] = shard.batches;
+    span->counts["live_high_water"] = shard.live_candidate_high_water;
+  }
+  return telemetry;
+}
+
+void AddCacheLifetimeStats(const DecisionCacheStats& stats,
+                           MetricsRegistry* metrics) {
+  metrics->SetCounter("exec.cache.lifetime.hits", stats.hits);
+  metrics->SetCounter("exec.cache.lifetime.misses", stats.misses);
+  metrics->SetCounter("exec.cache.lifetime.inserts", stats.inserts);
+  metrics->SetCounter("exec.cache.lifetime.evictions", stats.evictions);
+  metrics->SetCounter("exec.cache.lifetime.size", stats.size);
+}
+
+StageTimings StageTimingsView(const RunTelemetry& telemetry) {
+  const MetricsRegistry& m = telemetry.metrics;
+  StageTimings timings;
+  timings.match_seconds = m.gauge(kGaugeMatchSeconds);
+  timings.combine_seconds = m.gauge(kGaugeCombineSeconds);
+  timings.derive_seconds = m.gauge(kGaugeDeriveSeconds);
+  timings.classify_seconds = m.gauge(kGaugeClassifySeconds);
+  timings.cache_lookup_seconds = m.gauge(kGaugeCacheLookupSeconds);
+  return timings;
+}
+
+std::optional<CacheRunStats> CacheRunStatsView(const RunTelemetry& telemetry) {
+  const MetricsRegistry& m = telemetry.metrics;
+  if (m.counter(kMetricCacheAttached) == 0) return std::nullopt;
+  CacheRunStats stats;
+  stats.lookups = m.counter(kMetricCacheLookups);
+  stats.hits = m.counter(kMetricCacheHits);
+  stats.misses = m.counter(kMetricCacheMisses);
+  stats.inserts = m.counter(kMetricCacheInserts);
+  return stats;
+}
+
+StreamRunStats StreamRunStatsView(const RunTelemetry& telemetry) {
+  const MetricsRegistry& m = telemetry.metrics;
+  StreamRunStats stats;
+  stats.batches = m.counter(kMetricStreamBatches);
+  stats.live_candidate_high_water = m.counter(kMetricStreamHighWater);
+  if (const TelemetrySpan* drain = telemetry.root.FindChild("drain")) {
+    for (const TelemetrySpan& child : drain->children) {
+      if (child.name.rfind("shard.", 0) != 0) continue;
+      StreamRunStats shard;
+      auto batches = child.counts.find("batches");
+      if (batches != child.counts.end()) shard.batches = batches->second;
+      auto high_water = child.counts.find("live_high_water");
+      if (high_water != child.counts.end()) {
+        shard.live_candidate_high_water = high_water->second;
+      }
+      stats.per_shard.push_back(std::move(shard));
+    }
+  }
+  return stats;
+}
+
+}  // namespace pdd

@@ -1,0 +1,154 @@
+// RunTelemetry: the unified telemetry of one detection run — a
+// MetricsRegistry (the queryable metric surface) plus a tree of stage/
+// span records (generate → drain → match/combine/derive/classify, with
+// per-worker and per-shard child spans). The StageExecutor builds one
+// per run and attaches it to DetectionResult::telemetry; the legacy
+// stat structs (StageTimings, CacheRunStats, StreamRunStats) are
+// reconstructed from the registry by the *View functions below, so the
+// registry is the single source every consumer — ExecutionStatsReport,
+// `pddcli --metrics`, the stderr diagnostics, the bench sidecars —
+// renders from.
+//
+// Span seconds and every `time.*` metric are wall-clock-derived and
+// therefore nondeterministic; span COUNT fields on worker spans vary
+// with thread timing too. Identity gating (obs_test, the CI metrics
+// smoke) covers only the registry's identity namespace — see
+// metrics_registry.h for the namespace table and export.h for the
+// exporters.
+
+#ifndef PDD_OBS_RUN_TELEMETRY_H_
+#define PDD_OBS_RUN_TELEMETRY_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics_registry.h"
+
+namespace pdd {
+
+struct DetectionResult;
+struct StageTimings;
+struct CacheRunStats;
+struct StreamRunStats;
+struct DecisionCacheStats;
+
+// Registry metric names (the stable schema surface; see README
+// "Observability" for the full table).
+//
+// Identity namespace — bit-identical across serial/pooled/sharded/
+// cached runs of one plan + input:
+inline constexpr char kMetricCandidatePairs[] = "pairs.candidates";
+inline constexpr char kMetricTotalPairs[] = "pairs.total";
+inline constexpr char kMetricDecisions[] = "decisions.total";
+inline constexpr char kMetricMatches[] = "decisions.match";
+inline constexpr char kMetricPossibles[] = "decisions.possible";
+inline constexpr char kMetricUnmatches[] = "decisions.unmatch";
+/// Histogram of derived similarities in integer micro-units
+/// (round(sim * 1e6)): a deterministic distribution of a
+/// deterministic value.
+inline constexpr char kMetricSimilarityMicros[] =
+    "decisions.similarity_micros";
+inline constexpr char kInfoPlanFingerprint[] = "plan.fingerprint";
+// Execution-shape namespace — excluded from identity gating:
+inline constexpr char kMetricStreamBatches[] = "exec.stream.batches";
+inline constexpr char kMetricStreamHighWater[] =
+    "exec.stream.live_high_water";
+inline constexpr char kMetricStreamShards[] = "exec.stream.shards";
+inline constexpr char kMetricCacheAttached[] = "exec.cache.attached";
+inline constexpr char kMetricCacheLookups[] = "exec.cache.lookups";
+inline constexpr char kMetricCacheHits[] = "exec.cache.hits";
+inline constexpr char kMetricCacheMisses[] = "exec.cache.misses";
+inline constexpr char kMetricCacheInserts[] = "exec.cache.inserts";
+inline constexpr char kInfoMatchKernel[] = "exec.match_kernel";
+/// "collected" or "disabled" — whether the run accumulated wall times.
+inline constexpr char kInfoTimings[] = "exec.timings";
+// Timing namespace — nondeterministic by nature:
+inline constexpr char kGaugeMatchSeconds[] = "time.stage.match_seconds";
+inline constexpr char kGaugeCombineSeconds[] = "time.stage.combine_seconds";
+inline constexpr char kGaugeDeriveSeconds[] = "time.stage.derive_seconds";
+inline constexpr char kGaugeClassifySeconds[] =
+    "time.stage.classify_seconds";
+inline constexpr char kGaugeCacheLookupSeconds[] =
+    "time.stage.cache_lookup_seconds";
+/// Per-batch decide latency histogram (microseconds), recorded only
+/// when stage timings are on.
+inline constexpr char kMetricBatchDecideMicros[] =
+    "time.batch_decide_micros";
+
+/// One node of the span tree. `seconds` is 0 when the run had timing
+/// collection off; `counts` carries span-local counters (batches,
+/// candidates, live_high_water).
+struct TelemetrySpan {
+  std::string name;
+  double seconds = 0.0;
+  std::map<std::string, uint64_t> counts;
+  std::vector<TelemetrySpan> children;
+
+  TelemetrySpan() = default;
+  explicit TelemetrySpan(std::string span_name) : name(std::move(span_name)) {}
+
+  /// Appends a child and returns it (valid until the next append).
+  TelemetrySpan* AddChild(std::string child_name);
+
+  /// First child with `child_name`, nullptr when absent.
+  const TelemetrySpan* FindChild(std::string_view child_name) const;
+  TelemetrySpan* FindChild(std::string_view child_name);
+
+  /// Descendant lookup by '/'-separated path ("drain/shard.0").
+  const TelemetrySpan* Find(std::string_view path) const;
+
+  bool operator==(const TelemetrySpan& other) const {
+    return name == other.name && seconds == other.seconds &&
+           counts == other.counts && children == other.children;
+  }
+  bool operator!=(const TelemetrySpan& other) const {
+    return !(*this == other);
+  }
+};
+
+struct RunTelemetry {
+  /// Version tag of the exported schema (JSON sidecars, bench
+  /// sidecars). Bump when a metric name or the export layout changes
+  /// incompatibly.
+  static constexpr std::string_view kSchemaVersion = "pdd.telemetry.v1";
+
+  MetricsRegistry metrics;
+  TelemetrySpan root{"run"};
+
+  bool operator==(const RunTelemetry& other) const {
+    return metrics == other.metrics && root == other.root;
+  }
+  bool operator!=(const RunTelemetry& other) const {
+    return !(*this == other);
+  }
+};
+
+/// Builds the registry + shard spans from a DetectionResult's stat
+/// fields — the bridge for hand-assembled results (executor-produced
+/// results carry a richer telemetry with worker/generate spans
+/// already attached).
+RunTelemetry TelemetryFromResult(const DetectionResult& result);
+
+/// Folds a cache's lifetime counters (DecisionCache::Stats()) into the
+/// registry under exec.cache.lifetime.*.
+void AddCacheLifetimeStats(const DecisionCacheStats& stats,
+                           MetricsRegistry* metrics);
+
+// --- views ----------------------------------------------------------
+// The legacy stat structs as pure functions of one RunTelemetry: the
+// executor assigns DetectionResult's fields from these, making every
+// struct a view over the registry rather than a second bookkeeping
+// path.
+
+StageTimings StageTimingsView(const RunTelemetry& telemetry);
+/// nullopt when the run had no cache attached.
+std::optional<CacheRunStats> CacheRunStatsView(const RunTelemetry& telemetry);
+StreamRunStats StreamRunStatsView(const RunTelemetry& telemetry);
+
+}  // namespace pdd
+
+#endif  // PDD_OBS_RUN_TELEMETRY_H_

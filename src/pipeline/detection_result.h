@@ -7,6 +7,7 @@
 #define PDD_PIPELINE_DETECTION_RESULT_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -15,6 +16,8 @@
 #include "verify/gold_standard.h"
 
 namespace pdd {
+
+struct RunTelemetry;
 
 /// Accumulated wall time per pipeline stage over one run. With a
 /// thread pool the per-worker accumulations are summed, so the numbers
@@ -120,6 +123,11 @@ struct DetectionResult {
   /// Accumulated per-stage wall times (executor instrumentation; all
   /// zero when the executor ran with stage_timings off).
   StageTimings stage_timings;
+  /// Whether the run collected stage timings at all. An all-zero
+  /// `stage_timings` is ambiguous — a tiny timed run can finish below
+  /// clock resolution — so reports need this flag to distinguish
+  /// "(disabled)" from genuinely instant stages.
+  bool stage_timings_collected = false;
   /// Decision-cache activity of this run; nullopt when the run had no
   /// cache attached.
   std::optional<CacheRunStats> cache_stats;
@@ -132,6 +140,12 @@ struct DetectionResult {
   /// both paths are bit-identical, so the detection report never
   /// mentions it. Empty for hand-assembled results.
   std::string match_kernel;
+  /// Unified telemetry of the run: the metrics registry plus the span
+  /// tree (see obs/run_telemetry.h). Attached by the executor; null for
+  /// hand-assembled results (consumers fall back to
+  /// TelemetryFromResult over the stat fields above, which are
+  /// themselves views over this registry when it is present).
+  std::shared_ptr<RunTelemetry> telemetry;
 
   /// Number of decisions classified `match_class`.
   size_t CountClass(MatchClass match_class) const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <deque>
 #include <mutex>
 #include <thread>
@@ -10,6 +11,7 @@
 
 #include "cache/pair_digest.h"
 #include "match/columnar_matcher.h"
+#include "obs/run_telemetry.h"
 #include "pipeline/sharded_stream.h"
 
 namespace pdd {
@@ -48,6 +50,79 @@ inline uint64_t MemoizedDigest(const XRelation& rel, size_t index,
     slot->store(digest, std::memory_order_relaxed);
   }
   return digest;
+}
+
+inline uint64_t MicrosFromSeconds(double seconds) {
+  if (!(seconds > 0.0)) return 0;
+  return static_cast<uint64_t>(std::llround(seconds * 1e6));
+}
+
+/// Per-drain-thread span accounting. Each thread owns one slot, so the
+/// hot loop mutates it lock-free; the slots fold into the telemetry's
+/// generate span, worker.N spans and decide-latency histogram after
+/// the pool joins. Batch/candidate counts per worker vary with thread
+/// timing — they live on spans, which the identity gates never diff.
+struct WorkerStats {
+  size_t batches = 0;
+  size_t candidates = 0;
+  /// Time inside the stream's NextBatch pulls (candidate generation).
+  double pull_seconds = 0.0;
+  /// Time inside DecideBatch.
+  double decide_seconds = 0.0;
+  /// Per-batch decide latency in microseconds.
+  LogHistogram decide_micros;
+};
+
+/// Builds the run's unified telemetry — registry from the result's stat
+/// fields, generate/drain/worker spans from the per-thread slots — then
+/// reassigns the legacy stat structs from the registry views, so every
+/// struct a caller reads is provably a projection of the one registry.
+void FinalizeTelemetry(const StageExecutorOptions& options,
+                       std::vector<WorkerStats> workers,
+                       DetectionResult* result) {
+  auto telemetry =
+      std::make_shared<RunTelemetry>(TelemetryFromResult(*result));
+  MetricsRegistry& m = telemetry->metrics;
+  m.SetCounter("exec.config.workers", options.workers);
+  m.SetCounter("exec.config.batch_size", options.batch_size);
+
+  TelemetrySpan generate("generate");
+  LogHistogram decide_micros;
+  double pull_total = 0.0;
+  double decide_total = 0.0;
+  uint64_t pulled_batches = 0;
+  uint64_t pulled_candidates = 0;
+  for (const WorkerStats& w : workers) {
+    pull_total += w.pull_seconds;
+    decide_total += w.decide_seconds;
+    pulled_batches += w.batches;
+    pulled_candidates += w.candidates;
+    decide_micros.Merge(w.decide_micros);
+  }
+  generate.seconds = pull_total;
+  generate.counts["batches"] = pulled_batches;
+  generate.counts["candidates"] = pulled_candidates;
+  // Generate precedes drain in the span tree (insert before grabbing
+  // the drain pointer — insertion shifts the children).
+  telemetry->root.children.insert(telemetry->root.children.begin(),
+                                  std::move(generate));
+  TelemetrySpan* drain = telemetry->root.FindChild("drain");
+  drain->seconds = decide_total;
+  for (size_t i = 0; i < workers.size(); ++i) {
+    TelemetrySpan* span = drain->AddChild("worker." + std::to_string(i));
+    span->seconds = workers[i].decide_seconds;
+    span->counts["batches"] = workers[i].batches;
+    span->counts["candidates"] = workers[i].candidates;
+  }
+  telemetry->root.seconds = pull_total + decide_total;
+  if (options.stage_timings) {
+    m.MutableHistogram(kMetricBatchDecideMicros)->Merge(decide_micros);
+  }
+
+  result->stage_timings = StageTimingsView(*telemetry);
+  result->cache_stats = CacheRunStatsView(*telemetry);
+  result->stream_stats = StreamRunStatsView(*telemetry);
+  result->telemetry = std::move(telemetry);
 }
 
 }  // namespace
@@ -158,6 +233,7 @@ Result<DetectionResult> StageExecutor::Execute(CandidateStream& stream) const {
   DetectionResult result;
   result.total_pairs = stream.total_pairs();
   result.plan_fingerprint = plan_->fingerprint();
+  result.stage_timings_collected = options_.stage_timings;
   // A cache-ineligible plan (custom comparators: decision fingerprint
   // 0) runs uncached rather than risking cross-instance collisions.
   const bool use_cache =
@@ -189,6 +265,7 @@ Result<DetectionResult> StageExecutor::Execute(CandidateStream& stream) const {
                           std::move(result));
   }
 
+  const bool timed = options_.stage_timings;
   if (options_.workers <= 1) {
     if (std::optional<size_t> hint = stream.candidate_count_hint()) {
       result.decisions.reserve(*hint);
@@ -196,19 +273,36 @@ Result<DetectionResult> StageExecutor::Execute(CandidateStream& stream) const {
     std::optional<ColumnarMatcher> matcher;
     if (columnar) matcher.emplace(*plan_, *arena);
     BatchCounters counters;
+    std::vector<WorkerStats> workers(1);
+    WorkerStats& ws = workers[0];
     std::vector<CandidatePair> batch;
-    while (stream.NextBatch(options_.batch_size, &batch) > 0) {
+    while (true) {
+      Clock::time_point pull_start;
+      if (timed) pull_start = Clock::now();
+      size_t pulled = stream.NextBatch(options_.batch_size, &batch);
+      if (timed) ws.pull_seconds += Elapsed(pull_start);
+      if (pulled == 0) break;
       result.candidate_count += batch.size();
       ++result.stream_stats.batches;
       result.stream_stats.live_candidate_high_water =
           std::max(result.stream_stats.live_candidate_high_water,
                    batch.size() + stream.buffered_candidates());
+      ++ws.batches;
+      ws.candidates += batch.size();
+      Clock::time_point decide_start;
+      if (timed) decide_start = Clock::now();
       DecideBatch(rel, batch, digests,
                   matcher.has_value() ? &*matcher : nullptr,
                   &result.decisions, &counters);
+      if (timed) {
+        double decide = Elapsed(decide_start);
+        ws.decide_seconds += decide;
+        ws.decide_micros.Record(MicrosFromSeconds(decide));
+      }
     }
     result.stage_timings = counters.timings;
     if (result.cache_stats.has_value()) *result.cache_stats = counters.cache;
+    FinalizeTelemetry(options_, std::move(workers), &result);
     return result;
   }
 
@@ -228,7 +322,8 @@ Result<DetectionResult> StageExecutor::Execute(CandidateStream& stream) const {
     std::deque<BatchCounters> counters;
     size_t in_flight_candidates = 0;
   } drain;
-  auto worker = [&]() {
+  std::vector<WorkerStats> workers(options_.workers);
+  auto worker = [&](WorkerStats* ws) {
     // Per-worker matcher: its scratch buffers are thread-private state.
     std::optional<ColumnarMatcher> matcher;
     if (columnar) matcher.emplace(*plan_, *arena);
@@ -239,7 +334,11 @@ Result<DetectionResult> StageExecutor::Execute(CandidateStream& stream) const {
       {
         std::lock_guard<std::mutex> lock(drain.mu);
         if (drain.exhausted) return;
-        if (stream.NextBatch(options_.batch_size, &batch) == 0) {
+        Clock::time_point pull_start;
+        if (timed) pull_start = Clock::now();
+        size_t pulled = stream.NextBatch(options_.batch_size, &batch);
+        if (timed) ws->pull_seconds += Elapsed(pull_start);
+        if (pulled == 0) {
           drain.exhausted = true;
           return;
         }
@@ -254,9 +353,18 @@ Result<DetectionResult> StageExecutor::Execute(CandidateStream& stream) const {
         slot = &drain.slots.back();
         slot_counters = &drain.counters.back();
       }
+      ++ws->batches;
+      ws->candidates += batch.size();
+      Clock::time_point decide_start;
+      if (timed) decide_start = Clock::now();
       DecideBatch(rel, batch, digests,
                   matcher.has_value() ? &*matcher : nullptr, slot,
                   slot_counters);
+      if (timed) {
+        double decide = Elapsed(decide_start);
+        ws->decide_seconds += decide;
+        ws->decide_micros.Record(MicrosFromSeconds(decide));
+      }
       {
         std::lock_guard<std::mutex> lock(drain.mu);
         drain.in_flight_candidates -= batch.size();
@@ -265,7 +373,9 @@ Result<DetectionResult> StageExecutor::Execute(CandidateStream& stream) const {
   };
   std::vector<std::thread> pool;
   pool.reserve(options_.workers);
-  for (size_t i = 0; i < options_.workers; ++i) pool.emplace_back(worker);
+  for (size_t i = 0; i < options_.workers; ++i) {
+    pool.emplace_back(worker, &workers[i]);
+  }
   for (std::thread& t : pool) t.join();
 
   result.decisions.reserve(result.candidate_count);
@@ -278,6 +388,7 @@ Result<DetectionResult> StageExecutor::Execute(CandidateStream& stream) const {
     result.stage_timings += counters.timings;
     if (result.cache_stats.has_value()) *result.cache_stats += counters.cache;
   }
+  FinalizeTelemetry(options_, std::move(workers), &result);
   return result;
 }
 
@@ -302,7 +413,10 @@ Result<DetectionResult> StageExecutor::ExecuteSharded(
     size_t high_water = 0;
   };
   std::vector<ShardDrain> drains(shard_count);
-  auto drain_shard = [&](size_t shard) {
+  const bool timed = options_.stage_timings;
+  std::vector<WorkerStats> workers(
+      options_.workers <= 1 ? size_t{1} : options_.workers);
+  auto drain_shard = [&](size_t shard, WorkerStats* ws) {
     ShardDrain& drain = drains[shard];
     // One matcher per drain call: shard workers of the same shard run
     // on different threads, and matcher scratch must stay thread-local.
@@ -315,7 +429,12 @@ Result<DetectionResult> StageExecutor::ExecuteSharded(
       {
         std::lock_guard<std::mutex> lock(drain.mu);
         if (drain.exhausted) return;
-        if (stream.ShardNextBatch(shard, options_.batch_size, &batch) == 0) {
+        Clock::time_point pull_start;
+        if (timed) pull_start = Clock::now();
+        size_t pulled =
+            stream.ShardNextBatch(shard, options_.batch_size, &batch);
+        if (timed) ws->pull_seconds += Elapsed(pull_start);
+        if (pulled == 0) {
           drain.exhausted = true;
           return;
         }
@@ -331,9 +450,18 @@ Result<DetectionResult> StageExecutor::ExecuteSharded(
         slot = &drain.slots.back();
         slot_counters = &drain.counters.back();
       }
+      ++ws->batches;
+      ws->candidates += batch.size();
+      Clock::time_point decide_start;
+      if (timed) decide_start = Clock::now();
       DecideBatch(rel, batch, digests,
                   matcher.has_value() ? &*matcher : nullptr, slot,
                   slot_counters);
+      if (timed) {
+        double decide = Elapsed(decide_start);
+        ws->decide_seconds += decide;
+        ws->decide_micros.Record(MicrosFromSeconds(decide));
+      }
       {
         std::lock_guard<std::mutex> lock(drain.mu);
         drain.in_flight_candidates -= batch.size();
@@ -343,7 +471,9 @@ Result<DetectionResult> StageExecutor::ExecuteSharded(
   if (options_.workers <= 1) {
     // Serial: shards drain one after another in shard order (on the
     // calling thread), which already produces per-shard record runs.
-    for (size_t shard = 0; shard < shard_count; ++shard) drain_shard(shard);
+    for (size_t shard = 0; shard < shard_count; ++shard) {
+      drain_shard(shard, &workers[0]);
+    }
   } else {
     // Exactly options_.workers threads — the configured bound is a
     // resource cap and must hold regardless of the shard count. With
@@ -358,10 +488,10 @@ Result<DetectionResult> StageExecutor::ExecuteSharded(
     for (size_t t = 0; t < threads; ++t) {
       pool.emplace_back([&, t]() {
         if (threads >= shard_count) {
-          drain_shard(t % shard_count);
+          drain_shard(t % shard_count, &workers[t]);
         } else {
           for (size_t shard = t; shard < shard_count; shard += threads) {
-            drain_shard(shard);
+            drain_shard(shard, &workers[t]);
           }
         }
       });
@@ -415,6 +545,7 @@ Result<DetectionResult> StageExecutor::ExecuteSharded(
     if (best == shard_count) break;
     result.decisions.push_back(std::move(runs[best][cursor[best]++]));
   }
+  FinalizeTelemetry(options_, std::move(workers), &result);
   return result;
 }
 

@@ -1,0 +1,465 @@
+// Tests for the run-telemetry subsystem (src/obs/): log-histogram
+// bucket math and merge associativity, registry determinism across
+// worker/shard/batch/cache run shapes, JSON and Prometheus export
+// goldens, sidecar round-trips through the parser, span nesting, the
+// stat-struct views, and the "(disabled)" stage-timing rendering.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/decision_cache.h"
+#include "core/detector.h"
+#include "core/report_writer.h"
+#include "datagen/person_generator.h"
+#include "obs/export.h"
+#include "obs/json.h"
+#include "obs/log_histogram.h"
+#include "obs/metrics_registry.h"
+#include "obs/run_telemetry.h"
+#include "pipeline/detection_result.h"
+
+namespace pdd {
+namespace {
+
+// --- log histogram ------------------------------------------------------
+
+TEST(LogHistogramTest, BucketIndexIsBitWidth) {
+  EXPECT_EQ(LogHistogram::BucketIndex(0), 0u);
+  EXPECT_EQ(LogHistogram::BucketIndex(1), 1u);
+  EXPECT_EQ(LogHistogram::BucketIndex(2), 2u);
+  EXPECT_EQ(LogHistogram::BucketIndex(3), 2u);
+  EXPECT_EQ(LogHistogram::BucketIndex(4), 3u);
+  EXPECT_EQ(LogHistogram::BucketIndex(7), 3u);
+  EXPECT_EQ(LogHistogram::BucketIndex(8), 4u);
+  EXPECT_EQ(LogHistogram::BucketIndex(1023), 10u);
+  EXPECT_EQ(LogHistogram::BucketIndex(1024), 11u);
+  EXPECT_EQ(LogHistogram::BucketIndex(UINT64_MAX), 64u);
+}
+
+TEST(LogHistogramTest, BucketUpperBoundsInvertBucketIndex) {
+  EXPECT_EQ(LogHistogram::BucketUpperBound(0), 0u);
+  EXPECT_EQ(LogHistogram::BucketUpperBound(1), 1u);
+  EXPECT_EQ(LogHistogram::BucketUpperBound(2), 3u);
+  EXPECT_EQ(LogHistogram::BucketUpperBound(3), 7u);
+  EXPECT_EQ(LogHistogram::BucketUpperBound(64), UINT64_MAX);
+  // Every bucket's upper bound maps back to that bucket: the property
+  // the JSON round-trip (upper bound -> bucket index) relies on.
+  for (size_t i = 0; i < LogHistogram::kBucketCount; ++i) {
+    EXPECT_EQ(LogHistogram::BucketIndex(LogHistogram::BucketUpperBound(i)), i);
+  }
+}
+
+TEST(LogHistogramTest, ExactCountSumMinMax) {
+  LogHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.Quantile(0.5), 0u);
+  h.Record(0);
+  h.Record(5);
+  h.RecordN(100, 3);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 305u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_EQ(h.MeanFloor(), 61u);
+}
+
+TEST(LogHistogramTest, QuantilesAreBucketUpperBounds) {
+  LogHistogram h;
+  for (uint64_t v = 1; v <= 100; ++v) h.Record(v);
+  // rank ceil(0.5 * 100) = 50 -> value 50 -> bucket [32, 63].
+  EXPECT_EQ(h.Quantile(0.5), 63u);
+  // rank 95 -> value 95 -> bucket [64, 127].
+  EXPECT_EQ(h.Quantile(0.95), 127u);
+  EXPECT_EQ(h.Quantile(1.0), 127u);
+  // rank clamps to 1 at q=0 -> value 1 -> bucket [1, 1].
+  EXPECT_EQ(h.Quantile(0.0), 1u);
+}
+
+TEST(LogHistogramTest, MergeEqualsSequentialRecording) {
+  LogHistogram a;
+  LogHistogram b;
+  LogHistogram all;
+  for (uint64_t v : {0ull, 3ull, 17ull, 100000ull}) {
+    a.Record(v);
+    all.Record(v);
+  }
+  for (uint64_t v : {1ull, 17ull, 254ull}) {
+    b.Record(v);
+    all.Record(v);
+  }
+  LogHistogram merged = a;
+  merged.Merge(b);
+  EXPECT_EQ(merged, all);
+  // Merge order must not matter.
+  LogHistogram reversed = b;
+  reversed.Merge(a);
+  EXPECT_EQ(reversed, all);
+}
+
+TEST(LogHistogramTest, FromStateRoundTrips) {
+  LogHistogram h;
+  for (uint64_t v : {0ull, 2ull, 9ull, 1000000ull}) h.Record(v);
+  LogHistogram rebuilt =
+      LogHistogram::FromState(h.buckets(), h.sum(), h.min(), h.max());
+  EXPECT_EQ(rebuilt, h);
+}
+
+// --- registry -----------------------------------------------------------
+
+TEST(MetricsRegistryTest, NamespaceClassification) {
+  EXPECT_TRUE(IsIdentityMetricName("pairs.candidates"));
+  EXPECT_TRUE(IsIdentityMetricName("decisions.similarity_micros"));
+  EXPECT_FALSE(IsIdentityMetricName("exec.stream.batches"));
+  EXPECT_FALSE(IsIdentityMetricName("time.stage.match_seconds"));
+}
+
+TEST(MetricsRegistryTest, MergeAddsCountsOverwritesAnnotations) {
+  MetricsRegistry a;
+  a.AddCounter("pairs.candidates", 10);
+  a.SetGauge("time.x", 1.0);
+  a.SetInfo("exec.match_kernel", "scalar");
+  a.Observe("lat", 4);
+  MetricsRegistry b;
+  b.AddCounter("pairs.candidates", 5);
+  b.AddCounter("decisions.total", 2);
+  b.SetGauge("time.x", 2.0);
+  b.SetInfo("exec.match_kernel", "columnar");
+  b.Observe("lat", 9);
+  a.Merge(b);
+  EXPECT_EQ(a.counter("pairs.candidates"), 15u);
+  EXPECT_EQ(a.counter("decisions.total"), 2u);
+  EXPECT_EQ(a.gauge("time.x"), 2.0);
+  EXPECT_EQ(a.info("exec.match_kernel"), "columnar");
+  ASSERT_NE(a.histogram("lat"), nullptr);
+  EXPECT_EQ(a.histogram("lat")->count(), 2u);
+  EXPECT_EQ(a.histogram("lat")->sum(), 13u);
+  // Absent reads have defaults, never side effects.
+  EXPECT_EQ(a.counter("nope"), 0u);
+  EXPECT_EQ(a.histogram("nope"), nullptr);
+}
+
+// --- JSON export goldens ------------------------------------------------
+
+RunTelemetry GoldenTelemetry() {
+  RunTelemetry t;
+  t.metrics.AddCounter("pairs.candidates", 3);
+  t.metrics.SetGauge("time.stage.match_seconds", 0.5);
+  t.metrics.SetInfo("plan.fingerprint", "0xdeadbeef");
+  LogHistogram* h = t.metrics.MutableHistogram("decisions.similarity_micros");
+  h->Record(0);
+  h->Record(5);
+  h->Record(1000000);
+  TelemetrySpan* drain = t.root.AddChild("drain");
+  drain->counts["batches"] = 2;
+  return t;
+}
+
+constexpr char kGoldenJson[] = R"({
+  "schema": "pdd.telemetry.v1",
+  "counters": {
+    "pairs.candidates": 3
+  },
+  "gauges": {
+    "time.stage.match_seconds": 0.5
+  },
+  "histograms": {
+    "decisions.similarity_micros": {
+      "count": 3,
+      "max": 1000000,
+      "min": 0,
+      "p50": 7,
+      "p95": 1048575,
+      "p99": 1048575,
+      "sum": 1000005,
+      "buckets": [[0, 1], [7, 1], [1048575, 1]]
+    }
+  },
+  "info": {
+    "plan.fingerprint": "0xdeadbeef"
+  },
+  "spans": [
+    {
+      "name": "run",
+      "seconds": 0,
+      "counts": {},
+      "children": [
+        {
+          "name": "drain",
+          "seconds": 0,
+          "counts": {
+            "batches": 2
+          },
+          "children": []
+        }
+      ]
+    }
+  ]
+}
+)";
+
+constexpr char kGoldenIdentityJson[] = R"({
+  "schema": "pdd.telemetry.v1",
+  "counters": {
+    "pairs.candidates": 3
+  },
+  "gauges": {},
+  "histograms": {
+    "decisions.similarity_micros": {
+      "count": 3,
+      "max": 1000000,
+      "min": 0,
+      "p50": 7,
+      "p95": 1048575,
+      "p99": 1048575,
+      "sum": 1000005,
+      "buckets": [[0, 1], [7, 1], [1048575, 1]]
+    }
+  },
+  "info": {
+    "plan.fingerprint": "0xdeadbeef"
+  }
+}
+)";
+
+TEST(TelemetryExportTest, JsonGolden) {
+  EXPECT_EQ(TelemetryToJson(GoldenTelemetry()), kGoldenJson);
+}
+
+TEST(TelemetryExportTest, IdentityJsonDropsNondeterministicNamespaces) {
+  EXPECT_EQ(IdentityMetricsJson(GoldenTelemetry()), kGoldenIdentityJson);
+}
+
+TEST(TelemetryExportTest, PrometheusExposition) {
+  std::string prom = TelemetryToPrometheus(GoldenTelemetry());
+  EXPECT_NE(prom.find("# TYPE pdd_pairs_candidates counter\n"
+                      "pdd_pairs_candidates 3\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# TYPE pdd_time_stage_match_seconds gauge\n"
+                      "pdd_time_stage_match_seconds 0.5\n"),
+            std::string::npos);
+  // Histogram buckets are cumulative and close with +Inf == _count.
+  EXPECT_NE(prom.find("pdd_decisions_similarity_micros_bucket"
+                      "{le=\"0\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("pdd_decisions_similarity_micros_bucket"
+                      "{le=\"1048575\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("pdd_decisions_similarity_micros_bucket"
+                      "{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("pdd_decisions_similarity_micros_count 3\n"),
+            std::string::npos);
+  EXPECT_NE(
+      prom.find("pdd_info{name=\"plan.fingerprint\",value=\"0xdeadbeef\"} 1\n"),
+      std::string::npos);
+}
+
+TEST(TelemetryExportTest, JsonRoundTripIsByteStable) {
+  std::string exported = TelemetryToJson(GoldenTelemetry());
+  Result<RunTelemetry> parsed = ParseRunTelemetryJson(exported);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->metrics, GoldenTelemetry().metrics);
+  EXPECT_EQ(parsed->root, GoldenTelemetry().root);
+  EXPECT_EQ(TelemetryToJson(*parsed), exported);
+}
+
+TEST(TelemetryExportTest, ParserRejectsWrongSchema) {
+  EXPECT_FALSE(ParseRunTelemetryJson("{\"schema\": \"pdd.telemetry.v0\"}")
+                   .ok());
+  EXPECT_FALSE(ParseRunTelemetryJson("{}").ok());
+  EXPECT_FALSE(ParseRunTelemetryJson("not json").ok());
+}
+
+TEST(JsonTest, LargeIntegersSurviveVerbatim) {
+  // uint64 counters beyond 2^53 must not round through double.
+  Result<JsonValue> doc = ParseJson("{\"v\": 18446744073709551615}");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Find("v")->ToUint64(), UINT64_MAX);
+}
+
+// --- spans --------------------------------------------------------------
+
+TEST(TelemetrySpanTest, PathLookup) {
+  RunTelemetry t;
+  TelemetrySpan* drain = t.root.AddChild("drain");
+  drain->AddChild("shard.0")->counts["batches"] = 4;
+  drain->AddChild("shard.1");
+  ASSERT_NE(t.root.Find("drain/shard.0"), nullptr);
+  EXPECT_EQ(t.root.Find("drain/shard.0")->counts.at("batches"), 4u);
+  EXPECT_EQ(t.root.Find("drain/shard.2"), nullptr);
+  EXPECT_EQ(t.root.Find("nope"), nullptr);
+}
+
+// --- executor integration -----------------------------------------------
+
+GeneratedData UncertainPersons(size_t entities = 40) {
+  PersonGenOptions gen;
+  gen.num_entities = entities;
+  gen.duplicate_rate = 0.6;
+  gen.uncertainty.value_uncertainty_prob = 0.4;
+  gen.uncertainty.xtuple_alternative_prob = 0.3;
+  gen.seed = 80808;
+  return GeneratePersons(gen);
+}
+
+DetectorConfig PersonConfig() {
+  DetectorConfig config;
+  config.key = {{"name", 3}, {"job", 2}};
+  config.weights = {0.5, 0.3, 0.2};
+  return config;
+}
+
+struct RunShape {
+  const char* label;
+  size_t workers = 0;
+  size_t batch_size = 256;
+  size_t shards = 1;
+  bool cached = false;
+};
+
+TEST(RunTelemetryTest, IdentityMetricsBitIdenticalAcrossRunShapes) {
+  GeneratedData data = UncertainPersons();
+  const RunShape shapes[] = {
+      {"serial"},
+      {"pooled", /*workers=*/4},
+      {"tiny-batch", /*workers=*/0, /*batch_size=*/2},
+      {"sharded", /*workers=*/4, /*batch_size=*/256, /*shards=*/3},
+      {"cached", /*workers=*/0, /*batch_size=*/256, /*shards=*/1,
+       /*cached=*/true},
+  };
+  std::string baseline;
+  for (const RunShape& shape : shapes) {
+    DetectorConfig config = PersonConfig();
+    config.workers = shape.workers;
+    config.batch_size = shape.batch_size;
+    auto detector = DuplicateDetector::Make(config, PersonSchema());
+    ASSERT_TRUE(detector.ok()) << shape.label;
+    if (shape.shards > 1) {
+      detector->set_shard_options({shape.shards, ShardStrategy::kAuto});
+    }
+    if (shape.cached) {
+      detector->set_cache(std::make_shared<ShardedDecisionCache>());
+    }
+    auto result = detector->Run(data.relation);
+    ASSERT_TRUE(result.ok()) << shape.label;
+    ASSERT_NE(result->telemetry, nullptr) << shape.label;
+    std::string identity = IdentityMetricsJson(*result->telemetry);
+    if (baseline.empty()) {
+      baseline = identity;
+      EXPECT_NE(baseline.find("\"pairs.candidates\""), std::string::npos);
+      EXPECT_NE(baseline.find("\"decisions.similarity_micros\""),
+                std::string::npos);
+    } else {
+      EXPECT_EQ(identity, baseline) << shape.label;
+    }
+  }
+}
+
+TEST(RunTelemetryTest, StatStructsAreViewsOverTheRegistry) {
+  GeneratedData data = UncertainPersons(25);
+  DetectorConfig config = PersonConfig();
+  auto detector = DuplicateDetector::Make(config, PersonSchema());
+  ASSERT_TRUE(detector.ok());
+  detector->set_cache(std::make_shared<ShardedDecisionCache>());
+  detector->set_shard_options({2, ShardStrategy::kAuto});
+  detector->set_collect_stage_timings(true);
+  auto result = detector->Run(data.relation);
+  ASSERT_TRUE(result.ok());
+  ASSERT_NE(result->telemetry, nullptr);
+  const RunTelemetry& t = *result->telemetry;
+
+  // The struct fields the executor returns ARE the view projections.
+  StageTimings timings = StageTimingsView(t);
+  EXPECT_EQ(result->stage_timings.match_seconds, timings.match_seconds);
+  EXPECT_EQ(result->stage_timings.TotalSeconds(), timings.TotalSeconds());
+  ASSERT_TRUE(result->cache_stats.has_value());
+  std::optional<CacheRunStats> cache = CacheRunStatsView(t);
+  ASSERT_TRUE(cache.has_value());
+  EXPECT_EQ(result->cache_stats->lookups, cache->lookups);
+  EXPECT_EQ(result->cache_stats->inserts, cache->inserts);
+  StreamRunStats stream = StreamRunStatsView(t);
+  EXPECT_EQ(result->stream_stats.batches, stream.batches);
+  ASSERT_EQ(stream.per_shard.size(), 2u);
+  EXPECT_EQ(result->stream_stats.per_shard[1].batches,
+            stream.per_shard[1].batches);
+
+  // And the registry agrees with the result's own counts.
+  EXPECT_EQ(t.metrics.counter(kMetricCandidatePairs),
+            result->candidate_count);
+  EXPECT_EQ(t.metrics.counter(kMetricDecisions), result->decisions.size());
+  const LogHistogram* sim =
+      t.metrics.histogram(kMetricSimilarityMicros);
+  ASSERT_NE(sim, nullptr);
+  EXPECT_EQ(sim->count(), result->decisions.size());
+  // Span tree: generate before drain, worker + shard children present.
+  ASSERT_GE(t.root.children.size(), 2u);
+  EXPECT_EQ(t.root.children[0].name, "generate");
+  EXPECT_EQ(t.root.children[1].name, "drain");
+  EXPECT_NE(t.root.Find("drain/shard.1"), nullptr);
+  EXPECT_NE(t.root.Find("drain/worker.0"), nullptr);
+}
+
+TEST(RunTelemetryTest, HandAssembledResultsBridgeThroughTelemetryFromResult) {
+  DetectionResult result;
+  result.candidate_count = 2;
+  result.total_pairs = 10;
+  result.decisions.push_back({"a", "b", 0, 1, 0.9, MatchClass::kMatch});
+  result.decisions.push_back({"c", "d", 2, 3, 0.2, MatchClass::kUnmatch});
+  RunTelemetry t = TelemetryFromResult(result);
+  EXPECT_EQ(t.metrics.counter(kMetricCandidatePairs), 2u);
+  EXPECT_EQ(t.metrics.counter(kMetricMatches), 1u);
+  EXPECT_EQ(t.metrics.counter(kMetricUnmatches), 1u);
+  EXPECT_EQ(t.metrics.info(kInfoTimings), "disabled");
+  // No cache attached -> no cache view.
+  EXPECT_FALSE(CacheRunStatsView(t).has_value());
+}
+
+// --- stats report rendering ---------------------------------------------
+
+TEST(ExecutionStatsReportTest, DisabledTimingsRenderDisabledNotZeroRows) {
+  GeneratedData data = UncertainPersons(20);
+  DetectorConfig config = PersonConfig();
+  auto detector = DuplicateDetector::Make(config, PersonSchema());
+  ASSERT_TRUE(detector.ok());
+  auto untimed = detector->Run(data.relation);
+  ASSERT_TRUE(untimed.ok());
+  std::string report = ExecutionStatsReport(*untimed);
+  // The regression this guards: an untimed run must say so instead of
+  // rendering a table of misleading 0-second stage rows.
+  EXPECT_NE(report.find("## Stage timings\n\n(disabled)\n"),
+            std::string::npos);
+  EXPECT_EQ(report.find("| total |"), std::string::npos);
+
+  detector->set_collect_stage_timings(true);
+  auto timed = detector->Run(data.relation);
+  ASSERT_TRUE(timed.ok());
+  EXPECT_EQ(ExecutionStatsReport(*timed).find("(disabled)"),
+            std::string::npos);
+}
+
+TEST(ExecutionStatsReportTest, StreamDiagnosticsRenderFromRegistry) {
+  RunTelemetry t;
+  t.metrics.SetCounter(kMetricCandidatePairs, 732);
+  t.metrics.SetCounter(kMetricStreamBatches, 3);
+  t.metrics.SetCounter(kMetricStreamHighWater, 260);
+  t.metrics.SetInfo("exec.reduction", "snm_certain_keys");
+  t.metrics.SetInfo("exec.streaming", "native");
+  TelemetrySpan* drain = t.root.AddChild("drain");
+  TelemetrySpan* shard = drain->AddChild("shard.0");
+  shard->counts["batches"] = 3;
+  shard->counts["live_high_water"] = 260;
+  EXPECT_EQ(RenderStreamDiagnostics(t),
+            "candidate stream: reduction snm_certain_keys "
+            "(native streaming), 732 candidates in 3 batches, "
+            "live high-water 260 candidates\n"
+            "  shard 0: 3 batches, live high-water 260 candidates\n");
+}
+
+}  // namespace
+}  // namespace pdd

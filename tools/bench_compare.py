@@ -7,6 +7,14 @@ them per run; this script closes the loop by diffing the current run's
 sidecars against the baselines committed in ``bench/baselines/`` and
 failing on throughput regressions beyond a tolerance.
 
+Sidecars are ``pdd.telemetry.v1`` documents (gauges/counters/info/
+histograms sections, sorted keys — the schema ``pddcli --metrics``
+writes). ``flatten`` merges gauges + counters + info (info ``"true"``/
+``"false"`` strings become booleans) and per-histogram summary stats
+back into the flat key space the classifier below operates on; legacy
+flat sidecars pass through unchanged, so pre-migration baselines keep
+comparing.
+
 Metric classes (selected by key name):
 
 * throughput  -- keys ending in ``_per_sec`` or containing ``speedup``:
@@ -55,6 +63,27 @@ def classify(key, value):
     if "hit_rate" in key:
         return "ratio"
     return None
+
+
+def flatten(doc):
+    """Flat key space of a sidecar (telemetry.v1 or legacy flat)."""
+    if not isinstance(doc, dict) or doc.get("schema") != "pdd.telemetry.v1":
+        return doc
+    flat = {}
+    for section in ("counters", "gauges"):
+        flat.update(doc.get(section, {}))
+    for key, value in doc.get("info", {}).items():
+        if value == "true":
+            flat[key] = True
+        elif value == "false":
+            flat[key] = False
+        else:
+            flat[key] = value
+    for name, hist in doc.get("histograms", {}).items():
+        for stat in ("count", "sum", "min", "max", "p50", "p95", "p99"):
+            if stat in hist:
+                flat[f"{name}.{stat}"] = hist[stat]
+    return flat
 
 
 def load(path):
@@ -114,8 +143,8 @@ def main():
             print(f"bench_compare: no baseline for {run_file.name} "
                   f"(run with --update to create one); skipping")
             continue
-        current = load(run_file)
-        baseline = load(baseline_file)
+        current = flatten(load(run_file))
+        baseline = flatten(load(baseline_file))
         for key, base_value in sorted(baseline.items()):
             metric_class = classify(key, base_value)
             if metric_class is None or key not in current:

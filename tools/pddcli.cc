@@ -80,6 +80,13 @@
 //                                  through the materializing adapter,
 //                                  batches pulled, and the live-candidate
 //                                  high-water mark of the drain
+//   --metrics FILE                 write the run's telemetry sidecar
+//                                  (schema pdd.telemetry.v1: counters,
+//                                  gauges, histograms, info, span tree)
+//                                  to FILE after the run; stdout stays
+//                                  byte-identical
+//   --metrics-format json|prom     sidecar format (default json;
+//                                  prom = Prometheus text exposition)
 //   --csv                          emit per-pair CSV instead of the report
 //   --gold FILE                    gold pairs ("id1,id2" lines) — the
 //                                  report gains verification metrics
@@ -103,6 +110,8 @@
 #include "core/explain.h"
 #include "core/paper_examples.h"
 #include "core/report_writer.h"
+#include "obs/export.h"
+#include "obs/run_telemetry.h"
 #include "pdb/statistics.h"
 #include "pdb/text_format.h"
 #include "plan/plan_spec.h"
@@ -169,6 +178,8 @@ int RunDetect(const XRelation& rel, int argc, char** argv, int first_arg) {
   size_t cache_capacity = 0;  // 0 = not set; default applied below
   size_t shard_override = 0;  // 0 = not set; plan's sharding applies
   std::string cache_file;
+  std::string metrics_file;
+  std::string metrics_format = "json";
   PlanSpec overrides;
   std::optional<GoldStandard> gold;
   for (int i = first_arg; i < argc; ++i) {
@@ -265,6 +276,16 @@ int RunDetect(const XRelation& rel, int argc, char** argv, int first_arg) {
       cache_stats = true;
     } else if (arg == "--stream-candidates") {
       stream_candidates = true;
+    } else if (arg == "--metrics") {
+      const char* v = next();
+      if (v == nullptr) return Fail("--metrics needs a file");
+      metrics_file = v;
+    } else if (arg == "--metrics-format") {
+      const char* v = next();
+      if (v == nullptr || (std::string(v) != "json" && std::string(v) != "prom")) {
+        return Fail("--metrics-format needs json or prom");
+      }
+      metrics_format = v;
     } else if (arg == "--prepare") {
       Standardizer standard;
       standard.LowerCase().TrimWhitespace().CollapseWhitespace();
@@ -333,31 +354,31 @@ int RunDetect(const XRelation& rel, int argc, char** argv, int first_arg) {
     Status saved = cache->AppendSnapshot(cache_file);
     if (!saved.ok()) return Fail(saved.ToString());
   }
-  if (cache_stats) {
-    // Stderr, so the stdout report stays byte-identical across warm
-    // and cold runs (and stays pipeable).
-    std::cerr << ExecutionStatsReport(*result) << "- cache lifetime: "
-              << cache->Stats().ToString() << "\n";
-  }
-  if (stream_candidates) {
-    // Stderr for the same reason: the streamed and materialized paths
-    // must keep stdout byte-identical.
+  if (cache_stats || stream_candidates || !metrics_file.empty()) {
+    // One telemetry, one exporter code path for every diagnostic: the
+    // stderr blocks and the sidecar are all renderings of this
+    // registry. Stderr only (stdout stays byte-identical across warm/
+    // cold, streamed/materialized and sharded/unsharded runs).
+    RunTelemetry telemetry = result->telemetry != nullptr
+                                 ? *result->telemetry
+                                 : TelemetryFromResult(*result);
+    if (cache != nullptr) {
+      AddCacheLifetimeStats(cache->Stats(), &telemetry.metrics);
+    }
     std::unique_ptr<PairGenerator> generator =
         detector->plan().MakePairGenerator();
-    std::cerr << "candidate stream: reduction " << generator->name()
-              << (generator->native_streaming()
-                      ? " (native streaming)"
-                      : " (materializing adapter)")
-              << ", " << result->candidate_count << " candidates in "
-              << result->stream_stats.batches
-              << " batches, live high-water "
-              << result->stream_stats.live_candidate_high_water
-              << " candidates\n";
-    for (size_t i = 0; i < result->stream_stats.per_shard.size(); ++i) {
-      const StreamRunStats& shard = result->stream_stats.per_shard[i];
-      std::cerr << "  shard " << i << ": " << shard.batches
-                << " batches, live high-water "
-                << shard.live_candidate_high_water << " candidates\n";
+    telemetry.metrics.SetInfo("exec.reduction", generator->name());
+    telemetry.metrics.SetInfo(
+        "exec.streaming",
+        generator->native_streaming() ? "native" : "adapter");
+    if (cache_stats) std::cerr << RenderExecutionStats(telemetry);
+    if (stream_candidates) std::cerr << RenderStreamDiagnostics(telemetry);
+    if (!metrics_file.empty()) {
+      std::ofstream out(metrics_file);
+      if (!out) return Fail("cannot write '" + metrics_file + "'");
+      out << (metrics_format == "prom" ? TelemetryToPrometheus(telemetry)
+                                       : TelemetryToJson(telemetry));
+      if (!out.good()) return Fail("error writing '" + metrics_file + "'");
     }
   }
   const GoldStandard* gold_ptr = gold.has_value() ? &*gold : nullptr;
