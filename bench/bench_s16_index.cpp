@@ -1,0 +1,243 @@
+// S16: the decision-index serving layer — one pipeline run compiled
+// into a pdd.index.v1 image (src/index/), then queried. Gates:
+//
+//   1. byte-identical answers: every point query returns exactly the
+//      report's bits (class + similarity), and the image compiled from
+//      a pooled rerun is byte-identical to the serial one;
+//   2. point queries >= 1M/s single-threaded (the microsecond-query
+//      promise, with a 1M/s floor that holds on cold CI runners);
+//   3. serving beats rerunning: answering every decided pair from the
+//      index is >= 100x faster than the pipeline run that produced it;
+//   4. compiling the index costs less than the run it compiles, and the
+//      image stays compact (<= 24 bytes/pair amortized).
+//
+// The sidecar records the rates for bench_compare.py's throughput gate
+// (keys ending _per_sec / containing speedup) and the answer/image
+// equality invariants (keys containing identical).
+
+#include <chrono>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/detector.h"
+#include "datagen/person_generator.h"
+#include "index/decision_index.h"
+#include "index/index_builder.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace pdd;
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  pdd_bench::Banner(
+      "S16 decision-index serving",
+      "compile one run into an mmap-able index; answer duplicate/cluster "
+      "queries in microseconds without rerunning the pipeline");
+
+  // Heavy uncertainty: most records are multi-alternative x-tuples
+  // with multi-alternative values, so every decided pair pays the
+  // paper's full derivation cost — the realistic workload the serving
+  // layer amortizes.
+  PersonGenOptions options;
+  options.num_entities = 400;
+  options.duplicate_rate = 0.8;
+  options.uncertainty.value_uncertainty_prob = 0.8;
+  options.uncertainty.max_value_alternatives = 5;
+  options.uncertainty.xtuple_alternative_prob = 0.9;
+  options.uncertainty.max_xtuple_alternatives = 5;
+  options.full_names = true;
+  options.seed = 160101;
+  GeneratedData data = GeneratePersons(options);
+  const XRelation& rel = data.relation;
+
+  DetectorConfig config;
+  config.key = {{"name", 3}, {"job", 2}};
+  config.weights = {0.5, 0.3, 0.2};
+  // Quadratic edit-distance comparators (not the default hamming):
+  // the per-pair match cost of a production fuzzy-matching setup.
+  config.comparators = {"damerau", "levenshtein", "levenshtein"};
+  auto detector = DuplicateDetector::Make(config, rel.schema());
+  if (!detector.ok()) {
+    std::cout << detector.status().ToString() << "\n";
+    return pdd_bench::Verdict(false);
+  }
+
+  // --- the pipeline run the index will serve -------------------------
+  const auto run_start = std::chrono::steady_clock::now();
+  auto result = detector->Run(rel);
+  const double pipeline_seconds = Seconds(run_start);
+  if (!result.ok()) {
+    std::cout << result.status().ToString() << "\n";
+    return pdd_bench::Verdict(false);
+  }
+
+  // --- compile -------------------------------------------------------
+  IndexBuildStats stats;
+  auto image = BuildDecisionIndexImage(rel, *result, &stats);
+  if (!image.ok()) {
+    std::cout << image.status().ToString() << "\n";
+    return pdd_bench::Verdict(false);
+  }
+  auto index = DecisionIndex::FromImage(*image);
+  if (!index.ok()) {
+    std::cout << index.status().ToString() << "\n";
+    return pdd_bench::Verdict(false);
+  }
+
+  bool ok = true;
+  // Gate 1a: every indexed answer is the report's answer, bit for bit.
+  bool answers_identical = result->decisions.size() == index->pair_count();
+  std::vector<std::pair<uint32_t, uint32_t>> queries;
+  queries.reserve(result->decisions.size());
+  for (const PairDecisionRecord& rec : result->decisions) {
+    const uint32_t a = static_cast<uint32_t>(rec.index1);
+    const uint32_t b = static_cast<uint32_t>(rec.index2);
+    queries.emplace_back(a, b);
+    std::optional<IndexedDecision> answer = index->Lookup(a, b);
+    if (!answer.has_value() || answer->match_class != rec.match_class ||
+        answer->similarity != rec.similarity) {
+      answers_identical = false;
+    }
+  }
+  if (!answers_identical) {
+    std::cout << "indexed answers diverge from the fresh report\n";
+    ok = false;
+  }
+  // Gate 1b: a pooled rerun compiles to the same bytes.
+  auto pooled_config = config;
+  pooled_config.workers = 4;
+  auto pooled = DuplicateDetector::Make(pooled_config, rel.schema());
+  bool images_identical = false;
+  if (pooled.ok()) {
+    auto rerun = pooled->Run(rel);
+    if (rerun.ok()) {
+      auto rerun_image = BuildDecisionIndexImage(rel, *rerun);
+      images_identical = rerun_image.ok() && *rerun_image == *image;
+    }
+  }
+  if (!images_identical) {
+    std::cout << "pooled rerun compiled to different index bytes\n";
+    ok = false;
+  }
+
+  // --- point queries -------------------------------------------------
+  // The decided pairs, in index order, repeated to >= 2M lookups.
+  const size_t kPointTarget = 2'000'000;
+  uint64_t checksum = 0;
+  size_t point_queries = 0;
+  const auto point_start = std::chrono::steady_clock::now();
+  while (point_queries < kPointTarget) {
+    for (const auto& [a, b] : queries) {
+      std::optional<IndexedDecision> hit = index->Lookup(a, b);
+      checksum +=
+          hit.has_value() ? static_cast<uint64_t>(hit->match_class) + 1 : 0;
+    }
+    point_queries += queries.size();
+  }
+  const double point_seconds = Seconds(point_start);
+  const double point_per_sec =
+      point_seconds > 0.0 ? static_cast<double>(point_queries) / point_seconds
+                          : 0.0;
+
+  // --- membership queries --------------------------------------------
+  const size_t kMembershipTarget = 2'000'000;
+  size_t membership_queries = 0;
+  const uint32_t n = static_cast<uint32_t>(index->record_count());
+  const auto member_start = std::chrono::steady_clock::now();
+  while (membership_queries < kMembershipTarget) {
+    for (uint32_t r = 0; r < n; ++r) {
+      const uint32_t cluster = *index->ClusterOf(r);
+      RecordSpan members = index->Members(cluster);
+      checksum += members.size + members[0];
+    }
+    membership_queries += n;
+  }
+  const double membership_seconds = Seconds(member_start);
+  const double membership_per_sec =
+      membership_seconds > 0.0
+          ? static_cast<double>(membership_queries) / membership_seconds
+          : 0.0;
+
+  // Serving every decided pair once from the index vs the run that
+  // decided them (same answers, so the ratio is apples to apples).
+  const double serve_all_seconds =
+      point_per_sec > 0.0
+          ? static_cast<double>(queries.size()) / point_per_sec
+          : 0.0;
+  const double speedup = serve_all_seconds > 0.0
+                             ? pipeline_seconds / serve_all_seconds
+                             : 0.0;
+
+  // --- gates ----------------------------------------------------------
+  if (point_per_sec < 1e6) {
+    std::cout << "point queries " << pdd_bench::Fmt(point_per_sec / 1e6, 2)
+              << " M/s below the 1M/s floor\n";
+    ok = false;
+  }
+  if (speedup < 100.0) {
+    std::cout << "serving speedup " << pdd_bench::Fmt(speedup, 1)
+              << "x below the 100x floor\n";
+    ok = false;
+  }
+  if (stats.build_seconds >= pipeline_seconds) {
+    std::cout << "index build (" << pdd_bench::Fmt(stats.build_seconds, 4)
+              << " s) not cheaper than the pipeline run ("
+              << pdd_bench::Fmt(pipeline_seconds, 4) << " s)\n";
+    ok = false;
+  }
+  if (stats.BytesPerPair() > 24.0) {
+    std::cout << "index size " << pdd_bench::Fmt(stats.BytesPerPair(), 2)
+              << " bytes/pair above the 24 bytes/pair ceiling\n";
+    ok = false;
+  }
+
+  pdd::TablePrinter table({"metric", "value"});
+  table.AddRow({"records", std::to_string(stats.record_count)});
+  table.AddRow({"decided pairs", std::to_string(stats.pair_count)});
+  table.AddRow({"clusters", std::to_string(stats.cluster_count)});
+  table.AddRow({"index bytes", std::to_string(stats.bytes)});
+  table.AddRow({"bytes/pair", pdd_bench::Fmt(stats.BytesPerPair(), 2)});
+  table.AddRow({"pipeline run", pdd_bench::Fmt(pipeline_seconds, 4) + " s"});
+  table.AddRow({"index build", pdd_bench::Fmt(stats.build_seconds, 4) + " s"});
+  table.AddRow(
+      {"point queries", pdd_bench::Fmt(point_per_sec / 1e6, 2) + " M/s"});
+  table.AddRow({"membership queries",
+                pdd_bench::Fmt(membership_per_sec / 1e6, 2) + " M/s"});
+  table.AddRow({"speedup vs rerun", pdd_bench::Fmt(speedup, 1) + "x"});
+  table.AddRow({"answers identical", answers_identical ? "yes" : "NO"});
+  table.AddRow({"images identical", images_identical ? "yes" : "NO"});
+  std::cout << table.ToString() << "\n";
+  std::cout << "speedup = pipeline seconds / (decided pairs / point query "
+               "rate): the cost of answering every decided pair from the "
+               "index vs rerunning the pipeline that decided them. "
+               "(checksum " << checksum << ")\n";
+
+  pdd_bench::BenchJsonWriter json("s16");
+  json.Set("bench", "s16_index");
+  json.Set("records", static_cast<double>(stats.record_count));
+  json.Set("pairs", static_cast<double>(stats.pair_count));
+  json.Set("clusters", static_cast<double>(stats.cluster_count));
+  json.Set("index_bytes", static_cast<double>(stats.bytes));
+  json.Set("bytes_per_pair", stats.BytesPerPair());
+  json.Set("pipeline_seconds", pipeline_seconds);
+  json.Set("build_seconds", stats.build_seconds);
+  json.Set("point_queries_per_sec", point_per_sec);
+  json.Set("membership_queries_per_sec", membership_per_sec);
+  json.Set("serving_speedup", speedup);
+  json.Set("answers_identical", answers_identical);
+  json.Set("images_identical", images_identical);
+  json.Write();
+  return pdd_bench::Verdict(ok);
+}

@@ -21,11 +21,15 @@ bool StartsWith(std::string_view text, std::string_view prefix) {
 
 /// The deterministic core: stages between candidate generation and the
 /// report, where any hidden entropy breaks the serial ≡ pooled ≡
-/// cached ≡ streamed ≡ sharded byte-identity gates.
+/// cached ≡ streamed ≡ sharded byte-identity gates. src/index/ is in:
+/// a decision-index image must be a pure function of (record ids,
+/// report content) or byte-identical serving breaks.
 bool InDeterministicCore(std::string_view path) {
   return StartsWith(path, "src/pipeline/") ||
          StartsWith(path, "src/decision/") ||
-         StartsWith(path, "src/cache/") || StartsWith(path, "src/columnar/");
+         StartsWith(path, "src/cache/") ||
+         StartsWith(path, "src/columnar/") ||
+         StartsWith(path, "src/index/");
 }
 
 bool InLibraryOrTools(std::string_view path) {

@@ -1,0 +1,123 @@
+#include "index/format.h"
+
+#include <cstring>
+
+namespace pdd {
+
+namespace {
+
+void PutU32(std::string* out, uint32_t value) {
+  char buf[4];
+  std::memcpy(buf, &value, sizeof(value));
+  out->append(buf, sizeof(buf));
+}
+
+void PutU64(std::string* out, uint64_t value) {
+  char buf[8];
+  std::memcpy(buf, &value, sizeof(value));
+  out->append(buf, sizeof(buf));
+}
+
+uint32_t GetU32(const unsigned char* at) {
+  uint32_t value = 0;
+  std::memcpy(&value, at, sizeof(value));
+  return value;
+}
+
+uint64_t GetU64(const unsigned char* at) {
+  uint64_t value = 0;
+  std::memcpy(&value, at, sizeof(value));
+  return value;
+}
+
+}  // namespace
+
+std::string EncodeIndexHeader(const IndexHeader& header) {
+  std::string out;
+  out.reserve(kIndexHeaderBytes);
+  out.append(kIndexMagic, sizeof(kIndexMagic));
+  PutU32(&out, header.version);
+  PutU32(&out, kIndexEndianTag);
+  PutU64(&out, header.plan_fingerprint);
+  PutU64(&out, header.source_digest);
+  PutU64(&out, header.record_count);
+  PutU64(&out, header.pair_count);
+  PutU64(&out, header.cluster_count);
+  PutU64(&out, header.payload_bytes);
+  PutU64(&out, header.payload_digest);
+  for (uint64_t offset : header.section_offsets) PutU64(&out, offset);
+  return out;
+}
+
+Result<IndexHeader> DecodeIndexHeader(const void* data, size_t size) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  if (size < kIndexHeaderBytes) {
+    return Status::ParseError(
+        "decision index: file smaller than the header (" +
+        std::to_string(size) + " bytes) — truncated or not an index");
+  }
+  if (std::memcmp(bytes, kIndexMagic, sizeof(kIndexMagic)) != 0) {
+    return Status::ParseError(
+        "decision index: bad magic — not a pdd.index file");
+  }
+  IndexHeader header;
+  size_t at = sizeof(kIndexMagic);
+  header.version = GetU32(bytes + at);
+  at += 4;
+  uint32_t endian = GetU32(bytes + at);
+  at += 4;
+  if (header.version != kIndexVersion) {
+    return Status::ParseError("decision index: unknown format version " +
+                              std::to_string(header.version) +
+                              " (this reader knows version " +
+                              std::to_string(kIndexVersion) + ")");
+  }
+  if (endian != kIndexEndianTag) {
+    return Status::ParseError(
+        "decision index: endianness mismatch — the index was written on "
+        "a machine with different byte order");
+  }
+  header.plan_fingerprint = GetU64(bytes + at);
+  at += 8;
+  header.source_digest = GetU64(bytes + at);
+  at += 8;
+  header.record_count = GetU64(bytes + at);
+  at += 8;
+  header.pair_count = GetU64(bytes + at);
+  at += 8;
+  header.cluster_count = GetU64(bytes + at);
+  at += 8;
+  header.payload_bytes = GetU64(bytes + at);
+  at += 8;
+  header.payload_digest = GetU64(bytes + at);
+  at += 8;
+  for (size_t i = 0; i < kIndexSectionCount; ++i) {
+    header.section_offsets[i] = GetU64(bytes + at);
+    at += 8;
+  }
+  if (size != kIndexHeaderBytes + header.payload_bytes) {
+    return Status::ParseError(
+        "decision index: size mismatch — header declares " +
+        std::to_string(kIndexHeaderBytes + header.payload_bytes) +
+        " bytes, file has " + std::to_string(size) +
+        " (truncated or trailing garbage)");
+  }
+  uint64_t previous = 0;
+  for (size_t i = 0; i < kIndexSectionCount; ++i) {
+    uint64_t offset = header.section_offsets[i];
+    if (offset % 8 != 0) {
+      return Status::ParseError("decision index: section " +
+                                std::to_string(i) + " offset " +
+                                std::to_string(offset) + " is unaligned");
+    }
+    if (offset < previous || offset > header.payload_bytes) {
+      return Status::ParseError("decision index: section " +
+                                std::to_string(i) +
+                                " offset out of order or past the payload");
+    }
+    previous = offset;
+  }
+  return header;
+}
+
+}  // namespace pdd

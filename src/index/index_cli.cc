@@ -1,0 +1,496 @@
+#include "index/index_cli.h"
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <utility>
+
+#include "core/detector.h"
+#include "core/entity_clusters.h"
+#include "index/decision_index.h"
+#include "index/index_builder.h"
+#include "obs/export.h"
+#include "obs/run_telemetry.h"
+#include "pdb/text_format.h"
+#include "pipeline/detection_plan.h"
+#include "plan/plan_spec.h"
+#include "plan/translate.h"
+#include "util/string_util.h"
+
+namespace pdd {
+
+namespace {
+
+int Fail(const std::string& message) {
+  std::cerr << "pddquery: " << message << "\n";
+  return 1;
+}
+
+Result<std::string> ReadWholeFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+Result<XRelation> LoadRelation(const std::string& path) {
+  PDD_ASSIGN_OR_RETURN(std::string text, ReadWholeFile(path));
+  return ParseXRelation(text);
+}
+
+/// Plan/executor flags shared by `build` and `verify`: the subset of
+/// `pddcli detect` that affects which plan runs (--plan/--set) plus
+/// the placement knobs that never change the report (--workers,
+/// --batch, --shards, --kernel) and the telemetry sidecar flags.
+struct PlanArgs {
+  DetectorConfig config;
+  size_t shard_override = 0;
+  std::string metrics_file;
+  std::string metrics_format = "json";
+  /// Positional (non-flag) operands, in order.
+  std::vector<std::string> positional;
+};
+
+Result<PlanArgs> ParsePlanArgs(const std::vector<std::string>& args) {
+  PlanArgs out;
+  // Every flag of this surface takes exactly one value, so the
+  // positional scan skips `--flag value` as a unit.
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (!args[i].empty() && args[i][0] == '-') {
+      ++i;
+    } else {
+      out.positional.push_back(args[i]);
+    }
+  }
+  if (out.positional.empty()) {
+    return Status::InvalidArgument("missing relation file operand");
+  }
+  PDD_ASSIGN_OR_RETURN(XRelation rel, LoadRelation(out.positional[0]));
+  // Default key mirrors `pddcli detect`: first two attributes,
+  // prefixes 3 and 2, uniform weights.
+  out.config.key.clear();
+  out.config.key.emplace_back(rel.schema().attribute(0).name, 3);
+  if (rel.schema().arity() > 1) {
+    out.config.key.emplace_back(rel.schema().attribute(1).name, 2);
+  }
+  out.config.weights.assign(
+      rel.schema().arity(), 1.0 / static_cast<double>(rel.schema().arity()));
+  // --plan applies before any other flag, wherever it appears.
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--plan") {
+      if (i + 1 >= args.size()) {
+        return Status::InvalidArgument("--plan needs a file");
+      }
+      PDD_ASSIGN_OR_RETURN(std::string text, ReadWholeFile(args[i + 1]));
+      PDD_ASSIGN_OR_RETURN(PlanSpec spec, PlanSpec::Parse(text));
+      PDD_ASSIGN_OR_RETURN(
+          out.config, DetectorConfig::FromSpec(spec, std::move(out.config)));
+    }
+  }
+  PlanSpec overrides;
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto next = [&]() -> const std::string* {
+      return i + 1 < args.size() ? &args[++i] : nullptr;
+    };
+    if (arg[0] != '-') continue;
+    if (arg == "--plan") {
+      ++i;  // applied above
+    } else if (arg == "--set") {
+      const std::string* v = next();
+      if (v == nullptr) return Status::InvalidArgument("--set needs key=value");
+      PDD_RETURN_IF_ERROR(overrides.SetAssignment(*v));
+    } else if (arg == "--workers") {
+      const std::string* v = next();
+      double n = 0.0;
+      if (v == nullptr || !ParseDouble(*v, &n) || n < 0) {
+        return Status::InvalidArgument("--workers needs a non-negative number");
+      }
+      out.config.workers = static_cast<size_t>(n);
+    } else if (arg == "--batch") {
+      const std::string* v = next();
+      double n = 0.0;
+      if (v == nullptr || !ParseDouble(*v, &n) || n < 1) {
+        return Status::InvalidArgument("--batch needs a positive number");
+      }
+      out.config.batch_size = static_cast<size_t>(n);
+    } else if (arg == "--shards") {
+      const std::string* v = next();
+      double n = 0.0;
+      if (v == nullptr || !ParseDouble(*v, &n) || n < 1) {
+        return Status::InvalidArgument("--shards needs a positive number");
+      }
+      out.shard_override = static_cast<size_t>(n);
+    } else if (arg == "--kernel") {
+      const std::string* v = next();
+      if (v == nullptr) {
+        return Status::InvalidArgument("--kernel needs auto, scalar or columnar");
+      }
+      PDD_ASSIGN_OR_RETURN(out.config.match_kernel, MatchKernelFromName(*v));
+    } else if (arg == "--metrics") {
+      const std::string* v = next();
+      if (v == nullptr) return Status::InvalidArgument("--metrics needs a file");
+      out.metrics_file = *v;
+    } else if (arg == "--metrics-format") {
+      const std::string* v = next();
+      if (v == nullptr || (*v != "json" && *v != "prom")) {
+        return Status::InvalidArgument("--metrics-format needs json or prom");
+      }
+      out.metrics_format = *v;
+    } else {
+      return Status::InvalidArgument("unknown option '" + arg + "'");
+    }
+  }
+  if (!overrides.params().empty()) {
+    PDD_ASSIGN_OR_RETURN(
+        out.config, DetectorConfig::FromSpec(overrides, std::move(out.config)));
+  }
+  return out;
+}
+
+Result<DetectionResult> RunPipeline(const PlanArgs& plan,
+                                    const XRelation& rel) {
+  PDD_ASSIGN_OR_RETURN(DuplicateDetector detector,
+                       DuplicateDetector::Make(plan.config, rel.schema()));
+  if (plan.shard_override > 0) {
+    detector.set_shard_options({plan.shard_override, ShardStrategy::kAuto});
+  }
+  return detector.Run(rel);
+}
+
+int WriteMetricsSidecar(const RunTelemetry& telemetry,
+                        const std::string& path, const std::string& format) {
+  std::ofstream out(path);
+  if (!out) return Fail("cannot write '" + path + "'");
+  out << (format == "prom" ? TelemetryToPrometheus(telemetry)
+                           : TelemetryToJson(telemetry));
+  if (!out.good()) return Fail("error writing '" + path + "'");
+  return 0;
+}
+
+/// The report's --csv row format, so indexed answers diff cleanly
+/// against a fresh run's CSV (report_writer.cc's field formatting).
+std::string DecisionCsvRow(std::string_view id1, std::string_view id2,
+                           const IndexedDecision& decision) {
+  return std::string(id1) + "," + std::string(id2) + "," +
+         FormatDouble(decision.similarity, 6) + "," +
+         MatchClassName(decision.match_class);
+}
+
+Result<DecisionIndex> OpenIndex(const std::string& path) {
+  return DecisionIndex::Open(path);
+}
+
+int CmdPair(const DecisionIndex& index, const std::string& id1,
+            const std::string& id2) {
+  std::optional<uint32_t> a = index.FindRecord(id1);
+  if (!a.has_value()) return Fail("unknown record id '" + id1 + "'");
+  std::optional<uint32_t> b = index.FindRecord(id2);
+  if (!b.has_value()) return Fail("unknown record id '" + id2 + "'");
+  std::optional<IndexedDecision> decision = index.Lookup(*a, *b);
+  if (!decision.has_value()) {
+    // Not an error: "the run never examined this pair" is an answer.
+    std::cout << id1 << "," << id2 << ",,none\n";
+    return 0;
+  }
+  std::cout << DecisionCsvRow(id1, id2, *decision) << "\n";
+  return 0;
+}
+
+int CmdCluster(const DecisionIndex& index, const std::string& id) {
+  std::optional<uint32_t> r = index.FindRecord(id);
+  if (!r.has_value()) return Fail("unknown record id '" + id + "'");
+  uint32_t cluster = *index.ClusterOf(*r);
+  RecordSpan members = index.Members(cluster);
+  std::cout << "record '" << id << "' (index " << *r << "): cluster "
+            << cluster << " (" << members.size << " members):";
+  for (uint32_t member : members) {
+    std::cout << " " << index.RecordId(member);
+  }
+  std::cout << "\n";
+  return 0;
+}
+
+int CmdMembers(const DecisionIndex& index, const std::string& cluster_arg) {
+  double parsed = 0.0;
+  if (!ParseDouble(cluster_arg, &parsed) || parsed < 0 ||
+      static_cast<uint64_t>(parsed) >= index.cluster_count()) {
+    return Fail("cluster id '" + cluster_arg + "' out of range (index has " +
+                std::to_string(index.cluster_count()) + " clusters)");
+  }
+  uint32_t cluster = static_cast<uint32_t>(parsed);
+  RecordSpan members = index.Members(cluster);
+  std::cout << "cluster " << cluster << " (" << members.size << " members):";
+  for (uint32_t member : members) {
+    std::cout << " " << index.RecordId(member);
+  }
+  std::cout << "\n";
+  return 0;
+}
+
+int CmdInspect(const DecisionIndex& index, const std::string& path) {
+  std::cout << "pdd.index.v1: " << path << "\n"
+            << "  records:          " << index.record_count() << "\n"
+            << "  pairs:            " << index.pair_count() << "\n"
+            << "  clusters:         " << index.cluster_count() << "\n"
+            << "  bytes:            " << index.bytes();
+  if (index.pair_count() > 0) {
+    std::cout << " ("
+              << FormatDouble(static_cast<double>(index.bytes()) /
+                                  static_cast<double>(index.pair_count()),
+                              2)
+              << " bytes/pair)";
+  }
+  std::cout << "\n"
+            << "  plan fingerprint: "
+            << FingerprintHex(index.plan_fingerprint()) << "\n"
+            << "  source digest:    " << FingerprintHex(index.source_digest())
+            << "\n"
+            << "  mapping:          " << (index.is_mmap() ? "mmap" : "heap")
+            << "\n";
+  return 0;
+}
+
+int CmdVerify(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    return Fail("verify needs <index> <relation.pxr> [plan flags]");
+  }
+  const std::string index_path = args[0];
+  Result<DecisionIndex> index = OpenIndex(index_path);
+  if (!index.ok()) return Fail(index.status().ToString());
+  Result<PlanArgs> plan =
+      ParsePlanArgs({args.begin() + 1, args.end()});
+  if (!plan.ok()) return Fail(plan.status().ToString());
+  Result<XRelation> rel = LoadRelation(plan->positional[0]);
+  if (!rel.ok()) return Fail(rel.status().ToString());
+  // Fast structural staleness check before paying for a pipeline run:
+  // the plan fingerprint alone rejects an index built under another
+  // plan.
+  Result<DuplicateDetector> detector =
+      DuplicateDetector::Make(plan->config, rel->schema());
+  if (!detector.ok()) return Fail(detector.status().ToString());
+  Status fresh_plan =
+      index->VerifyPlanFingerprint(detector->plan().fingerprint());
+  if (!fresh_plan.ok()) return Fail(fresh_plan.ToString());
+  Result<DetectionResult> result = RunPipeline(*plan, *rel);
+  if (!result.ok()) return Fail(result.status().ToString());
+  Status fresh_source = index->VerifySourceDigest(result->ContentDigest());
+  if (!fresh_source.ok()) return Fail(fresh_source.ToString());
+  // Digest equality already implies identical decisions; the explicit
+  // sweep turns "should be" into "checked, answer by answer".
+  for (const PairDecisionRecord& rec : result->decisions) {
+    std::optional<IndexedDecision> decision =
+        index->Lookup(static_cast<uint32_t>(rec.index1),
+                      static_cast<uint32_t>(rec.index2));
+    if (!decision.has_value() ||
+        decision->match_class != rec.match_class ||
+        DecisionCsvRow(rec.id1, rec.id2, *decision) !=
+            DecisionCsvRow(rec.id1, rec.id2,
+                           {rec.match_class, rec.similarity})) {
+      return Fail("indexed answer diverges for pair (" + rec.id1 + ", " +
+                  rec.id2 + ")");
+    }
+  }
+  std::vector<std::vector<size_t>> clusters =
+      ClusterEntities(rel->size(), *result);
+  if (clusters.size() != index->cluster_count()) {
+    return Fail("cluster count diverges from the fresh run");
+  }
+  for (size_t c = 0; c < clusters.size(); ++c) {
+    RecordSpan members = index->Members(static_cast<uint32_t>(c));
+    if (members.size != clusters[c].size()) {
+      return Fail("cluster " + std::to_string(c) +
+                  " membership diverges from the fresh run");
+    }
+    for (size_t k = 0; k < members.size; ++k) {
+      if (members[k] != clusters[c][k]) {
+        return Fail("cluster " + std::to_string(c) +
+                    " membership diverges from the fresh run");
+      }
+    }
+  }
+  std::cout << "index verify: OK — " << result->decisions.size()
+            << " pair answers and " << index->cluster_count()
+            << " clusters byte-identical to the fresh run (plan "
+            << FingerprintHex(index->plan_fingerprint()) << ")\n";
+  return 0;
+}
+
+int CmdBench(const std::vector<std::string>& args) {
+  if (args.empty()) return Fail("bench needs <index> [--point N] ...");
+  Result<DecisionIndex> opened = OpenIndex(args[0]);
+  if (!opened.ok()) return Fail(opened.status().ToString());
+  const DecisionIndex& index = *opened;
+  size_t point_target = 2'000'000;
+  size_t membership_target = 2'000'000;
+  std::string metrics_file;
+  std::string metrics_format = "json";
+  for (size_t i = 1; i < args.size(); ++i) {
+    auto next = [&]() -> const std::string* {
+      return i + 1 < args.size() ? &args[++i] : nullptr;
+    };
+    double n = 0.0;
+    if (args[i] == "--point") {
+      const std::string* v = next();
+      if (v == nullptr || !ParseDouble(*v, &n) || n < 1) {
+        return Fail("--point needs a positive number");
+      }
+      point_target = static_cast<size_t>(n);
+    } else if (args[i] == "--membership") {
+      const std::string* v = next();
+      if (v == nullptr || !ParseDouble(*v, &n) || n < 1) {
+        return Fail("--membership needs a positive number");
+      }
+      membership_target = static_cast<size_t>(n);
+    } else if (args[i] == "--metrics") {
+      const std::string* v = next();
+      if (v == nullptr) return Fail("--metrics needs a file");
+      metrics_file = *v;
+    } else if (args[i] == "--metrics-format") {
+      const std::string* v = next();
+      if (v == nullptr || (*v != "json" && *v != "prom")) {
+        return Fail("--metrics-format needs json or prom");
+      }
+      metrics_format = *v;
+    } else {
+      return Fail("unknown option '" + args[i] + "'");
+    }
+  }
+  // The query load is every decided pair (in index order) repeated to
+  // the target — deterministic, no RNG, covers every run and width.
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;
+  pairs.reserve(static_cast<size_t>(index.pair_count()));
+  for (uint64_t r = 0; r < index.record_count(); ++r) {
+    const uint32_t record = static_cast<uint32_t>(r);
+    const size_t degree = index.RunLength(record);
+    for (size_t k = 0; k < degree; ++k) {
+      uint32_t neighbor = 0;
+      IndexedDecision decision;
+      index.RunEntry(record, k, &neighbor, &decision);
+      pairs.emplace_back(record, neighbor);
+    }
+  }
+  RunTelemetry telemetry;
+  telemetry.root.name = "index.bench";
+  IndexBuildStats shape;
+  shape.record_count = index.record_count();
+  shape.pair_count = index.pair_count();
+  shape.cluster_count = index.cluster_count();
+  shape.bytes = index.bytes();
+  // Build time is unknown here; the zero gauge stays unrendered.
+  AddIndexBuildMetrics(shape, &telemetry.metrics);
+  uint64_t checksum = 0;
+  if (!pairs.empty()) {
+    size_t done = 0;
+    const auto started = std::chrono::steady_clock::now();
+    while (done < point_target) {
+      for (const auto& [a, b] : pairs) {
+        std::optional<IndexedDecision> decision = index.Lookup(a, b);
+        checksum += decision.has_value()
+                        ? static_cast<uint64_t>(decision->match_class) + 1
+                        : 0;
+        ++done;
+      }
+    }
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started)
+            .count();
+    telemetry.metrics.SetCounter("exec.index.point_queries", done);
+    telemetry.metrics.SetGauge(
+        "time.index.point_queries_per_sec",
+        seconds > 0.0 ? static_cast<double>(done) / seconds : 0.0);
+  }
+  if (index.record_count() > 0) {
+    size_t done = 0;
+    const auto started = std::chrono::steady_clock::now();
+    while (done < membership_target) {
+      for (uint64_t r = 0; r < index.record_count() && done < membership_target;
+           ++r) {
+        const uint32_t record = static_cast<uint32_t>(r);
+        const uint32_t cluster = *index.ClusterOf(record);
+        RecordSpan members = index.Members(cluster);
+        checksum += members.size + members[0];
+        ++done;
+      }
+    }
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started)
+            .count();
+    telemetry.metrics.SetCounter("exec.index.membership_queries", done);
+    telemetry.metrics.SetGauge(
+        "time.index.membership_queries_per_sec",
+        seconds > 0.0 ? static_cast<double>(done) / seconds : 0.0);
+  }
+  std::cout << RenderIndexStats(telemetry);
+  // The checksum keeps the query loops observable (and honest).
+  std::cout << "  checksum: " << checksum << "\n";
+  if (!metrics_file.empty()) {
+    return WriteMetricsSidecar(telemetry, metrics_file, metrics_format);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int RunIndexBuild(const std::vector<std::string>& args) {
+  Result<PlanArgs> plan = ParsePlanArgs(args);
+  if (!plan.ok()) return Fail(plan.status().ToString());
+  if (plan->positional.size() != 2) {
+    return Fail("build needs <relation.pxr> <out.pddindex>");
+  }
+  Result<XRelation> rel = LoadRelation(plan->positional[0]);
+  if (!rel.ok()) return Fail(rel.status().ToString());
+  Result<DetectionResult> result = RunPipeline(*plan, *rel);
+  if (!result.ok()) return Fail(result.status().ToString());
+  IndexBuildStats stats;
+  Result<std::string> image = BuildDecisionIndexImage(*rel, *result, &stats);
+  if (!image.ok()) return Fail(image.status().ToString());
+  Status written = WriteDecisionIndexFile(plan->positional[1], *image);
+  if (!written.ok()) return Fail(written.ToString());
+  RunTelemetry telemetry = result->telemetry != nullptr
+                               ? *result->telemetry
+                               : TelemetryFromResult(*result);
+  AddIndexBuildMetrics(stats, &telemetry.metrics);
+  std::cout << "index: wrote " << plan->positional[1] << " (plan "
+            << FingerprintHex(result->plan_fingerprint) << ", source digest "
+            << FingerprintHex(result->ContentDigest()) << ")\n"
+            << RenderIndexStats(telemetry);
+  if (!plan->metrics_file.empty()) {
+    return WriteMetricsSidecar(telemetry, plan->metrics_file,
+                               plan->metrics_format);
+  }
+  return 0;
+}
+
+int RunIndexQuery(const std::string& mode,
+                  const std::vector<std::string>& args) {
+  if (mode == "verify") return CmdVerify(args);
+  if (mode == "bench") return CmdBench(args);
+  if (args.empty()) return Fail(mode + " needs an index file");
+  Result<DecisionIndex> index = OpenIndex(args[0]);
+  if (!index.ok()) return Fail(index.status().ToString());
+  if (mode == "pair") {
+    if (args.size() != 3) return Fail("pair needs <index> <id1> <id2>");
+    return CmdPair(*index, args[1], args[2]);
+  }
+  if (mode == "cluster") {
+    if (args.size() != 2) return Fail("cluster needs <index> <id>");
+    return CmdCluster(*index, args[1]);
+  }
+  if (mode == "members") {
+    if (args.size() != 2) return Fail("members needs <index> <cluster-id>");
+    return CmdMembers(*index, args[1]);
+  }
+  if (mode == "inspect") {
+    if (args.size() != 1) return Fail("inspect needs <index>");
+    return CmdInspect(*index, args[0]);
+  }
+  return Fail("unknown index query mode '" + mode +
+              "' (pair|cluster|members|inspect|verify|bench)");
+}
+
+}  // namespace pdd

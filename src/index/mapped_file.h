@@ -1,0 +1,49 @@
+// Read-only memory mapping of one file (the serving half of the
+// decision index's build-once/query-many split). POSIX mmap with a
+// read-into-memory fallback so non-mmap platforms still open indexes —
+// queries only ever see a (pointer, size) view either way.
+
+#ifndef PDD_INDEX_MAPPED_FILE_H_
+#define PDD_INDEX_MAPPED_FILE_H_
+
+#include <cstddef>
+#include <string>
+
+#include "util/status.h"
+
+namespace pdd {
+
+/// An immutable byte view of a file, mmap'd when the platform allows.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile() { Reset(); }
+
+  MappedFile(MappedFile&& other) noexcept { *this = std::move(other); }
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Maps `path` read-only. Replaces any previous mapping.
+  Status Open(const std::string& path);
+
+  /// Unmaps / frees the view.
+  void Reset();
+
+  const unsigned char* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool mapped() const { return data_ != nullptr; }
+  /// True when the view is a real mmap (false: heap fallback copy).
+  bool is_mmap() const { return is_mmap_; }
+
+ private:
+  const unsigned char* data_ = nullptr;
+  size_t size_ = 0;
+  bool is_mmap_ = false;
+  /// Backing storage of the non-mmap fallback.
+  std::string fallback_;
+};
+
+}  // namespace pdd
+
+#endif  // PDD_INDEX_MAPPED_FILE_H_

@@ -379,4 +379,33 @@ std::string RenderStreamDiagnostics(const RunTelemetry& telemetry) {
   return out;
 }
 
+std::string RenderIndexStats(const RunTelemetry& telemetry) {
+  const MetricsRegistry& m = telemetry.metrics;
+  std::string out;
+  if (m.counter("exec.index.records") != 0 ||
+      m.counter("exec.index.bytes") != 0) {
+    out += "decision index: " + std::to_string(m.counter("exec.index.records")) +
+           " records, " + std::to_string(m.counter("exec.index.pairs")) +
+           " pairs, " + std::to_string(m.counter("exec.index.clusters")) +
+           " clusters, " + std::to_string(m.counter("exec.index.bytes")) +
+           " bytes (" + FormatDouble(m.gauge("exec.index.bytes_per_pair"), 2) +
+           " bytes/pair)\n";
+  }
+  if (double seconds = m.gauge("time.index.build_seconds"); seconds > 0.0) {
+    out += "  build: " + FormatDouble(seconds, 4) + " s\n";
+  }
+  if (double rate = m.gauge("time.index.point_queries_per_sec"); rate > 0.0) {
+    out += "  point queries: " +
+           std::to_string(m.counter("exec.index.point_queries")) + " at " +
+           FormatDouble(rate / 1e6, 2) + " M/s\n";
+  }
+  if (double rate = m.gauge("time.index.membership_queries_per_sec");
+      rate > 0.0) {
+    out += "  membership queries: " +
+           std::to_string(m.counter("exec.index.membership_queries")) +
+           " at " + FormatDouble(rate / 1e6, 2) + " M/s\n";
+  }
+  return out;
+}
+
 }  // namespace pdd

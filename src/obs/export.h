@@ -62,6 +62,14 @@ std::string RenderExecutionStats(const RunTelemetry& telemetry);
 /// exec.reduction / exec.streaming infos when present.
 std::string RenderStreamDiagnostics(const RunTelemetry& telemetry);
 
+/// The decision-index diagnostics block (`pddquery` / `pddcli
+/// index-build` stderr): records/pairs/clusters/bytes from the
+/// `exec.index.*` counters, bytes/pair, build seconds and — when a
+/// query sweep ran — point/membership query rates from the
+/// `time.index.*` gauges. Renders only what is present, so build-only
+/// and query-only registries both produce a coherent block.
+std::string RenderIndexStats(const RunTelemetry& telemetry);
+
 }  // namespace pdd
 
 #endif  // PDD_OBS_EXPORT_H_

@@ -1,8 +1,33 @@
 #include "pipeline/detection_result.h"
 
+#include <cstring>
+
 namespace pdd {
 
 namespace {
+
+// FNV-1a 64 (the PlanSpec::Fingerprint / pair_digest idiom), with
+// length prefixes between strings so adjacent fields cannot alias and
+// doubles hashed by bit pattern (bit-identical round trips).
+constexpr uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+void HashBytes(uint64_t* hash, const void* data, size_t size) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    *hash ^= bytes[i];
+    *hash *= kFnvPrime;
+  }
+}
+
+void HashU64(uint64_t* hash, uint64_t value) {
+  HashBytes(hash, &value, sizeof(value));
+}
+
+void HashString(uint64_t* hash, const std::string& s) {
+  HashU64(hash, s.size());
+  HashBytes(hash, s.data(), s.size());
+}
 
 // The one shared filtering walk: counts first so callers can reserve,
 // then emits through `emit(record)`.
@@ -15,6 +40,27 @@ void ForEachOfClass(const std::vector<PairDecisionRecord>& decisions,
 }
 
 }  // namespace
+
+uint64_t DetectionResult::ContentDigest() const {
+  uint64_t hash = kFnvOffset;
+  HashU64(&hash, plan_fingerprint);
+  HashU64(&hash, candidate_count);
+  HashU64(&hash, total_pairs);
+  HashU64(&hash, decisions.size());
+  for (const PairDecisionRecord& rec : decisions) {
+    HashString(&hash, rec.id1);
+    HashString(&hash, rec.id2);
+    HashU64(&hash, rec.index1);
+    HashU64(&hash, rec.index2);
+    uint64_t sim_bits = 0;
+    static_assert(sizeof(sim_bits) == sizeof(rec.similarity),
+                  "similarity must be a 64-bit double");
+    std::memcpy(&sim_bits, &rec.similarity, sizeof(sim_bits));
+    HashU64(&hash, sim_bits);
+    HashU64(&hash, static_cast<uint64_t>(rec.match_class));
+  }
+  return hash;
+}
 
 size_t DetectionResult::CountClass(MatchClass match_class) const {
   size_t count = 0;

@@ -147,6 +147,17 @@ struct DetectionResult {
   /// themselves views over this registry when it is present).
   std::shared_ptr<RunTelemetry> telemetry;
 
+  /// FNV-1a 64-bit digest of this result's decision content: the plan
+  /// fingerprint, the pair counts and every decision record (ids,
+  /// indices, similarity bit pattern, class) in candidate order. Two
+  /// runs with byte-identical reports share it; any divergence —
+  /// different plan, different input, different decisions — changes
+  /// it. The decision-index builder stamps it into the index header so
+  /// staleness against a later run is detected structurally (see
+  /// index/format.h); excludes telemetry and the stage/cache/stream
+  /// stats, which legitimately vary across execution shapes.
+  uint64_t ContentDigest() const;
+
   /// Number of decisions classified `match_class`.
   size_t CountClass(MatchClass match_class) const;
 

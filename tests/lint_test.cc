@@ -187,6 +187,10 @@ TEST(NondeterminismRule, ScopedToTheDeterministicCore) {
             0u);
   EXPECT_EQ(CountRule(Lint("src/cache/x.cc", snippet), "nondeterminism"),
             1u);
+  // The serving layer is in the core: an index image must be a pure
+  // function of (record ids, report content).
+  EXPECT_EQ(CountRule(Lint("src/index/x.cc", snippet), "nondeterminism"),
+            1u);
 }
 
 TEST(NondeterminismRule, WordBoundariesAvoidFalsePositives) {

@@ -37,17 +37,26 @@ times are too noisy to gate here.
 
 Usage:
   tools/bench_compare.py [--run-dir DIR] [--baselines DIR]
-                         [--throughput-tolerance F] [--ratio-tolerance F]
-                         [--update]
+                         [--runner NAME] [--throughput-tolerance F]
+                         [--ratio-tolerance F] [--update]
 
 ``--update`` rewrites the baselines from the current run (commit the
 result when a deliberate perf change moves the floor).
+
+``--runner NAME`` (or the ``BENCH_RUNNER`` environment variable)
+selects a per-runner baseline family: baselines are read from
+``bench/baselines/<NAME>/`` first, falling back to the shared root
+files, and ``--update`` writes into the runner's directory. Absolute
+throughput differs by an order of magnitude between a laptop and a CI
+container; per-runner families let each machine gate against its own
+floor instead of the weakest shared one.
 
 Exit status: 0 clean, 1 regression, 2 usage/IO error.
 """
 
 import argparse
 import json
+import os
 import pathlib
 import sys
 
@@ -112,12 +121,24 @@ def main():
                              "hit-rate metrics (default 0.25)")
     parser.add_argument("--update", action="store_true",
                         help="rewrite baselines from the current run")
+    parser.add_argument("--runner", default=os.environ.get("BENCH_RUNNER"),
+                        help="per-runner baseline family: read baselines "
+                             "from <baselines>/<runner>/ first (fall back "
+                             "to the shared root files); --update writes "
+                             "there (default: $BENCH_RUNNER)")
     args = parser.parse_args()
 
     run_dir = pathlib.Path(args.run_dir)
     baseline_dir = (pathlib.Path(args.baselines) if args.baselines else
                     pathlib.Path(__file__).resolve().parent.parent /
                     "bench" / "baselines")
+    runner_dir = baseline_dir / args.runner if args.runner else None
+
+    def baseline_for(name):
+        """The baseline file for a sidecar: runner family first."""
+        if runner_dir is not None and (runner_dir / name).exists():
+            return runner_dir / name
+        return baseline_dir / name
 
     run_files = sorted(run_dir.glob("BENCH_*.json"))
     if not run_files:
@@ -126,9 +147,10 @@ def main():
         return 2
 
     if args.update:
-        baseline_dir.mkdir(parents=True, exist_ok=True)
+        update_dir = runner_dir if runner_dir is not None else baseline_dir
+        update_dir.mkdir(parents=True, exist_ok=True)
         for run_file in run_files:
-            target = baseline_dir / run_file.name
+            target = update_dir / run_file.name
             target.write_text(json.dumps(load(run_file), indent=2) + "\n")
             print(f"bench_compare: baseline updated: {target}")
         return 0
@@ -138,7 +160,7 @@ def main():
     regressions = []
     compared = 0
     for run_file in run_files:
-        baseline_file = baseline_dir / run_file.name
+        baseline_file = baseline_for(run_file.name)
         if not baseline_file.exists():
             print(f"bench_compare: no baseline for {run_file.name} "
                   f"(run with --update to create one); skipping")

@@ -19,6 +19,17 @@
 //                                               for the cache key);
 //                                               also spelled --lint-plan
 //   pddcli demo                                 run on the paper's R34
+//   pddcli index-build <relation.pxr> <out.pddindex> [options]
+//                                               run detection and compile
+//                                               the result into a
+//                                               pdd.index.v1 serving
+//                                               index (same plan/executor
+//                                               options as detect; see
+//                                               README "Decision index")
+//   pddcli index-query <pair|cluster|members|inspect|verify|bench> ...
+//                                               query/inspect/verify an
+//                                               index file (same surface
+//                                               as the pddquery tool)
 //
 // Options for `detect`:
 //   --plan FILE                    load a declarative plan spec
@@ -110,6 +121,7 @@
 #include "core/explain.h"
 #include "core/paper_examples.h"
 #include "core/report_writer.h"
+#include "index/index_cli.h"
 #include "obs/export.h"
 #include "obs/run_telemetry.h"
 #include "pdb/statistics.h"
@@ -466,6 +478,17 @@ int main(int argc, char** argv) {
     }
     if (!print_plan) std::cout << ComputeStatistics(r34).ToString() << "\n";
     return RunDetect(r34, argc, argv, 2);
+  }
+  if (command == "index-build") {
+    return RunIndexBuild(std::vector<std::string>(argv + 2, argv + argc));
+  }
+  if (command == "index-query") {
+    if (argc < 3) {
+      return Fail(
+          "index-query needs <pair|cluster|members|inspect|verify|bench>");
+    }
+    return RunIndexQuery(argv[2],
+                         std::vector<std::string>(argv + 3, argv + argc));
   }
   if (argc < 3) return Fail(command + " needs a relation file");
   Result<XRelation> rel = LoadRelation(argv[2]);
