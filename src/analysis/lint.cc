@@ -23,13 +23,18 @@ bool StartsWith(std::string_view text, std::string_view prefix) {
 /// report, where any hidden entropy breaks the serial ≡ pooled ≡
 /// cached ≡ streamed ≡ sharded byte-identity gates. src/index/ is in:
 /// a decision-index image must be a pure function of (record ids,
-/// report content) or byte-identical serving breaks.
+/// report content) or byte-identical serving breaks. src/ingest/ is
+/// in: the standing drain promises a report byte-identical to the
+/// batch run for any arrival order, so its queue/admission/session
+/// code must stay clock- and entropy-free (arrival stamps are opaque
+/// caller-provided values).
 bool InDeterministicCore(std::string_view path) {
   return StartsWith(path, "src/pipeline/") ||
          StartsWith(path, "src/decision/") ||
          StartsWith(path, "src/cache/") ||
          StartsWith(path, "src/columnar/") ||
-         StartsWith(path, "src/index/");
+         StartsWith(path, "src/index/") ||
+         StartsWith(path, "src/ingest/");
 }
 
 bool InLibraryOrTools(std::string_view path) {

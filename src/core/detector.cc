@@ -1,5 +1,9 @@
 #include "core/detector.h"
 
+#include <algorithm>
+
+#include "ingest/standing_session.h"
+
 namespace pdd {
 
 EffectivenessMetrics Evaluate(const DetectionResult& result,
@@ -89,13 +93,28 @@ Result<DetectionResult> DuplicateDetector::RunOnSources(
 
 Result<DetectionResult> DuplicateDetector::RunIncremental(
     const XRelation& existing, const XRelation& additions) const {
-  ShardOptions shards = shard_options();
-  PDD_ASSIGN_OR_RETURN(
-      std::unique_ptr<CandidateStream> stream,
-      shards.count > 1
-          ? MakeShardedIncrementalStream(*plan_, existing, additions, shards)
-          : MakeIncrementalStream(*plan_, existing, additions));
-  return MakeExecutor().Execute(*stream);
+  // Thin adapter over the standing ingest path: a one-shot session
+  // sized to hold every addition (push-then-close, so the unconsumed
+  // queue must fit them all), finished as the classic incremental
+  // scenario. Admission preserves arrival order and the finish rebuilds
+  // the same incremental stream this method used to build directly, so
+  // the report is byte-identical to the pre-standing implementation —
+  // including the duplicate-id failure the Union step used to raise,
+  // now surfaced by the lossless-admission check.
+  StandingSession::Options options;
+  options.stream.queue_capacity = std::max<size_t>(additions.size(), 1);
+  options.stream.max_admitted = std::max<size_t>(additions.size(), 1);
+  options.batch_size = plan_->config().batch_size;
+  options.workers = plan_->config().workers;
+  options.stage_timings = collect_stage_timings_;
+  options.cache = cache_;
+  PDD_ASSIGN_OR_RETURN(std::unique_ptr<StandingSession> session,
+                       StandingSession::Make(plan_, &existing, options));
+  for (const XTuple& tuple : additions.xtuples()) {
+    session->queue().Push(tuple);
+  }
+  session->queue().Close();
+  return session->FinishIncremental(existing, shard_options());
 }
 
 Result<DetectionResult> DuplicateDetector::RunStream(

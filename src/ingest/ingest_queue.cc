@@ -1,0 +1,101 @@
+#include "ingest/ingest_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace pdd {
+
+IngestQueue::IngestQueue(size_t capacity)
+    : capacity_(std::max<size_t>(capacity, 1)) {}
+
+bool IngestQueue::TryPush(XTuple tuple, uint64_t stamp) {
+  bool admitted = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++arrivals_;
+    if (closed_ || items_.size() >= capacity_) {
+      ++dropped_;
+    } else {
+      items_.push_back({std::move(tuple), stamp});
+      high_water_ = std::max<uint64_t>(high_water_, items_.size());
+      ++admitted_;
+      admitted = true;
+    }
+  }
+  if (admitted) not_empty_.notify_one();
+  return admitted;
+}
+
+bool IngestQueue::Push(XTuple tuple, uint64_t stamp) {
+  bool admitted = false;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++arrivals_;
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) {
+      ++dropped_;
+    } else {
+      items_.push_back({std::move(tuple), stamp});
+      high_water_ = std::max<uint64_t>(high_water_, items_.size());
+      ++admitted_;
+      admitted = true;
+    }
+  }
+  if (admitted) not_empty_.notify_one();
+  return admitted;
+}
+
+size_t IngestQueue::PopBatch(size_t max, std::vector<IngestItem>* out) {
+  out->clear();
+  bool freed = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t count = std::min(max, items_.size());
+    for (size_t i = 0; i < count; ++i) {
+      out->push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    freed = count > 0;
+  }
+  // Wake every producer parked on the full queue: more than one slot
+  // may have opened up.
+  if (freed) not_full_.notify_all();
+  return out->size();
+}
+
+bool IngestQueue::AwaitNonEmpty() {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+  return !items_.empty();
+}
+
+void IngestQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  // Wake everyone: blocked producers fail, the consumer sees the
+  // drained backlog and ends its drain.
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+bool IngestQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+IngestQueueStats IngestQueue::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  IngestQueueStats stats;
+  stats.arrivals = arrivals_;
+  stats.admitted = admitted_;
+  stats.dropped = dropped_;
+  stats.depth = items_.size();
+  stats.high_water = high_water_;
+  stats.capacity = capacity_;
+  return stats;
+}
+
+}  // namespace pdd

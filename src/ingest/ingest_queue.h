@@ -1,0 +1,99 @@
+// IngestQueue: the bounded MPSC handoff between tuple producers and
+// the standing drain (the odin-data-dpdk ring idiom: fixed capacity,
+// explicit backpressure, per-stage rate/drop accounting). Producers
+// either block while the queue is full (Push — backpressure) or are
+// rejected with a counted drop (TryPush — load shedding); the queue
+// NEVER grows beyond its capacity. The consumer side is pull-shaped to
+// match the executor's drain loop: PopBatch takes whatever is ready
+// without blocking, and AwaitNonEmpty is the blocking edge the
+// IngestStream's AwaitMore() stands on.
+//
+// The queue is deterministic-core clean: it reads no clocks and no
+// randomness. The per-item `stamp` is an opaque caller-supplied value
+// (pddserve passes a steady-clock microsecond reading so the decision
+// sink can measure admission-to-decision latency; deterministic
+// callers pass 0).
+
+#ifndef PDD_INGEST_INGEST_QUEUE_H_
+#define PDD_INGEST_INGEST_QUEUE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "pdb/xtuple.h"
+
+namespace pdd {
+
+/// One arrival: the tuple plus the producer's opaque stamp.
+struct IngestItem {
+  XTuple tuple;
+  uint64_t stamp = 0;
+};
+
+/// Point-in-time queue accounting (folded into the exec.ingest.*
+/// metric family by the standing session). arrivals = admitted +
+/// dropped, always.
+struct IngestQueueStats {
+  uint64_t arrivals = 0;
+  uint64_t admitted = 0;
+  uint64_t dropped = 0;
+  uint64_t depth = 0;
+  uint64_t high_water = 0;
+  uint64_t capacity = 0;
+};
+
+class IngestQueue {
+ public:
+  /// `capacity` is clamped to at least 1 (a zero-capacity ring could
+  /// never admit anything).
+  explicit IngestQueue(size_t capacity);
+
+  IngestQueue(const IngestQueue&) = delete;
+  IngestQueue& operator=(const IngestQueue&) = delete;
+
+  /// Non-blocking admission: rejects with a counted drop when the
+  /// queue is full or closed. The load-shedding edge of the
+  /// backpressure policy.
+  bool TryPush(XTuple tuple, uint64_t stamp = 0);
+
+  /// Blocking admission: waits while the queue is full (backpressure
+  /// propagates to the producer). Returns false — with a counted drop
+  /// — only when the queue is (or becomes) closed.
+  bool Push(XTuple tuple, uint64_t stamp = 0);
+
+  /// Pops up to `max` items in FIFO order into `*out` (cleared first);
+  /// never blocks. 0 means idle-or-closed, not necessarily done —
+  /// pair with AwaitNonEmpty.
+  size_t PopBatch(size_t max, std::vector<IngestItem>* out);
+
+  /// Blocks until an item is available (true) or the queue is closed
+  /// AND drained (false — the standing drain's termination signal).
+  bool AwaitNonEmpty();
+
+  /// Ends admission: subsequent pushes fail, producers blocked in Push
+  /// wake with false, and AwaitNonEmpty returns false once the backlog
+  /// is drained. Idempotent.
+  void Close();
+
+  bool closed() const;
+  IngestQueueStats Stats() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<IngestItem> items_;
+  bool closed_ = false;
+  uint64_t arrivals_ = 0;
+  uint64_t admitted_ = 0;
+  uint64_t dropped_ = 0;
+  uint64_t high_water_ = 0;
+};
+
+}  // namespace pdd
+
+#endif  // PDD_INGEST_INGEST_QUEUE_H_

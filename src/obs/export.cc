@@ -353,6 +353,46 @@ std::string RenderExecutionStats(const RunTelemetry& telemetry) {
            std::to_string(shard.batches) + " batches, live high-water " +
            std::to_string(shard.live_candidate_high_water) + " candidates\n";
   }
+  // Standing-ingest runs (pddserve, the RunIncremental adapter with
+  // metrics enabled) carry the exec.ingest.* family; batch runs don't.
+  if (m.counters().count(kMetricIngestArrivals) > 0) {
+    out += "\n## Standing ingest\n\n";
+    out += "- arrivals: " + std::to_string(m.counter(kMetricIngestArrivals)) +
+           " (" + std::to_string(m.counter(kMetricIngestAdmitted)) +
+           " admitted, " + std::to_string(m.counter(kMetricIngestDropped)) +
+           " queue drops, " +
+           std::to_string(m.counter(kMetricIngestDuplicateIds)) +
+           " duplicate ids, " + std::to_string(m.counter(kMetricIngestInvalid)) +
+           " invalid, " +
+           std::to_string(m.counter(kMetricIngestRejectedCapacity)) +
+           " beyond capacity)\n";
+    out += "- queue: capacity " +
+           std::to_string(m.counter(kMetricIngestQueueCapacity)) +
+           ", high-water " +
+           std::to_string(static_cast<uint64_t>(
+               m.gauge(kGaugeIngestQueueHighWater))) +
+           ", final depth " +
+           std::to_string(static_cast<uint64_t>(
+               m.gauge(kGaugeIngestQueueDepth))) + "\n";
+    if (m.counter(kMetricIngestCacheSnapshots) > 0 ||
+        m.counter(kMetricIngestIndexBuilds) > 0) {
+      out += "- maintenance: " +
+             std::to_string(m.counter(kMetricIngestCacheSnapshots)) +
+             " cache snapshots, " +
+             std::to_string(m.counter(kMetricIngestIndexBuilds)) +
+             " index builds\n";
+    }
+    if (const LogHistogram* lat =
+            m.histogram(kMetricIngestAdmitToDecideMicros);
+        lat != nullptr && lat->count() > 0) {
+      out += "- admit-to-decide latency (us): p50 " +
+             std::to_string(lat->Quantile(0.50)) + ", p95 " +
+             std::to_string(lat->Quantile(0.95)) + ", p99 " +
+             std::to_string(lat->Quantile(0.99)) + ", max " +
+             std::to_string(lat->max()) + " over " +
+             std::to_string(lat->count()) + " tuples\n";
+    }
+  }
   return out;
 }
 

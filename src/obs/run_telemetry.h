@@ -66,6 +66,32 @@ inline constexpr char kMetricCacheInserts[] = "exec.cache.inserts";
 inline constexpr char kInfoMatchKernel[] = "exec.match_kernel";
 /// "collected" or "disabled" — whether the run accumulated wall times.
 inline constexpr char kInfoTimings[] = "exec.timings";
+// Standing-ingest family (recorded by StandingSession / pddserve; see
+// README "Standing ingest"). Queue shape and drop accounting are
+// execution-shape metrics; the namespace contract keeps the invariant
+//   arrivals == admitted + duplicate_ids + invalid + rejected_capacity
+//               + dropped + queue_depth
+// machine-checkable (tools/telemetry_check.py):
+inline constexpr char kMetricIngestArrivals[] = "exec.ingest.arrivals";
+/// Tuples admitted into the standing relation (past dedup/validation).
+inline constexpr char kMetricIngestAdmitted[] = "exec.ingest.admitted";
+/// Rejected at the full (or closed) queue — the backpressure drops.
+inline constexpr char kMetricIngestDropped[] = "exec.ingest.dropped";
+inline constexpr char kMetricIngestDuplicateIds[] =
+    "exec.ingest.duplicate_ids";
+inline constexpr char kMetricIngestInvalid[] = "exec.ingest.invalid";
+inline constexpr char kMetricIngestRejectedCapacity[] =
+    "exec.ingest.rejected_capacity";
+inline constexpr char kMetricIngestQueueCapacity[] =
+    "exec.ingest.queue_capacity";
+inline constexpr char kGaugeIngestQueueDepth[] = "exec.ingest.queue_depth";
+inline constexpr char kGaugeIngestQueueHighWater[] =
+    "exec.ingest.queue_high_water";
+/// Maintenance cadence counters (pddserve).
+inline constexpr char kMetricIngestCacheSnapshots[] =
+    "exec.ingest.cache_snapshots";
+inline constexpr char kMetricIngestIndexBuilds[] =
+    "exec.ingest.index_builds";
 // Timing namespace — nondeterministic by nature:
 inline constexpr char kGaugeMatchSeconds[] = "time.stage.match_seconds";
 inline constexpr char kGaugeCombineSeconds[] = "time.stage.combine_seconds";
@@ -78,6 +104,11 @@ inline constexpr char kGaugeCacheLookupSeconds[] =
 /// when stage timings are on.
 inline constexpr char kMetricBatchDecideMicros[] =
     "time.batch_decide_micros";
+/// Admission-to-decision latency histogram (microseconds): for each
+/// admitted tuple, producer push → last crossing pair committed
+/// (recorded by pddserve's decision sink).
+inline constexpr char kMetricIngestAdmitToDecideMicros[] =
+    "time.ingest.admit_to_decide_micros";
 
 /// One node of the span tree. `seconds` is 0 when the run had timing
 /// collection off; `counts` carries span-local counters (batches,

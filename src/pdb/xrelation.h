@@ -29,6 +29,12 @@ class XRelation {
   /// Unchecked append for trusted construction (asserts in debug builds).
   void AppendUnchecked(XTuple xtuple);
 
+  /// Pre-allocates storage for `capacity` x-tuples. A standing relation
+  /// (src/ingest) relies on this: appends within the reservation never
+  /// reallocate, so references to already-appended tuples stay valid
+  /// while later tuples arrive.
+  void Reserve(size_t capacity) { xtuples_.reserve(capacity); }
+
   /// Relation name.
   const std::string& name() const { return name_; }
 

@@ -66,6 +66,20 @@ class CandidateStream {
   /// identical candidate sequence (cache-warm re-runs depend on this).
   virtual void Reset() = 0;
 
+  /// Called by the executor when NextBatch returned 0: distinguishes a
+  /// source that is *exhausted* (return false — the drain ends, as for
+  /// every finite batch stream) from one that is *idle but open* (block
+  /// until more candidates can arrive, then return true to resume
+  /// pulling). A push-based stream (src/ingest) blocks here on its
+  /// ingest queue; finite streams keep the default.
+  virtual bool AwaitMore() { return false; }
+
+  /// Upper bound on relation() growth over the drain. Finite streams
+  /// never grow (the default); a standing stream reports its reserved
+  /// maximum so per-tuple executor state (the digest memo) can be sized
+  /// once for tuples that have not arrived yet.
+  virtual size_t tuple_capacity() const { return relation().size(); }
+
   /// Exact candidate count when known without draining (materialized
   /// streams); nullopt for pull-based streams, whose count is only
   /// known once drained. A reservation hint, never control flow.

@@ -142,28 +142,32 @@ void StageExecutor::DecideBatch(const XRelation& rel,
   // size and degrade appends to quadratic copying.
   if (out->empty()) out->reserve(batch.size());
   const bool timed = options_.stage_timings;
-  const bool use_cache = digest_memo != nullptr;
+  // A cache-ineligible plan (custom comparators: decision fingerprint
+  // 0) runs uncached rather than risking cross-instance collisions.
+  const bool use_cache =
+      options_.cache != nullptr && plan_->decision_fingerprint() != 0;
   DecisionCache* cache = options_.cache.get();
   PairDecisionKey key;
   key.plan_fingerprint = plan_->decision_fingerprint();
   for (const CandidatePair& pair : batch) {
     const XTuple& t1 = rel.xtuple(pair.first);
     const XTuple& t2 = rel.xtuple(pair.second);
+    // The clock reads themselves are gated on `timed`: an untimed
+    // warm run's per-pair cost stays digest + lookup, nothing else.
+    Clock::time_point start;
+    if (timed && use_cache) start = Clock::now();
+    // Columnar runs read the arena's precomputed tuple digests (the
+    // PR-3 lazy memo moved to build time); scalar runs keep the memo.
+    const uint64_t d1 =
+        matcher != nullptr
+            ? matcher->arena().tuple_digest(pair.first)
+            : MemoizedDigest(rel, pair.first, &(*digest_memo)[pair.first]);
+    const uint64_t d2 =
+        matcher != nullptr
+            ? matcher->arena().tuple_digest(pair.second)
+            : MemoizedDigest(rel, pair.second, &(*digest_memo)[pair.second]);
     if (use_cache) {
-      // The clock reads themselves are gated on `timed`: an untimed
-      // warm run's per-pair cost stays digest + lookup, nothing else.
-      Clock::time_point start;
-      if (timed) start = Clock::now();
-      // Columnar runs read the arena's precomputed tuple digests (the
-      // PR-3 lazy memo moved to build time); scalar runs keep the memo.
-      key.pair_digest =
-          matcher != nullptr
-              ? CombineTupleDigests(matcher->arena().tuple_digest(pair.first),
-                                    matcher->arena().tuple_digest(pair.second))
-              : CombineTupleDigests(
-                    MemoizedDigest(rel, pair.first, &(*digest_memo)[pair.first]),
-                    MemoizedDigest(rel, pair.second,
-                                   &(*digest_memo)[pair.second]));
+      key.pair_digest = CombineTupleDigests(d1, d2);
       std::optional<CachedPairDecision> cached = cache->Lookup(key);
       if (timed) counters->timings.cache_lookup_seconds += Elapsed(start);
       ++counters->cache.lookups;
@@ -175,11 +179,23 @@ void StageExecutor::DecideBatch(const XRelation& rel,
       }
       ++counters->cache.misses;
     }
+    // Canonical decide orientation. The cache key is an UNORDERED pair
+    // digest, but floating-point similarity is not bit-symmetric in
+    // its operands (summation order differs), so the value stored
+    // under that key must not depend on presentation order: every path
+    // — cached or not, scalar or columnar, batch order or standing
+    // arrival order — decides (smaller digest, larger digest).
+    // Equal digests mean content-identical tuples, where orientation
+    // cannot matter. The record keeps the presentation ids/indices.
+    const bool flip = d2 < d1;
+    const size_t i1 = flip ? pair.second : pair.first;
+    const size_t i2 = flip ? pair.first : pair.second;
+    const XTuple& ta = flip ? t2 : t1;
+    const XTuple& tb = flip ? t1 : t2;
     XPairDecision decision;
     if (matcher != nullptr) {
-      decision = timed ? matcher->DecideTimed(pair.first, pair.second,
-                                              &counters->timings)
-                       : matcher->Decide(pair.first, pair.second);
+      decision = timed ? matcher->DecideTimed(i1, i2, &counters->timings)
+                       : matcher->Decide(i1, i2);
     } else if (timed) {
       // DecidePair's walk over the compiled stage graph, with a clock
       // read around each stage (same order, same arithmetic, same
@@ -187,13 +203,13 @@ void StageExecutor::DecideBatch(const XRelation& rel,
       ComparisonMatrix matrix;
       AlternativePairScores scores;
       for (PipelineStage stage : plan_->stages()) {
-        Clock::time_point start = Clock::now();
+        Clock::time_point stage_start = Clock::now();
         switch (stage) {
           case PipelineStage::kMatch:
-            matrix = plan_->RunMatchStage(t1, t2);
+            matrix = plan_->RunMatchStage(ta, tb);
             break;
           case PipelineStage::kCombine:
-            scores = plan_->RunCombineStage(t1, t2, matrix);
+            scores = plan_->RunCombineStage(ta, tb, matrix);
             break;
           case PipelineStage::kDerive:
             decision.similarity = plan_->RunDeriveStage(scores);
@@ -202,10 +218,10 @@ void StageExecutor::DecideBatch(const XRelation& rel,
             decision.match_class = plan_->RunClassifyStage(decision.similarity);
             break;
         }
-        *TimingSlot(&counters->timings, stage) += Elapsed(start);
+        *TimingSlot(&counters->timings, stage) += Elapsed(stage_start);
       }
     } else {
-      decision = plan_->DecidePair(t1, t2);
+      decision = plan_->DecidePair(ta, tb);
     }
     if (use_cache) {
       cache->Insert(key, {decision.similarity, decision.match_class});
@@ -251,11 +267,17 @@ Result<DetectionResult> StageExecutor::Execute(CandidateStream& stream) const {
   const bool columnar = plan_->use_columnar_kernels() && arena != nullptr &&
                         arena->tuple_count() == rel.size();
   result.match_kernel = columnar ? "columnar" : "scalar";
-  // The memo stays the "cache attached" signal on both paths; columnar
-  // batches never read it (they take the arena's precomputed digests),
-  // so its slots stay untouched zeros there.
-  TupleDigestMemo digest_memo(use_cache ? rel.size() : 0);
-  TupleDigestMemo* digests = use_cache ? &digest_memo : nullptr;
+  // The memo is unconditional: uncached scalar runs need the tuple
+  // digests too, for the canonical decide orientation (see
+  // DecideBatch) — that is what keeps uncached, cold-cached and
+  // warm-cached runs bit-identical. Columnar batches never read it
+  // (they take the arena's precomputed digests), so its slots stay
+  // untouched zeros there. Sized from the stream's tuple CAPACITY, not
+  // its current size: a standing ingest stream's relation grows during
+  // the drain, and the memo must already have a slot for every tuple
+  // that can still arrive.
+  TupleDigestMemo digest_memo(columnar ? 0 : stream.tuple_capacity());
+  TupleDigestMemo* digests = &digest_memo;
 
   // Sharded streams drain shard-by-shard: per-shard worker sets and
   // accounting, deterministic merge of the per-shard decisions.
@@ -281,7 +303,13 @@ Result<DetectionResult> StageExecutor::Execute(CandidateStream& stream) const {
       if (timed) pull_start = Clock::now();
       size_t pulled = stream.NextBatch(options_.batch_size, &batch);
       if (timed) ws.pull_seconds += Elapsed(pull_start);
-      if (pulled == 0) break;
+      if (pulled == 0) {
+        // Exhausted vs idle-but-open: a standing stream blocks in
+        // AwaitMore until tuples arrive (resume pulling) or its feed
+        // closes (drain ends); finite streams return false immediately.
+        if (!stream.AwaitMore()) break;
+        continue;
+      }
       result.candidate_count += batch.size();
       ++result.stream_stats.batches;
       result.stream_stats.live_candidate_high_water =
@@ -291,6 +319,7 @@ Result<DetectionResult> StageExecutor::Execute(CandidateStream& stream) const {
       ws.candidates += batch.size();
       Clock::time_point decide_start;
       if (timed) decide_start = Clock::now();
+      const size_t decided_before = result.decisions.size();
       DecideBatch(rel, batch, digests,
                   matcher.has_value() ? &*matcher : nullptr,
                   &result.decisions, &counters);
@@ -299,9 +328,17 @@ Result<DetectionResult> StageExecutor::Execute(CandidateStream& stream) const {
         ws.decide_seconds += decide;
         ws.decide_micros.Record(MicrosFromSeconds(decide));
       }
+      if (options_.decision_sink) {
+        for (size_t i = decided_before; i < result.decisions.size(); ++i) {
+          options_.decision_sink(result.decisions[i]);
+        }
+      }
     }
     result.stage_timings = counters.timings;
     if (result.cache_stats.has_value()) *result.cache_stats = counters.cache;
+    // Re-read after the drain: a standing stream's pair universe grows
+    // as tuples are admitted (finite streams report the same value).
+    result.total_pairs = stream.total_pairs();
     FinalizeTelemetry(options_, std::move(workers), &result);
     return result;
   }
@@ -322,6 +359,10 @@ Result<DetectionResult> StageExecutor::Execute(CandidateStream& stream) const {
     std::deque<BatchCounters> counters;
     size_t in_flight_candidates = 0;
   } drain;
+  // Sink calls are serialized but interleave across workers in commit
+  // order — an execution-shape-dependent order by design (see
+  // StageExecutorOptions::decision_sink).
+  std::mutex sink_mu;
   std::vector<WorkerStats> workers(options_.workers);
   auto worker = [&](WorkerStats* ws) {
     // Per-worker matcher: its scratch buffers are thread-private state.
@@ -339,8 +380,15 @@ Result<DetectionResult> StageExecutor::Execute(CandidateStream& stream) const {
         size_t pulled = stream.NextBatch(options_.batch_size, &batch);
         if (timed) ws->pull_seconds += Elapsed(pull_start);
         if (pulled == 0) {
-          drain.exhausted = true;
-          return;
+          // Waiting with drain.mu held parks the other workers on the
+          // pull mutex — correct (there is nothing to pull) and free of
+          // lock cycles: AwaitMore blocks on the stream's own
+          // condition, signalled by producers that never take drain.mu.
+          if (!stream.AwaitMore()) {
+            drain.exhausted = true;
+            return;
+          }
+          continue;
         }
         result.candidate_count += batch.size();
         ++result.stream_stats.batches;
@@ -365,6 +413,12 @@ Result<DetectionResult> StageExecutor::Execute(CandidateStream& stream) const {
         ws->decide_seconds += decide;
         ws->decide_micros.Record(MicrosFromSeconds(decide));
       }
+      if (options_.decision_sink) {
+        std::lock_guard<std::mutex> lock(sink_mu);
+        for (const PairDecisionRecord& rec : *slot) {
+          options_.decision_sink(rec);
+        }
+      }
       {
         std::lock_guard<std::mutex> lock(drain.mu);
         drain.in_flight_candidates -= batch.size();
@@ -388,6 +442,7 @@ Result<DetectionResult> StageExecutor::Execute(CandidateStream& stream) const {
     result.stage_timings += counters.timings;
     if (result.cache_stats.has_value()) *result.cache_stats += counters.cache;
   }
+  result.total_pairs = stream.total_pairs();
   FinalizeTelemetry(options_, std::move(workers), &result);
   return result;
 }
@@ -413,6 +468,12 @@ Result<DetectionResult> StageExecutor::ExecuteSharded(
     size_t high_water = 0;
   };
   std::vector<ShardDrain> drains(shard_count);
+  // Serializes sink calls across every shard's workers (commit order —
+  // execution-shape-dependent, like the pooled path). Per-shard sources
+  // are finite by construction (RestrictToShard over a finite
+  // universe), so the 0-pull below stays terminal: standing streams
+  // take the unsharded drain and shard only their Finish() re-run.
+  std::mutex sink_mu;
   const bool timed = options_.stage_timings;
   std::vector<WorkerStats> workers(
       options_.workers <= 1 ? size_t{1} : options_.workers);
@@ -461,6 +522,12 @@ Result<DetectionResult> StageExecutor::ExecuteSharded(
         double decide = Elapsed(decide_start);
         ws->decide_seconds += decide;
         ws->decide_micros.Record(MicrosFromSeconds(decide));
+      }
+      if (options_.decision_sink) {
+        std::lock_guard<std::mutex> lock(sink_mu);
+        for (const PairDecisionRecord& rec : *slot) {
+          options_.decision_sink(rec);
+        }
       }
       {
         std::lock_guard<std::mutex> lock(drain.mu);

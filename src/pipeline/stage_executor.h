@@ -25,6 +25,7 @@
 #define PDD_PIPELINE_STAGE_EXECUTOR_H_
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -51,6 +52,13 @@ struct StageExecutorOptions {
   /// null runs uncached. Ignored (with stats reporting zero lookups)
   /// when the plan is cache-ineligible (decision_fingerprint() == 0).
   std::shared_ptr<DecisionCache> cache;
+  /// Called once per committed decision record, as batches complete.
+  /// The executor serializes calls (one sink invocation at a time), but
+  /// the EMISSION ORDER is execution-shape-dependent on pooled/sharded
+  /// drains: only the merged DetectionResult carries the deterministic
+  /// order. A standing consumer (pddserve) streams decisions out of the
+  /// drain through this; batch callers leave it null for zero overhead.
+  std::function<void(const PairDecisionRecord&)> decision_sink;
 };
 
 class ColumnarMatcher;
@@ -65,6 +73,11 @@ class StageExecutor {
 
   /// Drains `stream` and returns the detection result. The stream is
   /// left exhausted (callers reuse one via CandidateStream::Reset).
+  /// A 0-candidate pull does not end the drain by itself: the stream's
+  /// AwaitMore() decides between *exhausted* (finite batch sources) and
+  /// *idle but open* (a standing ingest source blocks there until more
+  /// tuples arrive or the feed closes), so the same decide path serves
+  /// batch runs and the standing loop.
   /// A ShardedCandidateStream with more than one shard takes the
   /// shard-aware drain: exactly `workers` threads split into per-shard
   /// worker sets (a thread covers several shards sequentially when

@@ -191,6 +191,12 @@ TEST(NondeterminismRule, ScopedToTheDeterministicCore) {
   // function of (record ids, report content).
   EXPECT_EQ(CountRule(Lint("src/index/x.cc", snippet), "nondeterminism"),
             1u);
+  // So is the standing ingest path: the push-based drain promises a
+  // report byte-identical to the batch run for any arrival order, so
+  // queue/admission/session code must stay clock- and entropy-free
+  // (arrival stamps are opaque caller-provided values).
+  EXPECT_EQ(CountRule(Lint("src/ingest/x.cc", snippet), "nondeterminism"),
+            1u);
 }
 
 TEST(NondeterminismRule, WordBoundariesAvoidFalsePositives) {

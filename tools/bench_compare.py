@@ -51,7 +51,12 @@ throughput differs by an order of magnitude between a laptop and a CI
 container; per-runner families let each machine gate against its own
 floor instead of the weakest shared one.
 
-Exit status: 0 clean, 1 regression, 2 usage/IO error.
+A sidecar with no committed baseline is a hard failure (exit 3), not a
+skip: a silently unbaselined bench is an ungated bench. Run with
+``--update`` and commit the result to enroll it.
+
+Exit status: 0 clean, 1 regression, 2 usage/IO error, 3 missing
+baseline.
 """
 
 import argparse
@@ -158,12 +163,14 @@ def main():
     tolerances = {"throughput": args.throughput_tolerance,
                   "ratio": args.ratio_tolerance}
     regressions = []
+    missing = []
     compared = 0
     for run_file in run_files:
         baseline_file = baseline_for(run_file.name)
         if not baseline_file.exists():
-            print(f"bench_compare: no baseline for {run_file.name} "
-                  f"(run with --update to create one); skipping")
+            print(f"bench_compare: missing baseline for {run_file.name} "
+                  f"— run with --update to create one", file=sys.stderr)
+            missing.append(run_file.name)
             continue
         current = flatten(load(run_file))
         baseline = flatten(load(baseline_file))
@@ -197,6 +204,10 @@ def main():
         for regression in regressions:
             print(f"  {regression}", file=sys.stderr)
         return 1
+    if missing:
+        print(f"bench_compare: {len(missing)} sidecar(s) without a "
+              f"committed baseline", file=sys.stderr)
+        return 3
     if compared == 0:
         print("bench_compare: nothing compared — missing baselines?",
               file=sys.stderr)

@@ -8,7 +8,13 @@ Subcommands:
   exporters iterate sorted maps; an unsorted file means a export-path
   regression), non-negative integer counters, well-formed histograms
   (bucket counts sum to ``count``, monotone bucket upper bounds, p50 <=
-  p95 <= p99 <= max), and a well-typed span tree.
+  p95 <= p99 <= max), and a well-typed span tree. Sidecars carrying the
+  standing-ingest family additionally get the accounting invariant
+  (``exec.ingest.arrivals`` equals admitted + duplicate_ids + invalid +
+  rejected_capacity + dropped + queue_depth), the queue bound
+  (high-water <= capacity), and the namespace contract (ingest
+  latencies live under ``time.ingest.``, counts under
+  ``exec.ingest.``).
 
 * ``diff A B`` -- compare the identity-metric subset of two sidecars:
   every counter/gauge/histogram/info entry whose name does NOT start
@@ -104,6 +110,57 @@ def check_span(errors, where, span):
             check_span(errors, f"{where}.children[{i}]", child)
 
 
+def check_ingest(errors, doc):
+    """Standing-ingest family invariants (exec.ingest.* present)."""
+    counters = doc.get("counters", {})
+    gauges = doc.get("gauges", {})
+    histograms = doc.get("histograms", {})
+    ingest_keys = [key for section in (counters, gauges, histograms)
+                   for key in section if key.startswith("exec.ingest.")]
+    if not ingest_keys:
+        return
+
+    def count(name):
+        value = counters.get(f"exec.ingest.{name}", 0)
+        return value if isinstance(value, int) and \
+            not isinstance(value, bool) else 0
+
+    def gauge(name):
+        value = gauges.get(f"exec.ingest.{name}")
+        return value if isinstance(value, (int, float)) and \
+            not isinstance(value, bool) else None
+
+    # Every arrival is accounted for exactly once: admitted into the
+    # standing relation, rejected by admission (dup/invalid/capacity),
+    # dropped at the queue, or still queued.
+    depth = gauge("queue_depth")
+    accounted = (count("admitted") + count("duplicate_ids") +
+                 count("invalid") + count("rejected_capacity") +
+                 count("dropped") + (int(depth) if depth is not None else 0))
+    if count("arrivals") != accounted:
+        fail(errors, f"ingest accounting: arrivals {count('arrivals')} != "
+                     f"admitted + duplicate_ids + invalid + "
+                     f"rejected_capacity + dropped + queue_depth "
+                     f"({accounted})")
+    high_water = gauge("queue_high_water")
+    capacity = counters.get("exec.ingest.queue_capacity")
+    if high_water is not None and isinstance(capacity, int) and \
+            not isinstance(capacity, bool) and high_water > capacity:
+        fail(errors, f"ingest queue: high_water {high_water} exceeds "
+                     f"capacity {capacity}")
+    # Namespace contract: latency distributions are wall clock and live
+    # under time.ingest.; exec.ingest. entries are shape counts/gauges.
+    for name in histograms:
+        if name.startswith("exec.ingest."):
+            fail(errors, f"histograms[{name}]: ingest latency histograms "
+                         f"belong under time.ingest., not exec.ingest.")
+    for section_name, section in (("counters", counters), ("gauges", gauges)):
+        for name in section:
+            if name.startswith("time.ingest."):
+                fail(errors, f"{section_name}[{name}]: time.ingest. is "
+                             f"reserved for latency histograms")
+
+
 def validate(doc):
     errors = []
     if not isinstance(doc, dict):
@@ -138,6 +195,7 @@ def validate(doc):
         else:
             for i, span in enumerate(spans):
                 check_span(errors, f"spans[{i}]", span)
+    check_ingest(errors, doc)
     return errors
 
 
